@@ -1,0 +1,65 @@
+/// Ablation: classifier generality. Section 4.1 claims the simulation
+/// methodology "is generic enough to be applicable to any classifier",
+/// and Section 3's theory speaks about ML classifiers in general. This
+/// harness re-runs the Figure 3(B) sweep (NoJoin degradation as |D_FK|
+/// grows) under three different model classes — Naive Bayes, L2 logistic
+/// regression, and TAN — to show the dichotomy is a property of the
+/// representation, not of one learner.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analytics/pipeline.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace hamlet;
+using namespace hamlet::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Ablation",
+              "Classifier generality of the NoJoin variance blow-up "
+              "(Figure 3(B) sweep per model)",
+              args);
+  MonteCarloOptions mc;
+  mc.num_training_sets = args.quick ? 20 : 50;
+  mc.num_repeats = args.quick ? 2 : 5;
+  mc.seed = args.seed;
+
+  const ClassifierKind kinds[] = {ClassifierKind::kNaiveBayes,
+                                  ClassifierKind::kLogisticRegressionL2,
+                                  ClassifierKind::kTan};
+
+  TablePrinter table({"Classifier", "|D_FK|", "UseAll err", "NoJoin err",
+                      "NoJoin - UseAll"});
+  for (ClassifierKind kind : kinds) {
+    ClassifierFactory factory = MakeClassifierFactory(kind);
+    for (uint32_t nr : {20u, 100u, 400u}) {
+      SimConfig c;
+      c.scenario = TrueDistribution::kLoneXr;
+      c.n_s = 1000;
+      c.d_s = 2;
+      c.d_r = 2;
+      c.n_r = nr;
+      c.p = 0.1;
+      auto r = RunMonteCarlo(c, mc, &factory);
+      if (!r.ok()) {
+        std::fprintf(stderr, "Monte Carlo failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({ClassifierKindToString(kind), std::to_string(nr),
+                    Fmt(r->use_all.avg_test_error),
+                    Fmt(r->no_join.avg_test_error),
+                    Fmt(r->DeltaTestError())});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: for EVERY model class the NoJoin gap is ≈ 0 at "
+      "|D_FK| = 20 (TR = 50) and opens as |D_FK| -> 400 (TR = 2.5) — the "
+      "blow-up is a property of using the key as the representation, not "
+      "of the learner.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// Reproduces **Figure 10** (appendix): the remaining scenario-1 sweeps.
+///   (A) vary d_R at (n_S, d_S, |D_FK|, p) = (1000, 4, 100, 0.1);
+///   (B) vary d_S at (n_S, d_R, |D_FK|, p) = (1000, 4, 40, 0.1);
+///   (C) vary p   at (n_S, d_S, d_R, |D_FK|) = (1000, 4, 4, 200).
+///
+/// Expected shape (paper): the NoJoin/UseAll gap is governed by |D_FK|
+/// vs n_S, not by d_R (the number of foreign features barely matters —
+/// "irrespective of the number of features in X_R"); d_S adds mild noise
+/// for everyone; the error tracks p (the noise floor) with the NoJoin
+/// variance gap on top.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+using namespace hamlet;
+using namespace hamlet::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Figure 10",
+              "Sim scenario 1: vary d_R (A), d_S (B), p (C)", args);
+  MonteCarloOptions mc;
+  mc.num_training_sets = args.mc_training_sets;
+  mc.num_repeats = args.mc_repeats;
+  mc.seed = args.seed;
+
+  auto run_panel = [&](const char* title, const char* varied,
+                       const std::vector<SimConfig>& configs,
+                       const std::vector<std::string>& labels) {
+    TablePrinter table({varied, "UseAll err", "NoJoin err", "NoFK err",
+                        "NoJoin netvar"});
+    for (size_t i = 0; i < configs.size(); ++i) {
+      auto r = RunMonteCarlo(configs[i], mc);
+      if (!r.ok()) {
+        std::fprintf(stderr, "Monte Carlo failed\n");
+        std::exit(1);
+      }
+      table.AddRow({labels[i], Fmt(r->use_all.avg_test_error),
+                    Fmt(r->no_join.avg_test_error),
+                    Fmt(r->no_fk.avg_test_error),
+                    Fmt(r->no_join.avg_net_variance)});
+    }
+    std::printf("\n(%s)\n", title);
+    table.Print(std::cout);
+  };
+
+  {
+    std::vector<SimConfig> configs;
+    std::vector<std::string> labels;
+    for (uint32_t dr : {1u, 2u, 4u, 8u, 16u}) {
+      SimConfig c;
+      c.n_s = 1000;
+      c.d_s = 4;
+      c.d_r = dr;
+      c.n_r = 100;
+      c.p = 0.1;
+      configs.push_back(c);
+      labels.push_back(std::to_string(dr));
+    }
+    run_panel("A: vary d_R, (n_S, d_S, |D_FK|, p) = (1000, 4, 100, 0.1)",
+              "d_R", configs, labels);
+  }
+  {
+    std::vector<SimConfig> configs;
+    std::vector<std::string> labels;
+    for (uint32_t ds : {1u, 2u, 4u, 8u, 16u}) {
+      SimConfig c;
+      c.n_s = 1000;
+      c.d_s = ds;
+      c.d_r = 4;
+      c.n_r = 40;
+      c.p = 0.1;
+      configs.push_back(c);
+      labels.push_back(std::to_string(ds));
+    }
+    run_panel("B: vary d_S, (n_S, d_R, |D_FK|, p) = (1000, 4, 40, 0.1)",
+              "d_S", configs, labels);
+  }
+  {
+    std::vector<SimConfig> configs;
+    std::vector<std::string> labels;
+    for (double p : {0.01, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+      SimConfig c;
+      c.n_s = 1000;
+      c.d_s = 4;
+      c.d_r = 4;
+      c.n_r = 200;
+      c.p = p;
+      configs.push_back(c);
+      labels.push_back(StringFormat("%.2f", p));
+    }
+    run_panel("C: vary p, (n_S, d_S, d_R, |D_FK|) = (1000, 4, 4, 200)", "p",
+              configs, labels);
+  }
+  return 0;
+}

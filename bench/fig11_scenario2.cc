@@ -1,0 +1,110 @@
+/// Reproduces **Figure 11** (appendix): simulation scenario 2 — ALL of
+/// X_S and X_R participate in the true distribution. Four sweeps:
+///   (A) vary n_S at (d_S, d_R, |D_FK|) = (4, 4, 40);
+///   (B) vary |D_FK| at (n_S, d_S, d_R) = (1000, 4, 4);
+///   (C) vary d_R at (n_S, d_S, |D_FK|) = (1000, 4, 100);
+///   (D) vary d_S at (n_S, d_R, |D_FK|) = (1000, 4, 40).
+///
+/// Expected shape (paper): same dichotomy as scenario 1 — NoJoin's error
+/// gap is a variance effect driven by n_S vs |D_FK|.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace hamlet;
+using namespace hamlet::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Figure 11",
+              "Sim scenario 2 (all of X_S and X_R in the true "
+              "distribution)",
+              args);
+  MonteCarloOptions mc;
+  mc.num_training_sets = args.mc_training_sets;
+  mc.num_repeats = args.mc_repeats;
+  mc.seed = args.seed;
+
+  auto base = [] {
+    SimConfig c;
+    c.scenario = TrueDistribution::kAllXsXr;
+    c.n_s = 1000;
+    c.d_s = 4;
+    c.d_r = 4;
+    c.n_r = 40;
+    c.beta = 1.0;
+    return c;
+  };
+
+  auto run_panel = [&](const char* title, const char* varied,
+                       const std::vector<SimConfig>& configs,
+                       const std::vector<uint32_t>& values) {
+    TablePrinter table({varied, "UseAll err", "NoJoin err", "NoFK err",
+                        "UseAll netvar", "NoJoin netvar"});
+    for (size_t i = 0; i < configs.size(); ++i) {
+      auto r = RunMonteCarlo(configs[i], mc);
+      if (!r.ok()) {
+        std::fprintf(stderr, "Monte Carlo failed\n");
+        std::exit(1);
+      }
+      table.AddRow({std::to_string(values[i]),
+                    Fmt(r->use_all.avg_test_error),
+                    Fmt(r->no_join.avg_test_error),
+                    Fmt(r->no_fk.avg_test_error),
+                    Fmt(r->use_all.avg_net_variance),
+                    Fmt(r->no_join.avg_net_variance)});
+    }
+    std::printf("\n(%s)\n", title);
+    table.Print(std::cout);
+  };
+
+  {
+    std::vector<SimConfig> cs;
+    std::vector<uint32_t> vals = {100, 200, 500, 1000, 2000, 4000};
+    for (uint32_t v : vals) {
+      SimConfig c = base();
+      c.n_s = v;
+      cs.push_back(c);
+    }
+    run_panel("A: vary n_S, (d_S, d_R, |D_FK|) = (4, 4, 40)", "n_S", cs,
+              vals);
+  }
+  {
+    std::vector<SimConfig> cs;
+    std::vector<uint32_t> vals = {10, 20, 40, 100, 200, 400};
+    for (uint32_t v : vals) {
+      SimConfig c = base();
+      c.n_r = v;
+      cs.push_back(c);
+    }
+    run_panel("B: vary |D_FK|, (n_S, d_S, d_R) = (1000, 4, 4)", "|D_FK|",
+              cs, vals);
+  }
+  {
+    std::vector<SimConfig> cs;
+    std::vector<uint32_t> vals = {1, 2, 4, 8};
+    for (uint32_t v : vals) {
+      SimConfig c = base();
+      c.d_r = v;
+      c.n_r = 100;
+      cs.push_back(c);
+    }
+    run_panel("C: vary d_R, (n_S, d_S, |D_FK|) = (1000, 4, 100)", "d_R", cs,
+              vals);
+  }
+  {
+    std::vector<SimConfig> cs;
+    std::vector<uint32_t> vals = {1, 2, 4, 8};
+    for (uint32_t v : vals) {
+      SimConfig c = base();
+      c.d_s = v;
+      cs.push_back(c);
+    }
+    run_panel("D: vary d_S, (n_S, d_R, |D_FK|) = (1000, 4, 40)", "d_S", cs,
+              vals);
+  }
+  return 0;
+}

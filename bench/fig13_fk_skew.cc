@@ -1,0 +1,121 @@
+/// Reproduces **Figure 13** (appendix): the effect of foreign-key skew on
+/// avoiding the join, in scenario 1 with (n_S, n_R, d_S, d_R) =
+/// (1000, 40, 4, 4).
+///   (A) "Benign" Zipfian skew: A1 varies the Zipf exponent, A2 varies
+///       n_S at exponent 2.
+///   (B) "Malign" needle-and-thread skew (the needle FK value carries one
+///       X_r/Y value; the thread carries the other): B1 varies the needle
+///       probability, B2 varies n_S at needle probability 0.5.
+///
+/// Expected shape (paper): benign skew leaves NoJoin close to UseAll
+/// (sometimes even helps it); malign skew blows up NoJoin's error, and
+/// the gap closes as n_S grows.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+using namespace hamlet;
+using namespace hamlet::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Figure 13", "FK skew: benign (Zipf) vs malign "
+              "(needle-and-thread)", args);
+  MonteCarloOptions mc;
+  mc.num_training_sets = args.mc_training_sets;
+  mc.num_repeats = args.mc_repeats;
+  mc.seed = args.seed;
+
+  auto base = [] {
+    SimConfig c;
+    c.scenario = TrueDistribution::kLoneXr;
+    c.n_s = 1000;
+    c.n_r = 40;
+    c.d_s = 4;
+    c.d_r = 4;
+    c.p = 0.1;
+    return c;
+  };
+
+  auto run_panel = [&](const char* title, const char* varied,
+                       const std::vector<SimConfig>& configs,
+                       const std::vector<std::string>& labels) {
+    TablePrinter table({varied, "UseAll err", "NoJoin err",
+                        "NoJoin netvar"});
+    for (size_t i = 0; i < configs.size(); ++i) {
+      auto r = RunMonteCarlo(configs[i], mc);
+      if (!r.ok()) {
+        std::fprintf(stderr, "Monte Carlo failed\n");
+        std::exit(1);
+      }
+      table.AddRow({labels[i], Fmt(r->use_all.avg_test_error),
+                    Fmt(r->no_join.avg_test_error),
+                    Fmt(r->no_join.avg_net_variance)});
+    }
+    std::printf("\n(%s)\n", title);
+    table.Print(std::cout);
+  };
+
+  {  // A1: vary Zipf exponent.
+    std::vector<SimConfig> cs;
+    std::vector<std::string> labels;
+    for (double s : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+      SimConfig c = base();
+      if (s > 0.0) {
+        c.fk_dist = FkDistribution::kZipf;
+        c.zipf_skew = s;
+      }
+      cs.push_back(c);
+      labels.push_back(StringFormat("%.1f", s));
+    }
+    run_panel("A1: benign Zipf skew, vary exponent", "zipf s", cs, labels);
+  }
+  {  // A2: vary n_S at Zipf exponent 2.
+    std::vector<SimConfig> cs;
+    std::vector<std::string> labels;
+    for (uint32_t ns : {200u, 500u, 1000u, 2000u, 4000u}) {
+      SimConfig c = base();
+      c.fk_dist = FkDistribution::kZipf;
+      c.zipf_skew = 2.0;
+      c.n_s = ns;
+      cs.push_back(c);
+      labels.push_back(std::to_string(ns));
+    }
+    run_panel("A2: benign Zipf skew (s = 2), vary n_S", "n_S", cs, labels);
+  }
+  {  // B1: vary needle probability.
+    std::vector<SimConfig> cs;
+    std::vector<std::string> labels;
+    for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      SimConfig c = base();
+      c.fk_dist = FkDistribution::kNeedleThread;
+      c.needle_prob = p;
+      cs.push_back(c);
+      labels.push_back(StringFormat("%.1f", p));
+    }
+    run_panel("B1: malign needle-and-thread skew, vary needle probability",
+              "needle p", cs, labels);
+  }
+  {  // B2: vary n_S at needle probability 0.5.
+    std::vector<SimConfig> cs;
+    std::vector<std::string> labels;
+    for (uint32_t ns : {200u, 500u, 1000u, 2000u, 4000u}) {
+      SimConfig c = base();
+      c.fk_dist = FkDistribution::kNeedleThread;
+      c.needle_prob = 0.5;
+      c.n_s = ns;
+      cs.push_back(c);
+      labels.push_back(std::to_string(ns));
+    }
+    run_panel("B2: malign skew (needle p = 0.5), vary n_S", "n_S", cs,
+              labels);
+  }
+  std::printf(
+      "\nPaper shape check: benign skew keeps NoJoin near UseAll; malign "
+      "skew opens a NoJoin gap that closes as n_S grows.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// Reproduces **Figure 4**: the decision-rule calibration scatter from the
+/// scenario-1 simulation sweeps.
+///   (A) ΔTest error (NoJoin − UseAll) against the worst-case ROR;
+///   (B) ΔTest error against the tuple ratio TR;
+///   (C) ROR against 1/sqrt(TR), with the Pearson correlation the paper
+///       reports as ≈ 0.97.
+/// The harness prints the scatter points plus the threshold read-off the
+/// paper makes: for tolerance 0.001 on ΔTest error, ρ = 2.5 and τ = 20.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/calibration.h"
+#include "stats/info_theory.h"
+
+using namespace hamlet;
+using namespace hamlet::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Figure 4", "ΔTest error vs ROR / TR; ROR vs 1/sqrt(TR)",
+              args);
+  MonteCarloOptions mc;
+  mc.num_training_sets = args.mc_training_sets;
+  mc.num_repeats = args.quick ? 2 : 5;  // Many grid points; keep it honest
+  mc.seed = args.seed;                  // but affordable.
+
+  // The diverse grid of Section 4.2: vary n_S, |D_FK|, d_S, d_R jointly.
+  std::vector<SimConfig> grid;
+  for (uint32_t ns : {200u, 500u, 1000u, 2000u}) {
+    for (uint32_t nr : {10u, 20u, 40u, 100u, 200u, 400u}) {
+      if (nr >= ns) continue;  // Theorem regime n > v.
+      for (uint32_t ds : {2u, 4u}) {
+        for (uint32_t dr : {2u, 4u}) {
+          SimConfig c;
+          c.scenario = TrueDistribution::kLoneXr;
+          c.n_s = ns;
+          c.n_r = nr;
+          c.d_s = ds;
+          c.d_r = dr;
+          c.p = 0.1;
+          grid.push_back(c);
+        }
+      }
+    }
+  }
+
+  TablePrinter table(
+      {"n_S", "|D_FK|", "d_S", "d_R", "TR", "ROR", "dTestErr"});
+  std::vector<double> rors, inv_sqrt_trs, deltas, trs;
+  for (const SimConfig& c : grid) {
+    auto r = RunMonteCarlo(c, mc);
+    if (!r.ok()) {
+      std::fprintf(stderr, "Monte Carlo failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    double tr = TupleRatioForSimConfig(c);
+    double ror = RorForSimConfig(c);
+    double delta = r->DeltaTestError();
+    rors.push_back(ror);
+    trs.push_back(tr);
+    inv_sqrt_trs.push_back(1.0 / std::sqrt(tr));
+    deltas.push_back(delta);
+    table.AddRow({std::to_string(c.n_s), std::to_string(c.n_r),
+                  std::to_string(c.d_s), std::to_string(c.d_r), Fmt(tr, 2),
+                  Fmt(ror, 3), Fmt(delta, 4)});
+  }
+  table.Print(std::cout);
+
+  // Threshold read-off (paper: tolerance 0.001 -> rho = 2.5, tau = 20).
+  double max_delta_below_rho = 0.0, max_delta_above_tau = 0.0;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (rors[i] <= 2.5 && deltas[i] > max_delta_below_rho) {
+      max_delta_below_rho = deltas[i];
+    }
+    if (trs[i] >= 20.0 && deltas[i] > max_delta_above_tau) {
+      max_delta_above_tau = deltas[i];
+    }
+  }
+  std::printf("\n(A/B) threshold check at the paper's settings:\n");
+  std::printf("  max ΔTestErr over points with ROR <= 2.5 : %.4f\n",
+              max_delta_below_rho);
+  std::printf("  max ΔTestErr over points with TR >= 20   : %.4f\n",
+              max_delta_above_tau);
+  std::printf("  (both should be ~<= 0.001-ish: the rules' safety bands)\n");
+
+  double r_c = PearsonCorrelation(inv_sqrt_trs, rors);
+  std::printf("\n(C) Pearson corr of ROR vs 1/sqrt(TR): %.3f "
+              "(paper reports ≈ 0.97)\n", r_c);
+
+  // Section 4.2's tuning procedure, run on this very scatter: derive the
+  // least-conservative thresholds that keep every rule-avoided point
+  // within the tolerance, for both of the paper's tolerance settings.
+  std::vector<CalibrationPoint> points;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    points.push_back({trs[i], rors[i], deltas[i]});
+  }
+  for (double tolerance : {0.001, 0.01}) {
+    RuleThresholds derived = CalibrateThresholds(points, tolerance);
+    CalibrationAudit audit = AuditThresholds(points, derived, tolerance);
+    std::printf(
+        "Derived thresholds at tolerance %.3f: rho = %.2f, tau = %.1f "
+        "(paper: %s) — %u/%u ROR-avoids, %u/%u TR-avoids, 0 unsafe "
+        "(%u/%u).\n",
+        tolerance, derived.rho, derived.tau,
+        tolerance < 0.005 ? "2.5 / 20" : "4.2 / 10", audit.ror_avoided,
+        static_cast<uint32_t>(points.size()), audit.tr_avoided,
+        static_cast<uint32_t>(points.size()),
+        audit.ror_unsafe, audit.tr_unsafe);
+  }
+  return 0;
+}

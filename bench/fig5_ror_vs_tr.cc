@@ -1,0 +1,75 @@
+/// Reproduces **Figure 5**: the finer distinction the ROR makes that the
+/// TR cannot. Both rules see the same tuple ratio, but when
+/// q*_R ≈ |D_FK| (the foreign features' domains are as large as the key's)
+/// the join buys almost nothing — the ROR is low and avoidance is safe —
+/// whereas q*_R << |D_FK| is the dangerous regime.
+///
+/// Setup: lone signal column X_r in X_R (d_R = 1), fixed
+/// (n_S, |D_FK|) = (1000, 200) so TR = 5 (the TR rule always says join),
+/// sweeping |D_Xr| = q*_R from 2 up to |D_FK|. The ROR falls toward 0 as
+/// q*_R -> |D_FK| and the measured ΔTest error falls with it — the TR is
+/// "oblivious to this finer distinction".
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace hamlet;
+using namespace hamlet::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Figure 5",
+              "ROR vs TR when q*_R approaches |D_FK| (lone X_r, TR fixed "
+              "at 5)",
+              args);
+  MonteCarloOptions mc;
+  mc.num_training_sets = args.mc_training_sets;
+  mc.num_repeats = args.mc_repeats;
+  mc.seed = args.seed;
+
+  RuleThresholds th = ThresholdsForTolerance(0.001);
+  TablePrinter table({"|D_Xr| (= q*_R)", "TR", "TR rule", "ROR",
+                      "ROR rule", "UseAll err", "NoJoin err", "dErr"});
+  for (uint32_t xr_card : {2u, 5u, 10u, 25u, 50u, 100u, 200u}) {
+    SimConfig c;
+    c.scenario = TrueDistribution::kLoneXr;
+    c.n_s = 1000;
+    c.n_r = 200;
+    c.d_s = 2;
+    c.d_r = 1;  // Lone signal column: q*_R = |D_Xr|.
+    c.xr_card = xr_card;
+    c.p = 0.1;
+    auto r = RunMonteCarlo(c, mc);
+    if (!r.ok()) {
+      std::fprintf(stderr, "Monte Carlo failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    double tr = TupleRatioForSimConfig(c);
+    double ror = RorForSimConfig(c);
+    table.AddRow({std::to_string(xr_card), Fmt(tr, 1),
+                  tr >= th.tau ? "avoid" : "join", Fmt(ror, 3),
+                  ror <= th.rho ? "avoid" : "join",
+                  Fmt(r->use_all.avg_test_error),
+                  Fmt(r->no_join.avg_test_error),
+                  Fmt(r->DeltaTestError())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper shape check (Figure 5): the TR column never moves (always "
+      "'join' at TR = 5), while the ROR falls as q*_R -> |D_FK| and the "
+      "measured ΔErr vanishes at q*_R = |D_FK| — when every foreign "
+      "feature is as wide as the key, the join can't help, and only the "
+      "ROR can see that a priori.\n"
+      "Caveat the sweep makes visible: the worst-case ROR's safety margin "
+      "comes from q*_R underestimating the true q_R; in this construction "
+      "they coincide, so in the mid-range (q*_R ~ |D_FK|/4..|D_FK|/2) the "
+      "rho = 2.5 threshold turns optimistic (ROR says avoid while dErr is "
+      "still ~0.02). The conservative TR verdict — join — is the safe "
+      "call there, which is exactly why the paper ships the TR rule as "
+      "the default.\n");
+  return 0;
+}

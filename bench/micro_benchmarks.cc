@@ -1,0 +1,198 @@
+/// Google-benchmark microbenchmarks for the substrate hot paths backing
+/// the Section 5.1 runtime claims: KFK join throughput, Naive Bayes
+/// training, filter scoring, and the JoinAll-vs-JoinOpt feature selection
+/// gap that produces the paper's 10x-186x speedups.
+
+#include <benchmark/benchmark.h>
+
+#include "core/advisor.h"
+#include "data/encoded_dataset.h"
+#include "data/splits.h"
+#include "datasets/registry.h"
+#include "fs/filters.h"
+#include "fs/greedy_search.h"
+#include "fs/runner.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/tan.h"
+#include "sim/data_synthesis.h"
+
+namespace {
+
+using namespace hamlet;
+
+// --- KFK join throughput over a MovieLens-shaped star schema. ---
+void BM_KfkJoin(benchmark::State& state) {
+  double scale = static_cast<double>(state.range(0)) / 100.0;
+  auto ds = MakeDataset("MovieLens1M", scale, 42);
+  for (auto _ : state) {
+    auto joined = ds->JoinAll();
+    benchmark::DoNotOptimize(joined->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          ds->entity().num_rows());
+}
+BENCHMARK(BM_KfkJoin)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// --- Naive Bayes training throughput (rows x features / s). ---
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  SimConfig config;
+  config.n_s = static_cast<uint32_t>(state.range(0));
+  config.d_s = 8;
+  config.d_r = 8;
+  config.n_r = 100;
+  Rng rng(1);
+  SimDataGenerator gen(config, rng);
+  SimDraw draw = gen.Draw(config.n_s, rng);
+  std::vector<uint32_t> rows(draw.data.num_rows());
+  for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  auto features = gen.UseAllFeatures();
+  for (auto _ : state) {
+    NaiveBayes nb;
+    benchmark::DoNotOptimize(nb.Train(draw.data, rows, features).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * config.n_s *
+                          features.size());
+}
+BENCHMARK(BM_NaiveBayesTrain)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Filter scoring (mutual information over all features). ---
+void BM_MiFilterScoring(benchmark::State& state) {
+  SimConfig config;
+  config.n_s = static_cast<uint32_t>(state.range(0));
+  config.d_s = 16;
+  config.d_r = 16;
+  config.n_r = 200;
+  Rng rng(1);
+  SimDataGenerator gen(config, rng);
+  SimDraw draw = gen.Draw(config.n_s, rng);
+  std::vector<uint32_t> rows(draw.data.num_rows());
+  for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  ScoreFilter filter(FilterScore::kMutualInformation);
+  auto candidates = draw.data.AllFeatureIndices();
+  for (auto _ : state) {
+    auto scores = filter.ScoreFeatures(draw.data, rows, candidates);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * config.n_s *
+                          candidates.size());
+}
+BENCHMARK(BM_MiFilterScoring)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- The end-to-end FS runtime gap: JoinAll vs JoinOpt input (the
+// Section 5.1 speedup source) on Walmart, forward selection. ---
+void BM_ForwardSelection(benchmark::State& state) {
+  bool join_all = state.range(0) == 1;
+  auto ds = MakeDataset("Walmart", 0.05, 42);
+  auto plan = AdviseJoins(*ds);
+  std::vector<std::string> fks;
+  if (join_all) {
+    for (const auto& fk : ds->foreign_keys()) fks.push_back(fk.fk_column);
+  } else {
+    fks = plan->fks_to_join;
+  }
+  auto table = ds->JoinSubset(fks);
+  auto data = EncodedDataset::FromTableAuto(*table);
+  Rng rng(7);
+  HoldoutSplit split = MakeHoldoutSplit(data->num_rows(), rng);
+  for (auto _ : state) {
+    ForwardSelection fs;
+    auto result = fs.Select(*data, split, MakeNaiveBayesFactory(),
+                            ErrorMetric::kRmse, data->AllFeatureIndices());
+    benchmark::DoNotOptimize(result->selected.size());
+  }
+  state.SetLabel(join_all ? "JoinAll" : "JoinOpt");
+}
+BENCHMARK(BM_ForwardSelection)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Sparse-SGD logistic regression training. ---
+void BM_LogisticRegressionTrain(benchmark::State& state) {
+  SimConfig config;
+  config.n_s = static_cast<uint32_t>(state.range(0));
+  config.d_s = 8;
+  config.d_r = 8;
+  config.n_r = 200;
+  Rng rng(1);
+  SimDataGenerator gen(config, rng);
+  SimDraw draw = gen.Draw(config.n_s, rng);
+  std::vector<uint32_t> rows(draw.data.num_rows());
+  for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  auto features = gen.UseAllFeatures();
+  LogisticRegressionOptions options;
+  options.regularizer = Regularizer::kL1;
+  options.max_epochs = 10;
+  for (auto _ : state) {
+    LogisticRegression lr(options);
+    benchmark::DoNotOptimize(lr.Train(draw.data, rows, features).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * config.n_s *
+                          options.max_epochs);
+}
+BENCHMARK(BM_LogisticRegressionTrain)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- TAN training (pairwise CMI + Chow-Liu + CPTs). ---
+void BM_TanTrain(benchmark::State& state) {
+  SimConfig config;
+  config.n_s = static_cast<uint32_t>(state.range(0));
+  config.d_s = 6;
+  config.d_r = 6;
+  config.n_r = 50;
+  Rng rng(1);
+  SimDataGenerator gen(config, rng);
+  SimDraw draw = gen.Draw(config.n_s, rng);
+  std::vector<uint32_t> rows(draw.data.num_rows());
+  for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  auto features = gen.UseAllFeatures();
+  for (auto _ : state) {
+    TreeAugmentedNaiveBayes tan;
+    benchmark::DoNotOptimize(tan.Train(draw.data, rows, features).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * config.n_s);
+}
+BENCHMARK(BM_TanTrain)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- The advisor itself: metadata-only decisions must be ~free. ---
+void BM_AdviseJoins(benchmark::State& state) {
+  auto ds = MakeDataset("Yelp", 0.05, 42);
+  for (auto _ : state) {
+    auto plan = AdviseJoins(*ds);
+    benchmark::DoNotOptimize(plan->fks_to_join.size());
+  }
+}
+BENCHMARK(BM_AdviseJoins)->Unit(benchmark::kMicrosecond);
+
+// --- Table -> EncodedDataset conversion (column copies). ---
+void BM_EncodeDataset(benchmark::State& state) {
+  auto ds = MakeDataset("Yelp", 0.05, 42);
+  auto joined = *ds->JoinAll();
+  for (auto _ : state) {
+    auto data = EncodedDataset::FromTableAuto(joined);
+    benchmark::DoNotOptimize(data->num_features());
+  }
+  state.SetItemsProcessed(state.iterations() * joined.num_rows() *
+                          joined.num_columns());
+}
+BENCHMARK(BM_EncodeDataset)->Unit(benchmark::kMillisecond);
+
+// --- Dataset synthesis throughput (rows/s). ---
+void BM_SynthesizeDataset(benchmark::State& state) {
+  double scale = static_cast<double>(state.range(0)) / 100.0;
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto ds = MakeDataset("MovieLens1M", scale, 42);
+    rows = ds->entity().num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SynthesizeDataset)->Arg(1)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

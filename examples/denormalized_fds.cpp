@@ -1,0 +1,124 @@
+/// Beyond star schemas (Appendix C): an analyst receives one wide,
+/// already-denormalized table — no foreign keys in sight — but the data
+/// still hides functional dependencies (city -> state -> region, plan ->
+/// plan family). Corollary C.1 says dependent features are redundant;
+/// the generalized advisor prunes them with the same TR/ROR machinery
+/// the KFK rules use.
+///
+///   1. Synthesize a wide table with two FD chains.
+///   2. Discover the unary FDs from the instance (exactly).
+///   3. Build the acyclic FD set and get the Corollary C.1 redundant set.
+///   4. Apply AdviseFeatureDrops and verify with feature selection that
+///      the pruned feature set loses nothing.
+///
+/// Run: ./example_denormalized_fds [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/generalized_avoidance.h"
+#include "data/encoded_dataset.h"
+#include "data/splits.h"
+#include "fs/runner.h"
+#include "ml/naive_bayes.h"
+#include "relational/functional_deps.h"
+
+using namespace hamlet;  // NOLINT: example brevity.
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 33;
+  Rng rng(seed);
+
+  // --- 1. A wide table: City -> State -> Region; Plan -> Family. ---
+  const uint32_t n = 20000, n_cities = 120, n_plans = 24;
+  Schema schema({ColumnSpec::Target("Churn"), ColumnSpec::Feature("City"),
+                 ColumnSpec::Feature("State"),
+                 ColumnSpec::Feature("Region"),
+                 ColumnSpec::Feature("Plan"),
+                 ColumnSpec::Feature("PlanFamily"),
+                 ColumnSpec::Feature("Tenure")});
+  TableBuilder builder("Wide", schema,
+                       {Domain::Dense(2, "y"), Domain::Dense(n_cities, "c"),
+                        Domain::Dense(12, "s"), Domain::Dense(4, "r"),
+                        Domain::Dense(n_plans, "p"), Domain::Dense(4, "f"),
+                        Domain::Dense(6, "t")});
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t city = rng.Uniform(n_cities);
+    uint32_t state = city % 12;       // FD City -> State.
+    uint32_t region = state % 4;      // FD State -> Region.
+    uint32_t plan = rng.Uniform(n_plans);
+    uint32_t family = plan % 4;       // FD Plan -> PlanFamily.
+    uint32_t tenure = rng.Uniform(6);
+    // Churn depends on the region and the plan family (plus noise).
+    double p1 = 0.15 + 0.35 * (region % 2) + 0.3 * (family % 2);
+    builder.AppendRowCodes({rng.Bernoulli(p1) ? 1u : 0u, city, state,
+                            region, plan, family, tenure});
+  }
+  Table table = builder.Build();
+
+  // --- 2. Exact unary FD discovery on the instance. ---
+  auto discovered = DiscoverUnaryFds(table);
+  std::printf("Discovered unary FDs (instance-exact):\n");
+  for (const auto& fd : *discovered) {
+    if (fd.determinants[0] == "Churn" || fd.dependents[0] == "Churn") {
+      continue;  // Label dependencies are not schema structure.
+    }
+    std::printf("  %s -> %s\n", fd.determinants[0].c_str(),
+                fd.dependents[0].c_str());
+  }
+
+  // --- 3. The canonical acyclic FD set + Corollary C.1. ---
+  FdSet fds({"Churn", "City", "State", "Region", "Plan", "PlanFamily",
+             "Tenure"});
+  (void)fds.Add({{"City"}, {"State"}});
+  (void)fds.Add({{"State"}, {"Region"}});
+  (void)fds.Add({{"Plan"}, {"PlanFamily"}});
+  std::printf("\nAcyclic: %s; Corollary C.1 redundant set: {%s}\n",
+              fds.IsAcyclic() ? "yes" : "no",
+              JoinStrings(fds.DependentAttributes(), ", ").c_str());
+
+  // --- 4. Generalized avoidance + empirical verification. ---
+  const std::vector<std::string> candidates = {
+      "City", "State", "Region", "Plan", "PlanFamily", "Tenure"};
+  auto plan = AdviseFeatureDrops(table, fds, candidates);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "advice failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  TablePrinter advice({"FD", "distinct(det)", "TR", "ROR", "Drop deps?"});
+  for (const FdAdvice& a : plan->advice) {
+    advice.AddRow({a.fd.determinants[0] + " -> " +
+                       JoinStrings(a.fd.dependents, ","),
+                   std::to_string(a.determinant_distinct),
+                   StringFormat("%.1f", a.tuple_ratio),
+                   StringFormat("%.2f", a.ror),
+                   a.safe_to_drop_dependents ? "yes" : "no"});
+  }
+  advice.Print(std::cout);
+  std::printf("Pruned feature set: {%s}\n",
+              JoinStrings(plan->keep, ", ").c_str());
+
+  auto evaluate = [&](const std::vector<std::string>& features) {
+    auto data = *EncodedDataset::FromTable(table, "Churn", features);
+    Rng split_rng(seed + 1);
+    HoldoutSplit split = MakeHoldoutSplit(data.num_rows(), split_rng);
+    auto selector = MakeSelector(FsMethod::kForwardSelection);
+    auto report = *RunFeatureSelection(*selector, data, split,
+                                       MakeNaiveBayesFactory(),
+                                       ErrorMetric::kZeroOne,
+                                       data.AllFeatureIndices());
+    return report.holdout_test_error;
+  };
+  std::printf(
+      "\nForward-selection holdout error: all features = %.4f, pruned = "
+      "%.4f\n(the dependents were redundant — Corollary C.1 — and the "
+      "determinants' tuple ratios said dropping them was variance-safe "
+      "too).\n",
+      evaluate(candidates), evaluate(plan->keep));
+  return 0;
+}

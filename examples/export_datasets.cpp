@@ -1,0 +1,68 @@
+/// Exports the seven synthesized evaluation datasets as CSV files — one
+/// directory per dataset, one file per table — so they can be inspected,
+/// diffed, or loaded into other tools. The files round-trip through the
+/// library's own CSV reader (see tests/csv_test.cc).
+///
+/// Run: ./example_export_datasets [output_dir] [scale] [seed]
+/// Default output directory: /tmp/hamlet_datasets
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "datasets/registry.h"
+#include "relational/csv.h"
+
+using namespace hamlet;  // NOLINT: example brevity.
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : "/tmp/hamlet_datasets";
+  double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+  uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create '%s': %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  uint64_t total_rows = 0;
+  for (const std::string& name : AllDatasetNames()) {
+    auto ds = MakeDataset(name, scale, seed);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "%s: generation failed: %s\n", name.c_str(),
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    std::string dir = out_dir + "/" + name;
+    std::filesystem::create_directories(dir, ec);
+
+    auto dump = [&](const Table& table) -> bool {
+      std::string path = dir + "/" + table.name() + ".csv";
+      Status st = WriteCsv(table, path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "  %s: %s\n", path.c_str(),
+                     st.ToString().c_str());
+        return false;
+      }
+      std::printf("  %-28s %8u rows x %2u cols\n", path.c_str(),
+                  table.num_rows(), table.num_columns());
+      total_rows += table.num_rows();
+      return true;
+    };
+
+    std::printf("%s:\n", name.c_str());
+    if (!dump(ds->entity())) return 1;
+    for (const Table& r : ds->attribute_tables()) {
+      if (!dump(r)) return 1;
+    }
+  }
+  std::printf(
+      "\nExported %llu rows at scale %.3g (tuple ratios match the paper's "
+      "Figure 6 at every scale).\n",
+      static_cast<unsigned long long>(total_rows), scale);
+  return 0;
+}

@@ -1,0 +1,104 @@
+/// The recommender-style workflow the paper's intro motivates: ratings in
+/// an entity table, movies and users in attribute tables, and an analyst
+/// deciding which joins are worth performing before feature selection.
+///
+/// Uses the built-in MovieLens1M synthesizer (schema-accurate to the
+/// paper's Figure 6) and walks the complete JoinOpt path: advisor ->
+/// partial join -> feature selection -> holdout evaluation, then compares
+/// against JoinAll and the FK-dropping anti-pattern of Figure 8(C).
+///
+/// Run: ./example_movielens_workflow [scale] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/advisor.h"
+#include "data/encoded_dataset.h"
+#include "data/splits.h"
+#include "datasets/registry.h"
+#include "fs/runner.h"
+#include "ml/naive_bayes.h"
+
+using namespace hamlet;  // NOLINT: example brevity.
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  auto ds = MakeDataset("MovieLens1M", scale, seed);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n",
+                 ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("MovieLens1M (synthesized): %u ratings, %u movies, %u users\n\n",
+              ds->entity().num_rows(),
+              ds->attribute_tables()[0].num_rows(),
+              ds->attribute_tables()[1].num_rows());
+
+  auto plan = AdviseJoins(*ds);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "advisor failed\n");
+    return 1;
+  }
+  std::printf("%s\n", JoinPlanToString(*plan).c_str());
+
+  // Three designs: JoinAll, JoinOpt (per advisor), JoinAllNoFK.
+  std::vector<std::string> all_fks = {"MovieID", "UserID"};
+  auto run_design = [&](const std::vector<std::string>& fks, bool drop_fks,
+                        FsMethod method) -> Result<FsRunReport> {
+    HAMLET_ASSIGN_OR_RETURN(Table table, ds->JoinSubset(fks));
+    HAMLET_ASSIGN_OR_RETURN(EncodedDataset data,
+                            EncodedDataset::FromTableAuto(table));
+    std::vector<uint32_t> candidates;
+    for (uint32_t j = 0; j < data.num_features(); ++j) {
+      if (drop_fks && (data.meta(j).name == "MovieID" ||
+                       data.meta(j).name == "UserID")) {
+        continue;
+      }
+      candidates.push_back(j);
+    }
+    Rng rng(seed + 1);
+    HoldoutSplit split = MakeHoldoutSplit(data.num_rows(), rng);
+    auto selector = MakeSelector(method);
+    return RunFeatureSelection(*selector, data, split,
+                               MakeNaiveBayesFactory(), ErrorMetric::kRmse,
+                               candidates);
+  };
+
+  TablePrinter table({"Design", "Method", "RMSE", "FS time (ms)",
+                      "Selected features"});
+  struct Design {
+    const char* label;
+    const std::vector<std::string>* fks;
+    bool drop_fks;
+  };
+  std::vector<std::string> no_joins;
+  Design designs[] = {{"JoinAll", &all_fks, false},
+                      {"JoinOpt", &plan->fks_to_join, false},
+                      {"JoinAllNoFK", &all_fks, true}};
+  for (const Design& d : designs) {
+    for (FsMethod method :
+         {FsMethod::kForwardSelection, FsMethod::kMiFilter}) {
+      auto report = run_design(*d.fks, d.drop_fks, method);
+      if (!report.ok()) {
+        std::fprintf(stderr, "design %s failed: %s\n", d.label,
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({d.label, FsMethodToString(method),
+                    StringFormat("%.4f", report->holdout_test_error),
+                    StringFormat("%.1f", report->runtime_seconds * 1e3),
+                    JoinStrings(report->selected_names, ", ")});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected picture (paper Figures 7/8): JoinOpt avoids both joins "
+      "yet matches JoinAll at a fraction of the cost; dropping the FKs "
+      "instead (JoinAllNoFK) visibly hurts RMSE.\n");
+  return 0;
+}

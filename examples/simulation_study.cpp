@@ -1,0 +1,76 @@
+/// A compact version of the paper's Section 4 simulation study, for
+/// readers who want to *see* the bias/variance dichotomy and how the
+/// decision-rule thresholds fall out of it.
+///
+/// Sweeps |D_FK| at fixed n_S in the lone-X_r scenario, prints the
+/// Domingos decomposition for UseAll vs NoJoin, and annotates each row
+/// with the worst-case ROR, the tuple ratio, and what the paper-threshold
+/// rules would decide.
+///
+/// Run: ./example_simulation_study [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/decision_rules.h"
+#include "sim/monte_carlo.h"
+
+using namespace hamlet;  // NOLINT: example brevity.
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  MonteCarloOptions mc;
+  mc.num_training_sets = 100;
+  mc.num_repeats = 10;
+  mc.seed = seed;
+
+  RuleThresholds thresholds = ThresholdsForTolerance(0.001);
+  std::printf(
+      "Lone-X_r scenario, n_S = 1000, p = 0.1. Sweeping |D_FK|.\n"
+      "Rules at tolerance 0.001: avoid iff TR >= %.0f or ROR <= %.1f.\n\n",
+      thresholds.tau, thresholds.rho);
+
+  TablePrinter table({"|D_FK|", "TR", "ROR", "TR rule", "UseAll err",
+                      "NoJoin err", "NoJoin bias", "NoJoin netvar",
+                      "noise"});
+  for (uint32_t n_r : {10u, 25u, 50u, 100u, 200u, 400u, 800u}) {
+    SimConfig config;
+    config.scenario = TrueDistribution::kLoneXr;
+    config.n_s = 1000;
+    config.d_s = 4;
+    config.d_r = 4;
+    config.n_r = n_r;
+    config.p = 0.1;
+
+    auto result = RunMonteCarlo(config, mc);
+    if (!result.ok()) {
+      std::fprintf(stderr, "Monte Carlo failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    double tr = TupleRatioForSimConfig(config);
+    double ror = RorForSimConfig(config);
+    table.AddRow({std::to_string(n_r), StringFormat("%.1f", tr),
+                  StringFormat("%.2f", ror),
+                  tr >= thresholds.tau ? "avoid" : "join",
+                  StringFormat("%.4f", result->use_all.avg_test_error),
+                  StringFormat("%.4f", result->no_join.avg_test_error),
+                  StringFormat("%.4f", result->no_join.avg_bias),
+                  StringFormat("%.4f", result->no_join.avg_net_variance),
+                  StringFormat("%.4f", result->no_join.avg_noise)});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nReading the table: UseAll stays at the noise floor (p = 0.1); "
+      "NoJoin's error rises with |D_FK| and the rise is carried entirely "
+      "by the net variance — the bias column stays flat. Exactly where "
+      "the TR rule flips from 'avoid' to 'join' is where the NoJoin error "
+      "starts to detach: the paper's thresholds are the safe boundary of "
+      "this table.\n");
+  return 0;
+}

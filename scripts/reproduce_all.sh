@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, full test suite, every figure/table
+# harness, microbenches. Outputs land in test_output.txt and
+# bench_output.txt at the repo root. Pass --full for paper-scale data
+# (scale 1.0 and 100x100 Monte Carlo; much slower).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXTRA="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a bench_output.txt
+  "$b" $EXTRA 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "Done. See test_output.txt and bench_output.txt."

@@ -1,0 +1,110 @@
+#include "analytics/pipeline.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "data/encoded_dataset.h"
+#include "ml/naive_bayes.h"
+#include "ml/tan.h"
+
+namespace hamlet {
+
+const char* ClassifierKindToString(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kNaiveBayes:
+      return "naive_bayes";
+    case ClassifierKind::kLogisticRegressionL1:
+      return "logreg_l1";
+    case ClassifierKind::kLogisticRegressionL2:
+      return "logreg_l2";
+    case ClassifierKind::kTan:
+      return "tan";
+  }
+  return "unknown";
+}
+
+ClassifierFactory MakeClassifierFactory(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kNaiveBayes:
+      return MakeNaiveBayesFactory();
+    case ClassifierKind::kLogisticRegressionL1: {
+      LogisticRegressionOptions options;
+      options.regularizer = Regularizer::kL1;
+      options.lambda = 1e-4;
+      return MakeLogisticRegressionFactory(options);
+    }
+    case ClassifierKind::kLogisticRegressionL2: {
+      LogisticRegressionOptions options;
+      options.regularizer = Regularizer::kL2;
+      options.lambda = 1e-2;
+      return MakeLogisticRegressionFactory(options);
+    }
+    case ClassifierKind::kTan:
+      return MakeTanFactory();
+  }
+  return MakeNaiveBayesFactory();
+}
+
+Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
+                                   const PipelineConfig& config) {
+  PipelineReport report;
+  report.avoidance_applied = config.enable_join_avoidance;
+
+  // 1. Advise (always computed — even the JoinAll baseline reports what
+  //    the optimizer *would* have done).
+  HAMLET_ASSIGN_OR_RETURN(report.plan,
+                          AdviseJoins(dataset, config.advisor));
+
+  // 2. Materialize the joins the plan keeps (or all of them).
+  std::vector<std::string> to_join;
+  if (config.enable_join_avoidance) {
+    to_join = report.plan.fks_to_join;
+  } else {
+    for (const auto& fk : dataset.foreign_keys()) {
+      to_join.push_back(fk.fk_column);
+    }
+  }
+  Timer join_timer;
+  HAMLET_ASSIGN_OR_RETURN(Table table, dataset.JoinSubset(to_join));
+  report.join_seconds = join_timer.ElapsedSeconds();
+  report.tables_joined = static_cast<uint32_t>(to_join.size());
+
+  // 3. Encode usable features and split per the holdout protocol.
+  HAMLET_ASSIGN_OR_RETURN(EncodedDataset data,
+                          EncodedDataset::FromTableAuto(table));
+  report.features_in = data.num_features();
+  Rng rng(config.seed);
+  HoldoutSplit split =
+      MakeHoldoutSplit(data.num_rows(), rng, config.split);
+
+  // 4. Feature selection + final holdout evaluation.
+  std::unique_ptr<FeatureSelector> selector = MakeSelector(config.method);
+  ClassifierFactory factory = MakeClassifierFactory(config.classifier);
+  HAMLET_ASSIGN_OR_RETURN(
+      report.selection,
+      RunFeatureSelection(*selector, data, split, factory, config.metric,
+                          data.AllFeatureIndices()));
+  return report;
+}
+
+std::string PipelineReport::Summary() const {
+  std::ostringstream oss;
+  oss << (avoidance_applied ? "JoinOpt" : "JoinAll") << ": joined "
+      << tables_joined << " table(s)";
+  if (!plan.fks_avoided.empty()) {
+    oss << (avoidance_applied ? ", avoided " : ", could have avoided ")
+        << JoinStrings(plan.fks_avoided, ", ");
+  }
+  oss << "; " << features_in << " candidate features -> "
+      << selection.selected_names.size() << " selected {"
+      << JoinStrings(selection.selected_names, ", ") << "}";
+  oss << StringFormat(
+      "; holdout error %.4f; FS ran %llu models in %.3fs",
+      selection.holdout_test_error,
+      static_cast<unsigned long long>(selection.selection.models_trained),
+      selection.runtime_seconds);
+  return oss.str();
+}
+
+}  // namespace hamlet

@@ -1,0 +1,76 @@
+#ifndef HAMLET_ANALYTICS_PIPELINE_H_
+#define HAMLET_ANALYTICS_PIPELINE_H_
+
+/// \file pipeline.h
+/// The Section 5.4 integration: join avoidance as an *optimizer* inside a
+/// declarative feature selection pipeline. The paper's conversations with
+/// analysts suggest systems (e.g., Columbus) should fold the decision
+/// rules in "either as new optimizations or as suggestions"; this module
+/// is that fold — one call runs
+///
+///   normalized data -> advisor -> (partial) joins -> encode -> split ->
+///   feature selection -> final model -> holdout error
+///
+/// with a single switch choosing between the JoinAll baseline and the
+/// JoinOpt plan, and a report carrying every artifact an analyst needs
+/// (the plan and its evidence, the chosen features, errors, runtimes).
+
+#include <string>
+
+#include "common/result.h"
+#include "core/advisor.h"
+#include "data/splits.h"
+#include "fs/runner.h"
+#include "ml/logistic_regression.h"
+#include "relational/catalog.h"
+#include "stats/metrics.h"
+
+namespace hamlet {
+
+/// Which classifier the pipeline trains.
+enum class ClassifierKind {
+  kNaiveBayes,
+  kLogisticRegressionL1,
+  kLogisticRegressionL2,
+  kTan,
+};
+
+/// "naive_bayes" / "logreg_l1" / "logreg_l2" / "tan".
+const char* ClassifierKindToString(ClassifierKind kind);
+
+/// Builds the factory for a classifier kind (paper-default settings).
+ClassifierFactory MakeClassifierFactory(ClassifierKind kind);
+
+/// Declarative pipeline configuration.
+struct PipelineConfig {
+  /// The optimizer switch: apply the advisor's JoinOpt plan (true) or
+  /// join every table (false, the JoinAll baseline).
+  bool enable_join_avoidance = true;
+  AdvisorOptions advisor;
+  FsMethod method = FsMethod::kForwardSelection;
+  ClassifierKind classifier = ClassifierKind::kNaiveBayes;
+  ErrorMetric metric = ErrorMetric::kZeroOne;
+  SplitFractions split;
+  uint64_t seed = 42;
+};
+
+/// Everything one pipeline run produces.
+struct PipelineReport {
+  JoinPlan plan;                 ///< Advisor output (evidence included).
+  bool avoidance_applied = false;
+  uint32_t tables_joined = 0;    ///< Attribute tables materialized.
+  uint32_t features_in = 0;      ///< Candidate features offered to FS.
+  FsRunReport selection;         ///< Chosen subset + errors + timings.
+  double join_seconds = 0.0;     ///< Time spent materializing joins.
+
+  /// A one-paragraph analyst-facing summary.
+  std::string Summary() const;
+};
+
+/// Runs the pipeline end to end on a normalized dataset.
+Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
+                                   const PipelineConfig& config);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_ANALYTICS_PIPELINE_H_

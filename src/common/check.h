@@ -1,0 +1,50 @@
+#ifndef HAMLET_COMMON_CHECK_H_
+#define HAMLET_COMMON_CHECK_H_
+
+/// \file check.h
+/// Fatal invariant checks for programming errors (not user-facing errors —
+/// those go through Status/Result). Enabled in all build types: the cost is
+/// negligible next to the data-path work in this library.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hamlet::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[hamlet] CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace hamlet::internal
+
+/// Aborts with a diagnostic if `cond` is false. Extra printf-style
+/// arguments, when provided, are appended to the diagnostic.
+#define HAMLET_CHECK(cond, ...)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "[hamlet] CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                            \
+      ::hamlet::internal::CheckMessage(__VA_ARGS__);                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define HAMLET_DCHECK(cond, ...) HAMLET_CHECK(cond, ##__VA_ARGS__)
+
+namespace hamlet::internal {
+
+inline void CheckMessage() {}
+
+template <typename... Args>
+inline void CheckMessage(const char* fmt, Args... args) {
+  std::fprintf(stderr, "[hamlet]   ");
+  std::fprintf(stderr, fmt, args...);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace hamlet::internal
+
+#endif  // HAMLET_COMMON_CHECK_H_

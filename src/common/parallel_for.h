@@ -1,0 +1,44 @@
+#ifndef HAMLET_COMMON_PARALLEL_FOR_H_
+#define HAMLET_COMMON_PARALLEL_FOR_H_
+
+/// \file parallel_for.h
+/// Deterministic data-parallel loops for the Monte Carlo drivers. Work
+/// items are indexed, each item writes only its own slot, and each item
+/// derives its randomness from its index — so the result is bit-for-bit
+/// identical at any thread count.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hamlet {
+
+/// Runs fn(i) for i in [0, n) across up to `num_threads` threads
+/// (0 = std::thread::hardware_concurrency). fn must be safe to call
+/// concurrently for distinct indices. Blocks until every item completes.
+template <typename Fn>
+void ParallelFor(uint32_t n, uint32_t num_threads, Fn&& fn) {
+  if (n == 0) return;
+  uint32_t threads = num_threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : num_threads;
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (uint32_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([t, threads, n, &fn] {
+      // Strided assignment keeps chunk sizes within one of each other and
+      // needs no atomic counter.
+      for (uint32_t i = t; i < n; i += threads) fn(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_PARALLEL_FOR_H_

@@ -1,0 +1,86 @@
+#ifndef HAMLET_COMMON_RESULT_H_
+#define HAMLET_COMMON_RESULT_H_
+
+/// \file result.h
+/// Result<T>: a value or a non-OK Status (Arrow's arrow::Result idiom).
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace hamlet {
+
+/// Holds either a successfully produced T or the Status explaining why the
+/// value could not be produced. Accessing the value of a failed Result is a
+/// checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    HAMLET_CHECK(!std::get<Status>(repr_).ok(),
+                 "Result<T> constructed from OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK() when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Const access to the value; requires ok().
+  const T& ValueOrDie() const& {
+    HAMLET_CHECK(ok(), "ValueOrDie() on failed Result: %s",
+                 std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(repr_);
+  }
+
+  /// Mutable access to the value; requires ok().
+  T& ValueOrDie() & {
+    HAMLET_CHECK(ok(), "ValueOrDie() on failed Result: %s",
+                 std::get<Status>(repr_).ToString().c_str());
+    return std::get<T>(repr_);
+  }
+
+  /// Moves the value out; requires ok().
+  T ValueOrDie() && {
+    HAMLET_CHECK(ok(), "ValueOrDie() on failed Result: %s",
+                 std::get<Status>(repr_).ToString().c_str());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Shorthand operators mirroring std::optional.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// failure Status to the caller.
+#define HAMLET_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define HAMLET_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define HAMLET_ASSIGN_OR_RETURN_NAME(x, y) HAMLET_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define HAMLET_ASSIGN_OR_RETURN(lhs, expr) \
+  HAMLET_ASSIGN_OR_RETURN_IMPL(            \
+      HAMLET_ASSIGN_OR_RETURN_NAME(_hamlet_result_, __LINE__), lhs, expr)
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_RESULT_H_

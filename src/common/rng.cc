@@ -1,0 +1,83 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace hamlet {
+
+uint32_t Rng::Categorical(const std::vector<double>& weights) {
+  HAMLET_CHECK(!weights.empty(), "Categorical() needs at least one weight");
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  HAMLET_CHECK(total > 0.0, "Categorical() weights must sum to > 0");
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<uint32_t>(i);
+  }
+  return static_cast<uint32_t>(weights.size() - 1);  // Float round-off.
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller transform; draw u1 away from 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = Uniform(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const uint32_t k = static_cast<uint32_t>(weights.size());
+  HAMLET_CHECK(k > 0, "AliasSampler needs at least one weight");
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  HAMLET_CHECK(total > 0.0, "AliasSampler weights must sum to > 0");
+
+  norm_.resize(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    HAMLET_CHECK(weights[i] >= 0.0, "AliasSampler weight %u is negative", i);
+    norm_[i] = weights[i] / total;
+  }
+
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+  std::vector<double> scaled(k);
+  std::vector<uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    scaled[i] = norm_[i] * k;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are ~1.0 up to round-off.
+  for (uint32_t s : small) prob_[s] = 1.0;
+  for (uint32_t l : large) prob_[l] = 1.0;
+}
+
+uint32_t AliasSampler::Sample(Rng& rng) const {
+  uint32_t i = rng.Uniform(size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace hamlet

@@ -1,0 +1,136 @@
+#ifndef HAMLET_COMMON_STATUS_H_
+#define HAMLET_COMMON_STATUS_H_
+
+/// \file status.h
+/// Arrow/RocksDB-style Status object for fallible operations.
+///
+/// Public library APIs that can fail return a Status (or Result<T>,
+/// see result.h) instead of throwing. Internal invariant violations use
+/// HAMLET_CHECK (see check.h), which aborts: those are programming errors,
+/// not runtime conditions a caller should handle.
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hamlet {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "Invalid argument",
+/// ...). Never fails; unknown codes map to "Unknown".
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail but produces no value.
+///
+/// A Status is either OK (the default) or carries a code plus a message.
+/// Statuses are cheap to copy in the OK case (single pointer).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : state_(nullptr) {}
+  ~Status() { delete state_; }
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  Status& operator=(Status&& other) noexcept {
+    std::swap(state_, other.state_);
+    return *this;
+  }
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk ? nullptr
+                                       : new State{code, std::move(msg)}) {}
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; kOk when ok().
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// The failure message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  State* state_;  // nullptr means OK.
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define HAMLET_RETURN_NOT_OK(expr)           \
+  do {                                       \
+    ::hamlet::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_STATUS_H_

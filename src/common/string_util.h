@@ -1,0 +1,35 @@
+#ifndef HAMLET_COMMON_STRING_UTIL_H_
+#define HAMLET_COMMON_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers shared across CSV parsing and report printing.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hamlet {
+
+/// Splits `s` on `sep`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Joins items with `sep` between them.
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True iff `s` parses completely as a finite double; writes it to *out.
+bool ParseDouble(std::string_view s, double* out);
+
+/// True iff `s` parses completely as a signed 64-bit integer.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_STRING_UTIL_H_

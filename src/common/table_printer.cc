@@ -1,0 +1,53 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HAMLET_CHECK(!headers_.empty(), "TablePrinter needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  HAMLET_CHECK(cells.size() == headers_.size(),
+               "row has %zu cells, table has %zu columns", cells.size(),
+               headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace hamlet

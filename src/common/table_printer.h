@@ -1,0 +1,44 @@
+#ifndef HAMLET_COMMON_TABLE_PRINTER_H_
+#define HAMLET_COMMON_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// Fixed-width ASCII table rendering for the benchmark harnesses, which
+/// print the same rows/series the paper's tables and figures report.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hamlet {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+///
+/// Example output:
+///   Dataset      | TR     | ROR   | Decision
+///   -------------+--------+-------+---------
+///   Walmart/R1   | 90.08  | 0.46  | avoid
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must equal the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders all rows to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (for tests).
+  std::string ToString() const;
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,34 @@
+#ifndef HAMLET_COMMON_TIMER_H_
+#define HAMLET_COMMON_TIMER_H_
+
+/// \file timer.h
+/// Wall-clock stopwatch for the end-to-end runtime experiments (Figure 7B).
+
+#include <chrono>
+
+namespace hamlet {
+
+/// A monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_TIMER_H_

@@ -1,0 +1,184 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace hamlet {
+
+namespace {
+
+// q*_R: the smallest feature-domain size in the attribute table. Uses
+// only dictionary sizes (metadata), never the rows.
+Result<uint64_t> MinForeignDomain(const Table& r) {
+  std::vector<uint32_t> features = r.schema().FeatureIndices();
+  if (features.empty()) {
+    return Status::InvalidArgument(StringFormat(
+        "attribute table '%s' has no features; joining it is trivially "
+        "useless",
+        r.name().c_str()));
+  }
+  uint64_t q_star = UINT64_MAX;
+  for (uint32_t idx : features) {
+    q_star = std::min<uint64_t>(q_star, r.column(idx).domain_size());
+  }
+  // A constant feature still occupies one category; the ROR derivation
+  // needs q*_R >= 1.
+  return std::max<uint64_t>(q_star, 1);
+}
+
+}  // namespace
+
+Result<JoinPlan> AdviseJoinsFromStats(
+    uint64_t n_train, double label_entropy_bits,
+    const std::vector<CandidateTableStats>& candidates,
+    const AdvisorOptions& options) {
+  if (n_train == 0) {
+    return Status::InvalidArgument("n_train must be positive");
+  }
+  JoinPlan plan;
+  plan.thresholds = options.use_explicit_thresholds
+                        ? options.explicit_thresholds
+                        : ThresholdsForTolerance(options.error_tolerance);
+  plan.n_train = n_train;
+  plan.skew_guard.label_entropy_bits = label_entropy_bits;
+  plan.skew_guard.threshold_bits = options.skew_guard_min_entropy_bits;
+  plan.skew_guard.passes =
+      label_entropy_bits >= options.skew_guard_min_entropy_bits;
+  const bool guard_blocks =
+      options.apply_skew_guard && !plan.skew_guard.passes;
+
+  for (const CandidateTableStats& stats : candidates) {
+    if (stats.num_rows == 0) {
+      return Status::InvalidArgument(StringFormat(
+          "candidate table '%s' has no rows", stats.table_name.c_str()));
+    }
+    TableAdvice advice;
+    advice.fk_column = stats.fk_column;
+    advice.table_name = stats.table_name;
+    advice.closed_domain = stats.closed_domain;
+    advice.n_r = stats.num_rows;
+    advice.min_foreign_domain = std::max<uint64_t>(
+        stats.min_feature_domain, 1);
+
+    advice.tuple_ratio = TupleRatio(plan.n_train, advice.n_r);
+    RorInputs ror_inputs;
+    ror_inputs.n_train = plan.n_train;
+    ror_inputs.fk_domain_size = advice.n_r;
+    ror_inputs.min_foreign_domain_size = advice.min_foreign_domain;
+    ror_inputs.delta = options.delta;
+    advice.ror = WorstCaseRor(ror_inputs);
+
+    advice.tr_verdict =
+        TrRule(plan.n_train, advice.n_r, plan.thresholds.tau);
+    advice.ror_verdict = RorRule(ror_inputs, plan.thresholds.rho);
+
+    if (!stats.closed_domain) {
+      advice.avoid = false;
+      advice.rationale =
+          "open-domain FK: must join (the key itself is unusable as a "
+          "feature)";
+    } else if (guard_blocks) {
+      advice.avoid = false;
+      advice.rationale = StringFormat(
+          "skew guard: H(Y) = %.3f bits < %.3f, conservatively joining",
+          plan.skew_guard.label_entropy_bits,
+          plan.skew_guard.threshold_bits);
+    } else {
+      bool says_avoid = false;
+      switch (options.rule) {
+        case AvoidanceRule::kTupleRatio:
+          says_avoid = advice.tr_verdict.safe_to_avoid;
+          break;
+        case AvoidanceRule::kRor:
+          says_avoid = advice.ror_verdict.safe_to_avoid;
+          break;
+        case AvoidanceRule::kBoth:
+          says_avoid = advice.tr_verdict.safe_to_avoid &&
+                       advice.ror_verdict.safe_to_avoid;
+          break;
+      }
+      advice.avoid = says_avoid;
+      advice.rationale = StringFormat(
+          "TR = %.2f (tau %.1f, %s), ROR = %.2f (rho %.1f, %s)",
+          advice.tuple_ratio, plan.thresholds.tau,
+          advice.tr_verdict.safe_to_avoid ? "avoid" : "join", advice.ror,
+          plan.thresholds.rho,
+          advice.ror_verdict.safe_to_avoid ? "avoid" : "join");
+    }
+
+    if (advice.avoid) {
+      plan.fks_avoided.push_back(advice.fk_column);
+    } else {
+      plan.fks_to_join.push_back(advice.fk_column);
+    }
+    plan.advice.push_back(std::move(advice));
+  }
+  return plan;
+}
+
+Result<JoinPlan> AdviseJoins(const NormalizedDataset& dataset,
+                             const AdvisorOptions& options) {
+  if (options.train_fraction <= 0.0 || options.train_fraction > 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1]");
+  }
+  const uint64_t n_train = static_cast<uint64_t>(
+      options.train_fraction * dataset.entity().num_rows());
+  if (n_train == 0) {
+    return Status::InvalidArgument("entity table has no training rows");
+  }
+
+  // H(Y) for the Appendix D guard — the one instance scan the advisor
+  // performs, and only over the label column of S.
+  double label_entropy_bits = 0.0;
+  {
+    HAMLET_ASSIGN_OR_RETURN(uint32_t y_idx,
+                            dataset.entity().schema().TargetIndex());
+    const Column& y = dataset.entity().column(y_idx);
+    label_entropy_bits =
+        CheckSkewGuard(y.codes(), y.domain_size(),
+                       options.skew_guard_min_entropy_bits)
+            .label_entropy_bits;
+  }
+
+  std::vector<CandidateTableStats> candidates;
+  for (const ForeignKeyInfo& fk : dataset.foreign_keys()) {
+    HAMLET_ASSIGN_OR_RETURN(const Table* r,
+                            dataset.AttributeTableFor(fk.fk_column));
+    CandidateTableStats stats;
+    stats.fk_column = fk.fk_column;
+    stats.table_name = fk.table_name;
+    stats.num_rows = fk.num_rows;
+    HAMLET_ASSIGN_OR_RETURN(stats.min_feature_domain,
+                            MinForeignDomain(*r));
+    stats.closed_domain = fk.closed_domain;
+    candidates.push_back(std::move(stats));
+  }
+  return AdviseJoinsFromStats(n_train, label_entropy_bits, candidates,
+                              options);
+}
+
+std::string JoinPlanToString(const JoinPlan& plan) {
+  TablePrinter printer({"FK", "Table", "Closed", "n_R", "q*_R", "TR", "ROR",
+                        "Decision", "Rationale"});
+  for (const TableAdvice& a : plan.advice) {
+    printer.AddRow({a.fk_column, a.table_name, a.closed_domain ? "yes" : "no",
+                    std::to_string(a.n_r),
+                    std::to_string(a.min_foreign_domain),
+                    StringFormat("%.2f", a.tuple_ratio),
+                    StringFormat("%.3f", a.ror),
+                    a.avoid ? "AVOID JOIN" : "JOIN",
+                    a.rationale});
+  }
+  std::ostringstream oss;
+  oss << StringFormat(
+      "JoinPlan (n_train = %llu, tau = %.1f, rho = %.1f, H(Y) = %.3f bits)\n",
+      static_cast<unsigned long long>(plan.n_train), plan.thresholds.tau,
+      plan.thresholds.rho, plan.skew_guard.label_entropy_bits);
+  printer.Print(oss);
+  return oss.str();
+}
+
+}  // namespace hamlet

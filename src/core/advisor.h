@@ -1,0 +1,108 @@
+#ifndef HAMLET_CORE_ADVISOR_H_
+#define HAMLET_CORE_ADVISOR_H_
+
+/// \file advisor.h
+/// The join-avoidance advisor: the artifact an analyst actually uses.
+/// Given a normalized dataset it applies, per attribute table, the TR
+/// and/or ROR rule plus the malign-skew guard, and emits a JoinPlan —
+/// which joins to perform ("JoinOpt") and which to avoid — along with the
+/// per-table diagnostics of Figure 8(B).
+///
+/// Decisions consume only schema metadata (row counts, domain sizes,
+/// closed-domain flags) plus H(Y); the attribute tables' data is never
+/// scanned and no join is executed.
+
+#include <string>
+#include <vector>
+
+#include "core/decision_rules.h"
+#include "core/skew_guard.h"
+#include "relational/catalog.h"
+
+namespace hamlet {
+
+/// Which rule gates avoidance.
+enum class AvoidanceRule {
+  kTupleRatio,  ///< The simpler TR rule (paper's default for JoinOpt).
+  kRor,         ///< The worst-case ROR rule.
+  kBoth,        ///< Avoid only if *both* rules agree (most conservative).
+};
+
+/// Advisor configuration.
+struct AdvisorOptions {
+  AvoidanceRule rule = AvoidanceRule::kTupleRatio;
+  /// Absolute test-error tolerance the thresholds are tuned for.
+  double error_tolerance = 0.001;
+  /// Override thresholds directly instead of deriving from the tolerance.
+  bool use_explicit_thresholds = false;
+  RuleThresholds explicit_thresholds;
+  /// δ of the VC bound inside the ROR.
+  double delta = 0.1;
+  /// Fraction of S that will be used for training (n of the rules); the
+  /// paper's holdout protocol trains on 50%.
+  double train_fraction = 0.5;
+  /// Apply the Appendix D malign-skew guard on H(Y).
+  bool apply_skew_guard = true;
+  double skew_guard_min_entropy_bits = 0.5;
+};
+
+/// Diagnostics and decision for one attribute table.
+struct TableAdvice {
+  std::string fk_column;
+  std::string table_name;
+  bool closed_domain = true;
+  uint64_t n_r = 0;               ///< Rows in R (= |D_FK| when closed).
+  uint64_t min_foreign_domain = 0;  ///< q*_R.
+  double tuple_ratio = 0.0;
+  double ror = 0.0;
+  RuleVerdict tr_verdict;
+  RuleVerdict ror_verdict;
+  bool avoid = false;             ///< Final decision under the options.
+  std::string rationale;          ///< Human-readable explanation.
+};
+
+/// The advisor's output: a join plan plus its evidence.
+struct JoinPlan {
+  std::vector<TableAdvice> advice;          ///< One entry per FK.
+  std::vector<std::string> fks_to_join;     ///< JoinOpt joins these.
+  std::vector<std::string> fks_avoided;     ///< ...and avoids these.
+  SkewGuardResult skew_guard;               ///< Evidence for the guard.
+  RuleThresholds thresholds;                ///< Thresholds actually used.
+  uint64_t n_train = 0;                     ///< n used by the rules.
+};
+
+/// Runs the rules over every foreign key of `dataset`. Open-domain FKs
+/// are never avoidable (their tables must be joined to be usable at all,
+/// per Section 5's Expedia/SearchID treatment).
+Result<JoinPlan> AdviseJoins(const NormalizedDataset& dataset,
+                             const AdvisorOptions& options = {});
+
+/// Metadata describing a (possibly not-yet-acquired) attribute table —
+/// everything the rules need without any data: row count, the smallest
+/// feature domain (from the vendor's data dictionary), and whether the
+/// key's domain is closed. This powers the source-selection use case of
+/// Section 1: a table can be ruled out *before purchase*.
+struct CandidateTableStats {
+  std::string fk_column;
+  std::string table_name;
+  uint64_t num_rows = 0;             ///< n_R (= |D_FK| when closed).
+  uint64_t min_feature_domain = 2;   ///< q*_R; 2 is the conservative floor.
+  bool closed_domain = true;
+};
+
+/// The pure-metadata advisor: identical rule logic to AdviseJoins but fed
+/// from numbers instead of tables. `n_train` is the training row count
+/// the model will see; `label_entropy_bits` feeds the skew guard (pass
+/// >= 1 if the label distribution is not yet known — the guard then
+/// never blocks, matching the information actually available a priori).
+Result<JoinPlan> AdviseJoinsFromStats(
+    uint64_t n_train, double label_entropy_bits,
+    const std::vector<CandidateTableStats>& candidates,
+    const AdvisorOptions& options = {});
+
+/// Renders the plan as an analyst-facing report table.
+std::string JoinPlanToString(const JoinPlan& plan);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_ADVISOR_H_

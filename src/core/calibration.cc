@@ -1,0 +1,80 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+RuleThresholds CalibrateThresholds(
+    const std::vector<CalibrationPoint>& points, double tolerance) {
+  HAMLET_CHECK(!points.empty(), "calibration needs at least one point");
+
+  // rho: sort by ROR ascending and extend the safe prefix one *value
+  // group* at a time — a threshold admits every point tied at it, so a
+  // group with any unsafe member must stay out.
+  std::vector<const CalibrationPoint*> by_ror;
+  by_ror.reserve(points.size());
+  for (const auto& p : points) by_ror.push_back(&p);
+  std::sort(by_ror.begin(), by_ror.end(),
+            [](const CalibrationPoint* a, const CalibrationPoint* b) {
+              return a->ror < b->ror;
+            });
+  double rho = 0.0;
+  for (size_t i = 0; i < by_ror.size();) {
+    size_t j = i;
+    bool group_safe = true;
+    while (j < by_ror.size() && by_ror[j]->ror == by_ror[i]->ror) {
+      group_safe = group_safe && by_ror[j]->delta_error <= tolerance;
+      ++j;
+    }
+    if (!group_safe) break;
+    rho = by_ror[i]->ror;
+    i = j;
+  }
+
+  // tau: sort by TR descending; same group-wise prefix downward.
+  std::vector<const CalibrationPoint*> by_tr = by_ror;
+  std::sort(by_tr.begin(), by_tr.end(),
+            [](const CalibrationPoint* a, const CalibrationPoint* b) {
+              return a->tuple_ratio > b->tuple_ratio;
+            });
+  double tau = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < by_tr.size();) {
+    size_t j = i;
+    bool group_safe = true;
+    while (j < by_tr.size() &&
+           by_tr[j]->tuple_ratio == by_tr[i]->tuple_ratio) {
+      group_safe = group_safe && by_tr[j]->delta_error <= tolerance;
+      ++j;
+    }
+    if (!group_safe) break;
+    tau = by_tr[i]->tuple_ratio;
+    i = j;
+  }
+
+  RuleThresholds out;
+  out.rho = rho;
+  out.tau = tau;
+  return out;
+}
+
+CalibrationAudit AuditThresholds(
+    const std::vector<CalibrationPoint>& points,
+    const RuleThresholds& thresholds, double tolerance) {
+  CalibrationAudit audit;
+  for (const auto& p : points) {
+    if (p.ror <= thresholds.rho) {
+      ++audit.ror_avoided;
+      if (p.delta_error > tolerance) ++audit.ror_unsafe;
+    }
+    if (p.tuple_ratio >= thresholds.tau) {
+      ++audit.tr_avoided;
+      if (p.delta_error > tolerance) ++audit.tr_unsafe;
+    }
+  }
+  return audit;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,53 @@
+#ifndef HAMLET_CORE_CALIBRATION_H_
+#define HAMLET_CORE_CALIBRATION_H_
+
+/// \file calibration.h
+/// "Tuning the thresholds" (Section 4.2) as code. The paper reads ρ and τ
+/// off the simulation scatter: the thresholds are chosen so that every
+/// simulated configuration the rule would avoid has a ΔTest error within
+/// the tolerance. Given scatter points this module derives those maximal
+/// safe thresholds — the procedure to repeat for an ML model with a
+/// different VC-dimension expression, or for a different tolerance.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decision_rules.h"
+
+namespace hamlet {
+
+/// One simulated configuration's coordinates in the Figure 4 scatter.
+struct CalibrationPoint {
+  double tuple_ratio = 0.0;
+  double ror = 0.0;
+  /// Measured ΔTest error of avoiding the join (NoJoin − UseAll).
+  double delta_error = 0.0;
+};
+
+/// Derives the least-conservative thresholds that keep every rule-avoided
+/// point within `tolerance`:
+///   ρ = the largest point-ROR r such that all points with ROR ≤ r have
+///       ΔTest error ≤ tolerance (0 if even the smallest-ROR point is
+///       unsafe);
+///   τ = the smallest point-TR t such that all points with TR ≥ t have
+///       ΔTest error ≤ tolerance (+inf if even the largest-TR point is
+///       unsafe).
+/// Points must be non-empty.
+RuleThresholds CalibrateThresholds(const std::vector<CalibrationPoint>& points,
+                                   double tolerance);
+
+/// Counts how many points a (ρ, τ) pair would avoid and how many of those
+/// avoids are unsafe — for reporting calibration quality.
+struct CalibrationAudit {
+  uint32_t ror_avoided = 0;
+  uint32_t ror_unsafe = 0;
+  uint32_t tr_avoided = 0;
+  uint32_t tr_unsafe = 0;
+};
+CalibrationAudit AuditThresholds(const std::vector<CalibrationPoint>& points,
+                                 const RuleThresholds& thresholds,
+                                 double tolerance);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_CALIBRATION_H_

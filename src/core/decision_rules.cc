@@ -1,0 +1,44 @@
+#include "core/decision_rules.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+RuleThresholds ThresholdsForTolerance(double error_tolerance) {
+  HAMLET_CHECK(error_tolerance > 0.0, "tolerance must be > 0");
+  // Calibration anchors from the simulation study (Section 4.2 / 5.2.2):
+  //   tolerance 0.001 -> (rho 2.5, tau 20); tolerance 0.01 -> (rho 4.2, tau 10).
+  constexpr double kEps0 = 0.001, kRho0 = 2.5, kTau0 = 20.0;
+  constexpr double kEps1 = 0.010, kRho1 = 4.2, kTau1 = 10.0;
+  const double t = (std::log10(error_tolerance) - std::log10(kEps0)) /
+                   (std::log10(kEps1) - std::log10(kEps0));
+  RuleThresholds th;
+  th.rho = kRho0 + t * (kRho1 - kRho0);
+  th.tau = kTau0 + t * (kTau1 - kTau0);
+  // Keep the rules meaningful outside the calibrated range.
+  if (th.rho < 0.1) th.rho = 0.1;
+  if (th.tau < 1.0) th.tau = 1.0;
+  return th;
+}
+
+RuleVerdict RorRule(const RorInputs& inputs, double rho) {
+  RuleVerdict v;
+  v.rule = "ROR";
+  v.statistic = WorstCaseRor(inputs);
+  v.threshold = rho;
+  v.safe_to_avoid = v.statistic <= rho;
+  return v;
+}
+
+RuleVerdict TrRule(uint64_t n_train, uint64_t n_r, double tau) {
+  RuleVerdict v;
+  v.rule = "TR";
+  v.statistic = TupleRatio(n_train, n_r);
+  v.threshold = tau;
+  v.safe_to_avoid = v.statistic >= tau;
+  return v;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,50 @@
+#ifndef HAMLET_CORE_DECISION_RULES_H_
+#define HAMLET_CORE_DECISION_RULES_H_
+
+/// \file decision_rules.h
+/// The two threshold decision rules of Section 4.2:
+///   * ROR rule: avoid the join iff worst-case ROR ≤ ρ.
+///   * TR rule:  avoid the join iff TR ≥ τ.
+/// Thresholds are tuned once per VC-dimension expression from the
+/// simulation scatter (Figure 4); the paper's values for linear models
+/// are ρ = 2.5, τ = 20 at error tolerance 0.001 and ρ = 4.2, τ = 10 at
+/// tolerance 0.01 (Section 5.2.2).
+
+#include <cstdint>
+#include <string>
+
+#include "core/ror.h"
+#include "core/tuple_ratio.h"
+
+namespace hamlet {
+
+/// Paired thresholds for the two rules.
+struct RuleThresholds {
+  double rho = 2.5;  ///< ROR rule: avoid iff ROR ≤ rho.
+  double tau = 20.0; ///< TR rule: avoid iff TR ≥ tau.
+};
+
+/// Thresholds tuned (from the simulation study) for a given absolute
+/// test-error tolerance. Exact values exist for the paper's two settings
+/// (0.001 and 0.01); other tolerances interpolate/extrapolate linearly in
+/// log-tolerance, which matches the simulation scatter's shape well
+/// enough for a conservative rule.
+RuleThresholds ThresholdsForTolerance(double error_tolerance);
+
+/// One rule's verdict with its evidence (for reports and Figure 8(B)).
+struct RuleVerdict {
+  bool safe_to_avoid = false;
+  double statistic = 0.0;  ///< The computed ROR or TR.
+  double threshold = 0.0;  ///< The ρ or τ it was compared against.
+  std::string rule;        ///< "ROR" or "TR".
+};
+
+/// The ROR rule (requires looking at X_R's domain sizes but not the data).
+RuleVerdict RorRule(const RorInputs& inputs, double rho);
+
+/// The TR rule (requires only row counts — R need never be read).
+RuleVerdict TrRule(uint64_t n_train, uint64_t n_r, double tau);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_DECISION_RULES_H_

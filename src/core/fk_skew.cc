@@ -1,0 +1,62 @@
+#include "core/fk_skew.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/contingency.h"
+#include "stats/info_theory.h"
+
+namespace hamlet {
+
+FkSkewReport AnalyzeFkSkew(const std::vector<uint32_t>& fk_codes,
+                           uint32_t fk_cardinality,
+                           const std::vector<uint32_t>& labels,
+                           uint32_t num_classes,
+                           const FkSkewOptions& options) {
+  HAMLET_CHECK(!fk_codes.empty(), "FK skew analysis needs rows");
+  HAMLET_CHECK(fk_codes.size() == labels.size(),
+               "FK/label length mismatch: %zu vs %zu", fk_codes.size(),
+               labels.size());
+
+  FkSkewReport report;
+  ContingencyTable table(fk_codes, labels, fk_cardinality, num_classes);
+
+  std::vector<uint64_t> fk_counts(fk_cardinality);
+  for (uint32_t f = 0; f < fk_cardinality; ++f) {
+    fk_counts[f] = table.f_marginal(f);
+  }
+  std::vector<uint64_t> y_counts(num_classes);
+  for (uint32_t y = 0; y < num_classes; ++y) {
+    y_counts[y] = table.y_marginal(y);
+  }
+  report.fk_entropy_bits = EntropyFromCounts(fk_counts);
+  report.label_entropy_bits = EntropyFromCounts(y_counts);
+  // H(FK|Y) via the symmetric identity H(FK|Y) = H(FK) − I(FK;Y).
+  report.mutual_information = MutualInformation(table);
+  report.fk_given_y_bits =
+      report.fk_entropy_bits - report.mutual_information;
+  if (report.fk_given_y_bits < 0.0) report.fk_given_y_bits = 0.0;
+
+  // Rarity correlation over rows.
+  const double n = static_cast<double>(fk_codes.size());
+  std::vector<double> fk_surprisal, y_surprisal;
+  fk_surprisal.reserve(fk_codes.size());
+  y_surprisal.reserve(fk_codes.size());
+  for (size_t i = 0; i < fk_codes.size(); ++i) {
+    double p_fk = static_cast<double>(fk_counts[fk_codes[i]]) / n;
+    double p_y = static_cast<double>(y_counts[labels[i]]) / n;
+    fk_surprisal.push_back(-std::log2(p_fk));
+    y_surprisal.push_back(-std::log2(p_y));
+  }
+  report.rarity_correlation =
+      PearsonCorrelation(fk_surprisal, y_surprisal);
+
+  report.label_skewed =
+      report.label_entropy_bits < options.label_entropy_threshold_bits;
+  report.malign =
+      report.label_skewed &&
+      report.rarity_correlation > options.rarity_correlation_threshold;
+  return report;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,57 @@
+#ifndef HAMLET_CORE_FK_SKEW_H_
+#define HAMLET_CORE_FK_SKEW_H_
+
+/// \file fk_skew.h
+/// The finer foreign-key skew analysis sketched in Appendix D. The
+/// shipped guard (skew_guard.h) conservatively blocks all avoidance when
+/// H(Y) is low; the appendix notes that *malign* skew — low-probability
+/// FK values co-occurring mostly with low-probability Y values — "can be
+/// detected using H(FK|Y)". This module implements that finer detector:
+///
+///   * benign skew: P(FK) may be arbitrarily skewed, but rare FK values
+///     spread their mass across Y like everyone else;
+///   * malign skew: the rare FK tail aligns with the rare label(s), so a
+///     FK-as-representative model starves exactly where it matters.
+///
+/// The detector combines H(Y) with the *rarity correlation*: the Pearson
+/// correlation, over rows, between the FK value's surprisal −log2 P(fk)
+/// and the label's surprisal −log2 P(y). Needle-and-thread distributions
+/// score high; Zipf-with-balanced-Y scores near zero.
+
+#include <cstdint>
+#include <vector>
+
+namespace hamlet {
+
+/// Evidence produced by the analysis.
+struct FkSkewReport {
+  double fk_entropy_bits = 0.0;        ///< H(FK).
+  double fk_given_y_bits = 0.0;        ///< H(FK|Y).
+  double label_entropy_bits = 0.0;     ///< H(Y).
+  double mutual_information = 0.0;     ///< I(FK;Y) = H(FK) − H(FK|Y).
+  double rarity_correlation = 0.0;     ///< corr(−log P(fk), −log P(y)).
+  bool label_skewed = false;           ///< H(Y) below threshold.
+  bool malign = false;                 ///< Label skew AND rarity collusion.
+};
+
+/// Tuning knobs for the detector.
+struct FkSkewOptions {
+  /// H(Y) below this marks the label distribution as skewed (the paper's
+  /// 0.5-bit / ≈90:10 calibration).
+  double label_entropy_threshold_bits = 0.5;
+  /// Rarity correlation above this marks collusion between FK and label
+  /// rarity.
+  double rarity_correlation_threshold = 0.2;
+};
+
+/// Analyzes one FK column against the labels. Codes must be within their
+/// cardinalities; inputs must be non-empty and equal-length.
+FkSkewReport AnalyzeFkSkew(const std::vector<uint32_t>& fk_codes,
+                           uint32_t fk_cardinality,
+                           const std::vector<uint32_t>& labels,
+                           uint32_t num_classes,
+                           const FkSkewOptions& options = {});
+
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_FK_SKEW_H_

@@ -1,0 +1,86 @@
+#include "core/generalized_avoidance.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "core/ror.h"
+
+namespace hamlet {
+
+Result<GeneralizedPlan> AdviseFeatureDrops(
+    const Table& table, const FdSet& fds,
+    const std::vector<std::string>& candidate_features,
+    const GeneralizedAvoidanceOptions& options) {
+  if (!fds.IsAcyclic()) {
+    return Status::FailedPrecondition(
+        "Corollary C.1 requires an acyclic FD set");
+  }
+  if (options.train_fraction <= 0.0 || options.train_fraction > 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1]");
+  }
+  const uint64_t n_train = static_cast<uint64_t>(
+      options.train_fraction * table.num_rows());
+  if (n_train == 0) {
+    return Status::InvalidArgument("table has no training rows");
+  }
+
+  GeneralizedPlan plan;
+  plan.thresholds = ThresholdsForTolerance(options.error_tolerance);
+
+  std::unordered_set<std::string> candidates(candidate_features.begin(),
+                                             candidate_features.end());
+  std::unordered_set<std::string> droppable;
+
+  for (const FunctionalDependency& fd : fds.fds()) {
+    if (fd.determinants.size() != 1) {
+      return Status::NotImplemented(
+          "multi-attribute determinants are not supported yet");
+    }
+    const std::string& det = fd.determinants[0];
+    HAMLET_ASSIGN_OR_RETURN(const Column* det_col,
+                            table.ColumnByName(det));
+
+    FdAdvice advice;
+    advice.fd = fd;
+    advice.determinant_distinct = det_col->CountDistinct();
+    advice.min_dependent_domain = UINT64_MAX;
+    for (const std::string& dep : fd.dependents) {
+      HAMLET_ASSIGN_OR_RETURN(const Column* dep_col,
+                              table.ColumnByName(dep));
+      advice.min_dependent_domain = std::min<uint64_t>(
+          advice.min_dependent_domain, dep_col->domain_size());
+    }
+    if (fd.dependents.empty()) {
+      return Status::InvalidArgument(StringFormat(
+          "FD with determinant '%s' has no dependents", det.c_str()));
+    }
+    if (advice.determinant_distinct == 0) {
+      return Status::InvalidArgument("empty table");
+    }
+
+    advice.tuple_ratio = TupleRatio(n_train, advice.determinant_distinct);
+    RorInputs inputs;
+    inputs.n_train = n_train;
+    inputs.fk_domain_size = advice.determinant_distinct;
+    inputs.min_foreign_domain_size = advice.min_dependent_domain;
+    inputs.delta = options.delta;
+    advice.ror = WorstCaseRor(inputs);
+    advice.safe_to_drop_dependents =
+        advice.tuple_ratio >= plan.thresholds.tau;
+
+    if (advice.safe_to_drop_dependents) {
+      for (const std::string& dep : fd.dependents) {
+        if (candidates.count(dep)) droppable.insert(dep);
+      }
+    }
+    plan.advice.push_back(std::move(advice));
+  }
+
+  for (const std::string& f : candidate_features) {
+    (droppable.count(f) ? plan.drop : plan.keep).push_back(f);
+  }
+  return plan;
+}
+
+}  // namespace hamlet

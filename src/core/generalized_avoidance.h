@@ -1,0 +1,71 @@
+#ifndef HAMLET_CORE_GENERALIZED_AVOIDANCE_H_
+#define HAMLET_CORE_GENERALIZED_AVOIDANCE_H_
+
+/// \file generalized_avoidance.h
+/// Corollary C.1 as an API: given a (possibly denormalized) table and an
+/// acyclic set of functional dependencies over its features, every
+/// feature in a dependent set is redundant — its determinants are a
+/// Markov blanket — so the feature set can be pruned to the
+/// "representative" attributes before feature selection, generalizing
+/// KFK join avoidance beyond star schemas.
+///
+/// As with the KFK case, redundancy speaks only to bias; the variance
+/// side is scored per dependency with the same worst-case ROR machinery:
+/// the determinant's observed distinct-value count plays |D_FK| and the
+/// smallest dependent domain plays q*_R.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/decision_rules.h"
+#include "relational/functional_deps.h"
+#include "relational/table.h"
+
+namespace hamlet {
+
+/// Advice for one FD of the input set.
+struct FdAdvice {
+  FunctionalDependency fd;
+  /// Distinct values of the (single) determinant observed in the table —
+  /// the |D_FK| analogue.
+  uint64_t determinant_distinct = 0;
+  /// Smallest dependent-feature domain — the q*_R analogue.
+  uint64_t min_dependent_domain = 0;
+  double tuple_ratio = 0.0;  ///< n / determinant_distinct.
+  double ror = 0.0;          ///< Worst-case ROR analogue.
+  /// Whether dropping the dependents (keeping the determinant as their
+  /// representative) is predicted safe at the given thresholds.
+  bool safe_to_drop_dependents = false;
+};
+
+/// The full generalized plan.
+struct GeneralizedPlan {
+  std::vector<FdAdvice> advice;          ///< One entry per unary FD.
+  std::vector<std::string> drop;         ///< Features predicted droppable.
+  std::vector<std::string> keep;         ///< The pruned feature set.
+  RuleThresholds thresholds;
+};
+
+/// Options mirroring AdvisorOptions where meaningful.
+struct GeneralizedAvoidanceOptions {
+  double error_tolerance = 0.001;
+  double delta = 0.1;
+  /// Rows assumed available for training (defaults to half the table,
+  /// matching the holdout protocol).
+  double train_fraction = 0.5;
+};
+
+/// Applies the rules to each *unary-determinant* FD of `fds` over
+/// `table`'s features. FDs must be acyclic (Corollary C.1's hypothesis);
+/// multi-attribute determinants are currently rejected as unsupported.
+/// `candidate_features` are the feature names under consideration; the
+/// output keep/drop sets partition it.
+Result<GeneralizedPlan> AdviseFeatureDrops(
+    const Table& table, const FdSet& fds,
+    const std::vector<std::string>& candidate_features,
+    const GeneralizedAvoidanceOptions& options = {});
+
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_GENERALIZED_AVOIDANCE_H_

@@ -1,0 +1,51 @@
+#include "core/ror.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "theory/generalization_bound.h"
+
+namespace hamlet {
+
+double WorstCaseRor(const RorInputs& inputs) {
+  HAMLET_CHECK(inputs.n_train > 0, "ROR needs n_train > 0");
+  HAMLET_CHECK(inputs.fk_domain_size > 0, "ROR needs |D_FK| > 0");
+  HAMLET_CHECK(inputs.min_foreign_domain_size > 0, "ROR needs q*_R > 0");
+  HAMLET_CHECK(inputs.delta > 0.0 && inputs.delta < 1.0,
+               "delta must be in (0,1)");
+  // Theorem 3.2 needs n > v. Past v = 2e·n the bound term's log goes
+  // negative and clamping it would report *zero* risk exactly where an
+  // FK-as-representative model has fewer than one training row per key —
+  // the most dangerous configuration. Conservatism: infinite risk.
+  if (static_cast<double>(inputs.fk_domain_size) >=
+      2.0 * M_E * static_cast<double>(inputs.n_train)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const uint64_t q_star =
+      std::min(inputs.min_foreign_domain_size, inputs.fk_domain_size);
+  const double numer = VcBoundTerm(inputs.fk_domain_size, inputs.n_train) -
+                       VcBoundTerm(q_star, inputs.n_train);
+  const double ror =
+      numer / (inputs.delta * std::sqrt(2.0 *
+                                        static_cast<double>(inputs.n_train)));
+  // The bound terms are monotone in v on the relevant range, so the
+  // worst-case ROR is non-negative; clamp round-off.
+  return ror < 0.0 ? 0.0 : ror;
+}
+
+double ExactRor(uint64_t v_yes, uint64_t v_no, uint64_t n, double delta,
+                double delta_bias) {
+  HAMLET_CHECK(n > 0 && v_yes > 0 && v_no > 0, "ExactRor needs positive inputs");
+  HAMLET_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const double numer = VcBoundTerm(v_yes, n) - VcBoundTerm(v_no, n);
+  return numer / (delta * std::sqrt(2.0 * static_cast<double>(n))) +
+         delta_bias;
+}
+
+bool IsSafeToAvoid(const RorInputs& inputs, double epsilon) {
+  return WorstCaseRor(inputs) <= epsilon;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,54 @@
+#ifndef HAMLET_CORE_ROR_H_
+#define HAMLET_CORE_ROR_H_
+
+/// \file ror.h
+/// The Risk Of Representation (Section 4.2): the increase in the Theorem
+/// 3.2 error bound caused by avoiding the join and using FK as the
+/// representative of X_R.
+///
+/// The *exact* ROR needs the oracle sets U_S, U_R and the bias delta, so
+/// it is incomputable a priori; the paper (and this library) uses the
+/// computable **worst-case ROR** obtained by the four-step relaxation of
+/// Section 4.2:
+///
+///   ROR ≤ (1/(δ√(2n))) · [ √(|D_FK|·log(2en/|D_FK|))
+///                          − √(q*_R·log(2en/q*_R)) ]
+///
+/// where q*_R = min_{F ∈ X_R} |D_F| is the smallest foreign-feature
+/// domain. Everything here is metadata: no join, no scan of X_R values.
+
+#include <cstdint>
+
+namespace hamlet {
+
+/// Metadata inputs of the worst-case ROR.
+struct RorInputs {
+  /// Number of training examples n (the paper's n ≡ n_S counts *training*
+  /// rows, i.e., 50% of the labeled data under the holdout protocol).
+  uint64_t n_train = 0;
+  /// |D_FK|: foreign key domain size (= n_R under closed domains).
+  uint64_t fk_domain_size = 0;
+  /// q*_R = min_{F ∈ X_R} |D_F| (≥ 2 for any informative feature).
+  uint64_t min_foreign_domain_size = 0;
+  /// Failure probability δ of the VC bound; the paper fixes 0.1.
+  double delta = 0.1;
+};
+
+/// The worst-case (computable) ROR. Inputs must be positive;
+/// `min_foreign_domain_size` is clamped to `fk_domain_size` (the
+/// derivation's q_No ≤ |D_FK|).
+double WorstCaseRor(const RorInputs& inputs);
+
+/// The pre-relaxation ROR for callers that *do* know the hypothetical
+/// VC dimensions (the simulation study's oracle setting):
+///   (√(v_yes·log(2en/v_yes)) − √(v_no·log(2en/v_no))) / (δ√(2n)) + Δbias.
+double ExactRor(uint64_t v_yes, uint64_t v_no, uint64_t n, double delta,
+                double delta_bias = 0.0);
+
+/// The paper's Definition 4.3: the join is (δ, ε)-safe to avoid iff the
+/// ROR at failure probability δ is no larger than ε.
+bool IsSafeToAvoid(const RorInputs& inputs, double epsilon);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_ROR_H_

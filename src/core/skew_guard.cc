@@ -1,0 +1,17 @@
+#include "core/skew_guard.h"
+
+#include "stats/info_theory.h"
+
+namespace hamlet {
+
+SkewGuardResult CheckSkewGuard(const std::vector<uint32_t>& labels,
+                               uint32_t num_classes,
+                               double min_entropy_bits) {
+  SkewGuardResult result;
+  result.threshold_bits = min_entropy_bits;
+  result.label_entropy_bits = Entropy(labels, num_classes);
+  result.passes = result.label_entropy_bits >= min_entropy_bits;
+  return result;
+}
+
+}  // namespace hamlet

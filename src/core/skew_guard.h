@@ -1,0 +1,30 @@
+#ifndef HAMLET_CORE_SKEW_GUARD_H_
+#define HAMLET_CORE_SKEW_GUARD_H_
+
+/// \file skew_guard.h
+/// The malign-skew safeguard of Appendix D: neither the ROR nor the TR
+/// accounts for skew in P(FK), and a "needle-and-thread" skew that
+/// colludes with a skewed P(Y) can make avoidance unsafe. The paper's
+/// conservative check: if H(Y) is too low (below 0.5 bits, roughly a
+/// 90%:10% split), do not avoid any join.
+
+#include <cstdint>
+#include <vector>
+
+namespace hamlet {
+
+/// Result of the guard with its evidence.
+struct SkewGuardResult {
+  bool passes = false;          ///< True when avoidance remains allowed.
+  double label_entropy_bits = 0.0;  ///< Measured H(Y).
+  double threshold_bits = 0.5;
+};
+
+/// Computes H(Y) over the label codes and compares against the threshold.
+SkewGuardResult CheckSkewGuard(const std::vector<uint32_t>& labels,
+                               uint32_t num_classes,
+                               double min_entropy_bits = 0.5);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_SKEW_GUARD_H_

@@ -1,0 +1,25 @@
+#include "core/tuple_ratio.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+double TupleRatio(uint64_t n_train, uint64_t n_r) {
+  HAMLET_CHECK(n_train > 0 && n_r > 0, "TupleRatio needs positive counts");
+  return static_cast<double>(n_train) / static_cast<double>(n_r);
+}
+
+double RorFromTupleRatio(uint64_t n_train, uint64_t n_r, double delta) {
+  HAMLET_CHECK(n_train > 0 && n_r > 0, "RorFromTupleRatio needs positive counts");
+  HAMLET_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const double tr = TupleRatio(n_train, n_r);
+  const double lg =
+      std::log(2.0 * M_E * static_cast<double>(n_train) /
+               static_cast<double>(n_r));
+  return (1.0 / std::sqrt(tr)) * std::sqrt(lg > 0.0 ? lg : 0.0) /
+         (delta * std::sqrt(2.0));
+}
+
+}  // namespace hamlet

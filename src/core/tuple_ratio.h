@@ -1,0 +1,25 @@
+#ifndef HAMLET_CORE_TUPLE_RATIO_H_
+#define HAMLET_CORE_TUPLE_RATIO_H_
+
+/// \file tuple_ratio.h
+/// The tuple ratio TR = n_S / n_R (Section 4.2): the simplest decision
+/// statistic — it needs only the training row count and the referenced
+/// table's row count, so a join can be ruled out without even looking at
+/// R. When |D_FK| ≫ q*_R the ROR is ≈ linear in 1/√TR, which is why a
+/// TR threshold is a conservative simplification of the ROR rule.
+
+#include <cstdint>
+
+namespace hamlet {
+
+/// TR = n_train / n_r. Both must be positive.
+double TupleRatio(uint64_t n_train, uint64_t n_r);
+
+/// The closed-form approximation of the ROR in terms of the TR used to
+/// relate the two rules (Section 4.2, valid for |D_FK| ≫ q*_R):
+///   ROR ≈ (1/√TR)·(√log(2e·n/n_r) / (δ√2)).
+double RorFromTupleRatio(uint64_t n_train, uint64_t n_r, double delta = 0.1);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_TUPLE_RATIO_H_

@@ -1,0 +1,58 @@
+#include "data/splits.h"
+
+#include "common/check.h"
+
+namespace hamlet {
+
+HoldoutSplit MakeHoldoutSplit(uint32_t n, Rng& rng,
+                              const SplitFractions& fractions) {
+  HAMLET_CHECK(fractions.train > 0.0 && fractions.validation >= 0.0 &&
+                   fractions.train + fractions.validation <= 1.0,
+               "invalid split fractions %.3f/%.3f", fractions.train,
+               fractions.validation);
+  std::vector<uint32_t> perm = rng.Permutation(n);
+  uint32_t n_train = static_cast<uint32_t>(fractions.train * n);
+  uint32_t n_val = static_cast<uint32_t>(fractions.validation * n);
+  HoldoutSplit split;
+  split.train.assign(perm.begin(), perm.begin() + n_train);
+  split.validation.assign(perm.begin() + n_train,
+                          perm.begin() + n_train + n_val);
+  split.test.assign(perm.begin() + n_train + n_val, perm.end());
+  return split;
+}
+
+std::vector<uint32_t> KFoldSplit::TrainFor(uint32_t fold) const {
+  HAMLET_CHECK(fold < folds.size(), "fold %u out of %zu", fold,
+               folds.size());
+  std::vector<uint32_t> train;
+  for (uint32_t i = 0; i < folds.size(); ++i) {
+    if (i == fold) continue;
+    train.insert(train.end(), folds[i].begin(), folds[i].end());
+  }
+  return train;
+}
+
+KFoldSplit MakeKFoldSplit(uint32_t n, uint32_t k, Rng& rng) {
+  HAMLET_CHECK(k >= 2 && k <= n, "need 2 <= k <= n, got k=%u n=%u", k, n);
+  std::vector<uint32_t> perm = rng.Permutation(n);
+  KFoldSplit split;
+  split.folds.resize(k);
+  for (uint32_t i = 0; i < n; ++i) {
+    split.folds[i % k].push_back(perm[i]);
+  }
+  return split;
+}
+
+TrainTestSplit MakeTrainTestSplit(uint32_t n, Rng& rng,
+                                  double train_fraction) {
+  HAMLET_CHECK(train_fraction > 0.0 && train_fraction <= 1.0,
+               "invalid train fraction %.3f", train_fraction);
+  std::vector<uint32_t> perm = rng.Permutation(n);
+  uint32_t n_train = static_cast<uint32_t>(train_fraction * n);
+  TrainTestSplit split;
+  split.train.assign(perm.begin(), perm.begin() + n_train);
+  split.test.assign(perm.begin() + n_train, perm.end());
+  return split;
+}
+
+}  // namespace hamlet

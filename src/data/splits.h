@@ -1,0 +1,69 @@
+#ifndef HAMLET_DATA_SPLITS_H_
+#define HAMLET_DATA_SPLITS_H_
+
+/// \file splits.h
+/// The paper's evaluation protocol (Section 2.2): labeled data is split
+/// 50%:25%:25% into train / validation / holdout-test. Training fits the
+/// model, validation steers wrapper search and filter-k tuning, and the
+/// holdout test error is the final accuracy indicator.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hamlet {
+
+/// Row-index partitions of a labeled dataset.
+struct HoldoutSplit {
+  std::vector<uint32_t> train;
+  std::vector<uint32_t> validation;
+  std::vector<uint32_t> test;
+};
+
+/// Fractions of a three-way split; must be positive and sum to ≤ 1
+/// (any remainder goes to test).
+struct SplitFractions {
+  double train = 0.50;
+  double validation = 0.25;
+};
+
+/// Randomly partitions [0, n) with the given fractions. Deterministic in
+/// `rng`. Every index lands in exactly one part.
+HoldoutSplit MakeHoldoutSplit(uint32_t n, Rng& rng,
+                              const SplitFractions& fractions = {});
+
+/// Partitions [0, n) into train (first `train_fraction`) and test without
+/// a validation part — used by the simulation study, which draws fresh
+/// test sets instead.
+struct TrainTestSplit {
+  std::vector<uint32_t> train;
+  std::vector<uint32_t> test;
+};
+TrainTestSplit MakeTrainTestSplit(uint32_t n, Rng& rng,
+                                  double train_fraction = 0.8);
+
+/// K-fold cross-validation folds — the alternative wrapper error the
+/// paper mentions alongside holdout validation (Section 2.2). Indices
+/// [0, n) are shuffled and dealt into k near-equal folds.
+struct KFoldSplit {
+  /// folds[i] holds the held-out indices of fold i.
+  std::vector<std::vector<uint32_t>> folds;
+
+  /// Training indices for fold i: everything outside folds[i].
+  std::vector<uint32_t> TrainFor(uint32_t fold) const;
+
+  /// Number of folds.
+  uint32_t num_folds() const {
+    return static_cast<uint32_t>(folds.size());
+  }
+};
+
+/// Builds k folds over [0, n). Requires 2 <= k <= n. Deterministic in
+/// `rng`; every index lands in exactly one fold, fold sizes differ by at
+/// most one.
+KFoldSplit MakeKFoldSplit(uint32_t n, uint32_t k, Rng& rng);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_DATA_SPLITS_H_

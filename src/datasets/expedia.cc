@@ -1,0 +1,85 @@
+#include "datasets/registry.h"
+
+namespace hamlet {
+
+/// Expedia (Section 5): predict whether a hotel is ranked highly from
+/// search listings joined with hotels and search events.
+///   S  = Listings(Position, HotelID, SearchID, Score1, Score2,
+///        LogHistoricalPrice, PriceUSD, PromoFlag, OrigDestDistance),
+///        942142 rows, binary; R1 = Hotels(11939 x 8),
+///        R2 = Searches(37021 x 14).
+/// HotelID has a closed domain; SearchID does NOT (each search event is
+/// unique), so the Searches join can never be avoided and SearchID is not
+/// usable as a feature (k' = 1 in Figure 6).
+/// Planted outcome: the Hotels join is safe to avoid (TR = 39.5); the
+/// paper's forward selection chose {HotelID, Score2, RandomBool,
+/// BookingWindow, Year, ChildrenCount, SatNightBool} — hotel signal rides
+/// on the FK, plus entity and search-event features.
+SynthDatasetSpec ExpediaSpec() {
+  SynthDatasetSpec spec;
+  spec.name = "Expedia";
+  spec.entity_name = "Listings";
+  spec.pk_name = "ListingID";
+  spec.target_name = "Position";
+  spec.num_classes = 2;
+  spec.n_s = 942142;
+  spec.metric = ErrorMetric::kZeroOne;
+  spec.label_noise = 0.30;
+
+  spec.s_features = {
+      {SynthFeatureSpec::Noise("Score1", 8, true), 0.0},
+      {SynthFeatureSpec::Noise("Score2", 8, true), 0.8},
+      {SynthFeatureSpec::Noise("LogHistoricalPrice", 8, true), 0.0},
+      {SynthFeatureSpec::Noise("PriceUSD", 8, true), 0.0},
+      {SynthFeatureSpec::Noise("PromoFlag", 2), 0.0},
+      {SynthFeatureSpec::Noise("OrigDestDistance", 8, true), 0.0},
+  };
+
+  SynthAttributeTableSpec hotels;
+  hotels.table_name = "Hotels";
+  hotels.pk_name = "HotelID";
+  hotels.fk_name = "HotelID";
+  hotels.num_rows = 11939;
+  hotels.latent_cardinality = 8;
+  hotels.target_weight = 1.0;
+  hotels.features = {
+      SynthFeatureSpec::Signal("Country", 50, 0.3),
+      SynthFeatureSpec::Signal("Stars", 5, 0.5),
+      SynthFeatureSpec::Signal("ReviewScore", 8, 0.4, true),
+      SynthFeatureSpec::Signal("BookingUSDAvg", 8, 0.5, true),
+      SynthFeatureSpec::Signal("BookingUSDStdev", 8, 0.2, true),
+      SynthFeatureSpec::Signal("BookingCount", 8, 0.4, true),
+      SynthFeatureSpec::Signal("BrandBool", 2, 0.3),
+      SynthFeatureSpec::Signal("ClickCount", 8, 0.4, true),
+  };
+
+  SynthAttributeTableSpec searches;
+  searches.table_name = "Searches";
+  searches.pk_name = "SearchID";
+  searches.fk_name = "SearchID";
+  searches.num_rows = 37021;
+  searches.closed_domain = false;  // Open domain: must always be joined.
+  searches.latent_cardinality = 8;
+  searches.target_weight = 0.7;
+  searches.features = {
+      SynthFeatureSpec::Signal("Year", 3, 0.6),
+      SynthFeatureSpec::Signal("Month", 12, 0.1),
+      SynthFeatureSpec::Signal("WeekOfYear", 52, 0.1),
+      SynthFeatureSpec::Signal("TimeOfDay", 4, 0.1),
+      SynthFeatureSpec::Signal("VisitorCountry", 50, 0.1),
+      SynthFeatureSpec::Signal("SearchDest", 100, 0.1),
+      SynthFeatureSpec::Signal("LengthOfStay", 8, 0.1),
+      SynthFeatureSpec::Signal("ChildrenCount", 5, 0.7),
+      SynthFeatureSpec::Signal("AdultsCount", 5, 0.1),
+      SynthFeatureSpec::Signal("RoomCount", 4, 0.1),
+      SynthFeatureSpec::Signal("SiteID", 20, 0.1),
+      SynthFeatureSpec::Signal("BookingWindow", 8, 0.7, true),
+      SynthFeatureSpec::Signal("SatNightBool", 2, 0.7),
+      SynthFeatureSpec::Noise("RandomBool", 2),
+  };
+
+  spec.tables = {hotels, searches};
+  return spec;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,61 @@
+#include "datasets/registry.h"
+
+namespace hamlet {
+
+/// LastFM (Section 5): predict music play levels from plays joined with
+/// artists and users.
+///   S  = Plays(PlayLevel, UserID, ArtistID), 343747 rows, 5 classes,
+///        d_S = 0; R1 = Artists(4999 x 7), R2 = Users(50000 x 4).
+/// Planted outcome: the Artists join is avoided (TR = 34.4); Users is not
+/// (TR = 3.4) — but the play level depends ONLY on a per-user latent that
+/// no user feature exposes, so the paper's selection returned just
+/// {UserID} for every method, the Users join was useless in hindsight
+/// (another conservative-rule "missed opportunity"), and artists are
+/// irrelevant altogether.
+SynthDatasetSpec LastFmSpec() {
+  SynthDatasetSpec spec;
+  spec.name = "LastFM";
+  spec.entity_name = "Plays";
+  spec.pk_name = "PlayID";
+  spec.target_name = "PlayLevel";
+  spec.num_classes = 5;
+  spec.n_s = 343747;
+  spec.metric = ErrorMetric::kRmse;
+  spec.label_noise = 0.30;
+
+  SynthAttributeTableSpec artists;
+  artists.table_name = "Artists";
+  artists.pk_name = "ArtistID";
+  artists.fk_name = "ArtistID";
+  artists.num_rows = 4999;
+  artists.latent_cardinality = 8;
+  artists.target_weight = 0.0;  // Artists are irrelevant to play level.
+  artists.features = {
+      SynthFeatureSpec::Noise("Listens", 8, true),
+      SynthFeatureSpec::Noise("Scrobbles", 8, true),
+      SynthFeatureSpec::Noise("Genre1", 2),
+      SynthFeatureSpec::Noise("Genre2", 2),
+      SynthFeatureSpec::Noise("Genre3", 2),
+      SynthFeatureSpec::Noise("Genre4", 2),
+      SynthFeatureSpec::Noise("Genre5", 2),
+  };
+
+  SynthAttributeTableSpec users;
+  users.table_name = "Users";
+  users.pk_name = "UserID";
+  users.fk_name = "UserID";
+  users.num_rows = 50000;
+  users.latent_cardinality = 8;
+  users.target_weight = 1.0;  // ...but no feature exposes the latent:
+  users.features = {
+      SynthFeatureSpec::Noise("Gender", 3),
+      SynthFeatureSpec::Noise("Age", 7),
+      SynthFeatureSpec::Noise("Country", 50),
+      SynthFeatureSpec::Noise("JoinYear", 9),
+  };
+
+  spec.tables = {artists, users};
+  return spec;
+}
+
+}  // namespace hamlet

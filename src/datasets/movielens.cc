@@ -1,0 +1,60 @@
+#include "datasets/registry.h"
+
+namespace hamlet {
+
+/// MovieLens1M (Section 5): predict movie ratings from past ratings
+/// joined with movies and users.
+///   S  = Ratings(Stars, UserID, MovieID), 1000209 rows, 5 classes,
+///        d_S = 0; R1 = Movies(3706 x 21), R2 = Users(6040 x 4).
+/// Planted outcome: BOTH joins are safe to avoid (TR = 135 and 83 on the
+/// training half). The latents drive ratings but the FKs see plenty of
+/// training rows each, so FK-as-representative loses nothing; the paper's
+/// forward selection gave {UserID, MovieID} for JoinOpt while JoinAll
+/// also picked up a movie genre feature at nearly the same error.
+SynthDatasetSpec MovieLensSpec() {
+  SynthDatasetSpec spec;
+  spec.name = "MovieLens1M";
+  spec.entity_name = "Ratings";
+  spec.pk_name = "RatingID";
+  spec.target_name = "Stars";
+  spec.num_classes = 5;
+  spec.n_s = 1000209;
+  spec.metric = ErrorMetric::kRmse;
+  spec.label_noise = 0.30;
+
+  SynthAttributeTableSpec movies;
+  movies.table_name = "Movies";
+  movies.pk_name = "MovieID";
+  movies.fk_name = "MovieID";
+  movies.num_rows = 3706;
+  movies.latent_cardinality = 8;
+  movies.target_weight = 1.0;
+  movies.features = {
+      SynthFeatureSpec::Signal("NameWords", 8, 0.1),
+      SynthFeatureSpec::Signal("NameHasParentheses", 2, 0.1),
+      SynthFeatureSpec::Signal("Year", 9, 0.4),
+  };
+  for (int i = 1; i <= 18; ++i) {
+    movies.features.push_back(
+        SynthFeatureSpec::Signal("Genre" + std::to_string(i), 2, 0.35));
+  }
+
+  SynthAttributeTableSpec users;
+  users.table_name = "Users";
+  users.pk_name = "UserID";
+  users.fk_name = "UserID";
+  users.num_rows = 6040;
+  users.latent_cardinality = 8;
+  users.target_weight = 1.0;
+  users.features = {
+      SynthFeatureSpec::Signal("Gender", 2, 0.3),
+      SynthFeatureSpec::Signal("Age", 7, 0.4),
+      SynthFeatureSpec::Signal("Zipcode", 300, 0.1),
+      SynthFeatureSpec::Signal("Occupation", 21, 0.4),
+  };
+
+  spec.tables = {movies, users};
+  return spec;
+}
+
+}  // namespace hamlet

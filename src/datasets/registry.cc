@@ -1,0 +1,35 @@
+#include "datasets/registry.h"
+
+#include "common/string_util.h"
+
+namespace hamlet {
+
+std::vector<std::string> AllDatasetNames() {
+  return {"Walmart", "Expedia",     "Flights", "Yelp",
+          "MovieLens1M", "LastFM", "BookCrossing"};
+}
+
+Result<SynthDatasetSpec> DatasetSpecByName(const std::string& name) {
+  if (name == "Walmart") return WalmartSpec();
+  if (name == "Expedia") return ExpediaSpec();
+  if (name == "Flights") return FlightsSpec();
+  if (name == "Yelp") return YelpSpec();
+  if (name == "MovieLens1M") return MovieLensSpec();
+  if (name == "LastFM") return LastFmSpec();
+  if (name == "BookCrossing") return BookCrossingSpec();
+  return Status::NotFound(
+      StringFormat("unknown dataset '%s'", name.c_str()));
+}
+
+Result<NormalizedDataset> MakeDataset(const std::string& name, double scale,
+                                      uint64_t seed) {
+  HAMLET_ASSIGN_OR_RETURN(SynthDatasetSpec spec, DatasetSpecByName(name));
+  return GenerateSyntheticDataset(spec, scale, seed);
+}
+
+Result<ErrorMetric> MetricForDataset(const std::string& name) {
+  HAMLET_ASSIGN_OR_RETURN(SynthDatasetSpec spec, DatasetSpecByName(name));
+  return spec.metric;
+}
+
+}  // namespace hamlet

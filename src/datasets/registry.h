@@ -1,0 +1,46 @@
+#ifndef HAMLET_DATASETS_REGISTRY_H_
+#define HAMLET_DATASETS_REGISTRY_H_
+
+/// \file registry.h
+/// The seven evaluation datasets of Section 5, synthesized (see
+/// synth_common.h for the substitution rationale). Names, schemas,
+/// #classes, row counts (Figure 6), and metrics match the paper; row
+/// counts scale by a common factor that preserves every tuple ratio.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/synth_common.h"
+#include "relational/catalog.h"
+#include "stats/metrics.h"
+
+namespace hamlet {
+
+/// Spec builders, one per dataset (Section 5 descriptions).
+SynthDatasetSpec WalmartSpec();       ///< Sales levels; 2 avoidable joins.
+SynthDatasetSpec ExpediaSpec();       ///< Hotel ranking; SearchID open-domain.
+SynthDatasetSpec FlightsSpec();       ///< Codeshare; airports are noise.
+SynthDatasetSpec YelpSpec();          ///< Ratings; no join avoidable.
+SynthDatasetSpec MovieLensSpec();     ///< Ratings; 2 avoidable joins.
+SynthDatasetSpec LastFmSpec();        ///< Play levels; only UserID matters.
+SynthDatasetSpec BookCrossingSpec();  ///< Ratings; no join avoidable.
+
+/// All dataset names in the paper's Figure 6 / Figure 7 order.
+std::vector<std::string> AllDatasetNames();
+
+/// Spec by name, or NotFound.
+Result<SynthDatasetSpec> DatasetSpecByName(const std::string& name);
+
+/// Generates a dataset by name at the given scale (1.0 = full Figure 6
+/// sizes; the benches default to 0.1, which preserves every tuple ratio).
+Result<NormalizedDataset> MakeDataset(const std::string& name, double scale,
+                                      uint64_t seed);
+
+/// The error metric the paper reports for a dataset (zero-one for the
+/// binary Expedia/Flights, RMSE otherwise).
+Result<ErrorMetric> MetricForDataset(const std::string& name);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_DATASETS_REGISTRY_H_

@@ -1,0 +1,242 @@
+#include "datasets/synth_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "stats/binning.h"
+
+namespace hamlet {
+
+double CenteredValue(uint32_t code, uint32_t cardinality) {
+  if (cardinality <= 1) return 0.0;
+  return 2.0 * static_cast<double>(code) /
+             static_cast<double>(cardinality - 1) -
+         1.0;
+}
+
+uint32_t LatentToCode(uint32_t latent, uint32_t salt, uint32_t cardinality,
+                      uint32_t latent_cardinality) {
+  HAMLET_CHECK(cardinality >= 1 && latent_cardinality >= 1,
+               "cardinalities must be >= 1");
+  // Contiguous grouping keeps nearby latents (similar target effect)
+  // together; the salt rotation decorrelates sibling features without
+  // splitting any group.
+  uint64_t group = static_cast<uint64_t>(latent) * cardinality /
+                   latent_cardinality;
+  return static_cast<uint32_t>((group + salt) % cardinality);
+}
+
+namespace {
+
+// Scales a row count, keeping at least two rows so keys/domains stay
+// meaningful.
+uint32_t ScaleRows(uint32_t rows, double scale) {
+  uint32_t scaled = static_cast<uint32_t>(std::llround(rows * scale));
+  return std::max<uint32_t>(scaled, 2);
+}
+
+// Generates one attribute-table feature column given per-row latents.
+Column MakeAttributeColumn(const SynthFeatureSpec& spec,
+                           const std::vector<uint32_t>& latents,
+                           uint32_t latent_card, uint32_t salt, Rng& rng) {
+  const uint32_t n = static_cast<uint32_t>(latents.size());
+  if (spec.numeric) {
+    // Latent-dependent mean in [0,1] (monotone in the latent; reflected
+    // for odd salts so sibling numeric features are not identical),
+    // Gaussian spread, equal-width bins.
+    const double sigma =
+        0.05 + 0.6 * (1.0 - std::clamp(spec.signal_strength, 0.0, 1.0));
+    std::vector<double> values;
+    values.reserve(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      double mean = 0.5;
+      if (spec.signal_strength > 0.0) {
+        mean = static_cast<double>(latents[r]) /
+               std::max<uint32_t>(latent_card - 1, 1);
+        if (salt % 2 == 1) mean = 1.0 - mean;
+      }
+      values.push_back(mean + sigma * rng.NextGaussian());
+    }
+    EqualWidthBinner binner(spec.cardinality);
+    auto col = binner.FitTransformToColumn(values, spec.name + "=");
+    HAMLET_CHECK(col.ok(), "binning '%s' failed: %s", spec.name.c_str(),
+                 col.status().ToString().c_str());
+    return std::move(col).ValueOrDie();
+  }
+  std::vector<uint32_t> codes;
+  codes.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    bool reflect = spec.signal_strength > 0.0 &&
+                   rng.NextDouble() < spec.signal_strength;
+    codes.push_back(reflect ? LatentToCode(latents[r], salt,
+                                           spec.cardinality, latent_card)
+                            : rng.Uniform(spec.cardinality));
+  }
+  return Column(std::move(codes),
+                Domain::Dense(spec.cardinality, spec.name + "="));
+}
+
+// Quantizes a centered score into the class domain.
+uint32_t QuantizeLabel(double z, uint32_t num_classes) {
+  if (num_classes == 2) return z > 0.0 ? 1u : 0u;
+  double t = (z + 1.0) / 2.0;  // [-1,1] -> [0,1] (clamped).
+  t = std::clamp(t, 0.0, 1.0);
+  uint32_t cls = static_cast<uint32_t>(t * num_classes);
+  return std::min(cls, num_classes - 1);
+}
+
+}  // namespace
+
+Result<NormalizedDataset> GenerateSyntheticDataset(
+    const SynthDatasetSpec& spec, double scale, uint64_t seed) {
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  Rng root(seed ^ 0x48414D4C45540000ULL);  // Dataset-family salt.
+
+  // --- Attribute tables: latents + feature columns. ---
+  std::vector<Table> attribute_tables;
+  std::vector<std::vector<uint32_t>> table_latents(spec.tables.size());
+  std::vector<std::shared_ptr<Domain>> pk_domains(spec.tables.size());
+
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    const SynthAttributeTableSpec& ts = spec.tables[t];
+    Rng rng = root.Fork(1000 + t);
+    const uint32_t n_r = ScaleRows(ts.num_rows, scale);
+
+    std::vector<uint32_t>& latents = table_latents[t];
+    latents.resize(n_r);
+    for (uint32_t r = 0; r < n_r; ++r) {
+      latents[r] = rng.Uniform(ts.latent_cardinality);
+    }
+
+    std::vector<ColumnSpec> col_specs;
+    std::vector<Column> cols;
+    col_specs.push_back(ColumnSpec::PrimaryKey(ts.pk_name));
+    pk_domains[t] = Domain::Dense(n_r, ts.pk_name + "_");
+    {
+      std::vector<uint32_t> pk_codes(n_r);
+      for (uint32_t r = 0; r < n_r; ++r) pk_codes[r] = r;
+      cols.emplace_back(std::move(pk_codes), pk_domains[t]);
+    }
+    for (size_t f = 0; f < ts.features.size(); ++f) {
+      col_specs.push_back(ColumnSpec::Feature(ts.features[f].name));
+      cols.push_back(MakeAttributeColumn(ts.features[f], latents,
+                                         ts.latent_cardinality,
+                                         static_cast<uint32_t>(f), rng));
+    }
+    attribute_tables.emplace_back(ts.table_name, Schema(std::move(col_specs)),
+                                  std::move(cols));
+  }
+
+  // --- Entity table. ---
+  Rng rng = root.Fork(1);
+  const uint32_t n_s = ScaleRows(spec.n_s, scale);
+
+  // Total weight for score normalization.
+  double total_weight = 0.0;
+  for (const auto& ts : spec.tables) total_weight += std::fabs(ts.target_weight);
+  for (const auto& fs : spec.s_features) {
+    total_weight += std::fabs(fs.target_weight);
+  }
+  if (total_weight <= 0.0) {
+    return Status::InvalidArgument(
+        "dataset spec has no target signal (all weights zero)");
+  }
+
+  std::vector<ColumnSpec> s_specs;
+  s_specs.push_back(ColumnSpec::PrimaryKey(spec.pk_name));
+  s_specs.push_back(ColumnSpec::Target(spec.target_name));
+  for (const auto& fs : spec.s_features) {
+    s_specs.push_back(ColumnSpec::Feature(fs.feature.name));
+  }
+  for (const auto& ts : spec.tables) {
+    s_specs.push_back(
+        ColumnSpec::ForeignKey(ts.fk_name, ts.table_name, ts.closed_domain));
+  }
+
+  // Per-table FK samplers (uniform or Zipf over RIDs).
+  std::vector<AliasSampler> fk_samplers;
+  fk_samplers.reserve(spec.tables.size());
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    const uint32_t n_r = static_cast<uint32_t>(table_latents[t].size());
+    std::vector<double> w(n_r, 1.0);
+    if (spec.tables[t].fk_zipf > 0.0) {
+      for (uint32_t r = 0; r < n_r; ++r) {
+        w[r] = 1.0 / std::pow(static_cast<double>(r + 1),
+                              spec.tables[t].fk_zipf);
+      }
+    }
+    fk_samplers.emplace_back(w);
+  }
+
+  // Draw per-row FKs and entity features; accumulate scores.
+  std::vector<std::vector<uint32_t>> fk_codes(spec.tables.size());
+  for (auto& v : fk_codes) v.reserve(n_s);
+  std::vector<std::vector<uint32_t>> s_feat_codes(spec.s_features.size());
+  std::vector<std::vector<double>> s_feat_numeric(spec.s_features.size());
+  std::vector<uint32_t> y_codes;
+  y_codes.reserve(n_s);
+
+  for (uint32_t i = 0; i < n_s; ++i) {
+    double score = 0.0;
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      uint32_t fk = fk_samplers[t].Sample(rng);
+      fk_codes[t].push_back(fk);
+      score += spec.tables[t].target_weight *
+               CenteredValue(table_latents[t][fk],
+                             spec.tables[t].latent_cardinality);
+    }
+    for (size_t f = 0; f < spec.s_features.size(); ++f) {
+      const SynthEntityFeatureSpec& fs = spec.s_features[f];
+      if (fs.feature.numeric) {
+        double v = rng.NextDouble();
+        s_feat_numeric[f].push_back(v);
+        score += fs.target_weight * (2.0 * v - 1.0);
+      } else {
+        uint32_t code = rng.Uniform(fs.feature.cardinality);
+        s_feat_codes[f].push_back(code);
+        score += fs.target_weight *
+                 CenteredValue(code, fs.feature.cardinality);
+      }
+    }
+    double z = score / total_weight + spec.label_noise * rng.NextGaussian();
+    y_codes.push_back(QuantizeLabel(z, spec.num_classes));
+  }
+
+  std::vector<Column> s_cols;
+  {
+    std::vector<uint32_t> sid(n_s);
+    for (uint32_t i = 0; i < n_s; ++i) sid[i] = i;
+    s_cols.emplace_back(std::move(sid), Domain::Dense(n_s, spec.pk_name + "_"));
+  }
+  s_cols.emplace_back(std::move(y_codes),
+                      Domain::Dense(spec.num_classes,
+                                    spec.target_name + "="));
+  for (size_t f = 0; f < spec.s_features.size(); ++f) {
+    const SynthFeatureSpec& fs = spec.s_features[f].feature;
+    if (fs.numeric) {
+      EqualWidthBinner binner(fs.cardinality);
+      auto col = binner.FitTransformToColumn(s_feat_numeric[f],
+                                             fs.name + "=");
+      HAMLET_CHECK(col.ok(), "binning '%s' failed", fs.name.c_str());
+      s_cols.push_back(std::move(col).ValueOrDie());
+    } else {
+      s_cols.emplace_back(std::move(s_feat_codes[f]),
+                          Domain::Dense(fs.cardinality, fs.name + "="));
+    }
+  }
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    // FK shares the referenced PK domain: closed-domain by construction.
+    s_cols.emplace_back(std::move(fk_codes[t]), pk_domains[t]);
+  }
+
+  Table entity(spec.entity_name, Schema(std::move(s_specs)),
+               std::move(s_cols));
+  return NormalizedDataset::Make(spec.name, std::move(entity),
+                                 std::move(attribute_tables));
+}
+
+}  // namespace hamlet

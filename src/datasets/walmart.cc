@@ -1,0 +1,63 @@
+#include "datasets/registry.h"
+
+namespace hamlet {
+
+/// Walmart (Section 5): predict department-wise sales levels by joining
+/// past sales with stores and weather/economic indicators.
+///   S  = Sales(SalesLevel, IndicatorID, StoreID, Dept), 421570 rows, 7
+///        classes; R1 = Indicators(2340 x 9), R2 = Stores(45 x 2).
+/// Planted outcome (paper, Figures 7/8): both joins are safe to avoid
+/// (TR = 90 and 4684 on the training half); selected features were
+/// {IndicatorID, StoreID, Dept}, i.e., the FKs carry the signal and the
+/// foreign features add nothing a wrapper keeps.
+SynthDatasetSpec WalmartSpec() {
+  SynthDatasetSpec spec;
+  spec.name = "Walmart";
+  spec.entity_name = "Sales";
+  spec.pk_name = "SalesID";
+  spec.target_name = "SalesLevel";
+  spec.num_classes = 7;
+  spec.n_s = 421570;
+  spec.metric = ErrorMetric::kRmse;
+  spec.label_noise = 0.30;
+
+  spec.s_features = {
+      {SynthFeatureSpec::Noise("Dept", 72), /*target_weight=*/1.0},
+  };
+
+  SynthAttributeTableSpec indicators;
+  indicators.table_name = "Indicators";
+  indicators.pk_name = "IndicatorID";
+  indicators.fk_name = "IndicatorID";
+  indicators.num_rows = 2340;
+  indicators.latent_cardinality = 8;
+  indicators.target_weight = 0.8;
+  indicators.features = {
+      SynthFeatureSpec::Signal("TempAvg", 8, 0.4, /*numeric=*/true),
+      SynthFeatureSpec::Signal("TempStdev", 8, 0.3, true),
+      SynthFeatureSpec::Signal("CPIAvg", 8, 0.3, true),
+      SynthFeatureSpec::Signal("CPIStdev", 8, 0.2, true),
+      SynthFeatureSpec::Signal("FuelPriceAvg", 8, 0.3, true),
+      SynthFeatureSpec::Signal("FuelPriceStdev", 8, 0.2, true),
+      SynthFeatureSpec::Signal("UnempRateAvg", 8, 0.3, true),
+      SynthFeatureSpec::Signal("UnempRateStdev", 8, 0.2, true),
+      SynthFeatureSpec::Signal("IsHoliday", 2, 0.25),
+  };
+
+  SynthAttributeTableSpec stores;
+  stores.table_name = "Stores";
+  stores.pk_name = "StoreID";
+  stores.fk_name = "StoreID";
+  stores.num_rows = 45;
+  stores.latent_cardinality = 8;
+  stores.target_weight = 0.8;
+  stores.features = {
+      SynthFeatureSpec::Signal("Type", 4, 0.5),
+      SynthFeatureSpec::Signal("Size", 8, 0.5, /*numeric=*/true),
+  };
+
+  spec.tables = {indicators, stores};
+  return spec;
+}
+
+}  // namespace hamlet

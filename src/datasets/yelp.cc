@@ -1,0 +1,76 @@
+#include "datasets/registry.h"
+
+namespace hamlet {
+
+/// Yelp (Section 5): predict business ratings from past ratings joined
+/// with businesses and users.
+///   S  = Ratings(Stars, UserID, BusinessID), 215879 rows, 5 classes,
+///        d_S = 0; R1 = Businesses(11537 x 32), R2 = Users(43873 x 6).
+/// Planted outcome: NEITHER join is safe to avoid (TR = 9.4 and 2.5 on
+/// the training half). Both latents drive the rating strongly and the
+/// foreign features expose them at small domain sizes, so dropping either
+/// X_R and leaning on the high-cardinality FK alone blows up the error
+/// (Figure 8(A)'s right end).
+SynthDatasetSpec YelpSpec() {
+  SynthDatasetSpec spec;
+  spec.name = "Yelp";
+  spec.entity_name = "Ratings";
+  spec.pk_name = "RatingID";
+  spec.target_name = "Stars";
+  spec.num_classes = 5;
+  spec.n_s = 215879;
+  spec.metric = ErrorMetric::kRmse;
+  spec.label_noise = 0.20;
+
+  SynthAttributeTableSpec businesses;
+  businesses.table_name = "Businesses";
+  businesses.pk_name = "BusinessID";
+  businesses.fk_name = "BusinessID";
+  businesses.num_rows = 11537;
+  businesses.latent_cardinality = 8;
+  businesses.target_weight = 1.0;
+  businesses.fk_zipf = 0.8;
+  businesses.features = {
+      SynthFeatureSpec::Signal("BusinessStars", 9, 0.9),
+      SynthFeatureSpec::Signal("BusinessReviewCount", 8, 0.6, true),
+      SynthFeatureSpec::Noise("Latitude", 8, true),
+      SynthFeatureSpec::Noise("Longitude", 8, true),
+      SynthFeatureSpec::Signal("City", 60, 0.3),
+      SynthFeatureSpec::Signal("State", 25, 0.2),
+  };
+  for (int i = 1; i <= 5; ++i) {
+    businesses.features.push_back(SynthFeatureSpec::Signal(
+        "WeekdayCheckins" + std::to_string(i), 8, 0.4, true));
+  }
+  for (int i = 1; i <= 5; ++i) {
+    businesses.features.push_back(SynthFeatureSpec::Signal(
+        "WeekendCheckins" + std::to_string(i), 8, 0.4, true));
+  }
+  for (int i = 1; i <= 15; ++i) {
+    businesses.features.push_back(
+        SynthFeatureSpec::Signal("Category" + std::to_string(i), 2, 0.3));
+  }
+  businesses.features.push_back(SynthFeatureSpec::Signal("IsOpen", 2, 0.5));
+
+  SynthAttributeTableSpec users;
+  users.table_name = "Users";
+  users.pk_name = "UserID";
+  users.fk_name = "UserID";
+  users.num_rows = 43873;
+  users.latent_cardinality = 8;
+  users.target_weight = 1.0;
+  users.fk_zipf = 1.0;
+  users.features = {
+      SynthFeatureSpec::Signal("Gender", 3, 0.1),
+      SynthFeatureSpec::Signal("UserStars", 9, 0.9),
+      SynthFeatureSpec::Signal("UserReviewCount", 8, 0.5, true),
+      SynthFeatureSpec::Signal("VotesUseful", 8, 0.4, true),
+      SynthFeatureSpec::Signal("VotesFunny", 8, 0.3, true),
+      SynthFeatureSpec::Signal("VotesCool", 8, 0.3, true),
+  };
+
+  spec.tables = {businesses, users};
+  return spec;
+}
+
+}  // namespace hamlet

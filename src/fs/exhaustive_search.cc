@@ -1,0 +1,51 @@
+#include "fs/exhaustive_search.h"
+
+#include "common/string_util.h"
+#include "ml/eval.h"
+
+namespace hamlet {
+
+Result<SelectionResult> ExhaustiveSelection::Select(
+    const EncodedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates) {
+  if (candidates.size() > max_candidates_) {
+    return Status::InvalidArgument(StringFormat(
+        "exhaustive search over %zu candidates exceeds the cap of %u "
+        "(2^d models)",
+        candidates.size(), max_candidates_));
+  }
+  SelectionResult result;
+  const uint32_t d = static_cast<uint32_t>(candidates.size());
+  double best_error = 0.0;
+  uint64_t best_mask = 0;
+  bool first = true;
+
+  std::vector<uint32_t> subset;
+  for (uint64_t mask = 0; mask < (1ull << d); ++mask) {
+    subset.clear();
+    for (uint32_t j = 0; j < d; ++j) {
+      if (mask & (1ull << j)) subset.push_back(candidates[j]);
+    }
+    HAMLET_ASSIGN_OR_RETURN(
+        double err, TrainAndScore(factory, data, split.train,
+                                  split.validation, subset, metric));
+    ++result.models_trained;
+    // Strictly-better wins; ties prefer smaller subsets (lower popcount),
+    // then lower masks, for determinism.
+    if (first || err < best_error ||
+        (err == best_error && __builtin_popcountll(mask) <
+                                  __builtin_popcountll(best_mask))) {
+      first = false;
+      best_error = err;
+      best_mask = mask;
+    }
+  }
+  for (uint32_t j = 0; j < d; ++j) {
+    if (best_mask & (1ull << j)) result.selected.push_back(candidates[j]);
+  }
+  result.validation_error = best_error;
+  return result;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,51 @@
+#ifndef HAMLET_FS_FEATURE_SELECTOR_H_
+#define HAMLET_FS_FEATURE_SELECTOR_H_
+
+/// \file feature_selector.h
+/// The feature selection abstraction of Section 2.2. Wrappers (sequential
+/// greedy search) and filters (per-feature scoring + tuned top-k) share
+/// this interface; embedded methods live inside LogisticRegression.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/encoded_dataset.h"
+#include "data/splits.h"
+#include "ml/classifier.h"
+#include "stats/metrics.h"
+
+namespace hamlet {
+
+/// Outcome of a feature selection run.
+struct SelectionResult {
+  /// Chosen feature indices (into the EncodedDataset), in selection order
+  /// for wrappers / score order for filters.
+  std::vector<uint32_t> selected;
+  /// Validation error of the chosen subset.
+  double validation_error = 0.0;
+  /// Number of candidate models trained during the search (the unit the
+  /// runtime savings of join avoidance multiply).
+  uint64_t models_trained = 0;
+};
+
+/// Searches the subset lattice of `candidates` for an accurate subset.
+class FeatureSelector {
+ public:
+  virtual ~FeatureSelector() = default;
+
+  /// Runs the search: models train on `split.train` and are compared on
+  /// `split.validation` under `metric`.
+  virtual Result<SelectionResult> Select(
+      const EncodedDataset& data, const HoldoutSplit& split,
+      const ClassifierFactory& factory, ErrorMetric metric,
+      const std::vector<uint32_t>& candidates) = 0;
+
+  /// Method name ("forward_selection", "mi_filter", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_FS_FEATURE_SELECTOR_H_

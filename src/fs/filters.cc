@@ -1,0 +1,81 @@
+#include "fs/filters.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/eval.h"
+#include "stats/info_theory.h"
+
+namespace hamlet {
+
+std::vector<double> ScoreFilter::ScoreFeatures(
+    const EncodedDataset& data, const std::vector<uint32_t>& rows,
+    const std::vector<uint32_t>& candidates) const {
+  // Gather labels once.
+  std::vector<uint32_t> y;
+  y.reserve(rows.size());
+  for (uint32_t r : rows) y.push_back(data.labels()[r]);
+
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  std::vector<uint32_t> f;
+  for (uint32_t j : candidates) {
+    const std::vector<uint32_t>& col = data.feature(j);
+    f.clear();
+    f.reserve(rows.size());
+    for (uint32_t r : rows) f.push_back(col[r]);
+    ContingencyTable table(f, y, data.meta(j).cardinality,
+                           data.num_classes());
+    scores.push_back(score_ == FilterScore::kMutualInformation
+                         ? MutualInformation(table)
+                         : InformationGainRatio(table));
+  }
+  return scores;
+}
+
+Result<SelectionResult> ScoreFilter::Select(
+    const EncodedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates) {
+  SelectionResult result;
+  if (candidates.empty()) {
+    HAMLET_ASSIGN_OR_RETURN(
+        result.validation_error,
+        TrainAndScore(factory, data, split.train, split.validation, {},
+                      metric));
+    ++result.models_trained;
+    return result;
+  }
+
+  std::vector<double> scores = ScoreFeatures(data, split.train, candidates);
+
+  // Rank candidates by descending score (stable for determinism).
+  std::vector<uint32_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+
+  // Tune k on validation error.
+  double best_error = 0.0;
+  size_t best_k = 1;
+  std::vector<uint32_t> prefix;
+  for (size_t k = 1; k <= order.size(); ++k) {
+    prefix.push_back(candidates[order[k - 1]]);
+    HAMLET_ASSIGN_OR_RETURN(
+        double err, TrainAndScore(factory, data, split.train,
+                                  split.validation, prefix, metric));
+    ++result.models_trained;
+    if (k == 1 || err < best_error) {
+      best_error = err;
+      best_k = k;
+    }
+  }
+  for (size_t k = 0; k < best_k; ++k) {
+    result.selected.push_back(candidates[order[k]]);
+  }
+  result.validation_error = best_error;
+  return result;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,86 @@
+#include "fs/greedy_search.h"
+
+#include <algorithm>
+
+#include "ml/eval.h"
+
+namespace hamlet {
+
+Result<SelectionResult> ForwardSelection::Select(
+    const EncodedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates) {
+  SelectionResult result;
+  std::vector<uint32_t> remaining = candidates;
+
+  // Baseline: the prior-only (empty-subset) model.
+  HAMLET_ASSIGN_OR_RETURN(
+      double best_error,
+      TrainAndScore(factory, data, split.train, split.validation, {}, metric));
+  ++result.models_trained;
+
+  while (!remaining.empty()) {
+    double round_best = best_error;
+    int32_t round_pick = -1;
+    std::vector<uint32_t> trial = result.selected;
+    trial.push_back(0);  // Placeholder overwritten per candidate.
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      trial.back() = remaining[i];
+      HAMLET_ASSIGN_OR_RETURN(
+          double err, TrainAndScore(factory, data, split.train,
+                                    split.validation, trial, metric));
+      ++result.models_trained;
+      if (err < round_best - tolerance_) {
+        round_best = err;
+        round_pick = static_cast<int32_t>(i);
+      }
+    }
+    if (round_pick < 0) break;
+    result.selected.push_back(remaining[round_pick]);
+    remaining.erase(remaining.begin() + round_pick);
+    best_error = round_best;
+  }
+  result.validation_error = best_error;
+  return result;
+}
+
+Result<SelectionResult> BackwardSelection::Select(
+    const EncodedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates) {
+  SelectionResult result;
+  result.selected = candidates;
+
+  HAMLET_ASSIGN_OR_RETURN(
+      double best_error,
+      TrainAndScore(factory, data, split.train, split.validation,
+                    result.selected, metric));
+  ++result.models_trained;
+
+  while (result.selected.size() > 1) {
+    double round_best = best_error + tolerance_;
+    int32_t round_pick = -1;
+    for (size_t i = 0; i < result.selected.size(); ++i) {
+      std::vector<uint32_t> trial;
+      trial.reserve(result.selected.size() - 1);
+      for (size_t k = 0; k < result.selected.size(); ++k) {
+        if (k != i) trial.push_back(result.selected[k]);
+      }
+      HAMLET_ASSIGN_OR_RETURN(
+          double err, TrainAndScore(factory, data, split.train,
+                                    split.validation, trial, metric));
+      ++result.models_trained;
+      if (err <= round_best) {
+        round_best = err;
+        round_pick = static_cast<int32_t>(i);
+      }
+    }
+    if (round_pick < 0) break;
+    result.selected.erase(result.selected.begin() + round_pick);
+    best_error = std::min(best_error, round_best);
+  }
+  result.validation_error = best_error;
+  return result;
+}
+
+}  // namespace hamlet

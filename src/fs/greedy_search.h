@@ -1,0 +1,57 @@
+#ifndef HAMLET_FS_GREEDY_SEARCH_H_
+#define HAMLET_FS_GREEDY_SEARCH_H_
+
+/// \file greedy_search.h
+/// Sequential greedy wrappers (Section 2.2): forward selection grows the
+/// subset from empty, backward selection shrinks it from full; both move
+/// one feature at a time by validation error and stop when no move
+/// improves it.
+
+#include "fs/feature_selector.h"
+
+namespace hamlet {
+
+/// Forward sequential selection.
+class ForwardSelection : public FeatureSelector {
+ public:
+  /// `tolerance`: a move must improve the error by more than this.
+  explicit ForwardSelection(double tolerance = 0.0)
+      : tolerance_(tolerance) {}
+
+  Result<SelectionResult> Select(const EncodedDataset& data,
+                                 const HoldoutSplit& split,
+                                 const ClassifierFactory& factory,
+                                 ErrorMetric metric,
+                                 const std::vector<uint32_t>& candidates)
+      override;
+
+  std::string name() const override { return "forward_selection"; }
+
+ private:
+  double tolerance_;
+};
+
+/// Backward sequential elimination.
+class BackwardSelection : public FeatureSelector {
+ public:
+  /// `tolerance`: removals that change the error by no more than this are
+  /// also taken (prefer smaller subsets on ties).
+  explicit BackwardSelection(double tolerance = 0.0)
+      : tolerance_(tolerance) {}
+
+  Result<SelectionResult> Select(const EncodedDataset& data,
+                                 const HoldoutSplit& split,
+                                 const ClassifierFactory& factory,
+                                 ErrorMetric metric,
+                                 const std::vector<uint32_t>& candidates)
+      override;
+
+  std::string name() const override { return "backward_selection"; }
+
+ private:
+  double tolerance_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_FS_GREEDY_SEARCH_H_

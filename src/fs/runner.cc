@@ -1,0 +1,65 @@
+#include "fs/runner.h"
+
+#include "common/timer.h"
+#include "fs/filters.h"
+#include "fs/greedy_search.h"
+#include "ml/eval.h"
+
+namespace hamlet {
+
+const char* FsMethodToString(FsMethod method) {
+  switch (method) {
+    case FsMethod::kForwardSelection:
+      return "Forward Selection";
+    case FsMethod::kBackwardSelection:
+      return "Backward Selection";
+    case FsMethod::kMiFilter:
+      return "MI Filter";
+    case FsMethod::kIgrFilter:
+      return "IGR Filter";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method) {
+  switch (method) {
+    case FsMethod::kForwardSelection:
+      return std::make_unique<ForwardSelection>();
+    case FsMethod::kBackwardSelection:
+      return std::make_unique<BackwardSelection>();
+    case FsMethod::kMiFilter:
+      return std::make_unique<ScoreFilter>(FilterScore::kMutualInformation);
+    case FsMethod::kIgrFilter:
+      return std::make_unique<ScoreFilter>(
+          FilterScore::kInformationGainRatio);
+  }
+  return nullptr;
+}
+
+std::vector<FsMethod> AllFsMethods() {
+  return {FsMethod::kForwardSelection, FsMethod::kBackwardSelection,
+          FsMethod::kMiFilter, FsMethod::kIgrFilter};
+}
+
+Result<FsRunReport> RunFeatureSelection(
+    FeatureSelector& selector, const EncodedDataset& data,
+    const HoldoutSplit& split, const ClassifierFactory& factory,
+    ErrorMetric metric, const std::vector<uint32_t>& candidates) {
+  FsRunReport report;
+  report.method = selector.name();
+
+  Timer timer;
+  HAMLET_ASSIGN_OR_RETURN(
+      report.selection,
+      selector.Select(data, split, factory, metric, candidates));
+  report.runtime_seconds = timer.ElapsedSeconds();
+
+  report.selected_names = data.FeatureNames(report.selection.selected);
+  HAMLET_ASSIGN_OR_RETURN(
+      report.holdout_test_error,
+      TrainAndScore(factory, data, split.train, split.test,
+                    report.selection.selected, metric));
+  return report;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,52 @@
+#ifndef HAMLET_FS_RUNNER_H_
+#define HAMLET_FS_RUNNER_H_
+
+/// \file runner.h
+/// End-to-end feature selection runs: search on train/validation, then a
+/// final model on the chosen subset scored on the 25% holdout test split —
+/// the protocol every number in Figures 7–9 comes from. Also times the
+/// search, which is what JoinOpt's speedups are measured on.
+
+#include <memory>
+#include <string>
+
+#include "fs/feature_selector.h"
+
+namespace hamlet {
+
+/// All four of the paper's explicit feature selection methods.
+enum class FsMethod {
+  kForwardSelection,
+  kBackwardSelection,
+  kMiFilter,
+  kIgrFilter,
+};
+
+/// Display name ("Forward Selection", ...).
+const char* FsMethodToString(FsMethod method);
+
+/// Constructs the selector for a method.
+std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method);
+
+/// All methods in paper order (Figure 7 columns).
+std::vector<FsMethod> AllFsMethods();
+
+/// Everything one feature selection run produces.
+struct FsRunReport {
+  std::string method;
+  SelectionResult selection;
+  std::vector<std::string> selected_names;  ///< Human-readable subset.
+  double holdout_test_error = 0.0;
+  double runtime_seconds = 0.0;  ///< Search time (excludes the final fit).
+};
+
+/// Runs `selector` over `candidates`, then fits the chosen subset on
+/// `split.train` and reports the error on `split.test`.
+Result<FsRunReport> RunFeatureSelection(
+    FeatureSelector& selector, const EncodedDataset& data,
+    const HoldoutSplit& split, const ClassifierFactory& factory,
+    ErrorMetric metric, const std::vector<uint32_t>& candidates);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_FS_RUNNER_H_

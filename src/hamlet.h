@@ -1,0 +1,62 @@
+#ifndef HAMLET_HAMLET_H_
+#define HAMLET_HAMLET_H_
+
+/// \file hamlet.h
+/// Umbrella header: the whole public API in one include, organized the
+/// way the paper is. Downstream users who want a single entry point can
+/// `#include "hamlet.h"`; the individual headers remain the
+/// finer-grained option.
+
+// Relational substrate (Section 2.1's data model).
+#include "relational/catalog.h"        // NormalizedDataset (S + R_i).
+#include "relational/cold_start.h"     // "Others" key absorption.
+#include "relational/csv.h"            // Ingestion/export.
+#include "relational/functional_deps.h"  // Corollary C.1 machinery.
+#include "relational/join.h"           // KFK + hash joins.
+#include "relational/select.h"         // Row selection.
+#include "relational/table.h"
+
+// Statistics and data preparation (Sections 2.2, 3.1).
+#include "data/encoded_dataset.h"
+#include "data/splits.h"               // Holdout + k-fold.
+#include "stats/binning.h"
+#include "stats/confusion.h"
+#include "stats/info_theory.h"
+#include "stats/metrics.h"
+
+// Classifiers and feature selection (Sections 2.2, 5).
+#include "fs/exhaustive_search.h"
+#include "fs/filters.h"
+#include "fs/greedy_search.h"
+#include "fs/runner.h"
+#include "ml/eval.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/tan.h"
+
+// Learning theory (Section 3.2).
+#include "theory/bias_variance.h"
+#include "theory/generalization_bound.h"
+#include "theory/multiclass_dimension.h"
+#include "theory/vc_dimension.h"
+
+// The paper's contribution (Section 4).
+#include "core/advisor.h"
+#include "core/calibration.h"
+#include "core/decision_rules.h"
+#include "core/fk_skew.h"
+#include "core/generalized_avoidance.h"
+#include "core/ror.h"
+#include "core/skew_guard.h"
+#include "core/tuple_ratio.h"
+
+// Simulation study (Section 4.1, Appendix D).
+#include "sim/data_synthesis.h"
+#include "sim/monte_carlo.h"
+#include "sim/scenario.h"
+
+// Evaluation corpus and the analyst-facing pipeline (Sections 5, 5.4).
+#include "analytics/pipeline.h"
+#include "datasets/registry.h"
+
+#endif  // HAMLET_HAMLET_H_

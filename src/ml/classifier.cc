@@ -1,0 +1,13 @@
+#include "ml/classifier.h"
+
+namespace hamlet {
+
+std::vector<uint32_t> Classifier::Predict(
+    const EncodedDataset& data, const std::vector<uint32_t>& rows) const {
+  std::vector<uint32_t> out;
+  out.reserve(rows.size());
+  for (uint32_t r : rows) out.push_back(PredictOne(data, r));
+  return out;
+}
+
+}  // namespace hamlet

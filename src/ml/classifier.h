@@ -1,0 +1,51 @@
+#ifndef HAMLET_ML_CLASSIFIER_H_
+#define HAMLET_ML_CLASSIFIER_H_
+
+/// \file classifier.h
+/// The classifier abstraction shared by feature selection, the simulation
+/// study, and the end-to-end experiments. Training is expressed over
+/// (dataset, row subset, feature subset) so wrapper methods can re-train
+/// on many subsets without copying data.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/encoded_dataset.h"
+
+namespace hamlet {
+
+/// A trainable multi-class classifier over categorical features.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits the model on `data` restricted to `rows`, using only the feature
+  /// indices in `features` (possibly empty: a prior-only model).
+  virtual Status Train(const EncodedDataset& data,
+                       const std::vector<uint32_t>& rows,
+                       const std::vector<uint32_t>& features) = 0;
+
+  /// Predicted class code for one row of `data` (which must share the
+  /// feature layout of the training dataset).
+  virtual uint32_t PredictOne(const EncodedDataset& data,
+                              uint32_t row) const = 0;
+
+  /// Predictions for many rows; the default loops over PredictOne.
+  virtual std::vector<uint32_t> Predict(
+      const EncodedDataset& data, const std::vector<uint32_t>& rows) const;
+
+  /// Human-readable model name ("naive_bayes", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Creates fresh classifier instances; wrappers re-train one model per
+/// candidate subset.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_CLASSIFIER_H_

@@ -1,0 +1,132 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+NaiveBayes::NaiveBayes(double alpha) : alpha_(alpha) {
+  HAMLET_CHECK(alpha > 0.0, "Laplace alpha must be > 0, got %f", alpha);
+}
+
+Status NaiveBayes::Train(const EncodedDataset& data,
+                         const std::vector<uint32_t>& rows,
+                         const std::vector<uint32_t>& features) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot train Naive Bayes on zero rows");
+  }
+  num_classes_ = data.num_classes();
+  features_ = features;
+  const std::vector<uint32_t>& y = data.labels();
+
+  // Priors.
+  std::vector<uint64_t> class_counts(num_classes_, 0);
+  for (uint32_t r : rows) ++class_counts[y[r]];
+  log_priors_.resize(num_classes_);
+  const double n = static_cast<double>(rows.size());
+  for (uint32_t c = 0; c < num_classes_; ++c) {
+    log_priors_[c] = std::log(
+        (static_cast<double>(class_counts[c]) + alpha_) /
+        (n + alpha_ * num_classes_));
+  }
+
+  // Per-feature conditional likelihood tables.
+  log_likelihoods_.assign(features_.size(), {});
+  for (size_t jj = 0; jj < features_.size(); ++jj) {
+    uint32_t j = features_[jj];
+    const std::vector<uint32_t>& f = data.feature(j);
+    const uint32_t card = data.meta(j).cardinality;
+    std::vector<uint64_t> counts(static_cast<size_t>(card) * num_classes_, 0);
+    for (uint32_t r : rows) {
+      ++counts[static_cast<size_t>(f[r]) * num_classes_ + y[r]];
+    }
+    std::vector<double>& ll = log_likelihoods_[jj];
+    ll.resize(counts.size());
+    for (uint32_t c = 0; c < num_classes_; ++c) {
+      const double denom = static_cast<double>(class_counts[c]) +
+                           alpha_ * static_cast<double>(card);
+      const double log_denom = std::log(denom);
+      for (uint32_t v = 0; v < card; ++v) {
+        size_t idx = static_cast<size_t>(v) * num_classes_ + c;
+        ll[idx] = std::log(static_cast<double>(counts[idx]) + alpha_) -
+                  log_denom;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> NaiveBayes::LogScores(const EncodedDataset& data,
+                                          uint32_t row) const {
+  HAMLET_CHECK(num_classes_ > 0, "LogScores() before Train()");
+  std::vector<double> scores = log_priors_;
+  for (size_t jj = 0; jj < features_.size(); ++jj) {
+    uint32_t code = data.feature(features_[jj])[row];
+    const std::vector<double>& ll = log_likelihoods_[jj];
+    HAMLET_DCHECK(static_cast<size_t>(code) * num_classes_ < ll.size(),
+                  "feature code out of trained domain");
+    const double* cell = &ll[static_cast<size_t>(code) * num_classes_];
+    for (uint32_t c = 0; c < num_classes_; ++c) scores[c] += cell[c];
+  }
+  return scores;
+}
+
+std::vector<double> NaiveBayes::PredictProbabilities(
+    const EncodedDataset& data, uint32_t row) const {
+  std::vector<double> scores = LogScores(data, row);
+  double mx = scores[0];
+  for (double s : scores) mx = std::max(mx, s);
+  double z = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - mx);
+    z += s;
+  }
+  for (double& s : scores) s /= z;
+  return scores;
+}
+
+uint32_t NaiveBayes::PredictOne(const EncodedDataset& data,
+                                uint32_t row) const {
+  std::vector<double> scores = LogScores(data, row);
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < num_classes_; ++c) {
+    if (scores[c] > scores[best]) best = c;
+  }
+  return best;
+}
+
+std::vector<uint32_t> NaiveBayes::Predict(
+    const EncodedDataset& data, const std::vector<uint32_t>& rows) const {
+  std::vector<uint32_t> out;
+  out.reserve(rows.size());
+  // Hand-rolled loop rather than PredictOne to keep the scores vector and
+  // the per-feature column pointers hot.
+  std::vector<const uint32_t*> cols(features_.size());
+  for (size_t jj = 0; jj < features_.size(); ++jj) {
+    cols[jj] = data.feature(features_[jj]).data();
+  }
+  std::vector<double> scores(num_classes_);
+  for (uint32_t r : rows) {
+    scores = log_priors_;
+    for (size_t jj = 0; jj < features_.size(); ++jj) {
+      uint32_t code = cols[jj][r];
+      const double* cell =
+          &log_likelihoods_[jj][static_cast<size_t>(code) * num_classes_];
+      for (uint32_t c = 0; c < num_classes_; ++c) scores[c] += cell[c];
+    }
+    uint32_t best = 0;
+    for (uint32_t c = 1; c < num_classes_; ++c) {
+      if (scores[c] > scores[best]) best = c;
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+ClassifierFactory MakeNaiveBayesFactory(double alpha) {
+  return [alpha]() { return std::make_unique<NaiveBayes>(alpha); };
+}
+
+}  // namespace hamlet

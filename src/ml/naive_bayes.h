@@ -1,0 +1,60 @@
+#ifndef HAMLET_ML_NAIVE_BAYES_H_
+#define HAMLET_ML_NAIVE_BAYES_H_
+
+/// \file naive_bayes.h
+/// Categorical Naive Bayes with Laplace smoothing — the paper's primary
+/// classifier (Sections 4–5). Smoothing implements the standard handling
+/// of RID values absent from a given training sample (footnote 2).
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace hamlet {
+
+/// Multinomial/categorical Naive Bayes:
+///   predict argmax_y log P(y) + sum_j log P(x_j | y)
+/// with all probabilities Laplace-smoothed by `alpha`.
+class NaiveBayes : public Classifier {
+ public:
+  /// `alpha` is the Laplace smoothing pseudo-count (> 0).
+  explicit NaiveBayes(double alpha = 1.0);
+
+  Status Train(const EncodedDataset& data, const std::vector<uint32_t>& rows,
+               const std::vector<uint32_t>& features) override;
+
+  uint32_t PredictOne(const EncodedDataset& data, uint32_t row) const override;
+
+  std::vector<uint32_t> Predict(
+      const EncodedDataset& data,
+      const std::vector<uint32_t>& rows) const override;
+
+  std::string name() const override { return "naive_bayes"; }
+
+  /// Posterior class log-scores for one row (unnormalized); exposed for
+  /// tests and the bias-variance machinery.
+  std::vector<double> LogScores(const EncodedDataset& data,
+                                uint32_t row) const;
+
+  /// Normalized posterior P(y | x) for one row (softmax of LogScores).
+  std::vector<double> PredictProbabilities(const EncodedDataset& data,
+                                           uint32_t row) const;
+
+  /// The smoothed log prior vector (for tests).
+  const std::vector<double>& log_priors() const { return log_priors_; }
+
+ private:
+  double alpha_;
+  uint32_t num_classes_ = 0;
+  std::vector<uint32_t> features_;       // Trained feature indices.
+  std::vector<double> log_priors_;       // [y]
+  // Per trained feature: flat [code * num_classes + y] log-likelihoods.
+  std::vector<std::vector<double>> log_likelihoods_;
+};
+
+/// Factory for wrappers.
+ClassifierFactory MakeNaiveBayesFactory(double alpha = 1.0);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_NAIVE_BAYES_H_

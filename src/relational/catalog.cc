@@ -1,0 +1,112 @@
+#include "relational/catalog.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace hamlet {
+
+Result<NormalizedDataset> NormalizedDataset::Make(
+    std::string name, Table entity, std::vector<Table> attribute_tables) {
+  NormalizedDataset ds;
+  ds.name_ = std::move(name);
+  ds.entity_ = std::move(entity);
+
+  std::unordered_map<std::string, size_t> by_name;
+  for (size_t i = 0; i < attribute_tables.size(); ++i) {
+    by_name[attribute_tables[i].name()] = i;
+  }
+
+  std::vector<bool> used(attribute_tables.size(), false);
+  for (uint32_t idx : ds.entity_.schema().ForeignKeyIndices()) {
+    const ColumnSpec& spec = ds.entity_.schema().column(idx);
+    auto it = by_name.find(spec.ref_table);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument(StringFormat(
+          "FK '%s' references unknown table '%s'", spec.name.c_str(),
+          spec.ref_table.c_str()));
+    }
+    const Table& r = attribute_tables[it->second];
+    if (!r.schema().PrimaryKeyIndex().ok()) {
+      return Status::InvalidArgument(StringFormat(
+          "attribute table '%s' has no primary key", r.name().c_str()));
+    }
+    if (!r.HasUniquePrimaryKey()) {
+      return Status::InvalidArgument(StringFormat(
+          "attribute table '%s' has duplicate RIDs", r.name().c_str()));
+    }
+    if (used[it->second]) {
+      return Status::InvalidArgument(StringFormat(
+          "attribute table '%s' referenced by multiple FKs; give each FK "
+          "its own table copy (as the paper's Flights dataset does)",
+          r.name().c_str()));
+    }
+    used[it->second] = true;
+    ds.fk_columns_.push_back(spec.name);
+    ds.attribute_tables_.push_back(std::move(attribute_tables[it->second]));
+  }
+
+  for (size_t i = 0; i < attribute_tables.size(); ++i) {
+    if (!used[i] && attribute_tables[i].num_rows() > 0) {
+      return Status::InvalidArgument(StringFormat(
+          "attribute table '%s' is not referenced by any FK",
+          attribute_tables[i].name().c_str()));
+    }
+  }
+
+  if (!ds.entity_.schema().TargetIndex().ok()) {
+    return Status::InvalidArgument("entity table has no target column");
+  }
+  return ds;
+}
+
+std::vector<ForeignKeyInfo> NormalizedDataset::foreign_keys() const {
+  std::vector<ForeignKeyInfo> out;
+  out.reserve(fk_columns_.size());
+  for (size_t i = 0; i < fk_columns_.size(); ++i) {
+    auto idx = entity_.schema().IndexOf(fk_columns_[i]);
+    const ColumnSpec& spec = entity_.schema().column(*idx);
+    const Table& r = attribute_tables_[i];
+    out.push_back(ForeignKeyInfo{
+        fk_columns_[i], r.name(), spec.closed_domain, r.num_rows(),
+        static_cast<uint32_t>(r.schema().FeatureIndices().size())});
+  }
+  return out;
+}
+
+Result<const Table*> NormalizedDataset::AttributeTableFor(
+    const std::string& fk_column) const {
+  for (size_t i = 0; i < fk_columns_.size(); ++i) {
+    if (fk_columns_[i] == fk_column) return &attribute_tables_[i];
+  }
+  return Status::NotFound(
+      StringFormat("no attribute table for FK '%s'", fk_column.c_str()));
+}
+
+Result<std::string> NormalizedDataset::TargetName() const {
+  HAMLET_ASSIGN_OR_RETURN(uint32_t idx, entity_.schema().TargetIndex());
+  return entity_.schema().column(idx).name;
+}
+
+Result<Table> NormalizedDataset::JoinAll() const {
+  return JoinSubset(fk_columns_);
+}
+
+Result<Table> NormalizedDataset::JoinSubset(
+    const std::vector<std::string>& fks_to_join) const {
+  Table result = entity_;
+  for (const auto& fk : fks_to_join) {
+    auto pos = std::find(fk_columns_.begin(), fk_columns_.end(), fk);
+    if (pos == fk_columns_.end()) {
+      return Status::NotFound(
+          StringFormat("'%s' is not a foreign key of '%s'", fk.c_str(),
+                       entity_.name().c_str()));
+    }
+    const Table& r = attribute_tables_[pos - fk_columns_.begin()];
+    HAMLET_ASSIGN_OR_RETURN(result, KfkJoin(result, r, fk));
+  }
+  return result;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,78 @@
+#ifndef HAMLET_RELATIONAL_CATALOG_H_
+#define HAMLET_RELATIONAL_CATALOG_H_
+
+/// \file catalog.h
+/// NormalizedDataset: the star-schema container of Section 2.1 — one
+/// entity table S(SID, Y, X_S, FK_1..FK_k) plus k attribute tables
+/// R_i(RID_i, X_Ri) — with the join plumbing the experiments need.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/join.h"
+#include "relational/table.h"
+
+namespace hamlet {
+
+/// Metadata for one KFK relationship of the dataset.
+struct ForeignKeyInfo {
+  std::string fk_column;    ///< FK column name in S.
+  std::string table_name;   ///< Referenced attribute table R_i.
+  bool closed_domain;       ///< Section 2.1 closed-domain flag.
+  uint32_t num_rows;        ///< n_Ri (= |D_FKi| under closed domains).
+  uint32_t num_features;    ///< d_Ri = |X_Ri|.
+};
+
+/// A normalized dataset: S plus its attribute tables, with validation and
+/// partial-join construction. Attribute tables are addressed by the FK
+/// column in S that references them.
+class NormalizedDataset {
+ public:
+  NormalizedDataset() = default;
+
+  /// Builds and validates a dataset. Every FK in `entity`'s schema must
+  /// reference (via ColumnSpec::ref_table) exactly one of the
+  /// `attribute_tables` by name, and each attribute table must have a
+  /// unique primary key.
+  static Result<NormalizedDataset> Make(std::string name, Table entity,
+                                        std::vector<Table> attribute_tables);
+
+  /// Dataset name (e.g., "Walmart").
+  const std::string& name() const { return name_; }
+
+  /// The entity table S.
+  const Table& entity() const { return entity_; }
+
+  /// All attribute tables, in the order of S's FK columns.
+  const std::vector<Table>& attribute_tables() const {
+    return attribute_tables_;
+  }
+
+  /// Per-FK metadata, in the order of S's FK columns.
+  std::vector<ForeignKeyInfo> foreign_keys() const;
+
+  /// The attribute table referenced by `fk_column`, or NotFound.
+  Result<const Table*> AttributeTableFor(const std::string& fk_column) const;
+
+  /// Target column name in S.
+  Result<std::string> TargetName() const;
+
+  /// Joins S with *every* attribute table ("JoinAll" in the paper).
+  Result<Table> JoinAll() const;
+
+  /// Joins S with exactly the attribute tables referenced by
+  /// `fks_to_join`; the rest are avoided (their X_R never materializes).
+  /// Passing an empty list returns S itself ("NoJoins").
+  Result<Table> JoinSubset(const std::vector<std::string>& fks_to_join) const;
+
+ private:
+  std::string name_;
+  Table entity_;
+  std::vector<Table> attribute_tables_;   // Parallel to fk_columns_.
+  std::vector<std::string> fk_columns_;   // FK column names in schema order.
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_CATALOG_H_

@@ -1,0 +1,88 @@
+#include "relational/cold_start.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "stats/contingency.h"
+
+namespace hamlet {
+
+Result<ColdStartResult> AbsorbNewKeys(const Table& s, const Table& r,
+                                      const std::string& fk_column,
+                                      const std::string& others_label) {
+  HAMLET_ASSIGN_OR_RETURN(uint32_t fk_idx, s.schema().IndexOf(fk_column));
+  if (s.schema().column(fk_idx).role != ColumnRole::kForeignKey) {
+    return Status::InvalidArgument(StringFormat(
+        "'%s' is not a foreign key of '%s'", fk_column.c_str(),
+        s.name().c_str()));
+  }
+  HAMLET_ASSIGN_OR_RETURN(uint32_t rid_idx, r.schema().PrimaryKeyIndex());
+  if (!r.HasUniquePrimaryKey()) {
+    return Status::InvalidArgument(StringFormat(
+        "attribute table '%s' has duplicate RIDs", r.name().c_str()));
+  }
+  const Column& old_rid = r.column(rid_idx);
+  if (old_rid.domain()->Contains(others_label)) {
+    return Status::AlreadyExists(StringFormat(
+        "'%s' already has a key labeled '%s'", r.name().c_str(),
+        others_label.c_str()));
+  }
+
+  // Extended PK dictionary: existing labels + Others.
+  std::vector<std::string> labels = old_rid.domain()->labels();
+  labels.push_back(others_label);
+  auto new_pk_domain = std::make_shared<Domain>(std::move(labels));
+  const uint32_t others_code = new_pk_domain->size() - 1;
+
+  // Rebuild R: same rows re-encoded (codes unchanged, new dictionary),
+  // plus the Others row with each feature's modal category.
+  std::vector<Column> r_cols;
+  for (uint32_t c = 0; c < r.num_columns(); ++c) {
+    const Column& col = r.column(c);
+    std::vector<uint32_t> codes = col.codes();
+    if (c == rid_idx) {
+      codes.push_back(others_code);
+      r_cols.emplace_back(std::move(codes), new_pk_domain);
+    } else {
+      uint32_t placeholder = 0;
+      if (col.size() > 0) {
+        auto counts = MarginalCounts(col.codes(), col.domain_size());
+        placeholder = static_cast<uint32_t>(
+            std::max_element(counts.begin(), counts.end()) -
+            counts.begin());
+      }
+      codes.push_back(placeholder);
+      r_cols.emplace_back(std::move(codes), col.domain());
+    }
+  }
+  Table new_r(r.name(), r.schema(), std::move(r_cols));
+
+  // Rebuild S: FK column re-encoded onto the extended PK dictionary.
+  uint32_t remapped = 0;
+  std::vector<Column> s_cols;
+  for (uint32_t c = 0; c < s.num_columns(); ++c) {
+    if (c != fk_idx) {
+      s_cols.push_back(s.column(c));
+      continue;
+    }
+    const Column& fk = s.column(c);
+    std::vector<uint32_t> codes;
+    codes.reserve(fk.size());
+    for (uint32_t row = 0; row < fk.size(); ++row) {
+      auto lookup = new_pk_domain->Lookup(fk.label(row));
+      if (lookup.ok()) {
+        codes.push_back(*lookup);
+      } else {
+        codes.push_back(others_code);
+        ++remapped;
+      }
+    }
+    s_cols.emplace_back(std::move(codes), new_pk_domain);
+  }
+  Table new_s(s.name(), s.schema(), std::move(s_cols));
+
+  return ColdStartResult{std::move(new_s), std::move(new_r), remapped,
+                         others_label};
+}
+
+}  // namespace hamlet

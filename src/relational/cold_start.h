@@ -1,0 +1,47 @@
+#ifndef HAMLET_RELATIONAL_COLD_START_H_
+#define HAMLET_RELATIONAL_COLD_START_H_
+
+/// \file cold_start.h
+/// The cold-start handling Section 2.1 describes as common practice:
+/// between model revisions, FK values with no matching attribute-table
+/// row (new employers, new movies) are absorbed by a special "Others"
+/// placeholder record in R, keeping the closed-domain assumption intact
+/// and referential integrity satisfied.
+///
+/// AbsorbNewKeys takes an entity table whose FK column was ingested with
+/// its *own* dictionary (as a CSV load produces) and an attribute table,
+/// and rebuilds both so that:
+///   * R gains one "Others" row whose features take each column's most
+///     frequent category (a neutral placeholder);
+///   * S's FK column is re-encoded onto R's (extended) PK dictionary,
+///     with unseen labels mapped to the Others row;
+/// after which KfkJoin and NormalizedDataset::Make work as usual.
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace hamlet {
+
+/// The rebuilt pair plus bookkeeping.
+struct ColdStartResult {
+  Table entity;           ///< S with the FK re-encoded on R's dictionary.
+  Table attribute;        ///< R with the appended Others row.
+  uint32_t remapped_rows = 0;  ///< S rows that referenced unknown keys.
+  std::string others_label;    ///< The placeholder key label used.
+};
+
+/// Absorbs S-side FK labels absent from `r`'s primary key into an
+/// "Others" record. Fails if `fk_column` is not a foreign key of `s` or
+/// `r` lacks a unique primary key. If every FK label already resolves,
+/// the Others row is still added (so future revisions have a stable
+/// placeholder) but remapped_rows is 0.
+Result<ColdStartResult> AbsorbNewKeys(const Table& s, const Table& r,
+                                      const std::string& fk_column,
+                                      const std::string& others_label =
+                                          "__others__");
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_COLD_START_H_

@@ -1,0 +1,33 @@
+#include "relational/column.h"
+
+namespace hamlet {
+
+Column Column::Gather(const std::vector<uint32_t>& rows) const {
+  std::vector<uint32_t> out;
+  out.reserve(rows.size());
+  for (uint32_t r : rows) {
+    out.push_back(code(r));
+  }
+  return Column(std::move(out), domain_);
+}
+
+uint32_t Column::CountDistinct() const {
+  std::vector<bool> seen(domain_->size(), false);
+  uint32_t distinct = 0;
+  for (uint32_t c : codes_) {
+    if (!seen[c]) {
+      seen[c] = true;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+bool Column::Validate() const {
+  for (uint32_t c : codes_) {
+    if (c >= domain_->size()) return false;
+  }
+  return true;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,83 @@
+#ifndef HAMLET_RELATIONAL_COLUMN_H_
+#define HAMLET_RELATIONAL_COLUMN_H_
+
+/// \file column.h
+/// Dictionary-encoded categorical columns.
+///
+/// A Column is a dense vector of uint32 codes plus a shared Domain. All
+/// columns in this library are categorical (the paper's all-nominal
+/// setting); numeric inputs are discretized at ingestion (see
+/// stats/binning.h). Key and foreign-key columns are ordinary categorical
+/// columns whose Domain is the referenced dictionary.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "relational/domain.h"
+
+namespace hamlet {
+
+/// A dictionary-encoded column of categorical values.
+class Column {
+ public:
+  Column() : domain_(std::make_shared<Domain>()) {}
+
+  /// Constructs from codes and a domain; every code must be < domain size
+  /// (checked lazily by accessors in debug paths, and by Validate()).
+  Column(std::vector<uint32_t> codes, std::shared_ptr<Domain> domain)
+      : codes_(std::move(codes)), domain_(std::move(domain)) {
+    HAMLET_CHECK(domain_ != nullptr, "Column requires a non-null domain");
+  }
+
+  /// Number of rows.
+  uint32_t size() const { return static_cast<uint32_t>(codes_.size()); }
+
+  /// Code at `row`.
+  uint32_t code(uint32_t row) const {
+    HAMLET_DCHECK(row < size(), "row %u out of range %u", row, size());
+    return codes_[row];
+  }
+
+  /// Label at `row` (dictionary lookup).
+  const std::string& label(uint32_t row) const {
+    return domain_->label(code(row));
+  }
+
+  /// The whole code vector.
+  const std::vector<uint32_t>& codes() const { return codes_; }
+
+  /// The dictionary.
+  const std::shared_ptr<Domain>& domain() const { return domain_; }
+
+  /// Domain cardinality |D_F|.
+  uint32_t domain_size() const { return domain_->size(); }
+
+  /// Appends a code (must be < domain size).
+  void Append(uint32_t code) {
+    HAMLET_DCHECK(code < domain_->size(), "code %u out of domain %u", code,
+                  domain_->size());
+    codes_.push_back(code);
+  }
+
+  /// Returns a column with rows picked (with repetition allowed) by
+  /// `rows`; shares this column's domain.
+  Column Gather(const std::vector<uint32_t>& rows) const;
+
+  /// Number of *distinct* codes that actually occur (≤ domain_size()).
+  /// The ROR derivation needs this (q_R: observed distinct values).
+  uint32_t CountDistinct() const;
+
+  /// Checks every code is within the domain.
+  bool Validate() const;
+
+ private:
+  std::vector<uint32_t> codes_;
+  std::shared_ptr<Domain> domain_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_COLUMN_H_

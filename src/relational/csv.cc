@@ -1,0 +1,141 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hamlet {
+
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(ch);
+      }
+    } else if (ch == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (ch == delimiter) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Table> ReadCsvWithDomains(const std::string& path,
+                                 std::string table_name, Schema schema,
+                                 std::vector<std::shared_ptr<Domain>> domains,
+                                 const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError(
+        StringFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError(StringFormat("'%s' is empty", path.c_str()));
+  }
+  std::vector<std::string> header = ParseCsvLine(line, options.delimiter);
+  if (header.size() != schema.num_columns()) {
+    return Status::InvalidArgument(StringFormat(
+        "'%s' header has %zu columns, schema has %u", path.c_str(),
+        header.size(), schema.num_columns()));
+  }
+  for (uint32_t c = 0; c < header.size(); ++c) {
+    std::string name(TrimWhitespace(header[c]));
+    if (name != schema.column(c).name) {
+      return Status::InvalidArgument(StringFormat(
+          "'%s' header column %u is '%s', schema expects '%s'",
+          path.c_str(), c, name.c_str(), schema.column(c).name.c_str()));
+    }
+  }
+
+  TableBuilder builder(std::move(table_name), std::move(schema),
+                       std::move(domains));
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line, options.delimiter);
+    Status st = builder.AppendRowLabels(fields);
+    if (!st.ok()) {
+      if (options.strict) {
+        return Status::InvalidArgument(StringFormat(
+            "%s:%zu: %s", path.c_str(), line_no, st.message().c_str()));
+      }
+      continue;
+    }
+  }
+  return builder.Build();
+}
+
+Result<Table> ReadCsv(const std::string& path, std::string table_name,
+                      Schema schema, const CsvOptions& options) {
+  std::vector<std::shared_ptr<Domain>> domains(schema.num_columns(), nullptr);
+  return ReadCsvWithDomains(path, std::move(table_name), std::move(schema),
+                            std::move(domains), options);
+}
+
+namespace {
+
+void WriteField(std::ostream& os, const std::string& field, char delimiter) {
+  bool needs_quotes = field.find(delimiter) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos;
+  if (!needs_quotes) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (char ch : field) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError(
+        StringFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  for (uint32_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << options.delimiter;
+    WriteField(out, table.schema().column(c).name, options.delimiter);
+  }
+  out << '\n';
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    for (uint32_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      WriteField(out, table.column(c).label(r), options.delimiter);
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IOError(
+        StringFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace hamlet

@@ -1,0 +1,52 @@
+#ifndef HAMLET_RELATIONAL_CSV_H_
+#define HAMLET_RELATIONAL_CSV_H_
+
+/// \file csv.h
+/// CSV ingestion and export for categorical tables.
+///
+/// The reader expects a header row and treats every field as a category
+/// label. Numeric columns should be discretized after loading (see
+/// stats/binning.h) per the paper's all-nominal assumption; the reader
+/// itself stays typeless. RFC-4180-style quoting ("" escapes a quote) is
+/// supported.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace hamlet {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// If true, a row whose field count mismatches the header is an error;
+  /// otherwise the row is skipped.
+  bool strict = true;
+};
+
+/// Reads a CSV file into a table. The schema must name exactly the header
+/// columns (in file order). Domains are built from the data.
+Result<Table> ReadCsv(const std::string& path, std::string table_name,
+                      Schema schema, const CsvOptions& options = {});
+
+/// Like ReadCsv but with caller-provided (possibly shared/closed) domains;
+/// pass nullptr entries for fresh domains. A value outside a provided
+/// domain is an error (closed-domain enforcement).
+Result<Table> ReadCsvWithDomains(const std::string& path,
+                                 std::string table_name, Schema schema,
+                                 std::vector<std::shared_ptr<Domain>> domains,
+                                 const CsvOptions& options = {});
+
+/// Writes `table` (header + label rows) to `path`.
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+/// Parses one CSV record with quoting; exposed for tests.
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      char delimiter);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_CSV_H_

@@ -1,0 +1,50 @@
+#include "relational/domain.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace hamlet {
+
+Domain::Domain(std::vector<std::string> labels) : labels_(std::move(labels)) {
+  index_.reserve(labels_.size());
+  for (uint32_t i = 0; i < labels_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(labels_[i], i);
+    HAMLET_CHECK(inserted, "duplicate label '%s' in Domain",
+                 labels_[i].c_str());
+  }
+}
+
+std::shared_ptr<Domain> Domain::Dense(uint32_t n, const std::string& prefix) {
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    labels.push_back(prefix + std::to_string(i));
+  }
+  return std::make_shared<Domain>(std::move(labels));
+}
+
+uint32_t Domain::GetOrAdd(const std::string& label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  uint32_t code = size();
+  labels_.push_back(label);
+  index_.emplace(label, code);
+  return code;
+}
+
+Result<uint32_t> Domain::Lookup(const std::string& label) const {
+  auto it = index_.find(label);
+  if (it == index_.end()) {
+    return Status::NotFound(
+        StringFormat("label '%s' not in domain", label.c_str()));
+  }
+  return it->second;
+}
+
+const std::string& Domain::label(uint32_t code) const {
+  HAMLET_CHECK(code < size(), "code %u out of domain of size %u", code,
+               size());
+  return labels_[code];
+}
+
+}  // namespace hamlet

@@ -1,0 +1,66 @@
+#ifndef HAMLET_RELATIONAL_DOMAIN_H_
+#define HAMLET_RELATIONAL_DOMAIN_H_
+
+/// \file domain.h
+/// Closed categorical domains (string dictionaries).
+///
+/// Per the paper's Section 2.1 every feature — including the target and
+/// every foreign key — is a discrete random variable over a known finite
+/// domain. A Domain maps each category label to a dense code in
+/// [0, size()). Foreign-key columns *share* the Domain of the primary key
+/// they reference, which is what makes the closed-domain assumption
+/// (dom(FK) = set of RID values in R) structural rather than a runtime
+/// convention.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hamlet {
+
+/// A finite, ordered set of category labels with O(1) label<->code lookup.
+class Domain {
+ public:
+  Domain() = default;
+
+  /// Builds a domain from distinct labels. Duplicate labels are a
+  /// programming error (checked).
+  explicit Domain(std::vector<std::string> labels);
+
+  /// Creates the domain {"0","1",...,"<n-1>"} — handy for synthetic data
+  /// and integer-coded categories.
+  static std::shared_ptr<Domain> Dense(uint32_t n, const std::string& prefix = "");
+
+  /// Returns the code of `label`, adding it if absent.
+  uint32_t GetOrAdd(const std::string& label);
+
+  /// Returns the code of `label` or NotFound.
+  Result<uint32_t> Lookup(const std::string& label) const;
+
+  /// True iff the label is present.
+  bool Contains(const std::string& label) const {
+    return index_.find(label) != index_.end();
+  }
+
+  /// The label for a code; code must be < size().
+  const std::string& label(uint32_t code) const;
+
+  /// Number of categories.
+  uint32_t size() const { return static_cast<uint32_t>(labels_.size()); }
+
+  /// All labels in code order.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_DOMAIN_H_

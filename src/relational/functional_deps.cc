@@ -1,0 +1,189 @@
+#include "relational/functional_deps.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace hamlet {
+
+FdSet::FdSet(std::vector<std::string> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Result<uint32_t> FdSet::IndexOf(const std::string& attribute) const {
+  for (uint32_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attribute) return i;
+  }
+  return Status::NotFound(
+      StringFormat("attribute '%s' not in FD universe", attribute.c_str()));
+}
+
+Status FdSet::Add(FunctionalDependency fd) {
+  if (fd.determinants.empty()) {
+    return Status::InvalidArgument("FD needs a non-empty determinant set");
+  }
+  for (const auto& a : fd.determinants) {
+    HAMLET_RETURN_NOT_OK(IndexOf(a).status());
+  }
+  for (const auto& a : fd.dependents) {
+    HAMLET_RETURN_NOT_OK(IndexOf(a).status());
+  }
+  fds_.push_back(std::move(fd));
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FdSet::Closure(
+    const std::vector<std::string>& attrs) const {
+  std::unordered_set<std::string> closure;
+  for (const auto& a : attrs) {
+    HAMLET_RETURN_NOT_OK(IndexOf(a).status());
+    closure.insert(a);
+  }
+  // Fixpoint iteration (Armstrong: reflexivity + transitivity suffice for
+  // closure computation over explicit FDs).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& fd : fds_) {
+      bool applicable = std::all_of(
+          fd.determinants.begin(), fd.determinants.end(),
+          [&](const std::string& d) { return closure.count(d) > 0; });
+      if (!applicable) continue;
+      for (const auto& dep : fd.dependents) {
+        if (closure.insert(dep).second) changed = true;
+      }
+    }
+  }
+  // Emit in universe order for determinism.
+  std::vector<std::string> out;
+  for (const auto& a : attributes_) {
+    if (closure.count(a)) out.push_back(a);
+  }
+  return out;
+}
+
+Result<bool> FdSet::Implies(const std::vector<std::string>& attrs,
+                            const std::string& attribute) const {
+  HAMLET_RETURN_NOT_OK(IndexOf(attribute).status());
+  HAMLET_ASSIGN_OR_RETURN(std::vector<std::string> closure, Closure(attrs));
+  return std::find(closure.begin(), closure.end(), attribute) !=
+         closure.end();
+}
+
+bool FdSet::IsAcyclic() const {
+  // Build the Definition C.1 digraph and look for a cycle (DFS colors).
+  const uint32_t n = static_cast<uint32_t>(attributes_.size());
+  std::vector<std::vector<uint32_t>> adjacency(n);
+  auto index_of = [&](const std::string& a) {
+    return static_cast<uint32_t>(
+        std::find(attributes_.begin(), attributes_.end(), a) -
+        attributes_.begin());
+  };
+  for (const auto& fd : fds_) {
+    for (const auto& d : fd.determinants) {
+      for (const auto& dep : fd.dependents) {
+        adjacency[index_of(d)].push_back(index_of(dep));
+      }
+    }
+  }
+  // 0 = white, 1 = on stack, 2 = done.
+  std::vector<int> color(n, 0);
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  for (uint32_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    stack.push_back({start, 0});
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge < adjacency[node].size()) {
+        uint32_t next = adjacency[node][edge++];
+        if (color[next] == 1) return false;  // Back edge: cycle.
+        if (color[next] == 0) {
+          color[next] = 1;
+          stack.push_back({next, 0});
+        }
+      } else {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> FdSet::DependentAttributes() const {
+  std::unordered_set<std::string> dependents;
+  for (const auto& fd : fds_) {
+    dependents.insert(fd.dependents.begin(), fd.dependents.end());
+  }
+  std::vector<std::string> out;
+  for (const auto& a : attributes_) {
+    if (dependents.count(a)) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::string> FdSet::RepresentativeAttributes() const {
+  std::vector<std::string> dependents = DependentAttributes();
+  std::unordered_set<std::string> dep_set(dependents.begin(),
+                                          dependents.end());
+  std::vector<std::string> out;
+  for (const auto& a : attributes_) {
+    if (!dep_set.count(a)) out.push_back(a);
+  }
+  return out;
+}
+
+Result<bool> FdHoldsInTable(const Table& table,
+                            const std::string& determinant,
+                            const std::string& dependent) {
+  HAMLET_ASSIGN_OR_RETURN(const Column* det, table.ColumnByName(determinant));
+  HAMLET_ASSIGN_OR_RETURN(const Column* dep, table.ColumnByName(dependent));
+  std::unordered_map<uint32_t, uint32_t> mapping;
+  mapping.reserve(det->domain_size());
+  for (uint32_t row = 0; row < table.num_rows(); ++row) {
+    auto [it, inserted] = mapping.emplace(det->code(row), dep->code(row));
+    if (!inserted && it->second != dep->code(row)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<FunctionalDependency>> DiscoverUnaryFds(
+    const Table& table) {
+  std::vector<FunctionalDependency> out;
+  for (uint32_t a = 0; a < table.num_columns(); ++a) {
+    for (uint32_t b = 0; b < table.num_columns(); ++b) {
+      if (a == b) continue;
+      const std::string& name_a = table.schema().column(a).name;
+      const std::string& name_b = table.schema().column(b).name;
+      HAMLET_ASSIGN_OR_RETURN(bool holds,
+                              FdHoldsInTable(table, name_a, name_b));
+      if (holds) {
+        out.push_back(FunctionalDependency{{name_a}, {name_b}});
+      }
+    }
+  }
+  return out;
+}
+
+FdSet SchemaFdsForJoin(
+    const Table& joined, const std::vector<std::string>& fk_columns,
+    const std::vector<std::vector<std::string>>& foreign_features) {
+  std::vector<std::string> attributes;
+  for (uint32_t c = 0; c < joined.num_columns(); ++c) {
+    attributes.push_back(joined.schema().column(c).name);
+  }
+  FdSet fds(std::move(attributes));
+  HAMLET_CHECK(fk_columns.size() == foreign_features.size(),
+               "one foreign-feature list per FK");
+  for (size_t i = 0; i < fk_columns.size(); ++i) {
+    Status st = fds.Add(
+        FunctionalDependency{{fk_columns[i]}, foreign_features[i]});
+    HAMLET_CHECK(st.ok(), "schema FD invalid: %s",
+                 st.ToString().c_str());
+  }
+  return fds;
+}
+
+}  // namespace hamlet

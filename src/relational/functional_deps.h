@@ -1,0 +1,101 @@
+#ifndef HAMLET_RELATIONAL_FUNCTIONAL_DEPS_H_
+#define HAMLET_RELATIONAL_FUNCTIONAL_DEPS_H_
+
+/// \file functional_deps.h
+/// General functional dependencies — the machinery behind Corollary C.1:
+/// given a table T(ID, Y, X) with a canonical *acyclic* set of FDs Q over
+/// the features, every feature appearing in a dependent set of Q is
+/// redundant (it has a Markov blanket among the determinants), exactly as
+/// X_R is redundant given FK after a KFK join.
+///
+/// The module provides:
+///   * an FdSet container with attribute-closure computation (Armstrong),
+///   * the acyclicity test of Definition C.1,
+///   * the Corollary C.1 redundant-feature set,
+///   * instance-level FD verification and exact unary FD discovery on
+///     tables (the joined table T materializes FK -> X_R; discovery finds
+///     it back).
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace hamlet {
+
+/// One functional dependency: determinants -> dependents.
+struct FunctionalDependency {
+  std::vector<std::string> determinants;
+  std::vector<std::string> dependents;
+};
+
+/// A set of FDs over a named attribute universe.
+class FdSet {
+ public:
+  /// Creates an FD set over the given attributes.
+  explicit FdSet(std::vector<std::string> attributes);
+
+  /// Adds an FD; every named attribute must be in the universe and the
+  /// determinant set must be non-empty.
+  Status Add(FunctionalDependency fd);
+
+  /// The attribute closure {attrs}+ under the FDs (all attributes
+  /// functionally determined by `attrs`). Unknown attributes error.
+  Result<std::vector<std::string>> Closure(
+      const std::vector<std::string>& attrs) const;
+
+  /// True iff `attrs` functionally determine `attribute`.
+  Result<bool> Implies(const std::vector<std::string>& attrs,
+                       const std::string& attribute) const;
+
+  /// Definition C.1: the digraph with an edge determinant -> dependent
+  /// for each FD is acyclic.
+  bool IsAcyclic() const;
+
+  /// Corollary C.1: every attribute appearing in some dependent set. For
+  /// an acyclic FD set these features are redundant for prediction — the
+  /// determinants form their Markov blanket.
+  std::vector<std::string> DependentAttributes() const;
+
+  /// The complement: attributes never functionally determined by others —
+  /// the minimal "representative" set that Corollary C.1 says suffices.
+  std::vector<std::string> RepresentativeAttributes() const;
+
+  /// All FDs added so far.
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  /// The attribute universe.
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+ private:
+  Result<uint32_t> IndexOf(const std::string& attribute) const;
+
+  std::vector<std::string> attributes_;
+  std::vector<FunctionalDependency> fds_;
+};
+
+/// Instance-level check: does `determinant -> dependent` hold in every
+/// row pair of `table`? (Exact, O(n) with a hash map.)
+Result<bool> FdHoldsInTable(const Table& table,
+                            const std::string& determinant,
+                            const std::string& dependent);
+
+/// Exact unary FD discovery: all pairs (A -> B) of distinct columns such
+/// that A functionally determines B in the instance. On a KFK-joined
+/// table this returns FK -> F for every foreign feature F (plus whatever
+/// incidental dependencies the instance satisfies).
+Result<std::vector<FunctionalDependency>> DiscoverUnaryFds(
+    const Table& table);
+
+/// Builds the FdSet implied by a KFK-joined table's schema: one FD per
+/// foreign key, FK -> {features gathered from its attribute table}.
+/// `foreign_features[i]` lists the features the i-th FK brought in.
+FdSet SchemaFdsForJoin(const Table& joined,
+                       const std::vector<std::string>& fk_columns,
+                       const std::vector<std::vector<std::string>>&
+                           foreign_features);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_FUNCTIONAL_DEPS_H_

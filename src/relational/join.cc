@@ -1,0 +1,136 @@
+#include "relational/join.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace hamlet {
+
+namespace {
+
+// Maps each code of `fk_domain` to the r-row holding that RID, or UINT32_MAX
+// if no R row carries it. Translates through labels when the domains are
+// distinct objects.
+Result<std::vector<uint32_t>> BuildRidIndex(const Column& fk,
+                                            const Column& rid) {
+  constexpr uint32_t kMissing = UINT32_MAX;
+  std::vector<uint32_t> rid_to_row(fk.domain_size(), kMissing);
+  const bool shared = fk.domain() == rid.domain();
+  for (uint32_t row = 0; row < rid.size(); ++row) {
+    uint32_t fk_code;
+    if (shared) {
+      fk_code = rid.code(row);
+    } else {
+      auto lookup = fk.domain()->Lookup(rid.label(row));
+      if (!lookup.ok()) continue;  // RID never referenced by S.
+      fk_code = *lookup;
+    }
+    if (fk_code >= rid_to_row.size()) continue;
+    if (rid_to_row[fk_code] != kMissing) {
+      return Status::InvalidArgument(StringFormat(
+          "duplicate RID '%s' in attribute table", rid.label(row).c_str()));
+    }
+    rid_to_row[fk_code] = row;
+  }
+  return rid_to_row;
+}
+
+}  // namespace
+
+Result<Table> KfkJoin(const Table& s, const Table& r,
+                      const std::string& fk_column) {
+  HAMLET_ASSIGN_OR_RETURN(uint32_t fk_idx, s.schema().IndexOf(fk_column));
+  const ColumnSpec& fk_spec = s.schema().column(fk_idx);
+  if (fk_spec.role != ColumnRole::kForeignKey) {
+    return Status::InvalidArgument(StringFormat(
+        "column '%s' of '%s' is not a foreign key", fk_column.c_str(),
+        s.name().c_str()));
+  }
+  HAMLET_ASSIGN_OR_RETURN(uint32_t rid_idx, r.schema().PrimaryKeyIndex());
+
+  const Column& fk = s.column(fk_idx);
+  const Column& rid = r.column(rid_idx);
+  HAMLET_ASSIGN_OR_RETURN(std::vector<uint32_t> rid_to_row,
+                          BuildRidIndex(fk, rid));
+
+  // Match every S row to its unique R row.
+  std::vector<uint32_t> matched(s.num_rows());
+  for (uint32_t row = 0; row < s.num_rows(); ++row) {
+    uint32_t m = rid_to_row[fk.code(row)];
+    if (m == UINT32_MAX) {
+      return Status::InvalidArgument(StringFormat(
+          "referential integrity violation: FK value '%s' has no matching "
+          "RID in '%s'",
+          fk.label(row).c_str(), r.name().c_str()));
+    }
+    matched[row] = m;
+  }
+
+  std::vector<ColumnSpec> out_specs = s.schema().columns();
+  std::vector<Column> out_cols;
+  out_cols.reserve(s.num_columns() + r.num_columns() - 1);
+  for (uint32_t c = 0; c < s.num_columns(); ++c) out_cols.push_back(s.column(c));
+
+  for (uint32_t c = 0; c < r.num_columns(); ++c) {
+    if (c == rid_idx) continue;  // RID is represented by FK in the output.
+    const ColumnSpec& spec = r.schema().column(c);
+    if (s.schema().Contains(spec.name)) {
+      return Status::InvalidArgument(StringFormat(
+          "column name collision on '%s' between '%s' and '%s'",
+          spec.name.c_str(), s.name().c_str(), r.name().c_str()));
+    }
+    out_specs.push_back(spec);
+    out_cols.push_back(r.column(c).Gather(matched));
+  }
+
+  return Table(s.name() + "_join_" + r.name(), Schema(std::move(out_specs)),
+               std::move(out_cols));
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_column,
+                       const std::string& right_column) {
+  HAMLET_ASSIGN_OR_RETURN(uint32_t l_idx, left.schema().IndexOf(left_column));
+  HAMLET_ASSIGN_OR_RETURN(uint32_t r_idx,
+                          right.schema().IndexOf(right_column));
+  const Column& lcol = left.column(l_idx);
+  const Column& rcol = right.column(r_idx);
+
+  // Build side: label -> list of right rows. Labels make the join correct
+  // even when the two columns use distinct Domain objects.
+  std::unordered_map<std::string, std::vector<uint32_t>> build;
+  build.reserve(right.num_rows());
+  for (uint32_t row = 0; row < right.num_rows(); ++row) {
+    build[rcol.label(row)].push_back(row);
+  }
+
+  std::vector<uint32_t> l_rows, r_rows;
+  for (uint32_t row = 0; row < left.num_rows(); ++row) {
+    auto it = build.find(lcol.label(row));
+    if (it == build.end()) continue;
+    for (uint32_t rr : it->second) {
+      l_rows.push_back(row);
+      r_rows.push_back(rr);
+    }
+  }
+
+  std::vector<ColumnSpec> out_specs = left.schema().columns();
+  std::vector<Column> out_cols;
+  for (uint32_t c = 0; c < left.num_columns(); ++c) {
+    out_cols.push_back(left.column(c).Gather(l_rows));
+  }
+  for (uint32_t c = 0; c < right.num_columns(); ++c) {
+    if (c == r_idx) continue;
+    const ColumnSpec& spec = right.schema().column(c);
+    if (left.schema().Contains(spec.name)) {
+      return Status::InvalidArgument(StringFormat(
+          "column name collision on '%s'", spec.name.c_str()));
+    }
+    out_specs.push_back(spec);
+    out_cols.push_back(right.column(c).Gather(r_rows));
+  }
+  return Table(left.name() + "_join_" + right.name(),
+               Schema(std::move(out_specs)), std::move(out_cols));
+}
+
+}  // namespace hamlet

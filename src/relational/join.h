@@ -1,0 +1,46 @@
+#ifndef HAMLET_RELATIONAL_JOIN_H_
+#define HAMLET_RELATIONAL_JOIN_H_
+
+/// \file join.h
+/// Key–foreign-key equi-joins: the operation the paper asks whether you can
+/// skip.
+///
+/// KfkJoin computes T ← π(R ⋈_{RID=FK} S) from Section 2.1: every S row is
+/// matched with exactly one R row (RID is R's primary key; referential
+/// integrity is required), and R's feature columns are appended to S's.
+/// R's RID column is dropped from the output — it is duplicated by FK.
+///
+/// HashJoin is a general inner equi-join used as a reference implementation
+/// and by tests.
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace hamlet {
+
+/// Joins entity table `s` with attribute table `r` on `s.fk_column` =
+/// r's primary key. Fails if the FK column is missing or not a foreign
+/// key, if `r` has no primary key or duplicate RIDs, if referential
+/// integrity is violated (an FK value with no matching RID), or if a
+/// feature name in `r` collides with a column of `s`.
+///
+/// The output preserves `s`'s columns (including the FK itself, which the
+/// paper keeps as a feature) followed by `r`'s feature columns.
+Result<Table> KfkJoin(const Table& s, const Table& r,
+                      const std::string& fk_column);
+
+/// General inner equi-join of `left` and `right` on
+/// left.`left_column` = right.`right_column`. The output contains all
+/// left columns followed by all right columns except `right_column`.
+/// Output rows appear in left-row-major order of matches. Used as the
+/// nested-loop-checked reference for KfkJoin and available to library
+/// users for non-KFK joins.
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_column,
+                       const std::string& right_column);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_JOIN_H_

@@ -1,0 +1,85 @@
+#include "relational/schema.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace hamlet {
+
+const char* ColumnRoleToString(ColumnRole role) {
+  switch (role) {
+    case ColumnRole::kFeature:
+      return "feature";
+    case ColumnRole::kPrimaryKey:
+      return "primary_key";
+    case ColumnRole::kForeignKey:
+      return "foreign_key";
+    case ColumnRole::kTarget:
+      return "target";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
+  by_name_.reserve(columns_.size());
+  for (uint32_t i = 0; i < columns_.size(); ++i) {
+    auto [it, inserted] = by_name_.emplace(columns_[i].name, i);
+    HAMLET_CHECK(inserted, "duplicate column name '%s' in schema",
+                 columns_[i].name.c_str());
+  }
+}
+
+const ColumnSpec& Schema::column(uint32_t index) const {
+  HAMLET_CHECK(index < num_columns(), "column index %u out of range %u",
+               index, num_columns());
+  return columns_[index];
+}
+
+Result<uint32_t> Schema::IndexOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound(
+        StringFormat("no column named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+Result<uint32_t> Schema::PrimaryKeyIndex() const {
+  for (uint32_t i = 0; i < num_columns(); ++i) {
+    if (columns_[i].role == ColumnRole::kPrimaryKey) return i;
+  }
+  return Status::NotFound("schema has no primary key column");
+}
+
+Result<uint32_t> Schema::TargetIndex() const {
+  for (uint32_t i = 0; i < num_columns(); ++i) {
+    if (columns_[i].role == ColumnRole::kTarget) return i;
+  }
+  return Status::NotFound("schema has no target column");
+}
+
+std::vector<uint32_t> Schema::ForeignKeyIndices() const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < num_columns(); ++i) {
+    if (columns_[i].role == ColumnRole::kForeignKey) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Schema::FeatureIndices() const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < num_columns(); ++i) {
+    if (columns_[i].role == ColumnRole::kFeature) out.push_back(i);
+  }
+  return out;
+}
+
+Schema Schema::Project(const std::vector<uint32_t>& indices) const {
+  std::vector<ColumnSpec> specs;
+  specs.reserve(indices.size());
+  for (uint32_t idx : indices) {
+    specs.push_back(column(idx));
+  }
+  return Schema(std::move(specs));
+}
+
+}  // namespace hamlet

@@ -1,0 +1,109 @@
+#ifndef HAMLET_RELATIONAL_SCHEMA_H_
+#define HAMLET_RELATIONAL_SCHEMA_H_
+
+/// \file schema.h
+/// Table schemas with the column roles the paper's setting needs:
+/// primary key, foreign key (with referenced-table metadata and the
+/// closed-domain flag of Section 2.1), prediction target, and plain
+/// feature.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hamlet {
+
+/// The role a column plays in the normalized-schema setting of Section 2.1.
+enum class ColumnRole {
+  kFeature = 0,   ///< An X_S or X_R feature.
+  kPrimaryKey,    ///< RID of an attribute table / SID of the entity table.
+  kForeignKey,    ///< An FK_i in S referring to attribute table R_i.
+  kTarget,        ///< The label Y (entity table only).
+};
+
+/// Returns "feature" / "primary_key" / "foreign_key" / "target".
+const char* ColumnRoleToString(ColumnRole role);
+
+/// Declarative description of one column.
+struct ColumnSpec {
+  std::string name;
+  ColumnRole role = ColumnRole::kFeature;
+
+  /// For kForeignKey: name of the referenced attribute table.
+  std::string ref_table;
+
+  /// For kForeignKey: whether the FK's domain is closed with respect to the
+  /// prediction task (Section 2.1). Open-domain FKs (e.g., Expedia's
+  /// SearchID) are excluded from both modeling and join-avoidance
+  /// decisions.
+  bool closed_domain = true;
+
+  static ColumnSpec Feature(std::string name) {
+    return {std::move(name), ColumnRole::kFeature, "", true};
+  }
+  static ColumnSpec PrimaryKey(std::string name) {
+    return {std::move(name), ColumnRole::kPrimaryKey, "", true};
+  }
+  static ColumnSpec ForeignKey(std::string name, std::string ref_table,
+                               bool closed = true) {
+    return {std::move(name), ColumnRole::kForeignKey, std::move(ref_table),
+            closed};
+  }
+  static ColumnSpec Target(std::string name) {
+    return {std::move(name), ColumnRole::kTarget, "", true};
+  }
+};
+
+/// An ordered list of ColumnSpecs with O(1) lookup by name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  /// Number of columns.
+  uint32_t num_columns() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+
+  /// The spec at `index` (must be < num_columns()).
+  const ColumnSpec& column(uint32_t index) const;
+
+  /// All specs in order.
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<uint32_t> IndexOf(const std::string& name) const;
+
+  /// True iff a column with this name exists.
+  bool Contains(const std::string& name) const {
+    return by_name_.find(name) != by_name_.end();
+  }
+
+  /// Index of the unique primary-key column, or NotFound if none.
+  Result<uint32_t> PrimaryKeyIndex() const;
+
+  /// Index of the unique target column, or NotFound if none.
+  Result<uint32_t> TargetIndex() const;
+
+  /// Indices of all foreign-key columns, in schema order.
+  std::vector<uint32_t> ForeignKeyIndices() const;
+
+  /// Indices of all kFeature columns, in schema order.
+  std::vector<uint32_t> FeatureIndices() const;
+
+  /// A schema restricted to the given column indices (order preserved as
+  /// given). Indices must be valid and distinct.
+  Schema Project(const std::vector<uint32_t>& indices) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+  std::unordered_map<std::string, uint32_t> by_name_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,37 @@
+#include "relational/select.h"
+
+namespace hamlet {
+
+Result<std::vector<uint32_t>> SelectIndicesWhere(
+    const Table& table, const std::string& column,
+    const std::function<bool(uint32_t)>& predicate) {
+  HAMLET_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column));
+  std::vector<uint32_t> rows;
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    if (predicate(col->code(r))) rows.push_back(r);
+  }
+  return rows;
+}
+
+Result<Table> SelectRowsWhere(
+    const Table& table, const std::string& column,
+    const std::function<bool(uint32_t)>& predicate) {
+  HAMLET_ASSIGN_OR_RETURN(std::vector<uint32_t> rows,
+                          SelectIndicesWhere(table, column, predicate));
+  return table.GatherRows(rows);
+}
+
+Result<Table> SelectRowsEqual(const Table& table, const std::string& column,
+                              const std::string& label) {
+  HAMLET_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column));
+  auto code = col->domain()->Lookup(label);
+  if (!code.ok()) {
+    // Closed domain: a label that does not exist matches nothing.
+    return table.GatherRows({});
+  }
+  uint32_t want = *code;
+  return SelectRowsWhere(table, column,
+                         [want](uint32_t c) { return c == want; });
+}
+
+}  // namespace hamlet

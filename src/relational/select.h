@@ -1,0 +1,37 @@
+#ifndef HAMLET_RELATIONAL_SELECT_H_
+#define HAMLET_RELATIONAL_SELECT_H_
+
+/// \file select.h
+/// Row selection (relational σ), completing the algebra fragment the
+/// library exposes (σ, π via Table::Project, ⋈ via join.h). Used by the
+/// drill-down analyses — e.g., isolating the rows of one class or one
+/// foreign-key value when studying where avoidance errors concentrate.
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace hamlet {
+
+/// Rows of `table` whose `column` equals `label` (exact dictionary
+/// match). Unknown column errors; a label outside the column's domain
+/// yields an empty table (nothing can match a closed domain's outside).
+Result<Table> SelectRowsEqual(const Table& table, const std::string& column,
+                              const std::string& label);
+
+/// Rows whose `column` code satisfies `predicate`. The predicate sees the
+/// dictionary code; use the column's Domain to reason about labels.
+Result<Table> SelectRowsWhere(const Table& table, const std::string& column,
+                              const std::function<bool(uint32_t)>& predicate);
+
+/// Row indices (not a materialized table) matching a code predicate —
+/// the zero-copy variant for the ML layer's (rows, features) interfaces.
+Result<std::vector<uint32_t>> SelectIndicesWhere(
+    const Table& table, const std::string& column,
+    const std::function<bool(uint32_t)>& predicate);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_SELECT_H_

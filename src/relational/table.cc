@@ -1,0 +1,167 @@
+#include "relational/table.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace hamlet {
+
+Table::Table(std::string name, Schema schema, std::vector<Column> columns)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      columns_(std::move(columns)) {
+  HAMLET_CHECK(schema_.num_columns() == columns_.size(),
+               "table '%s': schema has %u columns, data has %zu",
+               name_.c_str(), schema_.num_columns(), columns_.size());
+  for (size_t i = 1; i < columns_.size(); ++i) {
+    HAMLET_CHECK(columns_[i].size() == columns_[0].size(),
+                 "table '%s': column %zu length mismatch", name_.c_str(), i);
+  }
+}
+
+const Column& Table::column(uint32_t index) const {
+  HAMLET_CHECK(index < num_columns(), "column index %u out of range %u",
+               index, num_columns());
+  return columns_[index];
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  HAMLET_ASSIGN_OR_RETURN(uint32_t idx, schema_.IndexOf(name));
+  return &columns_[idx];
+}
+
+Result<Table> Table::Project(const std::vector<std::string>& names) const {
+  std::vector<uint32_t> indices;
+  indices.reserve(names.size());
+  for (const auto& n : names) {
+    HAMLET_ASSIGN_OR_RETURN(uint32_t idx, schema_.IndexOf(n));
+    indices.push_back(idx);
+  }
+  return ProjectIndices(indices);
+}
+
+Table Table::ProjectIndices(const std::vector<uint32_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (uint32_t idx : indices) {
+    cols.push_back(column(idx));
+  }
+  return Table(name_, schema_.Project(indices), std::move(cols));
+}
+
+Table Table::GatherRows(const std::vector<uint32_t>& rows) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    cols.push_back(col.Gather(rows));
+  }
+  return Table(name_, schema_, std::move(cols));
+}
+
+Status Table::Validate() const {
+  if (schema_.num_columns() != columns_.size()) {
+    return Status::Internal("schema/column count mismatch");
+  }
+  for (uint32_t i = 0; i < num_columns(); ++i) {
+    if (columns_[i].size() != num_rows()) {
+      return Status::Internal(StringFormat(
+          "column %u has %u rows, expected %u", i, columns_[i].size(),
+          num_rows()));
+    }
+    if (!columns_[i].Validate()) {
+      return Status::Internal(StringFormat(
+          "column '%s' has codes outside its domain",
+          schema_.column(i).name.c_str()));
+    }
+  }
+  auto pk = schema_.PrimaryKeyIndex();
+  if (pk.ok() && !HasUniquePrimaryKey()) {
+    return Status::Internal(StringFormat(
+        "primary key '%s' of table '%s' has duplicate values",
+        schema_.column(*pk).name.c_str(), name_.c_str()));
+  }
+  return Status::OK();
+}
+
+bool Table::HasUniquePrimaryKey() const {
+  auto pk = schema_.PrimaryKeyIndex();
+  if (!pk.ok()) return false;
+  const Column& col = columns_[*pk];
+  std::vector<bool> seen(col.domain_size(), false);
+  for (uint32_t r = 0; r < col.size(); ++r) {
+    uint32_t c = col.code(r);
+    if (seen[c]) return false;
+    seen[c] = true;
+  }
+  return true;
+}
+
+TableBuilder::TableBuilder(std::string name, Schema schema,
+                           std::vector<std::shared_ptr<Domain>> domains)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  HAMLET_CHECK(domains.size() == schema_.num_columns(),
+               "TableBuilder: %zu domains for %u columns", domains.size(),
+               schema_.num_columns());
+  domains_.reserve(domains.size());
+  fixed_domain_.reserve(domains.size());
+  for (auto& d : domains) {
+    if (d == nullptr) {
+      domains_.push_back(std::make_shared<Domain>());
+      fixed_domain_.push_back(false);
+    } else {
+      domains_.push_back(std::move(d));
+      fixed_domain_.push_back(true);
+    }
+  }
+  codes_.resize(schema_.num_columns());
+}
+
+TableBuilder::TableBuilder(std::string name, Schema schema)
+    : TableBuilder(std::move(name), schema,
+                   std::vector<std::shared_ptr<Domain>>(schema.num_columns(),
+                                                        nullptr)) {}
+
+Status TableBuilder::AppendRowLabels(const std::vector<std::string>& labels) {
+  if (labels.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(StringFormat(
+        "row has %zu fields, schema has %u", labels.size(),
+        schema_.num_columns()));
+  }
+  // Validate fixed-domain labels before mutating anything, so a failed
+  // append leaves the builder unchanged.
+  for (uint32_t c = 0; c < labels.size(); ++c) {
+    if (fixed_domain_[c] && !domains_[c]->Contains(labels[c])) {
+      return Status::InvalidArgument(StringFormat(
+          "value '%s' not in the closed domain of column '%s'",
+          labels[c].c_str(), schema_.column(c).name.c_str()));
+    }
+  }
+  for (uint32_t c = 0; c < labels.size(); ++c) {
+    codes_[c].push_back(domains_[c]->GetOrAdd(labels[c]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void TableBuilder::AppendRowCodes(const std::vector<uint32_t>& codes) {
+  HAMLET_CHECK(codes.size() == schema_.num_columns(),
+               "row has %zu codes, schema has %u", codes.size(),
+               schema_.num_columns());
+  for (uint32_t c = 0; c < codes.size(); ++c) {
+    HAMLET_DCHECK(codes[c] < domains_[c]->size(),
+                  "code %u out of domain %u for column %u", codes[c],
+                  domains_[c]->size(), c);
+    codes_[c].push_back(codes[c]);
+  }
+  ++num_rows_;
+}
+
+Table TableBuilder::Build() {
+  std::vector<Column> cols;
+  cols.reserve(codes_.size());
+  for (uint32_t c = 0; c < codes_.size(); ++c) {
+    cols.emplace_back(std::move(codes_[c]), domains_[c]);
+  }
+  return Table(std::move(name_), std::move(schema_), std::move(cols));
+}
+
+}  // namespace hamlet

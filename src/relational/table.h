@@ -1,0 +1,117 @@
+#ifndef HAMLET_RELATIONAL_TABLE_H_
+#define HAMLET_RELATIONAL_TABLE_H_
+
+/// \file table.h
+/// In-memory column-store tables over categorical columns.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/column.h"
+#include "relational/schema.h"
+
+namespace hamlet {
+
+/// An immutable-by-convention, named collection of equal-length Columns
+/// described by a Schema. Tables are cheap to move; columns share their
+/// Domains so projections and row-gathers do not copy dictionaries.
+class Table {
+ public:
+  Table() = default;
+
+  /// Constructs from parts; all columns must have equal length and the
+  /// column count must match the schema.
+  Table(std::string name, Schema schema, std::vector<Column> columns);
+
+  /// Table name (e.g., "Customers").
+  const std::string& name() const { return name_; }
+
+  /// The schema.
+  const Schema& schema() const { return schema_; }
+
+  /// Number of rows.
+  uint32_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  /// Number of columns.
+  uint32_t num_columns() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+
+  /// Column by position.
+  const Column& column(uint32_t index) const;
+
+  /// Column by name, or NotFound.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// New table keeping only the named columns (in the given order).
+  Result<Table> Project(const std::vector<std::string>& names) const;
+
+  /// New table keeping only the given column indices.
+  Table ProjectIndices(const std::vector<uint32_t>& indices) const;
+
+  /// New table with rows picked by `rows` (repetition allowed) — the
+  /// primitive underlying splits and sampling.
+  Table GatherRows(const std::vector<uint32_t>& rows) const;
+
+  /// Structural sanity: column count/length agreement, codes within
+  /// domains, primary key (if any) has distinct values.
+  Status Validate() const;
+
+  /// True iff the primary key column exists and all its values are
+  /// distinct (every RID appears exactly once, as in an attribute table).
+  bool HasUniquePrimaryKey() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+/// Row-at-a-time construction of a Table from labels or codes.
+class TableBuilder {
+ public:
+  /// Starts building a table with the given schema. Each column gets the
+  /// corresponding domain from `domains` (shared), or a fresh empty domain
+  /// if the entry is nullptr (labels are then added on first use).
+  TableBuilder(std::string name, Schema schema,
+               std::vector<std::shared_ptr<Domain>> domains);
+
+  /// Convenience: all-fresh domains.
+  TableBuilder(std::string name, Schema schema);
+
+  /// Appends a row of labels; unseen labels extend fresh domains but are
+  /// an error for fixed (shared) domains.
+  Status AppendRowLabels(const std::vector<std::string>& labels);
+
+  /// Appends a row of pre-encoded codes (no checks beyond domain bounds).
+  void AppendRowCodes(const std::vector<uint32_t>& codes);
+
+  /// Number of rows appended so far.
+  uint32_t num_rows() const { return num_rows_; }
+
+  /// The domain backing column `col` (to pre-populate or share).
+  const std::shared_ptr<Domain>& domain(uint32_t col) const {
+    return domains_[col];
+  }
+
+  /// Finalizes the table. The builder must not be reused afterwards.
+  Table Build();
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::shared_ptr<Domain>> domains_;
+  std::vector<std::vector<uint32_t>> codes_;
+  std::vector<bool> fixed_domain_;
+  uint32_t num_rows_ = 0;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_TABLE_H_

@@ -1,0 +1,57 @@
+#ifndef HAMLET_RELATIONAL_TABLE_STATS_H_
+#define HAMLET_RELATIONAL_TABLE_STATS_H_
+
+/// \file table_stats.h
+/// Table profiling: the per-column statistics an analyst (or the
+/// metadata-only advisor) needs before modeling — domain sizes, observed
+/// distinct counts, entropies, top categories. This is the bridge from a
+/// raw extract to AdviseJoinsFromStats' CandidateTableStats.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/advisor.h"
+#include "relational/table.h"
+
+namespace hamlet {
+
+/// Profile of one column.
+struct ColumnStats {
+  std::string name;
+  ColumnRole role = ColumnRole::kFeature;
+  uint32_t domain_size = 0;      ///< |D_F| (dictionary size).
+  uint32_t distinct_observed = 0;  ///< Values actually present.
+  double entropy_bits = 0.0;     ///< H(F) over the instance.
+  /// The modal category and its frequency share.
+  std::string top_label;
+  double top_share = 0.0;
+};
+
+/// Profile of a whole table.
+struct TableStats {
+  std::string table_name;
+  uint32_t num_rows = 0;
+  std::vector<ColumnStats> columns;
+
+  /// The column profile by name, or nullptr.
+  const ColumnStats* Find(const std::string& name) const;
+
+  /// Fixed-width rendering.
+  std::string ToString() const;
+};
+
+/// Profiles every column of `table` in one pass per column.
+TableStats ComputeTableStats(const Table& table);
+
+/// Derives the advisor's metadata record for an attribute table: n_R from
+/// the row count and q*_R from the smallest feature domain. `fk_column`
+/// names the referencing FK in the entity table; `closed` its domain
+/// flag. Fails if the table has no features.
+Result<CandidateTableStats> ToCandidateStats(const Table& attribute_table,
+                                             const std::string& fk_column,
+                                             bool closed = true);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_TABLE_STATS_H_

@@ -1,0 +1,161 @@
+#include "sim/data_synthesis.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+std::vector<double> MakeFkWeights(const SimConfig& config) {
+  HAMLET_CHECK(config.n_r >= 2, "simulation needs n_r >= 2");
+  std::vector<double> w(config.n_r, 1.0);
+  switch (config.fk_dist) {
+    case FkDistribution::kUniform:
+      break;
+    case FkDistribution::kZipf:
+      for (uint32_t r = 0; r < config.n_r; ++r) {
+        w[r] = 1.0 / std::pow(static_cast<double>(r + 1), config.zipf_skew);
+      }
+      break;
+    case FkDistribution::kNeedleThread: {
+      HAMLET_CHECK(config.needle_prob > 0.0 && config.needle_prob < 1.0,
+                   "needle_prob must be in (0,1)");
+      w[0] = config.needle_prob;
+      const double rest =
+          (1.0 - config.needle_prob) / static_cast<double>(config.n_r - 1);
+      for (uint32_t r = 1; r < config.n_r; ++r) w[r] = rest;
+      break;
+    }
+  }
+  return w;
+}
+
+SimDataGenerator::SimDataGenerator(const SimConfig& config, Rng& rng)
+    : config_(config), fk_sampler_(MakeFkWeights(config)) {
+  HAMLET_CHECK(config_.xr_card >= 2 && config_.xr_card <= config_.n_r,
+               "need 2 <= xr_card <= n_r, got %u vs %u", config_.xr_card,
+               config_.n_r);
+  r_features_.resize(config_.n_r);
+  latent_.resize(config_.n_r);
+  for (uint32_t rid = 0; rid < config_.n_r; ++rid) {
+    std::vector<uint32_t>& feats = r_features_[rid];
+    feats.resize(config_.d_r);
+    // X_r (feature 0): the needle-and-thread distribution ties the needle
+    // RID to one X_r value and every other RID to the other (Appendix D);
+    // otherwise deal RIDs into xr_card balanced groups so P(X_r) is flat
+    // through the join.
+    if (config_.d_r > 0) {
+      feats[0] = (config_.fk_dist == FkDistribution::kNeedleThread)
+                     ? (rid == 0 ? 0u : 1u)
+                     : rid % config_.xr_card;
+    }
+    for (uint32_t j = 1; j < config_.d_r; ++j) {
+      feats[j] = rng.Uniform(2);
+    }
+    latent_[rid] = rng.Uniform(2);
+  }
+}
+
+double SimDataGenerator::TrueProbY1(
+    const std::vector<uint32_t>& codes) const {
+  const uint32_t d_s = config_.d_s;
+  switch (config_.scenario) {
+    case TrueDistribution::kLoneXr: {
+      HAMLET_DCHECK(config_.d_r >= 1, "kLoneXr needs d_r >= 1");
+      // Paper's spec: P(Y=0|X_r=0) = P(Y=1|X_r=1) = p. For xr_card > 2
+      // the concept generalizes to a balanced halves split of X_r's
+      // domain (upper half behaves like X_r = 1).
+      uint32_t x_r = codes[d_s + 1];
+      bool upper = x_r >= (config_.xr_card + 1) / 2;
+      return upper ? config_.p : 1.0 - config_.p;
+    }
+    case TrueDistribution::kAllXsXr: {
+      double logit = 0.0;
+      for (uint32_t j = 0; j < d_s; ++j) {
+        logit += codes[j] == 1 ? 1.0 : -1.0;
+      }
+      for (uint32_t j = 0; j < config_.d_r; ++j) {
+        logit += codes[d_s + 1 + j] == 1 ? 1.0 : -1.0;
+      }
+      return 1.0 / (1.0 + std::exp(-config_.beta * logit));
+    }
+    case TrueDistribution::kXsFkOnly: {
+      uint32_t fk = codes[d_s];
+      double logit = 2.0 * (latent_[fk] == 1 ? 1.0 : -1.0);
+      for (uint32_t j = 0; j < d_s; ++j) {
+        logit += codes[j] == 1 ? 1.0 : -1.0;
+      }
+      return 1.0 / (1.0 + std::exp(-config_.beta * logit));
+    }
+  }
+  return 0.5;
+}
+
+SimDraw SimDataGenerator::Draw(uint32_t n, Rng& rng) const {
+  const uint32_t d_s = config_.d_s;
+  const uint32_t d_r = config_.d_r;
+  const uint32_t num_features = d_s + 1 + d_r;
+
+  std::vector<std::vector<uint32_t>> features(num_features);
+  for (auto& f : features) f.reserve(n);
+  std::vector<uint32_t> labels;
+  labels.reserve(n);
+  std::vector<std::vector<double>> conditionals;
+  conditionals.reserve(n);
+
+  std::vector<uint32_t> codes(num_features);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < d_s; ++j) codes[j] = rng.Uniform(2);
+    uint32_t fk = fk_sampler_.Sample(rng);
+    codes[d_s] = fk;
+    for (uint32_t j = 0; j < d_r; ++j) {
+      codes[d_s + 1 + j] = r_features_[fk][j];
+    }
+    double p1 = TrueProbY1(codes);
+    labels.push_back(rng.Bernoulli(p1) ? 1u : 0u);
+    conditionals.push_back({1.0 - p1, p1});
+    for (uint32_t j = 0; j < num_features; ++j) {
+      features[j].push_back(codes[j]);
+    }
+  }
+
+  std::vector<FeatureMeta> meta;
+  meta.reserve(num_features);
+  for (uint32_t j = 0; j < d_s; ++j) {
+    meta.push_back({"XS" + std::to_string(j), 2});
+  }
+  meta.push_back({"FK", config_.n_r});
+  for (uint32_t j = 0; j < d_r; ++j) {
+    meta.push_back({"XR" + std::to_string(j), j == 0 ? config_.xr_card : 2});
+  }
+
+  SimDraw draw{EncodedDataset(std::move(features), std::move(meta),
+                              std::move(labels), 2),
+               std::move(conditionals)};
+  return draw;
+}
+
+std::vector<uint32_t> SimDataGenerator::UseAllFeatures() const {
+  std::vector<uint32_t> out;
+  for (uint32_t j = 0; j < config_.d_s + 1 + config_.d_r; ++j) {
+    out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<uint32_t> SimDataGenerator::NoJoinFeatures() const {
+  std::vector<uint32_t> out;
+  for (uint32_t j = 0; j < config_.d_s + 1; ++j) out.push_back(j);
+  return out;
+}
+
+std::vector<uint32_t> SimDataGenerator::NoFkFeatures() const {
+  std::vector<uint32_t> out;
+  for (uint32_t j = 0; j < config_.d_s; ++j) out.push_back(j);
+  for (uint32_t j = 0; j < config_.d_r; ++j) {
+    out.push_back(config_.d_s + 1 + j);
+  }
+  return out;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,81 @@
+#ifndef HAMLET_SIM_DATA_SYNTHESIS_H_
+#define HAMLET_SIM_DATA_SYNTHESIS_H_
+
+/// \file data_synthesis.h
+/// The i.i.d. sampler behind the Monte Carlo study. A generator fixes the
+/// attribute table R (its X_R bit patterns and, for kXsFkOnly, the hidden
+/// per-RID latent) and then draws arbitrarily many labeled datasets from
+/// the controlled true distribution P(Y, X).
+///
+/// Encoded feature layout (indices into the drawn EncodedDataset):
+///   [0, d_s)                X_S features (cardinality 2)
+///   d_s                     FK            (cardinality n_r)
+///   [d_s + 1, d_s + 1+d_r)  X_R features (cardinality 2)
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/encoded_dataset.h"
+#include "sim/scenario.h"
+
+namespace hamlet {
+
+/// A drawn dataset together with each row's true conditional P(Y|x) —
+/// what the Domingos decomposition needs.
+struct SimDraw {
+  EncodedDataset data;
+  /// true_conditionals[i][y] = P(Y = y | x_i).
+  std::vector<std::vector<double>> true_conditionals;
+};
+
+/// Fixes R and samples labeled datasets.
+class SimDataGenerator {
+ public:
+  /// Builds the fixed R: X_R patterns per RID (feature 0 of X_R is the
+  /// balanced signal column X_r; the rest are random bits) and the
+  /// FK sampling distribution. Deterministic in `rng`.
+  SimDataGenerator(const SimConfig& config, Rng& rng);
+
+  /// Draws `n` i.i.d. examples.
+  SimDraw Draw(uint32_t n, Rng& rng) const;
+
+  /// Feature-index sets for the three model variants of Figure 3.
+  std::vector<uint32_t> UseAllFeatures() const;   ///< X_S ∪ {FK} ∪ X_R.
+  std::vector<uint32_t> NoJoinFeatures() const;   ///< X_S ∪ {FK}.
+  std::vector<uint32_t> NoFkFeatures() const;     ///< X_S ∪ X_R.
+
+  /// Index of FK in the encoded layout (= d_s).
+  uint32_t FkFeatureIndex() const { return config_.d_s; }
+
+  /// Index of the signal feature X_r (= d_s + 1).
+  uint32_t XrFeatureIndex() const { return config_.d_s + 1; }
+
+  /// The config this generator was built with.
+  const SimConfig& config() const { return config_; }
+
+  /// X_r value assigned to a RID (for tests).
+  uint32_t XrOfRid(uint32_t rid) const { return r_features_[rid][0]; }
+
+  /// The hidden latent bit of a RID (kXsFkOnly only; for tests).
+  uint32_t LatentOfRid(uint32_t rid) const { return latent_[rid]; }
+
+  /// P(Y = 1 | features) under the true distribution, given the encoded
+  /// feature codes of one example (layout above). Exposed for tests.
+  double TrueProbY1(const std::vector<uint32_t>& codes) const;
+
+ private:
+  SimConfig config_;
+  /// r_features_[rid][j]: bit j of X_R for that RID (j = 0 is X_r).
+  std::vector<std::vector<uint32_t>> r_features_;
+  /// kXsFkOnly: hidden latent bit per RID.
+  std::vector<uint32_t> latent_;
+  /// FK sampling distribution.
+  AliasSampler fk_sampler_;
+};
+
+/// Builds the FK probability vector for a config (exposed for tests).
+std::vector<double> MakeFkWeights(const SimConfig& config);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_SIM_DATA_SYNTHESIS_H_

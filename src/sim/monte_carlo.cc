@@ -1,0 +1,155 @@
+#include "sim/monte_carlo.h"
+
+#include "common/parallel_for.h"
+#include "core/tuple_ratio.h"
+#include "ml/naive_bayes.h"
+
+namespace hamlet {
+
+const char* ModelVariantToString(ModelVariant v) {
+  switch (v) {
+    case ModelVariant::kUseAll:
+      return "UseAll";
+    case ModelVariant::kNoJoin:
+      return "NoJoin";
+    case ModelVariant::kNoFK:
+      return "NoFK";
+  }
+  return "unknown";
+}
+
+const BiasVarianceResult& MonteCarloResult::ForVariant(
+    ModelVariant v) const {
+  switch (v) {
+    case ModelVariant::kUseAll:
+      return use_all;
+    case ModelVariant::kNoJoin:
+      return no_join;
+    case ModelVariant::kNoFK:
+      return no_fk;
+  }
+  return use_all;
+}
+
+namespace {
+
+// Element-wise accumulation for averaging decompositions across repeats.
+void Accumulate(BiasVarianceResult* acc, const BiasVarianceResult& x) {
+  acc->avg_test_error += x.avg_test_error;
+  acc->avg_bias += x.avg_bias;
+  acc->avg_variance += x.avg_variance;
+  acc->avg_net_variance += x.avg_net_variance;
+  acc->avg_noise += x.avg_noise;
+  acc->num_points += x.num_points;
+}
+
+void Scale(BiasVarianceResult* acc, double inv) {
+  acc->avg_test_error *= inv;
+  acc->avg_bias *= inv;
+  acc->avg_variance *= inv;
+  acc->avg_net_variance *= inv;
+  acc->avg_noise *= inv;
+}
+
+}  // namespace
+
+namespace {
+
+// One outer repeat: fresh R, fresh test set, |S| training draws.
+Status RunOneRepeat(const SimConfig& config,
+                    const MonteCarloOptions& options,
+                    const ClassifierFactory& make, uint32_t rep,
+                    MonteCarloResult* out) {
+  Rng root(options.seed);
+  Rng rng = root.Fork(rep);
+  SimDataGenerator generator(config, rng);
+
+  // One shared test set per repeat (paper: n_S / 4 examples).
+  SimDraw test = generator.Draw(config.TestSize(), rng);
+  std::vector<uint32_t> test_rows(test.data.num_rows());
+  for (uint32_t i = 0; i < test_rows.size(); ++i) test_rows[i] = i;
+
+  BiasVarianceAccumulator acc_all(test.true_conditionals);
+  BiasVarianceAccumulator acc_nojoin(test.true_conditionals);
+  BiasVarianceAccumulator acc_nofk(test.true_conditionals);
+
+  const std::vector<uint32_t> f_all = generator.UseAllFeatures();
+  const std::vector<uint32_t> f_nojoin = generator.NoJoinFeatures();
+  const std::vector<uint32_t> f_nofk = generator.NoFkFeatures();
+
+  for (uint32_t t = 0; t < options.num_training_sets; ++t) {
+    SimDraw train = generator.Draw(config.n_s, rng);
+    std::vector<uint32_t> train_rows(train.data.num_rows());
+    for (uint32_t i = 0; i < train_rows.size(); ++i) train_rows[i] = i;
+
+    // The test set shares the feature layout, so models trained on the
+    // training draw can predict it directly.
+    auto run_variant = [&](const std::vector<uint32_t>& feats,
+                           BiasVarianceAccumulator* acc) -> Status {
+      std::unique_ptr<Classifier> model = make();
+      HAMLET_RETURN_NOT_OK(model->Train(train.data, train_rows, feats));
+      acc->AddModel(model->Predict(test.data, test_rows));
+      return Status::OK();
+    };
+    HAMLET_RETURN_NOT_OK(run_variant(f_all, &acc_all));
+    HAMLET_RETURN_NOT_OK(run_variant(f_nojoin, &acc_nojoin));
+    HAMLET_RETURN_NOT_OK(run_variant(f_nofk, &acc_nofk));
+  }
+
+  out->use_all = acc_all.Finalize();
+  out->no_join = acc_nojoin.Finalize();
+  out->no_fk = acc_nofk.Finalize();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MonteCarloResult> RunMonteCarlo(const SimConfig& config,
+                                       const MonteCarloOptions& options,
+                                       const ClassifierFactory* factory) {
+  ClassifierFactory nb = MakeNaiveBayesFactory();
+  const ClassifierFactory& make = factory != nullptr ? *factory : nb;
+
+  // Repeats are independent (each forks its RNG from its index) and write
+  // only their own slot, so the parallel reduction below is deterministic
+  // at any thread count.
+  std::vector<MonteCarloResult> per_repeat(options.num_repeats);
+  std::vector<Status> statuses(options.num_repeats);
+  ParallelFor(options.num_repeats, options.num_threads, [&](uint32_t rep) {
+    statuses[rep] =
+        RunOneRepeat(config, options, make, rep, &per_repeat[rep]);
+  });
+  for (const Status& st : statuses) {
+    HAMLET_RETURN_NOT_OK(st);
+  }
+
+  MonteCarloResult total;
+  for (const MonteCarloResult& r : per_repeat) {
+    Accumulate(&total.use_all, r.use_all);
+    Accumulate(&total.no_join, r.no_join);
+    Accumulate(&total.no_fk, r.no_fk);
+  }
+  const double inv = 1.0 / static_cast<double>(options.num_repeats);
+  Scale(&total.use_all, inv);
+  Scale(&total.no_join, inv);
+  Scale(&total.no_fk, inv);
+  return total;
+}
+
+double RorForSimConfig(const SimConfig& config, double delta) {
+  RorInputs inputs;
+  inputs.n_train = config.n_s;
+  inputs.fk_domain_size = config.n_r;
+  // q*_R: the noise columns are boolean, so with d_r >= 2 the minimum is
+  // 2; with a lone signal column it is xr_card (the Figure 5 regime).
+  inputs.min_foreign_domain_size =
+      config.d_r >= 2 ? 2 : config.xr_card;
+  inputs.delta = delta;
+  return WorstCaseRor(inputs);
+}
+
+double TupleRatioForSimConfig(const SimConfig& config) {
+  return TupleRatio(config.n_s, config.n_r);
+}
+
+}  // namespace hamlet

@@ -1,0 +1,29 @@
+#include "sim/scenario.h"
+
+namespace hamlet {
+
+const char* TrueDistributionToString(TrueDistribution d) {
+  switch (d) {
+    case TrueDistribution::kLoneXr:
+      return "lone_xr";
+    case TrueDistribution::kAllXsXr:
+      return "all_xs_xr";
+    case TrueDistribution::kXsFkOnly:
+      return "xs_fk_only";
+  }
+  return "unknown";
+}
+
+const char* FkDistributionToString(FkDistribution d) {
+  switch (d) {
+    case FkDistribution::kUniform:
+      return "uniform";
+    case FkDistribution::kZipf:
+      return "zipf";
+    case FkDistribution::kNeedleThread:
+      return "needle_thread";
+  }
+  return "unknown";
+}
+
+}  // namespace hamlet

@@ -1,0 +1,71 @@
+#ifndef HAMLET_SIM_SCENARIO_H_
+#define HAMLET_SIM_SCENARIO_H_
+
+/// \file scenario.h
+/// The controlled true distributions of the simulation study (Section 4.1
+/// and Appendix D). One attribute table R (k = 1); all of X_S, X_R, and Y
+/// are boolean; the parameters n_S, d_S, d_R, |D_FK| (= n_R), and p are
+/// varied one at a time.
+
+#include <cstdint>
+
+namespace hamlet {
+
+/// Which features participate in the true distribution P(Y, X).
+enum class TrueDistribution {
+  /// Section 4.1's key scenario: a lone X_r ∈ X_R carries the concept,
+  /// with P(Y=0|X_r=0) = P(Y=1|X_r=1) = p ("all customers with employers
+  /// in The Shire churn, and only them"). FK predicts Y only through the
+  /// FD FK → X_r. All other features are noise.
+  kLoneXr,
+  /// Appendix D Figure 11: all of X_S and X_R are part of the true
+  /// distribution (logistic link over every signal bit).
+  kAllXsXr,
+  /// The third appendix scenario: only X_S and FK matter — each RID
+  /// carries a hidden latent bit; X_R is pure noise.
+  kXsFkOnly,
+};
+
+/// "lone_xr" / "all_xs_xr" / "xs_fk_only".
+const char* TrueDistributionToString(TrueDistribution d);
+
+/// Distribution of P(FK) over the n_R RIDs (Appendix D).
+enum class FkDistribution {
+  kUniform,       ///< The default no-skew setting.
+  kZipf,          ///< "Benign" skew: Zipfian P(FK).
+  kNeedleThread,  ///< "Malign" skew: one needle FK value with mass p_needle
+                  ///< tied to one X_r (hence Y) value; the 1−p_needle
+                  ///< remainder spread uniformly over the other RIDs, all
+                  ///< tied to the other X_r value.
+};
+
+/// "uniform" / "zipf" / "needle_thread".
+const char* FkDistributionToString(FkDistribution d);
+
+/// Full configuration of one simulation setting. Defaults mirror the
+/// paper's base points.
+struct SimConfig {
+  TrueDistribution scenario = TrueDistribution::kLoneXr;
+  uint32_t n_s = 1000;   ///< Training examples per dataset.
+  uint32_t d_s = 4;      ///< |X_S| (boolean features).
+  uint32_t d_r = 4;      ///< |X_R| (signal column + boolean noise).
+  uint32_t n_r = 40;     ///< |D_FK| = rows of R.
+  /// Cardinality of the signal column X_r (Figure 5's q*_R knob): RIDs
+  /// are dealt into xr_card balanced groups; xr_card = n_r makes X_r a
+  /// bijective copy of FK, where the ROR (unlike the TR) sees that the
+  /// join buys nothing. Must satisfy 2 <= xr_card <= n_r.
+  uint32_t xr_card = 2;
+  double p = 0.1;        ///< Conditional/noise probability of the concept.
+  double beta = 1.0;     ///< Logit scale for kAllXsXr / kXsFkOnly.
+
+  FkDistribution fk_dist = FkDistribution::kUniform;
+  double zipf_skew = 1.0;     ///< Zipf exponent (kZipf).
+  double needle_prob = 0.5;   ///< Needle mass (kNeedleThread).
+
+  /// Test examples drawn per repeat (paper uses n_S / 4).
+  uint32_t TestSize() const { return n_s / 4 > 0 ? n_s / 4 : 1; }
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_SIM_SCENARIO_H_

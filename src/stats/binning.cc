@@ -1,0 +1,63 @@
+#include "stats/binning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace hamlet {
+
+EqualWidthBinner::EqualWidthBinner(uint32_t num_bins) : num_bins_(num_bins) {
+  HAMLET_CHECK(num_bins >= 1, "EqualWidthBinner needs >= 1 bin");
+}
+
+Status EqualWidthBinner::Fit(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot fit binner on empty series");
+  }
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite value in numeric series");
+    }
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  min_ = lo;
+  max_ = hi;
+  width_ = (hi - lo) / static_cast<double>(num_bins_);
+  fitted_ = true;
+  return Status::OK();
+}
+
+uint32_t EqualWidthBinner::Transform(double value) const {
+  HAMLET_CHECK(fitted_, "Transform() before Fit()");
+  if (width_ <= 0.0) return 0;  // Constant series.
+  if (value <= min_) return 0;
+  if (value >= max_) return num_bins_ - 1;
+  uint32_t bin = static_cast<uint32_t>((value - min_) / width_);
+  return bin >= num_bins_ ? num_bins_ - 1 : bin;
+}
+
+std::vector<uint32_t> EqualWidthBinner::TransformAll(
+    const std::vector<double>& values) const {
+  std::vector<uint32_t> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(Transform(v));
+  return out;
+}
+
+Result<Column> EqualWidthBinner::FitTransformToColumn(
+    const std::vector<double>& values, const std::string& label_prefix) {
+  HAMLET_RETURN_NOT_OK(Fit(values));
+  std::vector<std::string> labels;
+  labels.reserve(num_bins_);
+  for (uint32_t b = 0; b < num_bins_; ++b) {
+    labels.push_back(StringFormat("%s[%g,%g)", label_prefix.c_str(),
+                                  min_ + b * width_, min_ + (b + 1) * width_));
+  }
+  auto domain = std::make_shared<Domain>(std::move(labels));
+  return Column(TransformAll(values), std::move(domain));
+}
+
+}  // namespace hamlet

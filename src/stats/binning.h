@@ -1,0 +1,66 @@
+#ifndef HAMLET_STATS_BINNING_H_
+#define HAMLET_STATS_BINNING_H_
+
+/// \file binning.h
+/// Equal-width histogram discretization of numeric features — the
+/// "standard unsupervised binning technique (equal-length histograms)" the
+/// paper applies before modeling (Section 5), matching the all-nominal
+/// assumption of Section 2.1.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/column.h"
+
+namespace hamlet {
+
+/// Fits equal-width bin edges on a numeric series and transforms values to
+/// bin codes. Values outside the fitted range clamp to the first/last bin
+/// (closed-domain behaviour).
+class EqualWidthBinner {
+ public:
+  /// Creates an unfitted binner with `num_bins` bins (≥ 1).
+  explicit EqualWidthBinner(uint32_t num_bins);
+
+  /// Computes [min, max] and the bin width from the data. Fails on empty
+  /// input or non-finite values. A constant series degenerates to a single
+  /// occupied bin (all values map to bin 0).
+  Status Fit(const std::vector<double>& values);
+
+  /// Bin index for a value; requires Fit() to have succeeded.
+  uint32_t Transform(double value) const;
+
+  /// Transforms a whole series.
+  std::vector<uint32_t> TransformAll(const std::vector<double>& values) const;
+
+  /// Fit + TransformAll + package into a categorical Column whose domain
+  /// labels are "[lo,hi)" interval strings.
+  Result<Column> FitTransformToColumn(const std::vector<double>& values,
+                                      const std::string& label_prefix = "bin");
+
+  /// Number of bins.
+  uint32_t num_bins() const { return num_bins_; }
+
+  /// Fitted lower bound.
+  double min() const { return min_; }
+
+  /// Fitted upper bound.
+  double max() const { return max_; }
+
+  /// True once Fit() has succeeded.
+  bool fitted() const { return fitted_; }
+
+ private:
+  uint32_t num_bins_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double width_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STATS_BINNING_H_

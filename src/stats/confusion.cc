@@ -1,0 +1,87 @@
+#include "stats/confusion.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace hamlet {
+
+ConfusionMatrix::ConfusionMatrix(const std::vector<uint32_t>& truth,
+                                 const std::vector<uint32_t>& predicted,
+                                 uint32_t num_classes)
+    : num_classes_(num_classes),
+      total_(truth.size()),
+      cells_(static_cast<size_t>(num_classes) * num_classes, 0) {
+  HAMLET_CHECK(truth.size() == predicted.size(),
+               "confusion inputs differ in length: %zu vs %zu",
+               truth.size(), predicted.size());
+  HAMLET_CHECK(num_classes >= 1, "need at least one class");
+  for (size_t i = 0; i < truth.size(); ++i) {
+    HAMLET_DCHECK(truth[i] < num_classes_ && predicted[i] < num_classes_,
+                  "class code out of range");
+    ++cells_[static_cast<size_t>(truth[i]) * num_classes_ + predicted[i]];
+  }
+}
+
+uint64_t ConfusionMatrix::count(uint32_t truth_class,
+                                uint32_t predicted_class) const {
+  HAMLET_CHECK(truth_class < num_classes_ && predicted_class < num_classes_,
+               "cell (%u,%u) out of range", truth_class, predicted_class);
+  return cells_[static_cast<size_t>(truth_class) * num_classes_ +
+                predicted_class];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  uint64_t correct = 0;
+  for (uint32_t c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Recall(uint32_t cls) const {
+  uint64_t row = 0;
+  for (uint32_t p = 0; p < num_classes_; ++p) row += count(cls, p);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::Precision(uint32_t cls) const {
+  uint64_t col = 0;
+  for (uint32_t t = 0; t < num_classes_; ++t) col += count(t, cls);
+  if (col == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::F1(uint32_t cls) const {
+  double p = Precision(cls);
+  double r = Recall(cls);
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  for (uint32_t c = 0; c < num_classes_; ++c) sum += F1(c);
+  return sum / static_cast<double>(num_classes_);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream oss;
+  oss << "truth \\ pred";
+  for (uint32_t p = 0; p < num_classes_; ++p) {
+    oss << StringFormat("%10u", p);
+  }
+  oss << "\n";
+  for (uint32_t t = 0; t < num_classes_; ++t) {
+    oss << StringFormat("%12u", t);
+    for (uint32_t p = 0; p < num_classes_; ++p) {
+      oss << StringFormat("%10llu",
+                          static_cast<unsigned long long>(count(t, p)));
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace hamlet

@@ -1,0 +1,65 @@
+#ifndef HAMLET_STATS_CONFUSION_H_
+#define HAMLET_STATS_CONFUSION_H_
+
+/// \file confusion.h
+/// Confusion matrices and per-class diagnostics. The paper reports only
+/// aggregate zero-one/RMSE numbers, but the Appendix-D skew analysis is
+/// fundamentally about *which* classes absorb the error when a join is
+/// avoided — a per-class view makes that visible in the examples and
+/// the skew ablation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hamlet {
+
+/// A K x K confusion matrix over class codes.
+class ConfusionMatrix {
+ public:
+  /// Builds from equal-length truth/prediction code vectors; codes must
+  /// be < num_classes.
+  ConfusionMatrix(const std::vector<uint32_t>& truth,
+                  const std::vector<uint32_t>& predicted,
+                  uint32_t num_classes);
+
+  /// count(t, p): rows are truth, columns are predictions.
+  uint64_t count(uint32_t truth_class, uint32_t predicted_class) const;
+
+  /// Total observations.
+  uint64_t total() const { return total_; }
+
+  /// Number of classes K.
+  uint32_t num_classes() const { return num_classes_; }
+
+  /// Overall accuracy (trace / total); 0 on an empty matrix.
+  double Accuracy() const;
+
+  /// Per-class recall: count(c, c) / row-sum(c); 0 when the class never
+  /// occurs in the truth.
+  double Recall(uint32_t cls) const;
+
+  /// Per-class precision: count(c, c) / column-sum(c); 0 when the class
+  /// is never predicted.
+  double Precision(uint32_t cls) const;
+
+  /// Per-class F1 (harmonic mean of precision and recall; 0 when both
+  /// vanish).
+  double F1(uint32_t cls) const;
+
+  /// Unweighted mean of per-class F1 — sensitive to rare-class collapse,
+  /// which is exactly what malign FK skew causes.
+  double MacroF1() const;
+
+  /// Fixed-width rendering (rows = truth).
+  std::string ToString() const;
+
+ private:
+  uint32_t num_classes_;
+  uint64_t total_;
+  std::vector<uint64_t> cells_;  // [truth * K + predicted].
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STATS_CONFUSION_H_

@@ -1,0 +1,39 @@
+#include "stats/contingency.h"
+
+namespace hamlet {
+
+std::vector<uint64_t> MarginalCounts(const std::vector<uint32_t>& codes,
+                                     uint32_t cardinality) {
+  std::vector<uint64_t> counts(cardinality, 0);
+  for (uint32_t c : codes) {
+    HAMLET_DCHECK(c < cardinality, "code %u out of cardinality %u", c,
+                  cardinality);
+    ++counts[c];
+  }
+  return counts;
+}
+
+ContingencyTable::ContingencyTable(const std::vector<uint32_t>& f_codes,
+                                   const std::vector<uint32_t>& y_codes,
+                                   uint32_t f_card, uint32_t y_card)
+    : f_card_(f_card),
+      y_card_(y_card),
+      total_(f_codes.size()),
+      cells_(static_cast<size_t>(f_card) * y_card, 0),
+      f_marginals_(f_card, 0),
+      y_marginals_(y_card, 0) {
+  HAMLET_CHECK(f_codes.size() == y_codes.size(),
+               "contingency inputs differ in length: %zu vs %zu",
+               f_codes.size(), y_codes.size());
+  for (size_t i = 0; i < f_codes.size(); ++i) {
+    uint32_t f = f_codes[i];
+    uint32_t y = y_codes[i];
+    HAMLET_DCHECK(f < f_card_ && y < y_card_, "pair (%u,%u) out of range", f,
+                  y);
+    ++cells_[static_cast<size_t>(f) * y_card_ + y];
+    ++f_marginals_[f];
+    ++y_marginals_[y];
+  }
+}
+
+}  // namespace hamlet

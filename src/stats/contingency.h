@@ -1,0 +1,62 @@
+#ifndef HAMLET_STATS_CONTINGENCY_H_
+#define HAMLET_STATS_CONTINGENCY_H_
+
+/// \file contingency.h
+/// Flat-array count statistics over code vectors: the single pass that
+/// feeds Naive Bayes, the information-theoretic scores, and the skew
+/// guard.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+/// Marginal counts of a code vector over a domain of `cardinality` values.
+std::vector<uint64_t> MarginalCounts(const std::vector<uint32_t>& codes,
+                                     uint32_t cardinality);
+
+/// Joint counts of (F, Y) stored row-major: count(f, y) at [f * y_card + y].
+///
+/// Built in one pass; O(|D_F| * |D_Y|) memory. This is the core statistic
+/// for mutual information, information gain ratio, and NB likelihoods.
+class ContingencyTable {
+ public:
+  /// Counts pairs; the vectors must have equal length and codes must be
+  /// within their cardinalities.
+  ContingencyTable(const std::vector<uint32_t>& f_codes,
+                   const std::vector<uint32_t>& y_codes, uint32_t f_card,
+                   uint32_t y_card);
+
+  /// Joint count n(f, y).
+  uint64_t count(uint32_t f, uint32_t y) const {
+    HAMLET_DCHECK(f < f_card_ && y < y_card_, "cell (%u,%u) out of range", f,
+                  y);
+    return cells_[static_cast<size_t>(f) * y_card_ + y];
+  }
+
+  /// Marginal count n(f, ·).
+  uint64_t f_marginal(uint32_t f) const { return f_marginals_[f]; }
+
+  /// Marginal count n(·, y).
+  uint64_t y_marginal(uint32_t y) const { return y_marginals_[y]; }
+
+  /// Total observations n.
+  uint64_t total() const { return total_; }
+
+  uint32_t f_cardinality() const { return f_card_; }
+  uint32_t y_cardinality() const { return y_card_; }
+
+ private:
+  uint32_t f_card_;
+  uint32_t y_card_;
+  uint64_t total_;
+  std::vector<uint64_t> cells_;
+  std::vector<uint64_t> f_marginals_;
+  std::vector<uint64_t> y_marginals_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STATS_CONTINGENCY_H_

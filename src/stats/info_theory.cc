@@ -1,0 +1,107 @@
+#include "stats/info_theory.h"
+
+#include <cmath>
+
+namespace hamlet {
+
+namespace {
+inline double Log2(double x) { return std::log2(x); }
+}  // namespace
+
+double EntropyFromCounts(const std::vector<uint64_t>& counts) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double n = static_cast<double>(total);
+  for (uint64_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / n;
+    h -= p * Log2(p);
+  }
+  return h;
+}
+
+double Entropy(const std::vector<uint32_t>& codes, uint32_t cardinality) {
+  return EntropyFromCounts(MarginalCounts(codes, cardinality));
+}
+
+double ConditionalEntropy(const ContingencyTable& table) {
+  if (table.total() == 0) return 0.0;
+  const double n = static_cast<double>(table.total());
+  double h = 0.0;
+  for (uint32_t f = 0; f < table.f_cardinality(); ++f) {
+    uint64_t nf = table.f_marginal(f);
+    if (nf == 0) continue;
+    double hy_given_f = 0.0;
+    for (uint32_t y = 0; y < table.y_cardinality(); ++y) {
+      uint64_t nfy = table.count(f, y);
+      if (nfy == 0) continue;
+      double p = static_cast<double>(nfy) / static_cast<double>(nf);
+      hy_given_f -= p * Log2(p);
+    }
+    h += (static_cast<double>(nf) / n) * hy_given_f;
+  }
+  return h;
+}
+
+double MutualInformation(const ContingencyTable& table) {
+  std::vector<uint64_t> y_counts(table.y_cardinality());
+  for (uint32_t y = 0; y < table.y_cardinality(); ++y) {
+    y_counts[y] = table.y_marginal(y);
+  }
+  double mi = EntropyFromCounts(y_counts) - ConditionalEntropy(table);
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+double MutualInformation(const std::vector<uint32_t>& f_codes,
+                         const std::vector<uint32_t>& y_codes,
+                         uint32_t f_card, uint32_t y_card) {
+  return MutualInformation(
+      ContingencyTable(f_codes, y_codes, f_card, y_card));
+}
+
+double InformationGainRatio(const ContingencyTable& table) {
+  std::vector<uint64_t> f_counts(table.f_cardinality());
+  for (uint32_t f = 0; f < table.f_cardinality(); ++f) {
+    f_counts[f] = table.f_marginal(f);
+  }
+  double hf = EntropyFromCounts(f_counts);
+  if (hf <= 0.0) return 0.0;
+  return MutualInformation(table) / hf;
+}
+
+double InformationGainRatio(const std::vector<uint32_t>& f_codes,
+                            const std::vector<uint32_t>& y_codes,
+                            uint32_t f_card, uint32_t y_card) {
+  return InformationGainRatio(
+      ContingencyTable(f_codes, y_codes, f_card, y_card));
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  HAMLET_CHECK(xs.size() == ys.size(),
+               "correlation inputs differ in length: %zu vs %zu", xs.size(),
+               ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace hamlet

@@ -1,0 +1,53 @@
+#ifndef HAMLET_STATS_INFO_THEORY_H_
+#define HAMLET_STATS_INFO_THEORY_H_
+
+/// \file info_theory.h
+/// Entropy, mutual information, and information gain ratio — the feature
+/// relevancy scores of Section 3.1 (Definitions B.1–B.2) and the filter
+/// scoring functions of Section 2.2. All quantities are in bits (log2),
+/// matching the paper's H(Y) < 0.5 "≈ 90%:10% split" skew guard.
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/contingency.h"
+
+namespace hamlet {
+
+/// Shannon entropy (bits) of a distribution given by counts; zero counts
+/// contribute zero. Returns 0 for an all-zero vector.
+double EntropyFromCounts(const std::vector<uint64_t>& counts);
+
+/// Entropy H(F) (bits) of a code vector over `cardinality` categories.
+double Entropy(const std::vector<uint32_t>& codes, uint32_t cardinality);
+
+/// Conditional entropy H(Y|F) (bits) from a contingency table.
+double ConditionalEntropy(const ContingencyTable& table);
+
+/// Mutual information I(F;Y) = H(Y) − H(Y|F) (bits). Always ≥ 0 up to
+/// round-off (clamped at 0).
+double MutualInformation(const ContingencyTable& table);
+
+/// Convenience overload building the contingency table internally.
+double MutualInformation(const std::vector<uint32_t>& f_codes,
+                         const std::vector<uint32_t>& y_codes,
+                         uint32_t f_card, uint32_t y_card);
+
+/// Information gain ratio IGR(F;Y) = I(F;Y) / H(F). Returns 0 when
+/// H(F) = 0 (constant feature carries no information).
+double InformationGainRatio(const ContingencyTable& table);
+
+/// Convenience overload.
+double InformationGainRatio(const std::vector<uint32_t>& f_codes,
+                            const std::vector<uint32_t>& y_codes,
+                            uint32_t f_card, uint32_t y_card);
+
+/// Pearson correlation coefficient of two equal-length series (used to
+/// reproduce the ROR-vs-1/sqrt(TR) linearity of Figure 4(C), r ≈ 0.97).
+/// Returns 0 if either series is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STATS_INFO_THEORY_H_

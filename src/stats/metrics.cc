@@ -1,0 +1,71 @@
+#include "stats/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+double ZeroOneError(const std::vector<uint32_t>& truth,
+                    const std::vector<uint32_t>& predicted) {
+  HAMLET_CHECK(truth.size() == predicted.size(),
+               "metric inputs differ in length: %zu vs %zu", truth.size(),
+               predicted.size());
+  if (truth.empty()) return 0.0;
+  uint64_t wrong = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    wrong += (truth[i] != predicted[i]) ? 1 : 0;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(truth.size());
+}
+
+double RootMeanSquaredError(const std::vector<uint32_t>& truth,
+                            const std::vector<uint32_t>& predicted,
+                            const std::vector<double>& class_values) {
+  HAMLET_CHECK(truth.size() == predicted.size(),
+               "metric inputs differ in length: %zu vs %zu", truth.size(),
+               predicted.size());
+  if (truth.empty()) return 0.0;
+  double sq = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    HAMLET_DCHECK(truth[i] < class_values.size(), "truth code out of range");
+    HAMLET_DCHECK(predicted[i] < class_values.size(),
+                  "prediction code out of range");
+    double d = class_values[truth[i]] - class_values[predicted[i]];
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(truth.size()));
+}
+
+double RootMeanSquaredError(const std::vector<uint32_t>& truth,
+                            const std::vector<uint32_t>& predicted) {
+  uint32_t max_code = 0;
+  for (uint32_t t : truth) max_code = t > max_code ? t : max_code;
+  for (uint32_t p : predicted) max_code = p > max_code ? p : max_code;
+  std::vector<double> values(max_code + 1);
+  for (uint32_t c = 0; c <= max_code; ++c) values[c] = c;
+  return RootMeanSquaredError(truth, predicted, values);
+}
+
+const char* ErrorMetricToString(ErrorMetric metric) {
+  switch (metric) {
+    case ErrorMetric::kZeroOne:
+      return "zero-one";
+    case ErrorMetric::kRmse:
+      return "RMSE";
+  }
+  return "unknown";
+}
+
+double ComputeError(ErrorMetric metric, const std::vector<uint32_t>& truth,
+                    const std::vector<uint32_t>& predicted) {
+  switch (metric) {
+    case ErrorMetric::kZeroOne:
+      return ZeroOneError(truth, predicted);
+    case ErrorMetric::kRmse:
+      return RootMeanSquaredError(truth, predicted);
+  }
+  return 0.0;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,42 @@
+#ifndef HAMLET_STATS_METRICS_H_
+#define HAMLET_STATS_METRICS_H_
+
+/// \file metrics.h
+/// Error metrics used in the evaluation: zero-one error for binary targets
+/// (Expedia, Flights) and RMSE for multi-class ordinal targets (the rating
+/// datasets), per Section 5.1.
+
+#include <cstdint>
+#include <vector>
+
+namespace hamlet {
+
+/// Fraction of positions where predicted != truth. Empty input → 0.
+double ZeroOneError(const std::vector<uint32_t>& truth,
+                    const std::vector<uint32_t>& predicted);
+
+/// Root mean squared error treating class codes as ordinal values through
+/// `class_values` (class_values[code] = numeric value). Empty input → 0.
+double RootMeanSquaredError(const std::vector<uint32_t>& truth,
+                            const std::vector<uint32_t>& predicted,
+                            const std::vector<double>& class_values);
+
+/// RMSE with class code c valued as c itself (ratings coded 0..k-1 keep
+/// their spacing; paper's star ratings shift by a constant, which RMSE
+/// ignores).
+double RootMeanSquaredError(const std::vector<uint32_t>& truth,
+                            const std::vector<uint32_t>& predicted);
+
+/// Which metric a dataset reports.
+enum class ErrorMetric { kZeroOne, kRmse };
+
+/// "zero-one" / "RMSE".
+const char* ErrorMetricToString(ErrorMetric metric);
+
+/// Dispatches on `metric` (RMSE uses identity class values).
+double ComputeError(ErrorMetric metric, const std::vector<uint32_t>& truth,
+                    const std::vector<uint32_t>& predicted);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STATS_METRICS_H_

@@ -1,0 +1,88 @@
+#include "theory/bias_variance.h"
+
+namespace hamlet {
+
+BiasVarianceAccumulator::BiasVarianceAccumulator(
+    std::vector<std::vector<double>> true_conditionals)
+    : true_conditionals_(std::move(true_conditionals)) {
+  HAMLET_CHECK(!true_conditionals_.empty(),
+               "bias/variance needs at least one test point");
+  num_classes_ = static_cast<uint32_t>(true_conditionals_[0].size());
+  HAMLET_CHECK(num_classes_ >= 2, "bias/variance needs >= 2 classes");
+  for (const auto& cond : true_conditionals_) {
+    HAMLET_CHECK(cond.size() == num_classes_,
+                 "ragged true-conditional matrix");
+  }
+  vote_counts_.assign(true_conditionals_.size() * num_classes_, 0);
+}
+
+void BiasVarianceAccumulator::AddModel(
+    const std::vector<uint32_t>& predictions) {
+  HAMLET_CHECK(predictions.size() == true_conditionals_.size(),
+               "model predicted %zu points, test set has %zu",
+               predictions.size(), true_conditionals_.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    uint32_t p = predictions[i];
+    HAMLET_DCHECK(p < num_classes_, "prediction out of class range");
+    ++vote_counts_[i * num_classes_ + p];
+    // Expected zero-one loss of this prediction under the true P(Y|x).
+    sum_expected_loss_ += 1.0 - true_conditionals_[i][p];
+  }
+  ++num_models_;
+}
+
+BiasVarianceResult BiasVarianceAccumulator::Finalize() const {
+  HAMLET_CHECK(num_models_ >= 1, "Finalize() with no models added");
+  BiasVarianceResult out;
+  const size_t n_points = true_conditionals_.size();
+  out.num_points = n_points;
+
+  for (size_t i = 0; i < n_points; ++i) {
+    const std::vector<double>& cond = true_conditionals_[i];
+    // Optimal prediction t and noise.
+    uint32_t optimal = 0;
+    for (uint32_t y = 1; y < num_classes_; ++y) {
+      if (cond[y] > cond[optimal]) optimal = y;
+    }
+    double noise = 1.0 - cond[optimal];
+
+    // Main prediction y_m: the mode of the models' votes.
+    const uint32_t* votes = &vote_counts_[i * num_classes_];
+    uint32_t main_pred = 0;
+    for (uint32_t y = 1; y < num_classes_; ++y) {
+      if (votes[y] > votes[main_pred]) main_pred = y;
+    }
+
+    double bias = (main_pred == optimal) ? 0.0 : 1.0;
+    double variance =
+        1.0 - static_cast<double>(votes[main_pred]) /
+                  static_cast<double>(num_models_);
+
+    out.avg_bias += bias;
+    out.avg_variance += variance;
+    out.avg_net_variance += (1.0 - 2.0 * bias) * variance;
+    out.avg_noise += noise;
+  }
+
+  const double inv = 1.0 / static_cast<double>(n_points);
+  out.avg_bias *= inv;
+  out.avg_variance *= inv;
+  out.avg_net_variance *= inv;
+  out.avg_noise *= inv;
+  out.avg_test_error =
+      sum_expected_loss_ /
+      (static_cast<double>(n_points) * static_cast<double>(num_models_));
+  return out;
+}
+
+BiasVarianceResult DecomposeBiasVariance(
+    const std::vector<std::vector<uint32_t>>& predictions,
+    const std::vector<std::vector<double>>& true_conditionals) {
+  BiasVarianceAccumulator acc(true_conditionals);
+  for (const auto& model_preds : predictions) {
+    acc.AddModel(model_preds);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace hamlet

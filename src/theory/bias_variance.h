@@ -1,0 +1,74 @@
+#ifndef HAMLET_THEORY_BIAS_VARIANCE_H_
+#define HAMLET_THEORY_BIAS_VARIANCE_H_
+
+/// \file bias_variance.h
+/// The unified bias/variance decomposition of Domingos (ICML 2000) for
+/// zero-one loss, as used in Section 4.1 (Definitions 4.1–4.2, Eq. (1)):
+///
+///   E[L(t, c_M(x))] = B(x) + (1 − 2B(x))·V(x) + c·N(x)
+///
+/// with t the optimal prediction, y_m the *main prediction* (mode across
+/// models trained on different training sets), B(x) = L(t, y_m),
+/// V(x) = E_S[L(y_m, y)], and N(x) the irreducible noise. The simulation
+/// study knows the true conditional P(Y|x) of every test point, so all
+/// terms are computable exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+/// Averages over a test set of the decomposition's terms.
+struct BiasVarianceResult {
+  /// Average expected zero-one test error: mean over models and test
+  /// points of P(Y != prediction | x).
+  double avg_test_error = 0.0;
+  /// Average bias B(x).
+  double avg_bias = 0.0;
+  /// Average raw variance V(x).
+  double avg_variance = 0.0;
+  /// Average net variance (1 − 2B(x))·V(x) — the quantity Figure 3 plots.
+  double avg_net_variance = 0.0;
+  /// Average noise N(x) = 1 − max_y P(y|x).
+  double avg_noise = 0.0;
+  /// Number of test points aggregated.
+  uint64_t num_points = 0;
+};
+
+/// Decomposes predictions from |S| models over a shared test set.
+///
+/// `predictions[m][i]` is model m's class for test point i;
+/// `true_conditionals[i][y]` is P(Y = y | x_i) under the data-generating
+/// distribution. All models must predict every point.
+BiasVarianceResult DecomposeBiasVariance(
+    const std::vector<std::vector<uint32_t>>& predictions,
+    const std::vector<std::vector<double>>& true_conditionals);
+
+/// Streaming accumulator when holding all predictions is wasteful: feed
+/// per-model prediction vectors one at a time, then Finalize().
+class BiasVarianceAccumulator {
+ public:
+  /// `true_conditionals[i][y]` as above; fixed across models.
+  explicit BiasVarianceAccumulator(
+      std::vector<std::vector<double>> true_conditionals);
+
+  /// Adds one trained model's predictions over the full test set.
+  void AddModel(const std::vector<uint32_t>& predictions);
+
+  /// Computes the decomposition over all added models (≥ 1).
+  BiasVarianceResult Finalize() const;
+
+ private:
+  std::vector<std::vector<double>> true_conditionals_;
+  uint32_t num_classes_ = 0;
+  // vote_counts_[i * num_classes_ + y]: how many models predicted y at i.
+  std::vector<uint32_t> vote_counts_;
+  double sum_expected_loss_ = 0.0;  // Across models and points.
+  uint64_t num_models_ = 0;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_THEORY_BIAS_VARIANCE_H_

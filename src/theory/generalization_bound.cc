@@ -1,0 +1,28 @@
+#include "theory/generalization_bound.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+double VcBoundTerm(uint64_t vc_dimension, uint64_t n) {
+  HAMLET_CHECK(vc_dimension > 0 && n > 0,
+               "VcBoundTerm requires positive v and n");
+  const double v = static_cast<double>(vc_dimension);
+  const double nn = static_cast<double>(n);
+  // 2e·n/v; the theorem regime n > v keeps the log positive.
+  const double arg = 2.0 * M_E * nn / v;
+  const double lg = std::log(arg);
+  return std::sqrt(v * (lg > 0.0 ? lg : 0.0));
+}
+
+double VcGeneralizationBound(uint64_t vc_dimension, uint64_t n,
+                             double delta) {
+  HAMLET_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const double nn = static_cast<double>(n);
+  return (4.0 + VcBoundTerm(vc_dimension, n)) /
+         (delta * std::sqrt(2.0 * nn));
+}
+
+}  // namespace hamlet

@@ -1,0 +1,28 @@
+#ifndef HAMLET_THEORY_GENERALIZATION_BOUND_H_
+#define HAMLET_THEORY_GENERALIZATION_BOUND_H_
+
+/// \file generalization_bound.h
+/// Theorem 3.2 (Shalev-Shwartz & Ben-David, p. 51): with probability
+/// ≥ 1 − δ over the choice of a training set of size n > v,
+///
+///   |test error − train error| ≤ (4 + sqrt(v·log(2en/v))) / (δ·sqrt(2n)).
+///
+/// The ROR (core/ror.h) is the difference of this bound's v-dependent
+/// term between the join-avoided and join-performed models.
+
+#include <cstdint>
+
+namespace hamlet {
+
+/// The full Theorem 3.2 right-hand side. Requires n > 0, v > 0 and is
+/// intended for n > v (the theorem's regime); values for n ≤ v are
+/// returned as-is and are simply loose.
+double VcGeneralizationBound(uint64_t vc_dimension, uint64_t n, double delta);
+
+/// The v-dependent numerator term sqrt(v·log(2en/v)) — the piece the ROR
+/// differences (the constant 4/(δ√2n) cancels).
+double VcBoundTerm(uint64_t vc_dimension, uint64_t n);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_THEORY_GENERALIZATION_BOUND_H_

@@ -1,0 +1,47 @@
+#include "theory/multiclass_dimension.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hamlet {
+
+double MulticlassDimensionBound(uint64_t one_hot_dims,
+                                uint32_t num_classes) {
+  HAMLET_CHECK(one_hot_dims > 0 && num_classes >= 2,
+               "multiclass bound needs dims > 0 and K >= 2");
+  const double vk = static_cast<double>(one_hot_dims) *
+                    static_cast<double>(num_classes);
+  return vk * std::log2(vk + 1.0);
+}
+
+namespace {
+
+// The v-dependent bound term sqrt(v log(2en/v)) evaluated at a real-valued
+// capacity (the multiclass bound is not integral).
+double BoundTerm(double v, uint64_t n) {
+  const double arg = 2.0 * M_E * static_cast<double>(n) / v;
+  const double lg = std::log(arg);
+  return std::sqrt(v * (lg > 0.0 ? lg : 0.0));
+}
+
+}  // namespace
+
+double MulticlassWorstCaseRor(uint64_t n_train, uint64_t fk_domain_size,
+                              uint64_t min_foreign_domain_size,
+                              uint32_t num_classes, double delta) {
+  HAMLET_CHECK(n_train > 0 && fk_domain_size > 0, "positive inputs required");
+  HAMLET_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const uint64_t q_star =
+      std::min(min_foreign_domain_size, fk_domain_size);
+  const double v_yes = MulticlassDimensionBound(fk_domain_size, num_classes);
+  const double v_no =
+      MulticlassDimensionBound(std::max<uint64_t>(q_star, 1), num_classes);
+  const double ror =
+      (BoundTerm(v_yes, n_train) - BoundTerm(v_no, n_train)) /
+      (delta * std::sqrt(2.0 * static_cast<double>(n_train)));
+  return ror < 0.0 ? 0.0 : ror;
+}
+
+}  // namespace hamlet

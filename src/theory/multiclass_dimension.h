@@ -1,0 +1,36 @@
+#ifndef HAMLET_THEORY_MULTICLASS_DIMENSION_H_
+#define HAMLET_THEORY_MULTICLASS_DIMENSION_H_
+
+/// \file multiclass_dimension.h
+/// Multi-class capacity bounds (Section 4.2, "Multi-Class Case"). The VC
+/// dimension is a two-class notion; its multi-class generalizations — the
+/// Natarajan dimension and the graph dimension (Shalev-Shwartz &
+/// Ben-David ch. 29; Daniely et al., NIPS 2012) — are bounded for
+/// "linear" classifiers by a log-linear factor in the product of the
+/// total number of feature values V and the number of classes K. The
+/// paper uses this to argue the binary-calibrated ROR rule is (if
+/// anything) *stricter* than needed for multi-class targets, in line with
+/// its conservatism principle.
+
+#include <cstdint>
+
+namespace hamlet {
+
+/// The log-linear multi-class capacity bound the paper cites:
+///   dim ≤ V·K · log2(V·K)   (V = sum of one-hot dimensions + bias,
+///                            K = number of classes; constant factor 1).
+/// For K = 2 this intentionally dominates the binary VC dimension, so a
+/// rule thresholded against it is more conservative, never less.
+double MulticlassDimensionBound(uint64_t one_hot_dims, uint32_t num_classes);
+
+/// A multi-class variant of the worst-case ROR: both hypothetical models
+/// are measured with the multi-class capacity bound instead of the binary
+/// VC dimension. Strictly larger than the binary worst-case ROR for
+/// K ≥ 2, hence a stricter avoidance test (Section 4.2's expectation).
+double MulticlassWorstCaseRor(uint64_t n_train, uint64_t fk_domain_size,
+                              uint64_t min_foreign_domain_size,
+                              uint32_t num_classes, double delta = 0.1);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_THEORY_MULTICLASS_DIMENSION_H_

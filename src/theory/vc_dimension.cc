@@ -1,0 +1,25 @@
+#include "theory/vc_dimension.h"
+
+namespace hamlet {
+
+uint64_t LinearVcDimension(const std::vector<uint32_t>& cardinalities) {
+  uint64_t v = 1;
+  for (uint32_t c : cardinalities) {
+    v += (c >= 1) ? (c - 1) : 0;
+  }
+  return v;
+}
+
+uint64_t LinearVcDimension(const EncodedDataset& data,
+                           const std::vector<uint32_t>& features) {
+  std::vector<uint32_t> cards;
+  cards.reserve(features.size());
+  for (uint32_t j : features) cards.push_back(data.meta(j).cardinality);
+  return LinearVcDimension(cards);
+}
+
+uint64_t ForeignKeyVcDimension(uint32_t fk_domain_size) {
+  return fk_domain_size;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,33 @@
+#ifndef HAMLET_THEORY_VC_DIMENSION_H_
+#define HAMLET_THEORY_VC_DIMENSION_H_
+
+/// \file vc_dimension.h
+/// VC dimensions for "linear" classifiers over one-hot-recoded nominal
+/// features (Section 3.2): a feature F contributes |D_F| − 1 binary
+/// dimensions (last category = zero vector) and the model has one bias,
+/// so v = 1 + sum_F (|D_F| − 1). A model using a lone foreign key has
+/// v = |D_FK| — the quantity the ROR compares against.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/encoded_dataset.h"
+
+namespace hamlet {
+
+/// v = 1 + sum (cardinality − 1) for linear models (NB, logistic
+/// regression) over one-hot nominal features.
+uint64_t LinearVcDimension(const std::vector<uint32_t>& cardinalities);
+
+/// Convenience over an encoded dataset's feature subset.
+uint64_t LinearVcDimension(const EncodedDataset& data,
+                           const std::vector<uint32_t>& features);
+
+/// The VC dimension of *any* classifier using only the lone feature FK:
+/// |D_FK| (Section 3.2: "the maximum VC dimension for any classifier is
+/// |D_FK|, matched by almost all popular classifiers").
+uint64_t ForeignKeyVcDimension(uint32_t fk_domain_size);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_THEORY_VC_DIMENSION_H_

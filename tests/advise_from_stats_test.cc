@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "datasets/registry.h"
+
+namespace hamlet {
+namespace {
+
+CandidateTableStats Candidate(const char* fk, const char* table,
+                              uint64_t rows, uint64_t q_star = 2,
+                              bool closed = true) {
+  CandidateTableStats s;
+  s.fk_column = fk;
+  s.table_name = table;
+  s.num_rows = rows;
+  s.min_feature_domain = q_star;
+  s.closed_domain = closed;
+  return s;
+}
+
+TEST(AdviseFromStatsTest, PureMetadataDecisions) {
+  // The source-selection pitch: rule on tables that were never loaded.
+  auto plan = AdviseJoinsFromStats(
+      10000, /*label_entropy_bits=*/1.0,
+      {Candidate("SmallID", "Small", 100),      // TR = 100: avoid.
+       Candidate("BigID", "Big", 4000)});       // TR = 2.5: join.
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->fks_avoided, (std::vector<std::string>{"SmallID"}));
+  EXPECT_EQ(plan->fks_to_join, (std::vector<std::string>{"BigID"}));
+  EXPECT_EQ(plan->n_train, 10000u);
+}
+
+TEST(AdviseFromStatsTest, MatchesTableBackedAdvisorOnRealDatasets) {
+  // Feeding the Figure 6 metadata by hand must reproduce the
+  // table-backed advisor's plan exactly.
+  for (const auto& name : {"Walmart", "Yelp", "Flights"}) {
+    auto ds = *MakeDataset(name, 0.05, 11);
+    auto table_plan = *AdviseJoins(ds);
+
+    std::vector<CandidateTableStats> stats;
+    for (const TableAdvice& a : table_plan.advice) {
+      CandidateTableStats s;
+      s.fk_column = a.fk_column;
+      s.table_name = a.table_name;
+      s.num_rows = a.n_r;
+      s.min_feature_domain = a.min_foreign_domain;
+      s.closed_domain = a.closed_domain;
+      stats.push_back(s);
+    }
+    auto stats_plan = *AdviseJoinsFromStats(
+        table_plan.n_train, table_plan.skew_guard.label_entropy_bits,
+        stats);
+    EXPECT_EQ(stats_plan.fks_avoided, table_plan.fks_avoided) << name;
+    EXPECT_EQ(stats_plan.fks_to_join, table_plan.fks_to_join) << name;
+    for (size_t i = 0; i < stats_plan.advice.size(); ++i) {
+      EXPECT_DOUBLE_EQ(stats_plan.advice[i].ror,
+                       table_plan.advice[i].ror)
+          << name << " table " << i;
+    }
+  }
+}
+
+TEST(AdviseFromStatsTest, UnknownLabelDistributionNeverBlocks) {
+  // Passing >= 1 bit (the "not yet known" convention) keeps the guard
+  // out of the way.
+  auto plan = *AdviseJoinsFromStats(10000, 1.0,
+                                    {Candidate("A", "TA", 100)});
+  EXPECT_TRUE(plan.skew_guard.passes);
+  EXPECT_EQ(plan.fks_avoided.size(), 1u);
+}
+
+TEST(AdviseFromStatsTest, SkewGuardStillApplies) {
+  auto plan = *AdviseJoinsFromStats(10000, /*label_entropy_bits=*/0.3,
+                                    {Candidate("A", "TA", 100)});
+  EXPECT_FALSE(plan.skew_guard.passes);
+  EXPECT_TRUE(plan.fks_avoided.empty());
+}
+
+TEST(AdviseFromStatsTest, OpenDomainNeverAvoided) {
+  auto plan = *AdviseJoinsFromStats(
+      10000, 1.0, {Candidate("Ev", "Events", 10, 2, /*closed=*/false)});
+  EXPECT_TRUE(plan.fks_avoided.empty());
+  EXPECT_NE(plan.advice[0].rationale.find("open-domain"),
+            std::string::npos);
+}
+
+TEST(AdviseFromStatsTest, BadInputsRejected) {
+  EXPECT_FALSE(
+      AdviseJoinsFromStats(0, 1.0, {Candidate("A", "TA", 10)}).ok());
+  EXPECT_FALSE(
+      AdviseJoinsFromStats(100, 1.0, {Candidate("A", "TA", 0)}).ok());
+}
+
+TEST(AdviseFromStatsTest, EmptyCandidateListIsValid) {
+  auto plan = *AdviseJoinsFromStats(100, 1.0, {});
+  EXPECT_TRUE(plan.advice.empty());
+  EXPECT_TRUE(plan.fks_to_join.empty());
+}
+
+}  // namespace
+}  // namespace hamlet

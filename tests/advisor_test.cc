@@ -1,0 +1,196 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace hamlet {
+namespace {
+
+// Builds a star schema with two attribute tables whose sizes straddle the
+// TR threshold: n_s / n_small >= tau (avoidable), n_s / n_big < tau.
+struct AdvisorFixture {
+  NormalizedDataset dataset;
+
+  explicit AdvisorFixture(uint32_t n_s = 4000, uint32_t n_small = 50,
+                          uint32_t n_big = 1000, double p_y1 = 0.5,
+                          bool big_closed = true) {
+    Rng rng(99);
+    Table small = MakeAttr("Small", "SmallID", n_small, 4);
+    Table big = MakeAttr("Big", "BigID", n_big, 6);
+    Schema s_schema(
+        {ColumnSpec::PrimaryKey("SID"), ColumnSpec::Target("Y"),
+         ColumnSpec::Feature("XS"),
+         ColumnSpec::ForeignKey("SmallID", "Small"),
+         ColumnSpec::ForeignKey("BigID", "Big", big_closed)});
+    TableBuilder b("S", s_schema,
+                   {nullptr, nullptr, nullptr, small.column(0).domain(),
+                    big.column(0).domain()});
+    for (uint32_t i = 0; i < n_s; ++i) {
+      EXPECT_TRUE(
+          b.AppendRowLabels(
+               {"r" + std::to_string(i),
+                rng.Bernoulli(p_y1) ? "1" : "0",
+                "x" + std::to_string(rng.Uniform(3)),
+                "SmallID_" + std::to_string(rng.Uniform(n_small)),
+                "BigID_" + std::to_string(rng.Uniform(n_big))})
+              .ok());
+    }
+    auto ds = NormalizedDataset::Make("Fixture", b.Build(), {small, big});
+    EXPECT_TRUE(ds.ok()) << ds.status();
+    dataset = *std::move(ds);
+  }
+
+  static Table MakeAttr(const std::string& name, const std::string& pk,
+                        uint32_t rows, uint32_t feature_card) {
+    Schema schema({ColumnSpec::PrimaryKey(pk),
+                   ColumnSpec::Feature(name + "_F1"),
+                   ColumnSpec::Feature(name + "_F2")});
+    auto f1 = Domain::Dense(feature_card, "a");
+    auto f2 = Domain::Dense(feature_card + 2, "b");
+    TableBuilder b(name, schema,
+                   {Domain::Dense(rows, pk + "_"), f1, f2});
+    Rng rng(7);
+    for (uint32_t i = 0; i < rows; ++i) {
+      b.AppendRowCodes({i, rng.Uniform(feature_card),
+                        rng.Uniform(feature_card + 2)});
+    }
+    return b.Build();
+  }
+};
+
+TEST(AdvisorTest, SplitsDecisionByTupleRatio) {
+  AdvisorFixture f;
+  auto plan = AdviseJoins(f.dataset);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->advice.size(), 2u);
+  // n_train = 2000; TR(Small) = 40 >= 20 -> avoid; TR(Big) = 2 -> join.
+  EXPECT_TRUE(plan->advice[0].avoid);
+  EXPECT_FALSE(plan->advice[1].avoid);
+  ASSERT_EQ(plan->fks_avoided.size(), 1u);
+  EXPECT_EQ(plan->fks_avoided[0], "SmallID");
+  ASSERT_EQ(plan->fks_to_join.size(), 1u);
+  EXPECT_EQ(plan->fks_to_join[0], "BigID");
+}
+
+TEST(AdvisorTest, DiagnosticsArePopulated) {
+  AdvisorFixture f;
+  auto plan = *AdviseJoins(f.dataset);
+  const TableAdvice& small = plan.advice[0];
+  EXPECT_EQ(small.table_name, "Small");
+  EXPECT_EQ(small.n_r, 50u);
+  EXPECT_EQ(small.min_foreign_domain, 4u);  // min(card 4, card 6).
+  EXPECT_DOUBLE_EQ(small.tuple_ratio, 40.0);
+  EXPECT_GT(small.ror, 0.0);
+  EXPECT_FALSE(small.rationale.empty());
+  EXPECT_EQ(plan.n_train, 2000u);
+}
+
+TEST(AdvisorTest, RorRuleOptionUsed) {
+  AdvisorFixture f;
+  AdvisorOptions options;
+  options.rule = AvoidanceRule::kRor;
+  auto plan = *AdviseJoins(f.dataset, options);
+  // Same qualitative split at the paper thresholds.
+  EXPECT_TRUE(plan.advice[0].avoid);
+  EXPECT_FALSE(plan.advice[1].avoid);
+}
+
+TEST(AdvisorTest, BothRuleIsMostConservative) {
+  AdvisorFixture f;
+  AdvisorOptions both;
+  both.rule = AvoidanceRule::kBoth;
+  auto plan = *AdviseJoins(f.dataset, both);
+  for (const auto& advice : plan.advice) {
+    if (advice.avoid) {
+      EXPECT_TRUE(advice.tr_verdict.safe_to_avoid);
+      EXPECT_TRUE(advice.ror_verdict.safe_to_avoid);
+    }
+  }
+}
+
+TEST(AdvisorTest, OpenDomainFkNeverAvoided) {
+  AdvisorFixture f(4000, 50, 1000, 0.5, /*big_closed=*/false);
+  // Make even the big table's TR huge by using a tiny one? Simpler: check
+  // the open-domain FK joins regardless and the rationale says so.
+  auto plan = *AdviseJoins(f.dataset);
+  const TableAdvice& big = plan.advice[1];
+  EXPECT_FALSE(big.closed_domain);
+  EXPECT_FALSE(big.avoid);
+  EXPECT_NE(big.rationale.find("open-domain"), std::string::npos);
+}
+
+TEST(AdvisorTest, SkewGuardBlocksAllAvoidance) {
+  AdvisorFixture f(4000, 50, 1000, /*p_y1=*/0.05);  // H(Y) ~ 0.29 bits.
+  auto plan = *AdviseJoins(f.dataset);
+  EXPECT_FALSE(plan.skew_guard.passes);
+  EXPECT_TRUE(plan.fks_avoided.empty());
+  for (const auto& advice : plan.advice) {
+    EXPECT_FALSE(advice.avoid);
+  }
+  EXPECT_NE(plan.advice[0].rationale.find("skew guard"),
+            std::string::npos);
+}
+
+TEST(AdvisorTest, SkewGuardCanBeDisabled) {
+  AdvisorFixture f(4000, 50, 1000, 0.05);
+  AdvisorOptions options;
+  options.apply_skew_guard = false;
+  auto plan = *AdviseJoins(f.dataset, options);
+  EXPECT_EQ(plan.fks_avoided.size(), 1u);
+}
+
+TEST(AdvisorTest, LooserToleranceAvoidsMore) {
+  // Big table TR = 2000/200 = 10: joined at tolerance 0.001 (tau 20) but
+  // avoided at 0.01 (tau 10).
+  AdvisorFixture f(4000, 50, 200);
+  AdvisorOptions strict;
+  strict.error_tolerance = 0.001;
+  AdvisorOptions loose;
+  loose.error_tolerance = 0.01;
+  auto strict_plan = *AdviseJoins(f.dataset, strict);
+  auto loose_plan = *AdviseJoins(f.dataset, loose);
+  EXPECT_EQ(strict_plan.fks_avoided.size(), 1u);
+  EXPECT_EQ(loose_plan.fks_avoided.size(), 2u);
+}
+
+TEST(AdvisorTest, ExplicitThresholdsOverride) {
+  AdvisorFixture f;
+  AdvisorOptions options;
+  options.use_explicit_thresholds = true;
+  options.explicit_thresholds = {0.0, 1e9};  // tau so high nothing avoids.
+  auto plan = *AdviseJoins(f.dataset, options);
+  EXPECT_TRUE(plan.fks_avoided.empty());
+}
+
+TEST(AdvisorTest, TrainFractionScalesN) {
+  AdvisorFixture f;
+  AdvisorOptions options;
+  options.train_fraction = 0.25;
+  auto plan = *AdviseJoins(f.dataset, options);
+  EXPECT_EQ(plan.n_train, 1000u);
+  // TR(Small) drops to 20: exactly at tau -> still avoid.
+  EXPECT_TRUE(plan.advice[0].avoid);
+}
+
+TEST(AdvisorTest, InvalidTrainFractionRejected) {
+  AdvisorFixture f;
+  AdvisorOptions options;
+  options.train_fraction = 0.0;
+  EXPECT_FALSE(AdviseJoins(f.dataset, options).ok());
+}
+
+TEST(AdvisorTest, ReportMentionsEveryTable) {
+  AdvisorFixture f;
+  auto plan = *AdviseJoins(f.dataset);
+  std::string report = JoinPlanToString(plan);
+  EXPECT_NE(report.find("Small"), std::string::npos);
+  EXPECT_NE(report.find("Big"), std::string::npos);
+  EXPECT_NE(report.find("AVOID JOIN"), std::string::npos);
+  EXPECT_NE(report.find("n_train = 2000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,105 @@
+#include "theory/bias_variance.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+TEST(BiasVarianceTest, PerfectStableModelHasOnlyNoise) {
+  // Two test points, P(Y=1|x) = 0.9 / 0.1; every model predicts the
+  // optimal class.
+  std::vector<std::vector<double>> cond = {{0.1, 0.9}, {0.9, 0.1}};
+  std::vector<std::vector<uint32_t>> preds = {{1, 0}, {1, 0}, {1, 0}};
+  auto r = DecomposeBiasVariance(preds, cond);
+  EXPECT_DOUBLE_EQ(r.avg_bias, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_variance, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_net_variance, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_noise, 0.1);
+  EXPECT_DOUBLE_EQ(r.avg_test_error, 0.1);
+  EXPECT_EQ(r.num_points, 2u);
+}
+
+TEST(BiasVarianceTest, SystematicallyWrongModelIsPureBias) {
+  std::vector<std::vector<double>> cond = {{0.0, 1.0}};
+  std::vector<std::vector<uint32_t>> preds = {{0}, {0}, {0}};
+  auto r = DecomposeBiasVariance(preds, cond);
+  EXPECT_DOUBLE_EQ(r.avg_bias, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_variance, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_test_error, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_noise, 0.0);
+}
+
+TEST(BiasVarianceTest, UnstableModelShowsVariance) {
+  // 4 models: predictions 1, 1, 1, 0 at a point whose truth is 1 surely.
+  std::vector<std::vector<double>> cond = {{0.0, 1.0}};
+  std::vector<std::vector<uint32_t>> preds = {{1}, {1}, {1}, {0}};
+  auto r = DecomposeBiasVariance(preds, cond);
+  EXPECT_DOUBLE_EQ(r.avg_bias, 0.0);        // Main prediction = 1 = optimal.
+  EXPECT_DOUBLE_EQ(r.avg_variance, 0.25);   // One dissent in four.
+  EXPECT_DOUBLE_EQ(r.avg_net_variance, 0.25);  // Unbiased: (1-0)*V.
+  EXPECT_DOUBLE_EQ(r.avg_test_error, 0.25);
+}
+
+TEST(BiasVarianceTest, NetVarianceFlipsSignOnBiasedPoints) {
+  // Main prediction wrong (bias 1); dissenting models are actually right,
+  // so variance *reduces* the error: net variance = (1-2B)V = -V.
+  std::vector<std::vector<double>> cond = {{0.0, 1.0}};
+  std::vector<std::vector<uint32_t>> preds = {{0}, {0}, {0}, {1}};
+  auto r = DecomposeBiasVariance(preds, cond);
+  EXPECT_DOUBLE_EQ(r.avg_bias, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_variance, 0.25);
+  EXPECT_DOUBLE_EQ(r.avg_net_variance, -0.25);
+  // Eq. (1): error = B + (1-2B)V + noise = 1 - 0.25 = 0.75.
+  EXPECT_DOUBLE_EQ(r.avg_test_error, 0.75);
+}
+
+TEST(BiasVarianceTest, DecompositionIdentityHoldsWithoutNoise) {
+  // With deterministic conditionals, error = B + (1-2B)V exactly
+  // (two-class case, Domingos 2000).
+  std::vector<std::vector<double>> cond = {{1.0, 0.0}, {0.0, 1.0},
+                                           {1.0, 0.0}};
+  std::vector<std::vector<uint32_t>> preds = {{0, 1, 1}, {0, 0, 1},
+                                              {1, 1, 0}, {0, 1, 1}};
+  auto r = DecomposeBiasVariance(preds, cond);
+  EXPECT_NEAR(r.avg_test_error, r.avg_bias + r.avg_net_variance, 1e-12);
+}
+
+TEST(BiasVarianceTest, MulticlassMainPredictionIsMode) {
+  std::vector<std::vector<double>> cond = {{0.2, 0.2, 0.6}};
+  std::vector<std::vector<uint32_t>> preds = {{2}, {1}, {2}, {0}, {2}};
+  auto r = DecomposeBiasVariance(preds, cond);
+  EXPECT_DOUBLE_EQ(r.avg_bias, 0.0);           // Mode 2 = optimal 2.
+  EXPECT_DOUBLE_EQ(r.avg_variance, 0.4);       // 2 of 5 dissent.
+  EXPECT_DOUBLE_EQ(r.avg_noise, 0.4);          // 1 - 0.6.
+}
+
+TEST(BiasVarianceTest, AccumulatorMatchesBatch) {
+  std::vector<std::vector<double>> cond = {{0.3, 0.7}, {0.8, 0.2}};
+  std::vector<std::vector<uint32_t>> preds = {{1, 0}, {0, 0}, {1, 1}};
+  auto batch = DecomposeBiasVariance(preds, cond);
+  BiasVarianceAccumulator acc(cond);
+  for (const auto& p : preds) acc.AddModel(p);
+  auto streamed = acc.Finalize();
+  EXPECT_DOUBLE_EQ(batch.avg_test_error, streamed.avg_test_error);
+  EXPECT_DOUBLE_EQ(batch.avg_bias, streamed.avg_bias);
+  EXPECT_DOUBLE_EQ(batch.avg_variance, streamed.avg_variance);
+  EXPECT_DOUBLE_EQ(batch.avg_net_variance, streamed.avg_net_variance);
+  EXPECT_DOUBLE_EQ(batch.avg_noise, streamed.avg_noise);
+}
+
+TEST(BiasVarianceDeathTest, EmptyTestSetAborts) {
+  EXPECT_DEATH(BiasVarianceAccumulator acc({}), "test point");
+}
+
+TEST(BiasVarianceDeathTest, WrongPredictionLengthAborts) {
+  BiasVarianceAccumulator acc({{0.5, 0.5}});
+  EXPECT_DEATH(acc.AddModel({0, 1}), "predicted");
+}
+
+TEST(BiasVarianceDeathTest, FinalizeWithoutModelsAborts) {
+  BiasVarianceAccumulator acc({{0.5, 0.5}});
+  EXPECT_DEATH((void)acc.Finalize(), "no models");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,115 @@
+#include "stats/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace hamlet {
+namespace {
+
+TEST(BinningTest, FitComputesRange) {
+  EqualWidthBinner b(4);
+  ASSERT_TRUE(b.Fit({1.0, 5.0, 3.0}).ok());
+  EXPECT_TRUE(b.fitted());
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 5.0);
+}
+
+TEST(BinningTest, TransformAssignsEqualWidthBins) {
+  EqualWidthBinner b(4);
+  ASSERT_TRUE(b.Fit({0.0, 4.0}).ok());
+  EXPECT_EQ(b.Transform(0.0), 0u);
+  EXPECT_EQ(b.Transform(0.5), 0u);
+  EXPECT_EQ(b.Transform(1.5), 1u);
+  EXPECT_EQ(b.Transform(2.5), 2u);
+  EXPECT_EQ(b.Transform(3.5), 3u);
+  EXPECT_EQ(b.Transform(4.0), 3u);  // Max lands in the last bin.
+}
+
+TEST(BinningTest, OutOfRangeClamps) {
+  EqualWidthBinner b(3);
+  ASSERT_TRUE(b.Fit({0.0, 3.0}).ok());
+  EXPECT_EQ(b.Transform(-100.0), 0u);
+  EXPECT_EQ(b.Transform(100.0), 2u);
+}
+
+TEST(BinningTest, ConstantSeriesDegeneratesToBinZero) {
+  EqualWidthBinner b(5);
+  ASSERT_TRUE(b.Fit({2.0, 2.0, 2.0}).ok());
+  EXPECT_EQ(b.Transform(2.0), 0u);
+  EXPECT_EQ(b.Transform(99.0), 0u);
+}
+
+TEST(BinningTest, EmptyInputRejected) {
+  EqualWidthBinner b(3);
+  EXPECT_EQ(b.Fit({}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinningTest, NonFiniteRejected) {
+  EqualWidthBinner b(3);
+  EXPECT_FALSE(b.Fit({1.0, std::nan("")}).ok());
+  EXPECT_FALSE(
+      b.Fit({1.0, std::numeric_limits<double>::infinity()}).ok());
+}
+
+TEST(BinningTest, TransformAllMatchesScalar) {
+  EqualWidthBinner b(6);
+  std::vector<double> values = {0.1, 0.9, 0.4, 0.77, 0.2};
+  ASSERT_TRUE(b.Fit(values).ok());
+  auto all = b.TransformAll(values);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(all[i], b.Transform(values[i]));
+  }
+}
+
+TEST(BinningTest, FitTransformToColumnBuildsIntervalDomain) {
+  EqualWidthBinner b(2);
+  auto col = b.FitTransformToColumn({0.0, 1.0, 0.25}, "v");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->domain_size(), 2u);
+  EXPECT_EQ(col->size(), 3u);
+  EXPECT_EQ(col->code(0), 0u);
+  EXPECT_EQ(col->code(1), 1u);
+  EXPECT_EQ(col->code(2), 0u);
+  // Labels name the intervals.
+  EXPECT_NE(col->domain()->label(0).find("v["), std::string::npos);
+}
+
+TEST(BinningTest, MonotoneValuesGetMonotoneBins) {
+  EqualWidthBinner b(10);
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.NextDouble() * 50);
+  ASSERT_TRUE(b.Fit(values).ok());
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.NextDouble() * 50;
+    double c = a + rng.NextDouble() * 10;
+    EXPECT_LE(b.Transform(a), b.Transform(c));
+  }
+}
+
+TEST(BinningTest, RoughlyBalancedOnUniformData) {
+  EqualWidthBinner b(5);
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.NextDouble());
+  ASSERT_TRUE(b.Fit(values).ok());
+  std::vector<int> counts(5, 0);
+  for (double v : values) ++counts[b.Transform(v)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(BinningDeathTest, ZeroBinsAborts) {
+  EXPECT_DEATH(EqualWidthBinner b(0), "bin");
+}
+
+TEST(BinningDeathTest, TransformBeforeFitAborts) {
+  EqualWidthBinner b(3);
+  EXPECT_DEATH((void)b.Transform(1.0), "Fit");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,106 @@
+#include "core/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hamlet {
+namespace {
+
+std::vector<CalibrationPoint> MonotonePoints() {
+  // Clean scatter: higher ROR <-> lower TR <-> higher delta error.
+  return {
+      {100.0, 0.5, 0.0000}, {50.0, 1.0, 0.0002}, {25.0, 2.0, 0.0008},
+      {12.0, 3.0, 0.0050},  {6.0, 4.5, 0.0200},  {3.0, 6.0, 0.0800},
+  };
+}
+
+TEST(CalibrationTest, FindsSafePrefixThresholds) {
+  RuleThresholds th = CalibrateThresholds(MonotonePoints(), 0.001);
+  // Safe points: the first three (delta <= 0.001).
+  EXPECT_DOUBLE_EQ(th.rho, 2.0);
+  EXPECT_DOUBLE_EQ(th.tau, 25.0);
+}
+
+TEST(CalibrationTest, LooserToleranceLoosensThresholds) {
+  RuleThresholds strict = CalibrateThresholds(MonotonePoints(), 0.001);
+  RuleThresholds loose = CalibrateThresholds(MonotonePoints(), 0.01);
+  EXPECT_GT(loose.rho, strict.rho);
+  EXPECT_LT(loose.tau, strict.tau);
+  EXPECT_DOUBLE_EQ(loose.rho, 3.0);
+  EXPECT_DOUBLE_EQ(loose.tau, 12.0);
+}
+
+TEST(CalibrationTest, NoSafePointsGivesDegenerateThresholds) {
+  std::vector<CalibrationPoint> points = {{5.0, 1.0, 0.5},
+                                          {50.0, 0.5, 0.4}};
+  RuleThresholds th = CalibrateThresholds(points, 0.001);
+  EXPECT_DOUBLE_EQ(th.rho, 0.0);           // Nothing avoidable by ROR.
+  EXPECT_TRUE(std::isinf(th.tau));         // Nothing avoidable by TR.
+}
+
+TEST(CalibrationTest, AllSafeGivesExtremeThresholds) {
+  std::vector<CalibrationPoint> points = {{5.0, 1.0, 0.0},
+                                          {50.0, 6.0, 0.0}};
+  RuleThresholds th = CalibrateThresholds(points, 0.001);
+  EXPECT_DOUBLE_EQ(th.rho, 6.0);
+  EXPECT_DOUBLE_EQ(th.tau, 5.0);
+}
+
+TEST(CalibrationTest, NonMonotoneScatterStopsAtFirstUnsafe) {
+  // An unsafe point with a small ROR truncates the safe prefix even if
+  // later points are safe again (conservatism).
+  std::vector<CalibrationPoint> points = {
+      {40.0, 1.0, 0.0},
+      {30.0, 1.5, 0.01},  // Unsafe at tolerance 0.001.
+      {20.0, 2.0, 0.0},
+  };
+  RuleThresholds th = CalibrateThresholds(points, 0.001);
+  EXPECT_DOUBLE_EQ(th.rho, 1.0);
+  EXPECT_DOUBLE_EQ(th.tau, 40.0);
+}
+
+TEST(CalibrationTest, DerivedThresholdsAuditClean) {
+  auto points = MonotonePoints();
+  RuleThresholds th = CalibrateThresholds(points, 0.001);
+  CalibrationAudit audit = AuditThresholds(points, th, 0.001);
+  EXPECT_EQ(audit.ror_unsafe, 0u);
+  EXPECT_EQ(audit.tr_unsafe, 0u);
+  EXPECT_EQ(audit.ror_avoided, 3u);
+  EXPECT_EQ(audit.tr_avoided, 3u);
+}
+
+TEST(CalibrationTest, AuditCountsUnsafeAvoids) {
+  auto points = MonotonePoints();
+  RuleThresholds reckless{10.0, 1.0};  // Avoid everything.
+  CalibrationAudit audit = AuditThresholds(points, reckless, 0.001);
+  EXPECT_EQ(audit.ror_avoided, 6u);
+  EXPECT_EQ(audit.ror_unsafe, 3u);
+  EXPECT_EQ(audit.tr_avoided, 6u);
+  EXPECT_EQ(audit.tr_unsafe, 3u);
+}
+
+TEST(CalibrationTest, TiedValuesStayOutIfAnyMemberUnsafe) {
+  // Two points share TR = 12 / ROR = 3.0 but only one is safe; a
+  // threshold admitting the value would admit both, so the prefix must
+  // stop before the tie group.
+  std::vector<CalibrationPoint> points = {
+      {40.0, 1.0, 0.0},
+      {12.0, 3.0, 0.0},
+      {12.0, 3.0, 0.02},  // Unsafe twin.
+      {6.0, 4.0, 0.05},
+  };
+  RuleThresholds th = CalibrateThresholds(points, 0.001);
+  EXPECT_DOUBLE_EQ(th.rho, 1.0);
+  EXPECT_DOUBLE_EQ(th.tau, 40.0);
+  CalibrationAudit audit = AuditThresholds(points, th, 0.001);
+  EXPECT_EQ(audit.ror_unsafe, 0u);
+  EXPECT_EQ(audit.tr_unsafe, 0u);
+}
+
+TEST(CalibrationDeathTest, EmptyPointsAbort) {
+  EXPECT_DEATH((void)CalibrateThresholds({}, 0.001), "point");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,169 @@
+#include "relational/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+// Two attribute tables, mirroring the Walmart shape at toy size.
+struct StarFixture {
+  Table sales, stores, indicators;
+
+  StarFixture() {
+    {
+      Schema schema({ColumnSpec::PrimaryKey("StoreID"),
+                     ColumnSpec::Feature("Type")});
+      TableBuilder b("Stores", schema);
+      EXPECT_TRUE(b.AppendRowLabels({"s0", "A"}).ok());
+      EXPECT_TRUE(b.AppendRowLabels({"s1", "B"}).ok());
+      stores = b.Build();
+    }
+    {
+      Schema schema({ColumnSpec::PrimaryKey("IndicatorID"),
+                     ColumnSpec::Feature("IsHoliday"),
+                     ColumnSpec::Feature("Temp")});
+      TableBuilder b("Indicators", schema);
+      EXPECT_TRUE(b.AppendRowLabels({"i0", "yes", "hot"}).ok());
+      EXPECT_TRUE(b.AppendRowLabels({"i1", "no", "cold"}).ok());
+      EXPECT_TRUE(b.AppendRowLabels({"i2", "no", "hot"}).ok());
+      indicators = b.Build();
+    }
+    {
+      Schema schema({ColumnSpec::PrimaryKey("SalesID"),
+                     ColumnSpec::Target("SalesLevel"),
+                     ColumnSpec::Feature("Dept"),
+                     ColumnSpec::ForeignKey("IndicatorID", "Indicators"),
+                     ColumnSpec::ForeignKey("StoreID", "Stores")});
+      TableBuilder b("Sales", schema,
+                     {nullptr, nullptr, nullptr,
+                      indicators.column(0).domain(),
+                      stores.column(0).domain()});
+      EXPECT_TRUE(b.AppendRowLabels({"x0", "hi", "d1", "i0", "s0"}).ok());
+      EXPECT_TRUE(b.AppendRowLabels({"x1", "lo", "d2", "i1", "s1"}).ok());
+      EXPECT_TRUE(b.AppendRowLabels({"x2", "hi", "d1", "i2", "s0"}).ok());
+      sales = b.Build();
+    }
+  }
+};
+
+TEST(CatalogTest, MakeValidates) {
+  StarFixture f;
+  auto ds = NormalizedDataset::Make("Toy", f.sales,
+                                    {f.stores, f.indicators});
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->name(), "Toy");
+  EXPECT_EQ(ds->entity().num_rows(), 3u);
+  EXPECT_EQ(ds->attribute_tables().size(), 2u);
+}
+
+TEST(CatalogTest, ForeignKeysInSchemaOrder) {
+  StarFixture f;
+  auto ds = *NormalizedDataset::Make("Toy", f.sales,
+                                     {f.stores, f.indicators});
+  auto fks = ds.foreign_keys();
+  ASSERT_EQ(fks.size(), 2u);
+  EXPECT_EQ(fks[0].fk_column, "IndicatorID");
+  EXPECT_EQ(fks[0].table_name, "Indicators");
+  EXPECT_EQ(fks[0].num_rows, 3u);
+  EXPECT_EQ(fks[0].num_features, 2u);
+  EXPECT_EQ(fks[1].fk_column, "StoreID");
+  EXPECT_EQ(fks[1].num_rows, 2u);
+  EXPECT_EQ(fks[1].num_features, 1u);
+}
+
+TEST(CatalogTest, AttributeTableLookup) {
+  StarFixture f;
+  auto ds = *NormalizedDataset::Make("Toy", f.sales,
+                                     {f.stores, f.indicators});
+  auto r = ds.AttributeTableFor("StoreID");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->name(), "Stores");
+  EXPECT_FALSE(ds.AttributeTableFor("Nope").ok());
+}
+
+TEST(CatalogTest, TargetName) {
+  StarFixture f;
+  auto ds = *NormalizedDataset::Make("Toy", f.sales,
+                                     {f.stores, f.indicators});
+  EXPECT_EQ(*ds.TargetName(), "SalesLevel");
+}
+
+TEST(CatalogTest, JoinAllBringsEveryForeignFeature) {
+  StarFixture f;
+  auto ds = *NormalizedDataset::Make("Toy", f.sales,
+                                     {f.stores, f.indicators});
+  auto t = ds.JoinAll();
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_TRUE(t->schema().Contains("Type"));
+  EXPECT_TRUE(t->schema().Contains("IsHoliday"));
+  EXPECT_TRUE(t->schema().Contains("Temp"));
+}
+
+TEST(CatalogTest, JoinSubsetAvoidsOthers) {
+  StarFixture f;
+  auto ds = *NormalizedDataset::Make("Toy", f.sales,
+                                     {f.stores, f.indicators});
+  auto t = ds.JoinSubset({"StoreID"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->schema().Contains("Type"));
+  EXPECT_FALSE(t->schema().Contains("Temp"));
+  // The avoided FK survives as a feature (FK-as-representative).
+  EXPECT_TRUE(t->schema().Contains("IndicatorID"));
+}
+
+TEST(CatalogTest, EmptySubsetIsNoJoins) {
+  StarFixture f;
+  auto ds = *NormalizedDataset::Make("Toy", f.sales,
+                                     {f.stores, f.indicators});
+  auto t = ds.JoinSubset({});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_columns(), f.sales.num_columns());
+}
+
+TEST(CatalogTest, UnknownFkInSubsetIsNotFound) {
+  StarFixture f;
+  auto ds = *NormalizedDataset::Make("Toy", f.sales,
+                                     {f.stores, f.indicators});
+  EXPECT_EQ(ds.JoinSubset({"Nope"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, MissingAttributeTableRejected) {
+  StarFixture f;
+  auto ds = NormalizedDataset::Make("Toy", f.sales, {f.stores});
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, UnreferencedAttributeTableRejected) {
+  StarFixture f;
+  Schema extra_schema({ColumnSpec::PrimaryKey("XID"),
+                       ColumnSpec::Feature("F")});
+  TableBuilder b("Orphan", extra_schema);
+  ASSERT_TRUE(b.AppendRowLabels({"x", "v"}).ok());
+  auto ds = NormalizedDataset::Make(
+      "Toy", f.sales, {f.stores, f.indicators, b.Build()});
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, DuplicateRidInAttributeTableRejected) {
+  StarFixture f;
+  Table dup_stores = f.stores.GatherRows({0, 0});
+  auto ds = NormalizedDataset::Make("Toy", f.sales,
+                                    {dup_stores, f.indicators});
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, MissingTargetRejected) {
+  StarFixture f;
+  // An entity table without a target column.
+  Schema schema({ColumnSpec::PrimaryKey("ID"),
+                 ColumnSpec::ForeignKey("StoreID", "Stores")});
+  TableBuilder b("S", schema, {nullptr, f.stores.column(0).domain()});
+  ASSERT_TRUE(b.AppendRowLabels({"a", "s0"}).ok());
+  auto ds = NormalizedDataset::Make("Toy", b.Build(), {f.stores});
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hamlet

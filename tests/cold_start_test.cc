@@ -1,0 +1,123 @@
+#include "relational/cold_start.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/join.h"
+
+namespace hamlet {
+namespace {
+
+struct ColdStartFixture {
+  Table employers;
+  Table customers;  // FK loaded with its own dictionary (CSV-style),
+                    // including a label 'e9' unknown to Employers.
+
+  ColdStartFixture() {
+    Schema r_schema({ColumnSpec::PrimaryKey("EmployerID"),
+                     ColumnSpec::Feature("Country"),
+                     ColumnSpec::Feature("Revenue")});
+    TableBuilder rb("Employers", r_schema);
+    EXPECT_TRUE(rb.AppendRowLabels({"e0", "US", "high"}).ok());
+    EXPECT_TRUE(rb.AppendRowLabels({"e1", "US", "low"}).ok());
+    EXPECT_TRUE(rb.AppendRowLabels({"e2", "IN", "low"}).ok());
+    employers = rb.Build();
+
+    Schema s_schema({ColumnSpec::PrimaryKey("CustomerID"),
+                     ColumnSpec::Target("Churn"),
+                     ColumnSpec::ForeignKey("EmployerID", "Employers")});
+    TableBuilder sb("Customers", s_schema);  // Fresh FK dictionary.
+    EXPECT_TRUE(sb.AppendRowLabels({"c0", "no", "e0"}).ok());
+    EXPECT_TRUE(sb.AppendRowLabels({"c1", "yes", "e9"}).ok());  // Unknown.
+    EXPECT_TRUE(sb.AppendRowLabels({"c2", "no", "e2"}).ok());
+    EXPECT_TRUE(sb.AppendRowLabels({"c3", "yes", "e9"}).ok());  // Unknown.
+    customers = sb.Build();
+  }
+};
+
+TEST(ColdStartTest, UnknownKeysBreakThePlainJoin) {
+  ColdStartFixture f;
+  EXPECT_FALSE(KfkJoin(f.customers, f.employers, "EmployerID").ok());
+}
+
+TEST(ColdStartTest, AbsorbAddsOthersRowAndRemaps) {
+  ColdStartFixture f;
+  auto result = AbsorbNewKeys(f.customers, f.employers, "EmployerID");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->remapped_rows, 2u);
+  EXPECT_EQ(result->attribute.num_rows(), 4u);  // 3 + Others.
+  EXPECT_EQ(result->others_label, "__others__");
+
+  const Column& rid = result->attribute.column(0);
+  EXPECT_EQ(rid.label(3), "__others__");
+  // Placeholder features take the modal category (US, low).
+  EXPECT_EQ((*result->attribute.ColumnByName("Country"))->label(3), "US");
+  EXPECT_EQ((*result->attribute.ColumnByName("Revenue"))->label(3), "low");
+}
+
+TEST(ColdStartTest, FkReencodedOnSharedDomain) {
+  ColdStartFixture f;
+  auto result = *AbsorbNewKeys(f.customers, f.employers, "EmployerID");
+  const Column& fk = **result.entity.ColumnByName("EmployerID");
+  const Column& rid = result.attribute.column(0);
+  EXPECT_EQ(fk.domain(), rid.domain());
+  EXPECT_EQ(fk.label(0), "e0");
+  EXPECT_EQ(fk.label(1), "__others__");
+  EXPECT_EQ(fk.label(3), "__others__");
+}
+
+TEST(ColdStartTest, JoinWorksAfterAbsorption) {
+  ColdStartFixture f;
+  auto result = *AbsorbNewKeys(f.customers, f.employers, "EmployerID");
+  auto joined = KfkJoin(result.entity, result.attribute, "EmployerID");
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  EXPECT_EQ(joined->num_rows(), 4u);
+  EXPECT_EQ((*joined->ColumnByName("Country"))->label(1), "US");
+}
+
+TEST(ColdStartTest, CatalogAcceptsAbsorbedPair) {
+  ColdStartFixture f;
+  auto result = *AbsorbNewKeys(f.customers, f.employers, "EmployerID");
+  auto ds = NormalizedDataset::Make("Churn", result.entity,
+                                    {result.attribute});
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_TRUE(ds->JoinAll().ok());
+}
+
+TEST(ColdStartTest, NoUnknownKeysStillAddsPlaceholder) {
+  ColdStartFixture f;
+  // Customers referencing only known employers.
+  Table known = f.customers.GatherRows({0, 2});
+  auto result = *AbsorbNewKeys(known, f.employers, "EmployerID");
+  EXPECT_EQ(result.remapped_rows, 0u);
+  EXPECT_EQ(result.attribute.num_rows(), 4u);
+}
+
+TEST(ColdStartTest, CustomOthersLabel) {
+  ColdStartFixture f;
+  auto result =
+      *AbsorbNewKeys(f.customers, f.employers, "EmployerID", "Other Inc");
+  EXPECT_EQ(result.attribute.column(0).label(3), "Other Inc");
+}
+
+TEST(ColdStartTest, CollidingOthersLabelRejected) {
+  ColdStartFixture f;
+  EXPECT_EQ(AbsorbNewKeys(f.customers, f.employers, "EmployerID", "e0")
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ColdStartTest, NonFkColumnRejected) {
+  ColdStartFixture f;
+  EXPECT_FALSE(AbsorbNewKeys(f.customers, f.employers, "Churn").ok());
+}
+
+TEST(ColdStartTest, DuplicateRidRejected) {
+  ColdStartFixture f;
+  Table dup = f.employers.GatherRows({0, 0, 1});
+  EXPECT_FALSE(AbsorbNewKeys(f.customers, dup, "EmployerID").ok());
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,91 @@
+#include "stats/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+ConfusionMatrix Tiny() {
+  // truth:     0 0 0 1 1 2
+  // predicted: 0 0 1 1 1 0
+  return ConfusionMatrix({0, 0, 0, 1, 1, 2}, {0, 0, 1, 1, 1, 0}, 3);
+}
+
+TEST(ConfusionMatrixTest, CellCounts) {
+  ConfusionMatrix m = Tiny();
+  EXPECT_EQ(m.count(0, 0), 2u);
+  EXPECT_EQ(m.count(0, 1), 1u);
+  EXPECT_EQ(m.count(1, 1), 2u);
+  EXPECT_EQ(m.count(2, 0), 1u);
+  EXPECT_EQ(m.count(2, 2), 0u);
+  EXPECT_EQ(m.total(), 6u);
+  EXPECT_EQ(m.num_classes(), 3u);
+}
+
+TEST(ConfusionMatrixTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Tiny().Accuracy(), 4.0 / 6.0);
+}
+
+TEST(ConfusionMatrixTest, PerClassRecall) {
+  ConfusionMatrix m = Tiny();
+  EXPECT_DOUBLE_EQ(m.Recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PerClassPrecision) {
+  ConfusionMatrix m = Tiny();
+  EXPECT_DOUBLE_EQ(m.Precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Precision(2), 0.0);  // Never predicted.
+}
+
+TEST(ConfusionMatrixTest, F1AndMacroF1) {
+  ConfusionMatrix m = Tiny();
+  EXPECT_DOUBLE_EQ(m.F1(0), 2.0 / 3.0);  // p = r = 2/3.
+  EXPECT_DOUBLE_EQ(m.F1(1), 2.0 * (2.0 / 3.0) / (1.0 + 2.0 / 3.0));
+  EXPECT_DOUBLE_EQ(m.F1(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.MacroF1(), (m.F1(0) + m.F1(1) + m.F1(2)) / 3.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectClassifier) {
+  ConfusionMatrix m({0, 1, 2, 1}, {0, 1, 2, 1}, 3);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, MacroF1PunishesRareClassCollapse) {
+  // 90% class 0, 10% class 1; classifier always predicts 0: accuracy is
+  // flattering (0.9) but macro-F1 exposes the collapse.
+  std::vector<uint32_t> truth, pred;
+  for (int i = 0; i < 90; ++i) {
+    truth.push_back(0);
+    pred.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    truth.push_back(1);
+    pred.push_back(0);
+  }
+  ConfusionMatrix m(truth, pred, 2);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.9);
+  EXPECT_LT(m.MacroF1(), 0.5);
+}
+
+TEST(ConfusionMatrixTest, EmptyInput) {
+  ConfusionMatrix m({}, {}, 2);
+  EXPECT_EQ(m.Accuracy(), 0.0);
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(ConfusionMatrixTest, RenderingMentionsEveryCell) {
+  std::string s = Tiny().ToString();
+  EXPECT_NE(s.find("truth"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(ConfusionMatrixDeathTest, LengthMismatchAborts) {
+  EXPECT_DEATH(ConfusionMatrix({0}, {0, 1}, 2), "length");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,104 @@
+/// The paper's central guarantee as a randomized property: across random
+/// star schemas (random table sizes, signal weights, feature strengths,
+/// skews), whatever the advisor decides to avoid must not blow up the
+/// post-feature-selection holdout error relative to JoinAll. This is the
+/// Figure 1 "box C/D inside box A" promise, stress-tested beyond the
+/// seven curated datasets.
+
+#include <gtest/gtest.h>
+
+#include "analytics/pipeline.h"
+#include "common/rng.h"
+#include "datasets/synth_common.h"
+
+namespace hamlet {
+namespace {
+
+SynthDatasetSpec RandomSpec(uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  SynthDatasetSpec spec;
+  spec.name = "Random" + std::to_string(seed);
+  spec.entity_name = "S";
+  spec.pk_name = "SID";
+  spec.target_name = "Y";
+  spec.num_classes = 2 + rng.Uniform(4);  // 2..5 classes.
+  spec.n_s = 4000 + rng.Uniform(8000);
+  spec.label_noise = 0.2 + 0.2 * rng.NextDouble();
+  spec.metric = spec.num_classes == 2 ? ErrorMetric::kZeroOne
+                                      : ErrorMetric::kRmse;
+
+  uint32_t d_s = rng.Uniform(3);
+  for (uint32_t f = 0; f < d_s; ++f) {
+    spec.s_features.push_back(
+        {SynthFeatureSpec::Noise("XS" + std::to_string(f),
+                                 2 + rng.Uniform(6),
+                                 rng.Bernoulli(0.5)),
+         rng.Bernoulli(0.5) ? 0.5 : 0.0});
+  }
+
+  const uint32_t k = 1 + rng.Uniform(3);  // 1..3 attribute tables.
+  for (uint32_t t = 0; t < k; ++t) {
+    SynthAttributeTableSpec table;
+    table.table_name = "R" + std::to_string(t);
+    table.pk_name = "FK" + std::to_string(t);
+    table.fk_name = table.pk_name;
+    // Row counts spanning both sides of the TR threshold.
+    table.num_rows = 20 + rng.Uniform(spec.n_s / 2);
+    table.latent_cardinality = 4 + rng.Uniform(8);
+    table.target_weight = rng.Bernoulli(0.7) ? 0.4 + rng.NextDouble() : 0.0;
+    table.fk_zipf = rng.Bernoulli(0.3) ? rng.NextDouble() : 0.0;
+    uint32_t d_r = 1 + rng.Uniform(4);
+    for (uint32_t f = 0; f < d_r; ++f) {
+      table.features.push_back(SynthFeatureSpec::Signal(
+          table.table_name + "_F" + std::to_string(f),
+          2 + rng.Uniform(8), rng.NextDouble() * 0.9,
+          rng.Bernoulli(0.4)));
+    }
+    spec.tables.push_back(table);
+  }
+  // Guarantee some target signal so generation succeeds.
+  if (spec.tables[0].target_weight == 0.0 && d_s == 0) {
+    spec.tables[0].target_weight = 0.8;
+  } else if (spec.tables[0].target_weight == 0.0) {
+    spec.s_features[0].target_weight = 0.8;
+  }
+  return spec;
+}
+
+class ConservatismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConservatismTest, JoinOptNeverBlowsUpVsJoinAll) {
+  SynthDatasetSpec spec = RandomSpec(GetParam());
+  auto dataset = GenerateSyntheticDataset(spec, 1.0, GetParam());
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+
+  PipelineConfig config;
+  config.method = FsMethod::kMiFilter;
+  config.metric = spec.metric;
+  config.seed = GetParam() + 1;
+
+  auto opt = RunPipeline(*dataset, config);
+  ASSERT_TRUE(opt.ok()) << opt.status();
+  config.enable_join_avoidance = false;
+  auto all = RunPipeline(*dataset, config);
+  ASSERT_TRUE(all.ok()) << all.status();
+
+  // The conservatism promise, with an allowance for FS noise: the error
+  // scale is ~1 class (RMSE) or 1 (zero-one), so 0.05 is a small band.
+  EXPECT_LE(opt->selection.holdout_test_error,
+            all->selection.holdout_test_error + 0.05)
+      << "spec seed " << GetParam() << ": avoided {"
+      << (opt->plan.fks_avoided.empty() ? ""
+                                        : opt->plan.fks_avoided[0])
+      << "...}";
+
+  // And avoidance never does *more* work than the baseline.
+  EXPECT_LE(opt->selection.selection.models_trained,
+            all->selection.selection.models_trained);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStarSchemas, ConservatismTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace hamlet

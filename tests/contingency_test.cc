@@ -1,0 +1,67 @@
+#include "stats/contingency.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+TEST(MarginalCountsTest, CountsOccurrences) {
+  auto counts = MarginalCounts({0, 1, 1, 2, 1}, 4);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(MarginalCountsTest, EmptyInput) {
+  auto counts = MarginalCounts({}, 2);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(ContingencyTableTest, CellCounts) {
+  //   F=0: Y = 0, 0, 1;  F=1: Y = 1.
+  ContingencyTable t({0, 0, 0, 1}, {0, 0, 1, 1}, 2, 2);
+  EXPECT_EQ(t.count(0, 0), 2u);
+  EXPECT_EQ(t.count(0, 1), 1u);
+  EXPECT_EQ(t.count(1, 0), 0u);
+  EXPECT_EQ(t.count(1, 1), 1u);
+}
+
+TEST(ContingencyTableTest, Marginals) {
+  ContingencyTable t({0, 0, 0, 1}, {0, 0, 1, 1}, 2, 2);
+  EXPECT_EQ(t.f_marginal(0), 3u);
+  EXPECT_EQ(t.f_marginal(1), 1u);
+  EXPECT_EQ(t.y_marginal(0), 2u);
+  EXPECT_EQ(t.y_marginal(1), 2u);
+  EXPECT_EQ(t.total(), 4u);
+}
+
+TEST(ContingencyTableTest, MarginalsSumToTotal) {
+  ContingencyTable t({0, 1, 2, 1, 0}, {1, 0, 1, 1, 0}, 3, 2);
+  uint64_t f_sum = 0, y_sum = 0;
+  for (uint32_t f = 0; f < 3; ++f) f_sum += t.f_marginal(f);
+  for (uint32_t y = 0; y < 2; ++y) y_sum += t.y_marginal(y);
+  EXPECT_EQ(f_sum, t.total());
+  EXPECT_EQ(y_sum, t.total());
+}
+
+TEST(ContingencyTableTest, Cardinalities) {
+  ContingencyTable t({0}, {0}, 5, 3);
+  EXPECT_EQ(t.f_cardinality(), 5u);
+  EXPECT_EQ(t.y_cardinality(), 3u);
+}
+
+TEST(ContingencyTableTest, EmptyInput) {
+  ContingencyTable t({}, {}, 2, 2);
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_EQ(t.count(1, 1), 0u);
+}
+
+TEST(ContingencyTableDeathTest, LengthMismatchAborts) {
+  EXPECT_DEATH(ContingencyTable({0, 1}, {0}, 2, 2), "length");
+}
+
+}  // namespace
+}  // namespace hamlet

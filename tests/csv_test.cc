@@ -1,0 +1,153 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hamlet {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string WriteTemp(const std::string& contents) {
+    std::string path = ::testing::TempDir() + "/hamlet_csv_" +
+                       std::to_string(counter_++) + ".csv";
+    std::ofstream out(path);
+    out << contents;
+    return path;
+  }
+  static int counter_;
+};
+int CsvTest::counter_ = 0;
+
+TEST_F(CsvTest, ParseCsvLineBasic) {
+  auto fields = ParseCsvLine("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST_F(CsvTest, ParseCsvLineQuoted) {
+  auto fields = ParseCsvLine("\"a,b\",c", ',');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST_F(CsvTest, ParseCsvLineEscapedQuote) {
+  auto fields = ParseCsvLine("\"say \"\"hi\"\"\",x", ',');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST_F(CsvTest, ParseCsvLineStripsCarriageReturn) {
+  auto fields = ParseCsvLine("a,b\r", ',');
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST_F(CsvTest, ParseCsvLineEmptyFields) {
+  auto fields = ParseCsvLine(",,", ',');
+  EXPECT_EQ(fields.size(), 3u);
+}
+
+TEST_F(CsvTest, ReadsSimpleFile) {
+  std::string path = WriteTemp("ID,Color\nr1,red\nr2,blue\n");
+  Schema schema(
+      {ColumnSpec::PrimaryKey("ID"), ColumnSpec::Feature("Color")});
+  auto t = ReadCsv(path, "T", schema);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ((*t->ColumnByName("Color"))->label(1), "blue");
+}
+
+TEST_F(CsvTest, HeaderMismatchRejected) {
+  std::string path = WriteTemp("Wrong,Header\nr1,red\n");
+  Schema schema(
+      {ColumnSpec::PrimaryKey("ID"), ColumnSpec::Feature("Color")});
+  EXPECT_FALSE(ReadCsv(path, "T", schema).ok());
+}
+
+TEST_F(CsvTest, ColumnCountMismatchRejected) {
+  std::string path = WriteTemp("ID\nr1\n");
+  Schema schema(
+      {ColumnSpec::PrimaryKey("ID"), ColumnSpec::Feature("Color")});
+  EXPECT_FALSE(ReadCsv(path, "T", schema).ok());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  Schema schema({ColumnSpec::Feature("A")});
+  EXPECT_EQ(ReadCsv("/nonexistent/x.csv", "T", schema).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, EmptyFileIsIOError) {
+  std::string path = WriteTemp("");
+  Schema schema({ColumnSpec::Feature("A")});
+  EXPECT_EQ(ReadCsv(path, "T", schema).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, StrictModeRejectsRaggedRows) {
+  std::string path = WriteTemp("A,B\n1,2\nonly_one\n");
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+  EXPECT_FALSE(ReadCsv(path, "T", schema).ok());
+}
+
+TEST_F(CsvTest, LenientModeSkipsRaggedRows) {
+  std::string path = WriteTemp("A,B\n1,2\nonly_one\n3,4\n");
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+  CsvOptions options;
+  options.strict = false;
+  auto t = ReadCsv(path, "T", schema, options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST_F(CsvTest, ClosedDomainEnforced) {
+  std::string path = WriteTemp("A\nyes\nmaybe\n");
+  Schema schema({ColumnSpec::Feature("A")});
+  auto closed =
+      std::make_shared<Domain>(std::vector<std::string>{"yes", "no"});
+  auto t = ReadCsvWithDomains(path, "T", schema, {closed});
+  EXPECT_FALSE(t.ok());  // "maybe" violates the closed domain.
+}
+
+TEST_F(CsvTest, RoundTripPreservesData) {
+  Schema schema(
+      {ColumnSpec::PrimaryKey("ID"), ColumnSpec::Feature("Text")});
+  TableBuilder builder("T", schema);
+  ASSERT_TRUE(builder.AppendRowLabels({"a", "plain"}).ok());
+  ASSERT_TRUE(builder.AppendRowLabels({"b", "has,comma"}).ok());
+  ASSERT_TRUE(builder.AppendRowLabels({"c", "has\"quote"}).ok());
+  Table original = builder.Build();
+
+  std::string path = WriteTemp("");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  auto reread = ReadCsv(path, "T", schema);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  ASSERT_EQ(reread->num_rows(), 3u);
+  for (uint32_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(reread->column(1).label(r), original.column(1).label(r));
+  }
+}
+
+TEST_F(CsvTest, WriteToBadPathIsIOError) {
+  Schema schema({ColumnSpec::Feature("A")});
+  TableBuilder builder("T", schema);
+  ASSERT_TRUE(builder.AppendRowLabels({"x"}).ok());
+  EXPECT_EQ(WriteCsv(builder.Build(), "/nonexistent/dir/x.csv").code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, CustomDelimiter) {
+  std::string path = WriteTemp("A|B\n1|2\n");
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+  CsvOptions options;
+  options.delimiter = '|';
+  auto t = ReadCsv(path, "T", schema, options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(1).label(0), "2");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,242 @@
+#include "sim/data_synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hamlet {
+namespace {
+
+SimConfig BaseConfig() {
+  SimConfig c;
+  c.scenario = TrueDistribution::kLoneXr;
+  c.n_s = 1000;
+  c.d_s = 3;
+  c.d_r = 4;
+  c.n_r = 20;
+  c.p = 0.1;
+  return c;
+}
+
+TEST(SimConfigTest, TestSizeIsQuarter) {
+  SimConfig c = BaseConfig();
+  EXPECT_EQ(c.TestSize(), 250u);
+  c.n_s = 2;
+  EXPECT_EQ(c.TestSize(), 1u);  // Never zero.
+}
+
+TEST(SimConfigTest, EnumNames) {
+  EXPECT_STREQ(TrueDistributionToString(TrueDistribution::kLoneXr),
+               "lone_xr");
+  EXPECT_STREQ(TrueDistributionToString(TrueDistribution::kAllXsXr),
+               "all_xs_xr");
+  EXPECT_STREQ(TrueDistributionToString(TrueDistribution::kXsFkOnly),
+               "xs_fk_only");
+  EXPECT_STREQ(FkDistributionToString(FkDistribution::kUniform),
+               "uniform");
+  EXPECT_STREQ(FkDistributionToString(FkDistribution::kZipf), "zipf");
+  EXPECT_STREQ(FkDistributionToString(FkDistribution::kNeedleThread),
+               "needle_thread");
+}
+
+TEST(FkWeightsTest, UniformByDefault) {
+  auto w = MakeFkWeights(BaseConfig());
+  ASSERT_EQ(w.size(), 20u);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(FkWeightsTest, ZipfDecays) {
+  SimConfig c = BaseConfig();
+  c.fk_dist = FkDistribution::kZipf;
+  c.zipf_skew = 1.0;
+  auto w = MakeFkWeights(c);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w[3], 0.25);
+}
+
+TEST(FkWeightsTest, NeedleThreadSplitsMass) {
+  SimConfig c = BaseConfig();
+  c.fk_dist = FkDistribution::kNeedleThread;
+  c.needle_prob = 0.5;
+  auto w = MakeFkWeights(c);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  for (size_t i = 1; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], 0.5 / 19.0, 1e-12);
+  }
+}
+
+TEST(SimDataGeneratorTest, LayoutAndCardinalities) {
+  SimConfig c = BaseConfig();
+  Rng rng(1);
+  SimDataGenerator gen(c, rng);
+  SimDraw draw = gen.Draw(100, rng);
+  EXPECT_EQ(draw.data.num_rows(), 100u);
+  EXPECT_EQ(draw.data.num_features(), c.d_s + 1 + c.d_r);
+  for (uint32_t j = 0; j < c.d_s; ++j) {
+    EXPECT_EQ(draw.data.meta(j).cardinality, 2u);
+  }
+  EXPECT_EQ(draw.data.meta(gen.FkFeatureIndex()).cardinality, c.n_r);
+  EXPECT_EQ(draw.data.meta(gen.XrFeatureIndex()).cardinality, 2u);
+  EXPECT_EQ(draw.data.num_classes(), 2u);
+  EXPECT_EQ(draw.true_conditionals.size(), 100u);
+}
+
+TEST(SimDataGeneratorTest, FeatureSubsetsPartitionCorrectly) {
+  SimConfig c = BaseConfig();
+  Rng rng(2);
+  SimDataGenerator gen(c, rng);
+  EXPECT_EQ(gen.UseAllFeatures().size(), c.d_s + 1 + c.d_r);
+  EXPECT_EQ(gen.NoJoinFeatures().size(), c.d_s + 1);
+  EXPECT_EQ(gen.NoFkFeatures().size(), c.d_s + c.d_r);
+  // NoJoin drops exactly the X_R block; NoFK drops exactly the FK.
+  auto no_join = gen.NoJoinFeatures();
+  EXPECT_EQ(no_join.back(), gen.FkFeatureIndex());
+  auto no_fk = gen.NoFkFeatures();
+  for (uint32_t j : no_fk) EXPECT_NE(j, gen.FkFeatureIndex());
+}
+
+TEST(SimDataGeneratorTest, FdFkToXrHoldsInDraws) {
+  // The FD FK -> X_R must hold by construction: same FK, same X_R.
+  SimConfig c = BaseConfig();
+  Rng rng(3);
+  SimDataGenerator gen(c, rng);
+  SimDraw draw = gen.Draw(2000, rng);
+  const auto& fk = draw.data.feature(gen.FkFeatureIndex());
+  // Every X_R feature must be constant per FK value...
+  for (uint32_t j = 0; j < c.d_r; ++j) {
+    const auto& xr = draw.data.feature(c.d_s + 1 + j);
+    std::vector<int64_t> seen(c.n_r, -1);
+    for (uint32_t i = 0; i < draw.data.num_rows(); ++i) {
+      if (seen[fk[i]] < 0) {
+        seen[fk[i]] = xr[i];
+      } else {
+        ASSERT_EQ(static_cast<uint32_t>(seen[fk[i]]), xr[i]);
+      }
+    }
+  }
+  // ...and the designated signal column X_r matches the generator's map.
+  const auto& xr0 = draw.data.feature(gen.XrFeatureIndex());
+  for (uint32_t i = 0; i < draw.data.num_rows(); ++i) {
+    ASSERT_EQ(xr0[i], gen.XrOfRid(fk[i]));
+  }
+}
+
+TEST(SimDataGeneratorTest, LoneXrConditionalMatchesSpec) {
+  // Paper: P(Y=0|X_r=0) = P(Y=1|X_r=1) = p.
+  SimConfig c = BaseConfig();
+  c.p = 0.2;
+  Rng rng(4);
+  SimDataGenerator gen(c, rng);
+  SimDraw draw = gen.Draw(20000, rng);
+  const auto& xr = draw.data.feature(gen.XrFeatureIndex());
+  uint64_t n0 = 0, y1_given_0 = 0, n1 = 0, y1_given_1 = 0;
+  for (uint32_t i = 0; i < draw.data.num_rows(); ++i) {
+    if (xr[i] == 0) {
+      ++n0;
+      y1_given_0 += draw.data.labels()[i];
+    } else {
+      ++n1;
+      y1_given_1 += draw.data.labels()[i];
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(y1_given_0) / n0, 1.0 - c.p, 0.02);
+  EXPECT_NEAR(static_cast<double>(y1_given_1) / n1, c.p, 0.02);
+}
+
+TEST(SimDataGeneratorTest, ConditionalsMatchLabels) {
+  // Empirical P(Y=1) within strata must match the recorded conditionals.
+  SimConfig c = BaseConfig();
+  c.scenario = TrueDistribution::kAllXsXr;
+  Rng rng(5);
+  SimDataGenerator gen(c, rng);
+  SimDraw draw = gen.Draw(5000, rng);
+  double expected = 0.0;
+  uint64_t observed = 0;
+  for (uint32_t i = 0; i < draw.data.num_rows(); ++i) {
+    expected += draw.true_conditionals[i][1];
+    observed += draw.data.labels()[i];
+  }
+  EXPECT_NEAR(expected / draw.data.num_rows(),
+              static_cast<double>(observed) / draw.data.num_rows(), 0.02);
+}
+
+TEST(SimDataGeneratorTest, XsFkOnlyIgnoresXr) {
+  // In the kXsFkOnly scenario the conditional depends on FK's latent and
+  // X_S only — two rows with the same FK and X_S get identical P(Y|x).
+  SimConfig c = BaseConfig();
+  c.scenario = TrueDistribution::kXsFkOnly;
+  Rng rng(6);
+  SimDataGenerator gen(c, rng);
+  std::vector<uint32_t> codes(c.d_s + 1 + c.d_r, 0);
+  codes[c.d_s] = 3;  // Some FK.
+  double p1 = gen.TrueProbY1(codes);
+  for (uint32_t j = 0; j < c.d_r; ++j) codes[c.d_s + 1 + j] = 1;
+  EXPECT_DOUBLE_EQ(gen.TrueProbY1(codes), p1);
+}
+
+TEST(SimDataGeneratorTest, NeedleThreadTiesXrToNeedle) {
+  SimConfig c = BaseConfig();
+  c.fk_dist = FkDistribution::kNeedleThread;
+  Rng rng(7);
+  SimDataGenerator gen(c, rng);
+  EXPECT_EQ(gen.XrOfRid(0), 0u);
+  for (uint32_t rid = 1; rid < c.n_r; ++rid) {
+    EXPECT_EQ(gen.XrOfRid(rid), 1u);
+  }
+}
+
+TEST(SimDataGeneratorTest, WideXrCardinality) {
+  // The Figure 5 knob: a lone signal column of cardinality xr_card.
+  SimConfig c = BaseConfig();
+  c.d_r = 1;
+  c.n_r = 24;
+  c.xr_card = 8;
+  Rng rng(21);
+  SimDataGenerator gen(c, rng);
+  SimDraw draw = gen.Draw(2000, rng);
+  EXPECT_EQ(draw.data.meta(gen.XrFeatureIndex()).cardinality, 8u);
+  // Balanced dealing: rid % xr_card.
+  for (uint32_t rid = 0; rid < c.n_r; ++rid) {
+    EXPECT_EQ(gen.XrOfRid(rid), rid % 8);
+  }
+  // Concept generalizes to a halves split of the X_r domain.
+  std::vector<uint32_t> codes(c.d_s + 1 + c.d_r, 0);
+  codes[c.d_s + 1] = 0;  // Lower half.
+  EXPECT_DOUBLE_EQ(gen.TrueProbY1(codes), 1.0 - c.p);
+  codes[c.d_s + 1] = 7;  // Upper half.
+  EXPECT_DOUBLE_EQ(gen.TrueProbY1(codes), c.p);
+}
+
+TEST(SimDataGeneratorTest, XrCardEqualToFkMakesXrBijective) {
+  SimConfig c = BaseConfig();
+  c.d_r = 1;
+  c.n_r = 16;
+  c.xr_card = 16;
+  Rng rng(23);
+  SimDataGenerator gen(c, rng);
+  for (uint32_t rid = 0; rid < c.n_r; ++rid) {
+    EXPECT_EQ(gen.XrOfRid(rid), rid);
+  }
+}
+
+TEST(SimDataGeneratorDeathTest, BadXrCardAborts) {
+  SimConfig c = BaseConfig();
+  c.xr_card = c.n_r + 1;
+  Rng rng(25);
+  EXPECT_DEATH(SimDataGenerator gen(c, rng), "xr_card");
+}
+
+TEST(SimDataGeneratorTest, DeterministicInRng) {
+  SimConfig c = BaseConfig();
+  Rng a(8), b(8);
+  SimDataGenerator ga(c, a), gb(c, b);
+  SimDraw da = ga.Draw(50, a), db = gb.Draw(50, b);
+  EXPECT_EQ(da.data.labels(), db.data.labels());
+  for (uint32_t j = 0; j < da.data.num_features(); ++j) {
+    EXPECT_EQ(da.data.feature(j), db.data.feature(j));
+  }
+}
+
+}  // namespace
+}  // namespace hamlet

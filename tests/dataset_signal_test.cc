@@ -1,0 +1,131 @@
+/// Pins the planted signal structure of the seven synthesizers (see
+/// docs/DATASETS.md): these invariants are what make the Figure 7/8
+/// benches reproduce the paper's outcomes, so they are protected here
+/// against accidental spec drift.
+
+#include <gtest/gtest.h>
+
+#include "data/encoded_dataset.h"
+#include "datasets/registry.h"
+#include "stats/info_theory.h"
+
+namespace hamlet {
+namespace {
+
+struct JoinedView {
+  EncodedDataset data;
+
+  double Mi(const std::string& feature) const {
+    uint32_t j = *data.FeatureIndexOf(feature);
+    return MutualInformation(data.feature(j), data.labels(),
+                             data.meta(j).cardinality, data.num_classes());
+  }
+};
+
+JoinedView Load(const std::string& name, double scale = 0.05) {
+  auto ds = MakeDataset(name, scale, 42);
+  EXPECT_TRUE(ds.ok()) << ds.status();
+  auto joined = ds->JoinAll();
+  EXPECT_TRUE(joined.ok());
+  auto data = EncodedDataset::FromTableAuto(*joined);
+  EXPECT_TRUE(data.ok());
+  return JoinedView{*std::move(data)};
+}
+
+TEST(DatasetSignalTest, WalmartDeptAndBothLatentsMatter) {
+  // Scale 0.2 keeps Stores at 9 rows (at 0.05 it collapses to 2, where
+  // Type becomes bijective with StoreID and MI estimates degenerate).
+  JoinedView v = Load("Walmart", 0.2);
+  EXPECT_GT(v.Mi("Dept"), 0.05);
+  // The FKs carry signal (their latents drive Y)...
+  EXPECT_GT(v.Mi("StoreID"), 0.01);
+  EXPECT_GT(v.Mi("IndicatorID"), 0.01);
+  // ...and no foreign feature exposes more than its key (Theorem 3.1).
+  EXPECT_LE(v.Mi("Type"), v.Mi("StoreID") + 1e-9);
+  EXPECT_LE(v.Mi("TempAvg"), v.Mi("IndicatorID") + 1e-9);
+}
+
+TEST(DatasetSignalTest, ExpediaEntityAndSearchSignals) {
+  JoinedView v = Load("Expedia");
+  EXPECT_GT(v.Mi("Score2"), 5.0 * v.Mi("Score1"));        // Planted vs noise.
+  EXPECT_GT(v.Mi("SatNightBool"), 3.0 * v.Mi("RandomBool"));
+  EXPECT_GT(v.Mi("Stars"), 0.005);  // Hotel latent partially exposed.
+}
+
+TEST(DatasetSignalTest, FlightsAirportsAreNoise) {
+  JoinedView v = Load("Flights");
+  double airline_signal = v.Mi("Active") + v.Mi("AirCountry");
+  double airport_signal = v.Mi("SrcCountry") + v.Mi("SrcDST") +
+                          v.Mi("DestCountry") + v.Mi("DestDST");
+  EXPECT_GT(airline_signal, 3.0 * airport_signal);
+}
+
+TEST(DatasetSignalTest, YelpForeignFeaturesExposeLatentsStrongly) {
+  // Larger scale shrinks the accidental MI that per-business noise
+  // columns (Latitude is fixed per BusinessID) pick up through the FD.
+  JoinedView v = Load("Yelp", 0.2);
+  EXPECT_GT(v.Mi("BusinessStars"), 0.08);
+  EXPECT_GT(v.Mi("UserStars"), 0.08);
+  EXPECT_GT(v.Mi("BusinessStars"), 5.0 * v.Mi("Latitude"));
+}
+
+TEST(DatasetSignalTest, MovieLensGenresAreWeakButPresent) {
+  JoinedView v = Load("MovieLens1M");
+  EXPECT_GT(v.Mi("Age"), 0.005);
+  EXPECT_GT(v.Mi("Genre1"), 0.0005);
+  EXPECT_LT(v.Mi("Genre1"), v.Mi("MovieID"));
+}
+
+TEST(DatasetSignalTest, LastFmOnlyUserIdCarriesSignal) {
+  JoinedView v = Load("LastFM");
+  // Every user *feature* is noise; the key itself is not.
+  double user_features = v.Mi("Gender") + v.Mi("Age") + v.Mi("Country") +
+                         v.Mi("JoinYear");
+  EXPECT_GT(v.Mi("UserID"), 5.0 * user_features);
+  // Artists are irrelevant entirely.
+  EXPECT_LT(v.Mi("Genre1") + v.Mi("Listens"), 0.01);
+}
+
+TEST(DatasetSignalTest, BookCrossingUsersDominateBooks) {
+  JoinedView v = Load("BookCrossing");
+  EXPECT_GT(v.Mi("Age") + v.Mi("Country"),
+            3.0 * (v.Mi("Year") + v.Mi("NumTitleWords")));
+}
+
+// The FD FK -> X_R must hold in every joined dataset — per foreign
+// feature, fixing the FK fixes the feature.
+class DatasetFdTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetFdTest, JoinedTableSatisfiesSchemaFds) {
+  auto ds = *MakeDataset(GetParam(), 0.02, 9);
+  auto joined = *ds.JoinAll();
+  for (const auto& fk : ds.foreign_keys()) {
+    auto r = *ds.AttributeTableFor(fk.fk_column);
+    for (uint32_t c = 0; c < r->num_columns(); ++c) {
+      const ColumnSpec& spec = r->schema().column(c);
+      if (spec.role != ColumnRole::kFeature) continue;
+      const Column& fk_col = **joined.ColumnByName(fk.fk_column);
+      const Column& f_col = **joined.ColumnByName(spec.name);
+      std::vector<int64_t> seen(fk_col.domain_size(), -1);
+      for (uint32_t row = 0; row < joined.num_rows(); ++row) {
+        uint32_t k = fk_col.code(row);
+        if (seen[k] < 0) {
+          seen[k] = f_col.code(row);
+        } else {
+          ASSERT_EQ(static_cast<uint32_t>(seen[k]), f_col.code(row))
+              << GetParam() << ": FD " << fk.fk_column << " -> "
+              << spec.name << " violated";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetFdTest,
+                         ::testing::ValuesIn(AllDatasetNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace hamlet

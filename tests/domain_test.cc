@@ -1,0 +1,74 @@
+#include "relational/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+TEST(DomainTest, EmptyByDefault) {
+  Domain d;
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DomainTest, ConstructFromLabels) {
+  Domain d({"red", "green", "blue"});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.label(0), "red");
+  EXPECT_EQ(d.label(2), "blue");
+}
+
+TEST(DomainTest, LookupFindsCodes) {
+  Domain d({"a", "b"});
+  ASSERT_TRUE(d.Lookup("b").ok());
+  EXPECT_EQ(*d.Lookup("b"), 1u);
+}
+
+TEST(DomainTest, LookupMissingIsNotFound) {
+  Domain d({"a"});
+  EXPECT_EQ(d.Lookup("z").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DomainTest, GetOrAddAppends) {
+  Domain d;
+  EXPECT_EQ(d.GetOrAdd("x"), 0u);
+  EXPECT_EQ(d.GetOrAdd("y"), 1u);
+  EXPECT_EQ(d.GetOrAdd("x"), 0u);  // Idempotent.
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DomainTest, Contains) {
+  Domain d({"a"});
+  EXPECT_TRUE(d.Contains("a"));
+  EXPECT_FALSE(d.Contains("b"));
+}
+
+TEST(DomainTest, DenseFactory) {
+  auto d = Domain::Dense(4, "id_");
+  EXPECT_EQ(d->size(), 4u);
+  EXPECT_EQ(d->label(0), "id_0");
+  EXPECT_EQ(d->label(3), "id_3");
+  EXPECT_EQ(*d->Lookup("id_2"), 2u);
+}
+
+TEST(DomainTest, DenseWithoutPrefix) {
+  auto d = Domain::Dense(2);
+  EXPECT_EQ(d->label(1), "1");
+}
+
+TEST(DomainTest, LabelsVectorMatchesOrder) {
+  Domain d({"p", "q"});
+  ASSERT_EQ(d.labels().size(), 2u);
+  EXPECT_EQ(d.labels()[0], "p");
+}
+
+TEST(DomainDeathTest, DuplicateLabelAborts) {
+  EXPECT_DEATH(Domain d({"a", "a"}), "duplicate");
+}
+
+TEST(DomainDeathTest, LabelOutOfRangeAborts) {
+  Domain d({"a"});
+  EXPECT_DEATH((void)d.label(1), "out of domain");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,114 @@
+#include "data/encoded_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/table.h"
+
+namespace hamlet {
+namespace {
+
+EncodedDataset TinyDataset() {
+  return EncodedDataset({{0, 1, 0, 2}, {1, 1, 0, 0}},
+                        {{"F1", 3}, {"F2", 2}}, {0, 1, 1, 0}, 2);
+}
+
+TEST(EncodedDatasetTest, Shape) {
+  EncodedDataset d = TinyDataset();
+  EXPECT_EQ(d.num_rows(), 4u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.num_classes(), 2u);
+}
+
+TEST(EncodedDatasetTest, FeatureAccess) {
+  EncodedDataset d = TinyDataset();
+  EXPECT_EQ(d.feature(0)[3], 2u);
+  EXPECT_EQ(d.meta(0).name, "F1");
+  EXPECT_EQ(d.meta(0).cardinality, 3u);
+}
+
+TEST(EncodedDatasetTest, FeatureIndexOf) {
+  EncodedDataset d = TinyDataset();
+  EXPECT_EQ(*d.FeatureIndexOf("F2"), 1u);
+  EXPECT_FALSE(d.FeatureIndexOf("F9").ok());
+}
+
+TEST(EncodedDatasetTest, FeatureNames) {
+  EncodedDataset d = TinyDataset();
+  auto names = d.FeatureNames({1, 0});
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "F2");
+  EXPECT_EQ(names[1], "F1");
+}
+
+TEST(EncodedDatasetTest, AllFeatureIndices) {
+  auto idx = TinyDataset().AllFeatureIndices();
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(EncodedDatasetTest, GatherRows) {
+  EncodedDataset d = TinyDataset();
+  EncodedDataset g = d.GatherRows({3, 1});
+  EXPECT_EQ(g.num_rows(), 2u);
+  EXPECT_EQ(g.feature(0)[0], 2u);
+  EXPECT_EQ(g.labels()[0], 0u);
+  EXPECT_EQ(g.labels()[1], 1u);
+  EXPECT_EQ(g.num_classes(), 2u);
+}
+
+Table BuildJoinedTable() {
+  Schema schema({ColumnSpec::PrimaryKey("ID"),
+                 ColumnSpec::Target("Y"),
+                 ColumnSpec::Feature("A"),
+                 ColumnSpec::ForeignKey("FK1", "R1", /*closed=*/true),
+                 ColumnSpec::ForeignKey("FK2", "R2", /*closed=*/false),
+                 ColumnSpec::Feature("B")});
+  TableBuilder b("T", schema);
+  EXPECT_TRUE(b.AppendRowLabels({"i0", "y0", "a0", "k0", "q0", "b0"}).ok());
+  EXPECT_TRUE(b.AppendRowLabels({"i1", "y1", "a1", "k1", "q1", "b1"}).ok());
+  return b.Build();
+}
+
+TEST(EncodedDatasetTest, FromTableSelectsNamedColumns) {
+  Table t = BuildJoinedTable();
+  auto d = EncodedDataset::FromTable(t, "Y", {"A", "FK1"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_features(), 2u);
+  EXPECT_EQ(d->meta(0).name, "A");
+  EXPECT_EQ(d->meta(1).name, "FK1");
+  EXPECT_EQ(d->num_classes(), 2u);
+}
+
+TEST(EncodedDatasetTest, FromTableMissingColumnFails) {
+  Table t = BuildJoinedTable();
+  EXPECT_FALSE(EncodedDataset::FromTable(t, "Y", {"Nope"}).ok());
+  EXPECT_FALSE(EncodedDataset::FromTable(t, "NoTarget", {"A"}).ok());
+}
+
+TEST(EncodedDatasetTest, FromTableAutoExcludesKeysAndOpenFks) {
+  Table t = BuildJoinedTable();
+  auto d = EncodedDataset::FromTableAuto(t);
+  ASSERT_TRUE(d.ok());
+  // Usable: A, B, FK1 (closed). Excluded: ID (pk), Y (target),
+  // FK2 (open domain).
+  EXPECT_EQ(d->num_features(), 3u);
+  EXPECT_TRUE(d->FeatureIndexOf("A").ok());
+  EXPECT_TRUE(d->FeatureIndexOf("B").ok());
+  EXPECT_TRUE(d->FeatureIndexOf("FK1").ok());
+  EXPECT_FALSE(d->FeatureIndexOf("FK2").ok());
+  EXPECT_FALSE(d->FeatureIndexOf("ID").ok());
+}
+
+TEST(EncodedDatasetDeathTest, RaggedFeaturesAbort) {
+  EXPECT_DEATH(EncodedDataset({{0, 1}, {0}}, {{"A", 2}, {"B", 2}}, {0, 1},
+                              2),
+               "rows");
+}
+
+TEST(EncodedDatasetDeathTest, MetaMismatchAborts) {
+  EXPECT_DEATH(EncodedDataset({{0}}, {}, {0}, 2), "meta");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,104 @@
+#include "fs/exhaustive_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "fs/greedy_search.h"
+#include "ml/naive_bayes.h"
+
+namespace hamlet {
+namespace {
+
+struct ExactFixture {
+  EncodedDataset data;
+  HoldoutSplit split;
+
+  explicit ExactFixture(uint64_t seed, uint32_t n = 800) {
+    Rng rng(seed);
+    std::vector<uint32_t> a(n), b(n), noise(n), y(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      a[i] = rng.Uniform(2);
+      b[i] = rng.Uniform(2);
+      noise[i] = rng.Uniform(4);
+      uint32_t signal = (a[i] << 1) | b[i];
+      y[i] = rng.Bernoulli(0.93) ? signal : rng.Uniform(4);
+    }
+    data = EncodedDataset({a, b, noise},
+                          {{"A", 2}, {"B", 2}, {"Noise", 4}}, y, 4);
+    Rng split_rng(seed + 1);
+    split = MakeHoldoutSplit(n, split_rng);
+  }
+};
+
+TEST(ExhaustiveSelectionTest, FindsTheSignalSubset) {
+  ExactFixture f(1);
+  ExhaustiveSelection ex;
+  auto result = ex.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                          ErrorMetric::kZeroOne,
+                          f.data.AllFeatureIndices());
+  ASSERT_TRUE(result.ok());
+  auto sel = result->selected;
+  std::sort(sel.begin(), sel.end());
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(ExhaustiveSelectionTest, TrainsEverySubset) {
+  ExactFixture f(2);
+  ExhaustiveSelection ex;
+  auto result = *ex.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                           ErrorMetric::kZeroOne,
+                           f.data.AllFeatureIndices());
+  EXPECT_EQ(result.models_trained, 8u);  // 2^3 subsets.
+}
+
+TEST(ExhaustiveSelectionTest, CandidateCapEnforced) {
+  ExactFixture f(3);
+  ExhaustiveSelection ex(/*max_candidates=*/2);
+  auto result = ex.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                          ErrorMetric::kZeroOne,
+                          f.data.AllFeatureIndices());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExhaustiveSelectionTest, EmptyCandidatesOk) {
+  ExactFixture f(4);
+  ExhaustiveSelection ex;
+  auto result = *ex.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                           ErrorMetric::kZeroOne, {});
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_EQ(result.models_trained, 1u);
+}
+
+TEST(ExhaustiveSelectionTest, Name) {
+  EXPECT_EQ(ExhaustiveSelection().name(), "exhaustive_selection");
+}
+
+// Property: greedy never beats exhaustive on validation error; ties are
+// fine — this is the formal statement of "greedy may hit local optima".
+class GreedyVsExactTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyVsExactTest, ExhaustiveIsValidationOptimal) {
+  ExactFixture f(GetParam());
+  ExhaustiveSelection ex;
+  auto exact = *ex.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                          ErrorMetric::kZeroOne,
+                          f.data.AllFeatureIndices());
+  ForwardSelection fs;
+  auto greedy_fwd = *fs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                               ErrorMetric::kZeroOne,
+                               f.data.AllFeatureIndices());
+  BackwardSelection bs;
+  auto greedy_bwd = *bs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                               ErrorMetric::kZeroOne,
+                               f.data.AllFeatureIndices());
+  EXPECT_LE(exact.validation_error, greedy_fwd.validation_error + 1e-12);
+  EXPECT_LE(exact.validation_error, greedy_bwd.validation_error + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsExactTest,
+                         ::testing::Range<uint64_t>(10, 20));
+
+}  // namespace
+}  // namespace hamlet

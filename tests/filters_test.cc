@@ -1,0 +1,131 @@
+#include "fs/filters.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "ml/naive_bayes.h"
+#include "stats/info_theory.h"
+
+namespace hamlet {
+namespace {
+
+struct FilterFixture {
+  EncodedDataset data;
+  HoldoutSplit split;
+
+  explicit FilterFixture(uint64_t seed, uint32_t n = 1600) {
+    Rng rng(seed);
+    std::vector<uint32_t> strong(n), weak(n), noise(n), y(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      strong[i] = rng.Uniform(2);
+      weak[i] = rng.Uniform(2);
+      noise[i] = rng.Uniform(4);
+      uint32_t base = rng.Bernoulli(0.9) ? strong[i] : 1 - strong[i];
+      y[i] = rng.Bernoulli(0.7) ? base : weak[i];
+    }
+    data = EncodedDataset({strong, weak, noise},
+                          {{"Strong", 2}, {"Weak", 2}, {"Noise", 4}}, y,
+                          2);
+    Rng split_rng(seed + 1);
+    split = MakeHoldoutSplit(n, split_rng);
+  }
+};
+
+TEST(ScoreFilterTest, MiScoresOrderByInformativeness) {
+  FilterFixture f(1);
+  ScoreFilter filter(FilterScore::kMutualInformation);
+  auto scores = filter.ScoreFeatures(f.data, f.split.train,
+                                     f.data.AllFeatureIndices());
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(scores[0], scores[1]);  // Strong > weak.
+  EXPECT_GT(scores[1], scores[2]);  // Weak > noise.
+}
+
+TEST(ScoreFilterTest, ScoresMatchDirectComputation) {
+  FilterFixture f(2);
+  ScoreFilter filter(FilterScore::kMutualInformation);
+  auto scores =
+      filter.ScoreFeatures(f.data, f.split.train, {0});
+  std::vector<uint32_t> fcodes, ycodes;
+  for (uint32_t r : f.split.train) {
+    fcodes.push_back(f.data.feature(0)[r]);
+    ycodes.push_back(f.data.labels()[r]);
+  }
+  EXPECT_NEAR(scores[0], MutualInformation(fcodes, ycodes, 2, 2), 1e-12);
+}
+
+TEST(ScoreFilterTest, SelectsInformativeSubset) {
+  FilterFixture f(3);
+  ScoreFilter filter(FilterScore::kMutualInformation);
+  auto result = filter.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                              ErrorMetric::kZeroOne,
+                              f.data.AllFeatureIndices());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->selected.empty());
+  EXPECT_EQ(result->selected[0], 0u);  // Strong ranks first.
+}
+
+TEST(ScoreFilterTest, TunesKOnValidation) {
+  FilterFixture f(4);
+  ScoreFilter filter(FilterScore::kMutualInformation);
+  auto result = *filter.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                               ErrorMetric::kZeroOne,
+                               f.data.AllFeatureIndices());
+  // One model per k = 1..3.
+  EXPECT_EQ(result.models_trained, 3u);
+  EXPECT_LE(result.selected.size(), 3u);
+}
+
+TEST(ScoreFilterTest, IgrVariantRuns) {
+  FilterFixture f(5);
+  ScoreFilter filter(FilterScore::kInformationGainRatio);
+  auto result = *filter.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                               ErrorMetric::kZeroOne,
+                               f.data.AllFeatureIndices());
+  EXPECT_FALSE(result.selected.empty());
+  EXPECT_LT(result.validation_error, 0.35);
+}
+
+TEST(ScoreFilterTest, IgrPenalizesHighCardinalityKeys) {
+  // A key-like feature (unique per row) has max MI but diluted IGR: the
+  // IGR filter must rank a compact predictor first, the MI filter the key.
+  Rng rng(6);
+  const uint32_t n = 800;
+  std::vector<uint32_t> key(n), compact(n), y(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    key[i] = i;
+    compact[i] = rng.Uniform(2);
+    y[i] = rng.Bernoulli(0.95) ? compact[i] : 1 - compact[i];
+  }
+  EncodedDataset d({key, compact}, {{"Key", n}, {"Compact", 2}}, y, 2);
+  std::vector<uint32_t> rows(n);
+  for (uint32_t i = 0; i < n; ++i) rows[i] = i;
+
+  ScoreFilter mi(FilterScore::kMutualInformation);
+  ScoreFilter igr(FilterScore::kInformationGainRatio);
+  auto mi_scores = mi.ScoreFeatures(d, rows, {0, 1});
+  auto igr_scores = igr.ScoreFeatures(d, rows, {0, 1});
+  EXPECT_GT(mi_scores[0], mi_scores[1]);    // MI prefers the key.
+  EXPECT_GT(igr_scores[1], igr_scores[0]);  // IGR prefers compact.
+}
+
+TEST(ScoreFilterTest, EmptyCandidates) {
+  FilterFixture f(7);
+  ScoreFilter filter(FilterScore::kMutualInformation);
+  auto result = *filter.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                               ErrorMetric::kZeroOne, {});
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_EQ(result.models_trained, 1u);
+}
+
+TEST(ScoreFilterTest, Names) {
+  EXPECT_EQ(ScoreFilter(FilterScore::kMutualInformation).name(),
+            "mi_filter");
+  EXPECT_EQ(ScoreFilter(FilterScore::kInformationGainRatio).name(),
+            "igr_filter");
+}
+
+}  // namespace
+}  // namespace hamlet

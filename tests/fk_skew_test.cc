@@ -1,0 +1,113 @@
+#include "core/fk_skew.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/data_synthesis.h"
+
+namespace hamlet {
+namespace {
+
+// Draws a labeled FK sample from a simulation config.
+struct Sample {
+  std::vector<uint32_t> fk;
+  std::vector<uint32_t> y;
+  uint32_t n_r;
+};
+
+Sample DrawSample(FkDistribution dist, double param, uint64_t seed,
+                  uint32_t n = 8000) {
+  SimConfig c;
+  c.scenario = TrueDistribution::kLoneXr;
+  c.n_s = n;
+  c.d_s = 1;
+  c.d_r = 2;
+  c.n_r = 40;
+  c.p = 0.1;
+  c.fk_dist = dist;
+  if (dist == FkDistribution::kZipf) c.zipf_skew = param;
+  if (dist == FkDistribution::kNeedleThread) c.needle_prob = param;
+  Rng rng(seed);
+  SimDataGenerator gen(c, rng);
+  SimDraw draw = gen.Draw(n, rng);
+  return {draw.data.feature(gen.FkFeatureIndex()), draw.data.labels(),
+          c.n_r};
+}
+
+TEST(FkSkewTest, UniformFkBalancedYIsBenign) {
+  Sample s = DrawSample(FkDistribution::kUniform, 0, 1);
+  auto r = AnalyzeFkSkew(s.fk, s.n_r, s.y, 2);
+  EXPECT_FALSE(r.malign);
+  EXPECT_FALSE(r.label_skewed);
+  EXPECT_NEAR(r.fk_entropy_bits, std::log2(40.0), 0.05);
+}
+
+TEST(FkSkewTest, ZipfSkewAloneIsBenign) {
+  // Heavy P(FK) skew, but Y stays balanced: the guard must not trip.
+  Sample s = DrawSample(FkDistribution::kZipf, 2.0, 2);
+  auto r = AnalyzeFkSkew(s.fk, s.n_r, s.y, 2);
+  EXPECT_FALSE(r.malign);
+  EXPECT_LT(r.fk_entropy_bits, std::log2(40.0) - 1.0);  // Skew visible.
+}
+
+TEST(FkSkewTest, NeedleThreadWithSkewedYIsMalign) {
+  // Hand-built extreme case (3) of Appendix D: the needle FK carries 92%
+  // of the rows and the dominant label; the rare thread FKs carry the
+  // rare label exclusively. H(Y) ~ 0.40 bits and rarity colludes.
+  Rng rng(3);
+  const uint32_t n = 10000, n_r = 40;
+  std::vector<uint32_t> fk, y;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.92)) {
+      fk.push_back(0);
+      y.push_back(0);
+    } else {
+      fk.push_back(1 + rng.Uniform(n_r - 1));
+      y.push_back(1);
+    }
+  }
+  auto r = AnalyzeFkSkew(fk, n_r, y, 2);
+  EXPECT_TRUE(r.label_skewed);
+  EXPECT_GT(r.rarity_correlation, 0.2);
+  EXPECT_TRUE(r.malign);
+}
+
+TEST(FkSkewTest, BalancedNeedleIsNotLabelSkewed) {
+  // Needle p = 0.5 splits Y evenly: H(Y) ~ 1 bit, so even though the
+  // rarity structure exists the conservative H(Y) precondition holds it
+  // back (the paper's simpler guard would also pass here).
+  Sample s = DrawSample(FkDistribution::kNeedleThread, 0.5, 4);
+  auto r = AnalyzeFkSkew(s.fk, s.n_r, s.y, 2);
+  EXPECT_FALSE(r.label_skewed);
+  EXPECT_FALSE(r.malign);
+}
+
+TEST(FkSkewTest, EntropyIdentityHolds) {
+  Sample s = DrawSample(FkDistribution::kZipf, 1.0, 5);
+  auto r = AnalyzeFkSkew(s.fk, s.n_r, s.y, 2);
+  EXPECT_NEAR(r.fk_entropy_bits - r.fk_given_y_bits, r.mutual_information,
+              1e-9);
+  EXPECT_GE(r.fk_given_y_bits, 0.0);
+  EXPECT_LE(r.mutual_information, r.fk_entropy_bits + 1e-9);
+}
+
+TEST(FkSkewTest, ThresholdKnobsRespected) {
+  Sample s = DrawSample(FkDistribution::kNeedleThread, 0.9, 6);
+  FkSkewOptions lax;
+  lax.rarity_correlation_threshold = 0.99;  // Nothing colludes this hard.
+  EXPECT_FALSE(AnalyzeFkSkew(s.fk, s.n_r, s.y, 2, lax).malign);
+  FkSkewOptions strict;
+  strict.label_entropy_threshold_bits = 2.0;  // Everything label-skewed.
+  auto r = AnalyzeFkSkew(s.fk, s.n_r, s.y, 2, strict);
+  EXPECT_TRUE(r.label_skewed);
+}
+
+TEST(FkSkewDeathTest, BadInputsAbort) {
+  EXPECT_DEATH((void)AnalyzeFkSkew({}, 2, {}, 2), "rows");
+  EXPECT_DEATH((void)AnalyzeFkSkew({0}, 2, {0, 1}, 2), "mismatch");
+}
+
+}  // namespace
+}  // namespace hamlet

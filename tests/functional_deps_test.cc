@@ -1,0 +1,162 @@
+#include "relational/functional_deps.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relational/join.h"
+
+namespace hamlet {
+namespace {
+
+FdSet CustomerFds() {
+  // Universe: the joined churn table's features.
+  FdSet fds({"Gender", "Age", "EmployerID", "Country", "Revenue"});
+  EXPECT_TRUE(
+      fds.Add({{"EmployerID"}, {"Country", "Revenue"}}).ok());
+  return fds;
+}
+
+TEST(FdSetTest, ClosureIncludesSelf) {
+  FdSet fds = CustomerFds();
+  auto closure = *fds.Closure({"Age"});
+  ASSERT_EQ(closure.size(), 1u);
+  EXPECT_EQ(closure[0], "Age");
+}
+
+TEST(FdSetTest, ClosureFollowsFd) {
+  FdSet fds = CustomerFds();
+  auto closure = *fds.Closure({"EmployerID"});
+  EXPECT_EQ(closure,
+            (std::vector<std::string>{"EmployerID", "Country", "Revenue"}));
+}
+
+TEST(FdSetTest, ClosureIsTransitive) {
+  FdSet fds({"A", "B", "C", "D"});
+  ASSERT_TRUE(fds.Add({{"A"}, {"B"}}).ok());
+  ASSERT_TRUE(fds.Add({{"B"}, {"C"}}).ok());
+  auto closure = *fds.Closure({"A"});
+  EXPECT_EQ(closure, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(FdSetTest, CompositeDeterminants) {
+  FdSet fds({"A", "B", "C"});
+  ASSERT_TRUE(fds.Add({{"A", "B"}, {"C"}}).ok());
+  EXPECT_FALSE(*fds.Implies({"A"}, "C"));
+  EXPECT_TRUE(*fds.Implies({"A", "B"}, "C"));
+}
+
+TEST(FdSetTest, ImpliesRejectsUnknownAttributes) {
+  FdSet fds = CustomerFds();
+  EXPECT_FALSE(fds.Implies({"Nope"}, "Country").ok());
+  EXPECT_FALSE(fds.Implies({"Age"}, "Nope").ok());
+}
+
+TEST(FdSetTest, AddRejectsBadFds) {
+  FdSet fds({"A"});
+  EXPECT_FALSE(fds.Add({{}, {"A"}}).ok());           // Empty determinant.
+  EXPECT_FALSE(fds.Add({{"A"}, {"Missing"}}).ok());  // Unknown attribute.
+}
+
+TEST(FdSetTest, AcyclicDetection) {
+  FdSet acyclic({"A", "B", "C"});
+  ASSERT_TRUE(acyclic.Add({{"A"}, {"B"}}).ok());
+  ASSERT_TRUE(acyclic.Add({{"B"}, {"C"}}).ok());
+  EXPECT_TRUE(acyclic.IsAcyclic());
+
+  FdSet cyclic({"A", "B"});
+  ASSERT_TRUE(cyclic.Add({{"A"}, {"B"}}).ok());
+  ASSERT_TRUE(cyclic.Add({{"B"}, {"A"}}).ok());
+  EXPECT_FALSE(cyclic.IsAcyclic());
+}
+
+TEST(FdSetTest, SelfLoopIsCyclic) {
+  FdSet fds({"A", "B"});
+  ASSERT_TRUE(fds.Add({{"A"}, {"A", "B"}}).ok());
+  EXPECT_FALSE(fds.IsAcyclic());
+}
+
+TEST(FdSetTest, EmptyFdSetIsAcyclic) {
+  EXPECT_TRUE(FdSet({"A", "B"}).IsAcyclic());
+}
+
+TEST(FdSetTest, CorollaryC1RedundantAndRepresentativeSets) {
+  FdSet fds = CustomerFds();
+  EXPECT_EQ(fds.DependentAttributes(),
+            (std::vector<std::string>{"Country", "Revenue"}));
+  EXPECT_EQ(fds.RepresentativeAttributes(),
+            (std::vector<std::string>{"Gender", "Age", "EmployerID"}));
+}
+
+TEST(FdSetTest, ChainedDependentsAllRedundant) {
+  // A -> B, B -> C: both B and C are dependents; A alone represents.
+  FdSet fds({"A", "B", "C"});
+  ASSERT_TRUE(fds.Add({{"A"}, {"B"}}).ok());
+  ASSERT_TRUE(fds.Add({{"B"}, {"C"}}).ok());
+  EXPECT_EQ(fds.RepresentativeAttributes(),
+            (std::vector<std::string>{"A"}));
+}
+
+// --- Instance-level verification and discovery. ---
+
+Table MakeJoinedInstance() {
+  Schema r_schema({ColumnSpec::PrimaryKey("RID"),
+                   ColumnSpec::Feature("F1"),
+                   ColumnSpec::Feature("F2")});
+  TableBuilder rb("R", r_schema);
+  EXPECT_TRUE(rb.AppendRowLabels({"r0", "a", "x"}).ok());
+  EXPECT_TRUE(rb.AppendRowLabels({"r1", "b", "x"}).ok());
+  EXPECT_TRUE(rb.AppendRowLabels({"r2", "a", "y"}).ok());
+  Table r = rb.Build();
+
+  Schema s_schema({ColumnSpec::Target("Y"), ColumnSpec::Feature("XS"),
+                   ColumnSpec::ForeignKey("FK", "R")});
+  TableBuilder sb("S", s_schema, {nullptr, nullptr, r.column(0).domain()});
+  EXPECT_TRUE(sb.AppendRowLabels({"0", "p", "r0"}).ok());
+  EXPECT_TRUE(sb.AppendRowLabels({"1", "q", "r1"}).ok());
+  EXPECT_TRUE(sb.AppendRowLabels({"0", "p", "r2"}).ok());
+  EXPECT_TRUE(sb.AppendRowLabels({"1", "q", "r0"}).ok());
+  return *KfkJoin(sb.Build(), r, "FK");
+}
+
+TEST(FdInstanceTest, KfkJoinMaterializesFkToXrFds) {
+  Table t = MakeJoinedInstance();
+  EXPECT_TRUE(*FdHoldsInTable(t, "FK", "F1"));
+  EXPECT_TRUE(*FdHoldsInTable(t, "FK", "F2"));
+  // The reverse generally fails: F2 = "x" maps to two FK values.
+  EXPECT_FALSE(*FdHoldsInTable(t, "F2", "FK"));
+}
+
+TEST(FdInstanceTest, MissingColumnErrors) {
+  Table t = MakeJoinedInstance();
+  EXPECT_FALSE(FdHoldsInTable(t, "Nope", "F1").ok());
+}
+
+TEST(FdInstanceTest, DiscoveryFindsSchemaFds) {
+  Table t = MakeJoinedInstance();
+  auto fds = *DiscoverUnaryFds(t);
+  auto has = [&](const std::string& det, const std::string& dep) {
+    return std::any_of(fds.begin(), fds.end(), [&](const auto& fd) {
+      return fd.determinants == std::vector<std::string>{det} &&
+             fd.dependents == std::vector<std::string>{dep};
+    });
+  };
+  EXPECT_TRUE(has("FK", "F1"));
+  EXPECT_TRUE(has("FK", "F2"));
+  EXPECT_FALSE(has("F2", "FK"));
+}
+
+TEST(FdInstanceTest, SchemaFdsForJoinBuildsCorollarySet) {
+  Table t = MakeJoinedInstance();
+  FdSet fds = SchemaFdsForJoin(t, {"FK"}, {{"F1", "F2"}});
+  EXPECT_TRUE(fds.IsAcyclic());
+  EXPECT_EQ(fds.DependentAttributes(),
+            (std::vector<std::string>{"F1", "F2"}));
+  // The representative set keeps Y, XS, FK — exactly the NoJoin design.
+  auto rep = fds.RepresentativeAttributes();
+  EXPECT_TRUE(std::find(rep.begin(), rep.end(), "FK") != rep.end());
+  EXPECT_TRUE(std::find(rep.begin(), rep.end(), "XS") != rep.end());
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,65 @@
+#include "theory/generalization_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hamlet {
+namespace {
+
+TEST(VcBoundTermTest, MatchesClosedForm) {
+  // sqrt(v log(2en/v)) at v = 10, n = 1000.
+  double expected = std::sqrt(10.0 * std::log(2.0 * M_E * 1000.0 / 10.0));
+  EXPECT_NEAR(VcBoundTerm(10, 1000), expected, 1e-12);
+}
+
+TEST(VcBoundTermTest, IncreasesWithVcDimensionInTheoremRegime) {
+  // For n > v the term grows with v — the heart of the ROR's sign.
+  double prev = 0.0;
+  for (uint64_t v : {2ull, 10ull, 50ull, 200ull, 900ull}) {
+    double term = VcBoundTerm(v, 1000);
+    EXPECT_GT(term, prev);
+    prev = term;
+  }
+}
+
+TEST(VcBoundTermTest, ClampsNegativeLogs) {
+  // v >> n would make the log negative; the term clamps to 0, not NaN.
+  double term = VcBoundTerm(1000000, 10);
+  EXPECT_GE(term, 0.0);
+  EXPECT_FALSE(std::isnan(term));
+}
+
+TEST(VcGeneralizationBoundTest, MatchesTheorem32Formula) {
+  const uint64_t v = 40, n = 1000;
+  const double delta = 0.1;
+  double expected = (4.0 + std::sqrt(40.0 * std::log(2.0 * M_E * 1000.0 /
+                                                     40.0))) /
+                    (0.1 * std::sqrt(2000.0));
+  EXPECT_NEAR(VcGeneralizationBound(v, n, delta), expected, 1e-12);
+}
+
+TEST(VcGeneralizationBoundTest, ShrinksWithMoreData) {
+  double prev = VcGeneralizationBound(40, 100, 0.1);
+  for (uint64_t n : {1000ull, 10000ull, 100000ull}) {
+    double bound = VcGeneralizationBound(40, n, 0.1);
+    EXPECT_LT(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(VcGeneralizationBoundTest, TightensWithLargerDelta) {
+  // The bound is proportional to 1/delta.
+  double strict = VcGeneralizationBound(40, 1000, 0.05);
+  double loose = VcGeneralizationBound(40, 1000, 0.1);
+  EXPECT_NEAR(strict, 2.0 * loose, 1e-9);
+}
+
+TEST(GeneralizationBoundDeathTest, BadInputsAbort) {
+  EXPECT_DEATH((void)VcBoundTerm(0, 10), "positive");
+  EXPECT_DEATH((void)VcGeneralizationBound(10, 100, 0.0), "delta");
+  EXPECT_DEATH((void)VcGeneralizationBound(10, 100, 1.0), "delta");
+}
+
+}  // namespace
+}  // namespace hamlet

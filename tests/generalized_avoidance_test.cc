@@ -1,0 +1,129 @@
+#include "core/generalized_avoidance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hamlet {
+namespace {
+
+// A denormalized table with two FD chains of different tuple ratios:
+//   Wide  -> {WideDep}   (many distinct determinant values: low TR)
+//   Narrow-> {NarrowDep1, NarrowDep2} (few distinct values: high TR)
+Table MakeDenormalized(uint32_t n = 2000) {
+  Rng rng(5);
+  Schema schema({ColumnSpec::Target("Y"), ColumnSpec::Feature("Wide"),
+                 ColumnSpec::Feature("WideDep"),
+                 ColumnSpec::Feature("Narrow"),
+                 ColumnSpec::Feature("NarrowDep1"),
+                 ColumnSpec::Feature("NarrowDep2"),
+                 ColumnSpec::Feature("Free")});
+  auto y_d = Domain::Dense(2);
+  auto wide_d = Domain::Dense(800, "w");
+  auto widedep_d = Domain::Dense(4, "wd");
+  auto narrow_d = Domain::Dense(10, "n");
+  auto narrowdep_d = Domain::Dense(3, "nd");
+  auto free_d = Domain::Dense(5, "f");
+  TableBuilder b("T", schema,
+                 {y_d, wide_d, widedep_d, narrow_d, narrowdep_d,
+                  narrowdep_d, free_d});
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t wide = rng.Uniform(800);
+    uint32_t narrow = rng.Uniform(10);
+    b.AppendRowCodes({rng.Uniform(2), wide, wide % 4, narrow, narrow % 3,
+                      (narrow + 1) % 3, rng.Uniform(5)});
+  }
+  return b.Build();
+}
+
+FdSet MakeFds(const Table& t) {
+  std::vector<std::string> attrs;
+  for (uint32_t c = 0; c < t.num_columns(); ++c) {
+    attrs.push_back(t.schema().column(c).name);
+  }
+  FdSet fds(std::move(attrs));
+  EXPECT_TRUE(fds.Add({{"Wide"}, {"WideDep"}}).ok());
+  EXPECT_TRUE(fds.Add({{"Narrow"}, {"NarrowDep1", "NarrowDep2"}}).ok());
+  return fds;
+}
+
+const std::vector<std::string> kCandidates = {
+    "Wide", "WideDep", "Narrow", "NarrowDep1", "NarrowDep2", "Free"};
+
+TEST(GeneralizedAvoidanceTest, DropsOnlyHighTrDependents) {
+  Table t = MakeDenormalized();
+  auto plan = AdviseFeatureDrops(t, MakeFds(t), kCandidates);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Narrow: TR = 1000/10 = 100 >= 20 -> dependents droppable.
+  // Wide: TR = 1000/~780 distinct ~ 1.3 -> keep.
+  EXPECT_EQ(plan->drop,
+            (std::vector<std::string>{"NarrowDep1", "NarrowDep2"}));
+  EXPECT_EQ(plan->keep, (std::vector<std::string>{"Wide", "WideDep",
+                                                  "Narrow", "Free"}));
+}
+
+TEST(GeneralizedAvoidanceTest, AdviceCarriesDiagnostics) {
+  Table t = MakeDenormalized();
+  auto plan = *AdviseFeatureDrops(t, MakeFds(t), kCandidates);
+  ASSERT_EQ(plan.advice.size(), 2u);
+  const FdAdvice& wide = plan.advice[0];
+  EXPECT_EQ(wide.fd.determinants[0], "Wide");
+  EXPECT_GT(wide.determinant_distinct, 500u);
+  EXPECT_EQ(wide.min_dependent_domain, 4u);
+  EXPECT_FALSE(wide.safe_to_drop_dependents);
+  const FdAdvice& narrow = plan.advice[1];
+  EXPECT_EQ(narrow.determinant_distinct, 10u);
+  EXPECT_EQ(narrow.min_dependent_domain, 3u);
+  EXPECT_TRUE(narrow.safe_to_drop_dependents);
+  EXPECT_GT(wide.ror, narrow.ror);  // Lower TR, higher risk.
+}
+
+TEST(GeneralizedAvoidanceTest, DropKeepPartitionCandidates) {
+  Table t = MakeDenormalized();
+  auto plan = *AdviseFeatureDrops(t, MakeFds(t), kCandidates);
+  EXPECT_EQ(plan.drop.size() + plan.keep.size(), kCandidates.size());
+}
+
+TEST(GeneralizedAvoidanceTest, CyclicFdsRejected) {
+  Table t = MakeDenormalized();
+  FdSet cyclic({"Y", "Wide", "WideDep", "Narrow", "NarrowDep1",
+                "NarrowDep2", "Free"});
+  ASSERT_TRUE(cyclic.Add({{"Wide"}, {"WideDep"}}).ok());
+  ASSERT_TRUE(cyclic.Add({{"WideDep"}, {"Wide"}}).ok());
+  EXPECT_EQ(AdviseFeatureDrops(t, cyclic, kCandidates).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GeneralizedAvoidanceTest, CompositeDeterminantsNotImplemented) {
+  Table t = MakeDenormalized();
+  FdSet fds({"Y", "Wide", "WideDep", "Narrow", "NarrowDep1", "NarrowDep2",
+             "Free"});
+  ASSERT_TRUE(fds.Add({{"Wide", "Narrow"}, {"Free"}}).ok());
+  EXPECT_EQ(AdviseFeatureDrops(t, fds, kCandidates).status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(GeneralizedAvoidanceTest, LooserToleranceDropsMore) {
+  Table t = MakeDenormalized();
+  // Make the narrow determinant's TR land between the two taus (10, 20):
+  // use a 2000-row table, train_fraction tuned so TR ~ 15.
+  GeneralizedAvoidanceOptions strict;
+  strict.error_tolerance = 0.001;  // tau 20.
+  strict.train_fraction = 0.075;   // n = 150, TR(Narrow) = 15.
+  GeneralizedAvoidanceOptions loose = strict;
+  loose.error_tolerance = 0.01;  // tau 10.
+  auto strict_plan = *AdviseFeatureDrops(t, MakeFds(t), kCandidates, strict);
+  auto loose_plan = *AdviseFeatureDrops(t, MakeFds(t), kCandidates, loose);
+  EXPECT_TRUE(strict_plan.drop.empty());
+  EXPECT_EQ(loose_plan.drop.size(), 2u);
+}
+
+TEST(GeneralizedAvoidanceTest, UnknownColumnErrors) {
+  Table t = MakeDenormalized();
+  FdSet fds({"Ghost", "Y"});
+  ASSERT_TRUE(fds.Add({{"Ghost"}, {"Y"}}).ok());
+  EXPECT_FALSE(AdviseFeatureDrops(t, fds, {"Y"}).ok());
+}
+
+}  // namespace
+}  // namespace hamlet

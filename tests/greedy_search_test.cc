@@ -1,0 +1,153 @@
+#include "fs/greedy_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "ml/eval.h"
+#include "ml/naive_bayes.h"
+
+namespace hamlet {
+namespace {
+
+// Builds a dataset where features 0 and 1 jointly determine Y (plus mild
+// noise) and features 2..d-1 are pure noise, with a fixed 50/25/25 split.
+struct FsFixture {
+  EncodedDataset data;
+  HoldoutSplit split;
+
+  explicit FsFixture(uint64_t seed, uint32_t n = 1200,
+                     uint32_t num_noise = 3)
+      : data(Build(seed, n, num_noise)) {
+    Rng rng(seed + 1);
+    split = MakeHoldoutSplit(data.num_rows(), rng);
+  }
+
+  static EncodedDataset Build(uint64_t seed, uint32_t n,
+                              uint32_t num_noise) {
+    Rng rng(seed);
+    std::vector<std::vector<uint32_t>> feats(2 + num_noise,
+                                             std::vector<uint32_t>(n));
+    std::vector<uint32_t> y(n);
+    std::vector<FeatureMeta> metas = {{"Signal0", 2}, {"Signal1", 2}};
+    for (uint32_t j = 0; j < num_noise; ++j) {
+      metas.push_back({"Noise" + std::to_string(j), 4});
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      feats[0][i] = rng.Uniform(2);
+      feats[1][i] = rng.Uniform(2);
+      for (uint32_t j = 0; j < num_noise; ++j) {
+        feats[2 + j][i] = rng.Uniform(4);
+      }
+      uint32_t target = feats[0][i] | (feats[1][i] << 1);  // 4 classes.
+      y[i] = rng.Bernoulli(0.95) ? target : rng.Uniform(4);
+    }
+    return EncodedDataset(std::move(feats), std::move(metas),
+                          std::move(y), 4);
+  }
+};
+
+TEST(ForwardSelectionTest, FindsSignalFeatures) {
+  FsFixture f(1);
+  ForwardSelection fs;
+  auto result = fs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                          ErrorMetric::kZeroOne,
+                          f.data.AllFeatureIndices());
+  ASSERT_TRUE(result.ok());
+  auto& sel = result->selected;
+  EXPECT_TRUE(std::find(sel.begin(), sel.end(), 0u) != sel.end());
+  EXPECT_TRUE(std::find(sel.begin(), sel.end(), 1u) != sel.end());
+  EXPECT_LT(result->validation_error, 0.15);
+}
+
+TEST(ForwardSelectionTest, MostlySkipsNoise) {
+  FsFixture f(2);
+  ForwardSelection fs;
+  auto result = *fs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                           ErrorMetric::kZeroOne,
+                           f.data.AllFeatureIndices());
+  EXPECT_LE(result.selected.size(), 3u);
+}
+
+TEST(ForwardSelectionTest, EmptyCandidatesGivePriorModel) {
+  FsFixture f(3);
+  ForwardSelection fs;
+  auto result = *fs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                           ErrorMetric::kZeroOne, {});
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_EQ(result.models_trained, 1u);
+}
+
+TEST(ForwardSelectionTest, CountsTrainedModels) {
+  FsFixture f(4);
+  ForwardSelection fs;
+  auto result = *fs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                           ErrorMetric::kZeroOne,
+                           f.data.AllFeatureIndices());
+  // At least: 1 baseline + one full pass over 5 candidates.
+  EXPECT_GE(result.models_trained, 6u);
+}
+
+TEST(BackwardSelectionTest, RetainsSignalDropsSomeNoise) {
+  FsFixture f(5);
+  BackwardSelection bs;
+  auto result = *bs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                           ErrorMetric::kZeroOne,
+                           f.data.AllFeatureIndices());
+  auto& sel = result.selected;
+  EXPECT_TRUE(std::find(sel.begin(), sel.end(), 0u) != sel.end());
+  EXPECT_TRUE(std::find(sel.begin(), sel.end(), 1u) != sel.end());
+  EXPECT_LT(sel.size(), f.data.num_features());
+  EXPECT_LT(result.validation_error, 0.15);
+}
+
+TEST(BackwardSelectionTest, SingleCandidateKept) {
+  FsFixture f(6);
+  BackwardSelection bs;
+  auto result = *bs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                           ErrorMetric::kZeroOne, {0});
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], 0u);
+}
+
+TEST(GreedySearchTest, ForwardAndBackwardAgreeOnStrongSignal) {
+  FsFixture f(7);
+  ForwardSelection fs;
+  BackwardSelection bs;
+  auto fwd = *fs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                        ErrorMetric::kZeroOne,
+                        f.data.AllFeatureIndices());
+  auto bwd = *bs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                        ErrorMetric::kZeroOne,
+                        f.data.AllFeatureIndices());
+  // Both must achieve comparable validation error on this easy concept.
+  EXPECT_NEAR(fwd.validation_error, bwd.validation_error, 0.05);
+}
+
+TEST(GreedySearchTest, Names) {
+  EXPECT_EQ(ForwardSelection().name(), "forward_selection");
+  EXPECT_EQ(BackwardSelection().name(), "backward_selection");
+}
+
+// Property sweep: forward selection's validation error never exceeds the
+// prior-only baseline, across seeds.
+class ForwardNeverWorseTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ForwardNeverWorseTest, ValidationErrorAtMostBaseline) {
+  FsFixture f(GetParam());
+  // Baseline: prior-only model.
+  auto base = TrainAndScore(MakeNaiveBayesFactory(), f.data, f.split.train,
+                            f.split.validation, {}, ErrorMetric::kZeroOne);
+  ForwardSelection fs;
+  auto result = *fs.Select(f.data, f.split, MakeNaiveBayesFactory(),
+                           ErrorMetric::kZeroOne,
+                           f.data.AllFeatureIndices());
+  EXPECT_LE(result.validation_error, *base + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForwardNeverWorseTest,
+                         ::testing::Range<uint64_t>(10, 18));
+
+}  // namespace
+}  // namespace hamlet

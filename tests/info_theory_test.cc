@@ -1,0 +1,154 @@
+#include "stats/info_theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hamlet {
+namespace {
+
+TEST(EntropyTest, UniformBinaryIsOneBit) {
+  EXPECT_NEAR(EntropyFromCounts({50, 50}), 1.0, 1e-12);
+}
+
+TEST(EntropyTest, DeterministicIsZero) {
+  EXPECT_NEAR(EntropyFromCounts({100, 0}), 0.0, 1e-12);
+}
+
+TEST(EntropyTest, UniformKAryIsLog2K) {
+  EXPECT_NEAR(EntropyFromCounts({10, 10, 10, 10}), 2.0, 1e-12);
+  EXPECT_NEAR(EntropyFromCounts({7, 7, 7, 7, 7, 7, 7, 7}), 3.0, 1e-12);
+}
+
+TEST(EntropyTest, GoldenSkewedValue) {
+  // H(0.9, 0.1) = 0.4690 bits — the paper's "90%:10% split ~ 0.5 bits".
+  EXPECT_NEAR(EntropyFromCounts({90, 10}), 0.46899559358928133, 1e-9);
+}
+
+TEST(EntropyTest, AllZeroCountsIsZero) {
+  EXPECT_EQ(EntropyFromCounts({0, 0, 0}), 0.0);
+}
+
+TEST(EntropyTest, CodesOverload) {
+  EXPECT_NEAR(Entropy({0, 1, 0, 1}, 2), 1.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, FunctionalDependenceGivesZero) {
+  // Y = F exactly: H(Y|F) = 0.
+  ContingencyTable t({0, 1, 0, 1}, {0, 1, 0, 1}, 2, 2);
+  EXPECT_NEAR(ConditionalEntropy(t), 0.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, IndependenceKeepsFullEntropy) {
+  // F independent of Y, both uniform: H(Y|F) = H(Y) = 1.
+  ContingencyTable t({0, 0, 1, 1}, {0, 1, 0, 1}, 2, 2);
+  EXPECT_NEAR(ConditionalEntropy(t), 1.0, 1e-12);
+}
+
+TEST(MutualInformationTest, PerfectPredictorGetsFullEntropy) {
+  ContingencyTable t({0, 1, 0, 1}, {0, 1, 0, 1}, 2, 2);
+  EXPECT_NEAR(MutualInformation(t), 1.0, 1e-12);
+}
+
+TEST(MutualInformationTest, IndependentIsZero) {
+  ContingencyTable t({0, 0, 1, 1}, {0, 1, 0, 1}, 2, 2);
+  EXPECT_NEAR(MutualInformation(t), 0.0, 1e-12);
+}
+
+TEST(MutualInformationTest, GoldenPartialValue) {
+  // Joint: P(0,0)=P(1,1)=3/8, P(0,1)=P(1,0)=1/8.
+  // I = 1 - H(0.25) = 1 - 0.811278 = 0.188722 bits.
+  std::vector<uint32_t> f = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<uint32_t> y = {0, 0, 0, 1, 1, 1, 1, 0};
+  EXPECT_NEAR(MutualInformation(f, y, 2, 2), 0.18872187554086717, 1e-9);
+}
+
+TEST(MutualInformationTest, SymmetricInArguments) {
+  Rng rng(5);
+  std::vector<uint32_t> a(500), b(500);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Uniform(4);
+    b[i] = rng.Bernoulli(0.7) ? a[i] % 3 : rng.Uniform(3);
+  }
+  EXPECT_NEAR(MutualInformation(a, b, 4, 3), MutualInformation(b, a, 3, 4),
+              1e-12);
+}
+
+TEST(MutualInformationTest, NonNegativeOnRandomData) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint32_t> f(200), y(200);
+    for (int i = 0; i < 200; ++i) {
+      f[i] = rng.Uniform(5);
+      y[i] = rng.Uniform(3);
+    }
+    EXPECT_GE(MutualInformation(f, y, 5, 3), 0.0);
+  }
+}
+
+TEST(MutualInformationTest, BoundedByMinEntropy) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint32_t> f(300), y(300);
+    for (int i = 0; i < 300; ++i) {
+      f[i] = rng.Uniform(6);
+      y[i] = rng.Bernoulli(0.5) ? f[i] % 2 : rng.Uniform(2);
+    }
+    ContingencyTable t(f, y, 6, 2);
+    double mi = MutualInformation(t);
+    EXPECT_LE(mi, Entropy(f, 6) + 1e-9);
+    EXPECT_LE(mi, Entropy(y, 2) + 1e-9);
+  }
+}
+
+TEST(InformationGainRatioTest, NormalizesByFeatureEntropy) {
+  // Y = F, both uniform binary: IGR = I/H(F) = 1/1 = 1.
+  EXPECT_NEAR(InformationGainRatio({0, 1, 0, 1}, {0, 1, 0, 1}, 2, 2), 1.0,
+              1e-12);
+}
+
+TEST(InformationGainRatioTest, ConstantFeatureIsZero) {
+  EXPECT_EQ(InformationGainRatio({0, 0, 0, 0}, {0, 1, 0, 1}, 1, 2), 0.0);
+}
+
+TEST(InformationGainRatioTest, PenalizesLargeDomains) {
+  // Proposition 3.2's phenomenon: a unique-valued key F has maximal
+  // I(F;Y) but its IGR is diluted; a compact perfect predictor G can
+  // have higher IGR even though I(G;Y) <= I(F;Y) (Theorem 3.1).
+  std::vector<uint32_t> key = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<uint32_t> g = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<uint32_t> y = {0, 0, 0, 0, 1, 1, 1, 1};
+  double igr_key = InformationGainRatio(key, y, 8, 2);
+  double igr_g = InformationGainRatio(g, y, 2, 2);
+  double mi_key = MutualInformation(key, y, 8, 2);
+  double mi_g = MutualInformation(g, y, 2, 2);
+  EXPECT_GE(mi_key, mi_g - 1e-12);
+  EXPECT_GT(igr_g, igr_key);
+}
+
+TEST(PearsonCorrelationTest, PerfectLinear) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, ConstantSeriesIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonCorrelationTest, TooShortIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(PearsonCorrelationTest, InvariantToAffineTransforms) {
+  std::vector<double> x = {1, 4, 2, 8, 5};
+  std::vector<double> y = {2, 3, 1, 9, 4};
+  double base = PearsonCorrelation(x, y);
+  std::vector<double> x2;
+  for (double v : x) x2.push_back(3.0 * v - 7.0);
+  EXPECT_NEAR(PearsonCorrelation(x2, y), base, 1e-12);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,166 @@
+/// End-to-end integration tests: synthesized star schemas pushed through
+/// the full pipeline (catalog -> advisor -> join plan -> encode -> split
+/// -> feature selection -> holdout error), reproducing the paper's core
+/// claims at test-suite scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/advisor.h"
+#include "data/encoded_dataset.h"
+#include "data/splits.h"
+#include "datasets/registry.h"
+#include "fs/runner.h"
+#include "ml/eval.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+
+namespace hamlet {
+namespace {
+
+struct PipelineRun {
+  double error;
+  std::vector<std::string> selected;
+};
+
+PipelineRun RunPipeline(const NormalizedDataset& ds,
+                        const std::vector<std::string>& fks, FsMethod method,
+                        ErrorMetric metric, uint64_t seed) {
+  auto table = ds.JoinSubset(fks);
+  EXPECT_TRUE(table.ok()) << table.status();
+  auto data = EncodedDataset::FromTableAuto(*table);
+  EXPECT_TRUE(data.ok());
+  Rng rng(seed);
+  HoldoutSplit split = MakeHoldoutSplit(data->num_rows(), rng);
+  auto selector = MakeSelector(method);
+  auto report = RunFeatureSelection(*selector, *data, split,
+                                    MakeNaiveBayesFactory(), metric,
+                                    data->AllFeatureIndices());
+  EXPECT_TRUE(report.ok()) << report.status();
+  return {report->holdout_test_error, report->selected_names};
+}
+
+std::vector<std::string> AllFks(const NormalizedDataset& ds) {
+  std::vector<std::string> fks;
+  for (const auto& fk : ds.foreign_keys()) fks.push_back(fk.fk_column);
+  return fks;
+}
+
+TEST(IntegrationTest, AvoidableJoinKeepsErrorFlat) {
+  // MovieLens-shaped: huge TR, so JoinOpt == NoJoins and the error must
+  // match JoinAll within the paper's tolerance band.
+  auto ds = *MakeDataset("MovieLens1M", 0.02, 7);
+  auto plan = *AdviseJoins(ds);
+  EXPECT_EQ(plan.fks_avoided.size(), 2u);
+  auto metric = *MetricForDataset("MovieLens1M");
+  PipelineRun all =
+      RunPipeline(ds, AllFks(ds), FsMethod::kForwardSelection, metric, 3);
+  PipelineRun opt = RunPipeline(ds, plan.fks_to_join,
+                                FsMethod::kForwardSelection, metric, 3);
+  EXPECT_NEAR(opt.error, all.error, 0.05);
+}
+
+TEST(IntegrationTest, UnsafeAvoidanceBlowsUpError) {
+  // Yelp-shaped: avoiding the joins the rule keeps must cost real error.
+  auto ds = *MakeDataset("Yelp", 0.05, 7);
+  auto plan = *AdviseJoins(ds);
+  EXPECT_TRUE(plan.fks_avoided.empty());
+  auto metric = *MetricForDataset("Yelp");
+  PipelineRun all =
+      RunPipeline(ds, AllFks(ds), FsMethod::kForwardSelection, metric, 3);
+  PipelineRun none =
+      RunPipeline(ds, {}, FsMethod::kForwardSelection, metric, 3);
+  EXPECT_GT(none.error, all.error + 0.05);
+}
+
+TEST(IntegrationTest, JoinOptMatchesJoinAllOnEveryDataset) {
+  // The paper's headline: across datasets and methods, JoinOpt's error
+  // tracks JoinAll's closely.
+  for (const auto& name : AllDatasetNames()) {
+    auto ds = *MakeDataset(name, 0.02, 11);
+    auto plan = *AdviseJoins(ds);
+    auto metric = *MetricForDataset(name);
+    PipelineRun all = RunPipeline(ds, AllFks(ds),
+                                  FsMethod::kMiFilter, metric, 5);
+    PipelineRun opt = RunPipeline(ds, plan.fks_to_join,
+                                  FsMethod::kMiFilter, metric, 5);
+    EXPECT_LE(opt.error, all.error + 0.08) << name;
+  }
+}
+
+TEST(IntegrationTest, LastFmSelectsOnlyUserId) {
+  // Section 5.1: on LastFM every method (except BS) returned {UserID}.
+  auto ds = *MakeDataset("LastFM", 0.1, 42);
+  auto plan = *AdviseJoins(ds);
+  auto metric = *MetricForDataset("LastFM");
+  PipelineRun opt = RunPipeline(ds, plan.fks_to_join,
+                                FsMethod::kMiFilter, metric, 3);
+  ASSERT_FALSE(opt.selected.empty());
+  EXPECT_EQ(opt.selected[0], "UserID");
+}
+
+TEST(IntegrationTest, AdvisorDecisionsAreScaleInvariant) {
+  // Tuple ratios survive scaling, so the plan must not change with scale.
+  for (const auto& name : {"Walmart", "Yelp", "Flights"}) {
+    auto small = *MakeDataset(name, 0.02, 3);
+    auto large = *MakeDataset(name, 0.1, 3);
+    auto plan_small = *AdviseJoins(small);
+    auto plan_large = *AdviseJoins(large);
+    auto sorted = [](std::vector<std::string> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    EXPECT_EQ(sorted(plan_small.fks_avoided), sorted(plan_large.fks_avoided))
+        << name;
+  }
+}
+
+TEST(IntegrationTest, LogisticRegressionPipelineAgrees) {
+  // The embedded-FS path (Figure 9's machinery) must run end to end and
+  // produce comparable JoinAll/JoinOpt errors on an avoidable dataset.
+  auto ds = *MakeDataset("Walmart", 0.02, 13);
+  auto plan = *AdviseJoins(ds);
+  auto metric = *MetricForDataset("Walmart");
+  LogisticRegressionOptions opts;
+  opts.regularizer = Regularizer::kL1;
+  opts.lambda = 1e-4;
+  opts.max_epochs = 10;
+
+  auto run = [&](const std::vector<std::string>& fks) {
+    auto table = *ds.JoinSubset(fks);
+    auto data = *EncodedDataset::FromTableAuto(table);
+    Rng rng(5);
+    HoldoutSplit split = MakeHoldoutSplit(data.num_rows(), rng);
+    return *TrainAndScore(MakeLogisticRegressionFactory(opts), data,
+                          split.train, split.test,
+                          data.AllFeatureIndices(), metric);
+  };
+  double all = run(AllFks(ds));
+  double opt = run(plan.fks_to_join);
+  EXPECT_NEAR(opt, all, 0.25);
+}
+
+TEST(IntegrationTest, FewerInputFeaturesMeansFewerModelsTrained) {
+  // The mechanism behind Figure 7(B)'s speedups.
+  auto ds = *MakeDataset("Walmart", 0.02, 17);
+  auto plan = *AdviseJoins(ds);
+  auto metric = *MetricForDataset("Walmart");
+
+  auto models_trained = [&](const std::vector<std::string>& fks) {
+    auto table = *ds.JoinSubset(fks);
+    auto data = *EncodedDataset::FromTableAuto(table);
+    Rng rng(5);
+    HoldoutSplit split = MakeHoldoutSplit(data.num_rows(), rng);
+    auto selector = MakeSelector(FsMethod::kBackwardSelection);
+    auto report = *RunFeatureSelection(*selector, data, split,
+                                       MakeNaiveBayesFactory(), metric,
+                                       data.AllFeatureIndices());
+    return report.selection.models_trained;
+  };
+  EXPECT_GT(models_trained(AllFks(ds)),
+            4 * models_trained(plan.fks_to_join));
+}
+
+}  // namespace
+}  // namespace hamlet

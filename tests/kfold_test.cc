@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "data/splits.h"
+#include "ml/eval.h"
+#include "ml/naive_bayes.h"
+
+namespace hamlet {
+namespace {
+
+TEST(KFoldTest, FoldsPartitionIndices) {
+  Rng rng(1);
+  KFoldSplit split = MakeKFoldSplit(103, 5, rng);
+  ASSERT_EQ(split.num_folds(), 5u);
+  std::set<uint32_t> all;
+  size_t total = 0;
+  for (const auto& fold : split.folds) {
+    all.insert(fold.begin(), fold.end());
+    total += fold.size();
+  }
+  EXPECT_EQ(all.size(), 103u);
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(KFoldTest, FoldSizesDifferByAtMostOne) {
+  Rng rng(2);
+  KFoldSplit split = MakeKFoldSplit(103, 5, rng);
+  size_t min_size = 1000, max_size = 0;
+  for (const auto& fold : split.folds) {
+    min_size = std::min(min_size, fold.size());
+    max_size = std::max(max_size, fold.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFoldTest, TrainForExcludesExactlyTheFold) {
+  Rng rng(3);
+  KFoldSplit split = MakeKFoldSplit(50, 4, rng);
+  for (uint32_t f = 0; f < 4; ++f) {
+    auto train = split.TrainFor(f);
+    EXPECT_EQ(train.size() + split.folds[f].size(), 50u);
+    std::set<uint32_t> train_set(train.begin(), train.end());
+    for (uint32_t held : split.folds[f]) {
+      EXPECT_EQ(train_set.count(held), 0u);
+    }
+  }
+}
+
+TEST(KFoldTest, DeterministicInRng) {
+  Rng a(7), b(7);
+  EXPECT_EQ(MakeKFoldSplit(40, 4, a).folds, MakeKFoldSplit(40, 4, b).folds);
+}
+
+TEST(KFoldDeathTest, BadKAborts) {
+  Rng rng(9);
+  EXPECT_DEATH((void)MakeKFoldSplit(10, 1, rng), "k");
+  EXPECT_DEATH((void)MakeKFoldSplit(3, 5, rng), "k");
+}
+
+TEST(CrossValidationTest, LowErrorOnLearnableConcept) {
+  Rng rng(11);
+  const uint32_t n = 600;
+  std::vector<uint32_t> f(n), y(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    f[i] = rng.Uniform(2);
+    y[i] = rng.Bernoulli(0.9) ? f[i] : 1 - f[i];
+  }
+  EncodedDataset d({f}, {{"F", 2}}, y, 2);
+  Rng fold_rng(12);
+  KFoldSplit folds = MakeKFoldSplit(n, 5, fold_rng);
+  auto err = CrossValidatedError(MakeNaiveBayesFactory(), d, folds, {0},
+                                 ErrorMetric::kZeroOne);
+  ASSERT_TRUE(err.ok());
+  EXPECT_LT(*err, 0.2);  // Bayes error 0.1.
+  EXPECT_GT(*err, 0.0);
+}
+
+TEST(CrossValidationTest, CvTracksHoldoutEstimate) {
+  Rng rng(13);
+  const uint32_t n = 2000;
+  std::vector<uint32_t> f(n), y(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    f[i] = rng.Uniform(4);
+    y[i] = rng.Bernoulli(0.8) ? f[i] % 2 : rng.Uniform(2);
+  }
+  EncodedDataset d({f}, {{"F", 4}}, y, 2);
+  Rng r1(14), r2(15);
+  KFoldSplit folds = MakeKFoldSplit(n, 5, r1);
+  double cv = *CrossValidatedError(MakeNaiveBayesFactory(), d, folds, {0},
+                                   ErrorMetric::kZeroOne);
+  TrainTestSplit tt = MakeTrainTestSplit(n, r2, 0.8);
+  double holdout = *TrainAndScore(MakeNaiveBayesFactory(), d, tt.train,
+                                  tt.test, {0}, ErrorMetric::kZeroOne);
+  EXPECT_NEAR(cv, holdout, 0.04);
+}
+
+TEST(CrossValidationTest, RejectsDegenerateFolds) {
+  EncodedDataset d({{0, 1}}, {{"F", 2}}, {0, 1}, 2);
+  KFoldSplit one_fold;
+  one_fold.folds = {{0, 1}};
+  EXPECT_FALSE(CrossValidatedError(MakeNaiveBayesFactory(), d, one_fold,
+                                   {0}, ErrorMetric::kZeroOne)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,147 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace hamlet {
+namespace {
+
+std::vector<uint32_t> AllRows(const EncodedDataset& d) {
+  std::vector<uint32_t> rows(d.num_rows());
+  for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+EncodedDataset NoisyConcept(uint32_t n, uint32_t card, double flip,
+                            uint64_t seed, uint32_t num_classes = 2) {
+  Rng rng(seed);
+  std::vector<uint32_t> f(n), g(n), y(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    f[i] = rng.Uniform(card);
+    g[i] = rng.Uniform(3);  // Pure noise.
+    y[i] = rng.Bernoulli(1.0 - flip) ? f[i] % num_classes
+                                     : rng.Uniform(num_classes);
+  }
+  return EncodedDataset({f, g}, {{"F", card}, {"Noise", 3}}, y,
+                        num_classes);
+}
+
+double TrainError(LogisticRegression& lr, const EncodedDataset& d) {
+  uint32_t wrong = 0;
+  for (uint32_t r = 0; r < d.num_rows(); ++r) {
+    wrong += lr.PredictOne(d, r) != d.labels()[r];
+  }
+  return wrong / static_cast<double>(d.num_rows());
+}
+
+TEST(LogisticRegressionTest, LearnsBinaryConcept) {
+  EncodedDataset d = NoisyConcept(2000, 2, 0.05, 1);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Train(d, AllRows(d), {0, 1}).ok());
+  EXPECT_LT(TrainError(lr, d), 0.08);
+}
+
+TEST(LogisticRegressionTest, LearnsMulticlassConcept) {
+  EncodedDataset d = NoisyConcept(4000, 5, 0.05, 2, /*num_classes=*/5);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Train(d, AllRows(d), {0, 1}).ok());
+  EXPECT_LT(TrainError(lr, d), 0.10);
+}
+
+TEST(LogisticRegressionTest, HighCardinalityFkFeature) {
+  // The regime that matters for the paper: one FK-like feature with a
+  // large domain. The sparse SGD solver must still fit it quickly.
+  Rng rng(3);
+  const uint32_t n = 20000, card = 500;
+  std::vector<uint32_t> fk(n), y(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    fk[i] = rng.Uniform(card);
+    y[i] = rng.Bernoulli(0.85) ? fk[i] % 2 : rng.Uniform(2);
+  }
+  EncodedDataset d({fk}, {{"FK", card}}, y, 2);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Train(d, AllRows(d), {0}).ok());
+  EXPECT_LT(TrainError(lr, d), 0.20);  // Bayes error is 0.15.
+}
+
+TEST(LogisticRegressionTest, EmptyFeatureSetLearnsPrior) {
+  std::vector<uint32_t> y = {1, 1, 1, 1, 0};
+  EncodedDataset d({{0, 0, 0, 0, 0}}, {{"F", 2}}, y, 2);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Train(d, AllRows(d), {}).ok());
+  EXPECT_EQ(lr.PredictOne(d, 0), 1u);  // Majority class via bias.
+}
+
+TEST(LogisticRegressionTest, OneHotDimensionCount) {
+  // Card 4 and card 2 features -> (4-1) + (2-1) = 4 dims.
+  EncodedDataset d({{0, 1}, {0, 1}}, {{"A", 4}, {"B", 2}}, {0, 1}, 2);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Train(d, AllRows(d), {0, 1}).ok());
+  EXPECT_EQ(lr.num_dims(), 4u);
+}
+
+TEST(LogisticRegressionTest, L1ZeroesNoiseFeatureGroup) {
+  LogisticRegressionOptions opts;
+  opts.regularizer = Regularizer::kL1;
+  opts.lambda = 2e-2;
+  opts.max_epochs = 30;
+  EncodedDataset d = NoisyConcept(5000, 2, 0.05, 4);
+  LogisticRegression lr(opts);
+  ASSERT_TRUE(lr.Train(d, AllRows(d), {0, 1}).ok());
+  // SGD jitter keeps exact zeros rare; a small epsilon identifies the
+  // group the penalty killed (informative weights sit around 3.0).
+  const double eps = 0.05;
+  auto active = lr.ActiveFeatures(eps);
+  auto zeroed = lr.ZeroedFeatures(eps);
+  EXPECT_TRUE(std::find(active.begin(), active.end(), 0u) != active.end());
+  EXPECT_TRUE(std::find(zeroed.begin(), zeroed.end(), 1u) != zeroed.end());
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeightsVsUnregularized) {
+  EncodedDataset d = NoisyConcept(2000, 2, 0.05, 5);
+  LogisticRegressionOptions none;
+  none.lambda = 0.0;
+  LogisticRegressionOptions ridge;
+  ridge.regularizer = Regularizer::kL2;
+  ridge.lambda = 5e-2;
+  LogisticRegression free_lr(none), ridge_lr(ridge);
+  ASSERT_TRUE(free_lr.Train(d, AllRows(d), {0}).ok());
+  ASSERT_TRUE(ridge_lr.Train(d, AllRows(d), {0}).ok());
+  EXPECT_LT(std::fabs(ridge_lr.weight(0, 0)),
+            std::fabs(free_lr.weight(0, 0)));
+}
+
+TEST(LogisticRegressionTest, ActivePlusZeroedCoverAllFeatures) {
+  EncodedDataset d = NoisyConcept(500, 3, 0.2, 6);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Train(d, AllRows(d), {0, 1}).ok());
+  EXPECT_EQ(lr.ActiveFeatures().size() + lr.ZeroedFeatures().size(), 2u);
+}
+
+TEST(LogisticRegressionTest, ZeroRowsRejected) {
+  EncodedDataset d({{0}}, {{"F", 2}}, {0}, 2);
+  LogisticRegression lr;
+  EXPECT_EQ(lr.Train(d, {}, {0}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LogisticRegressionTest, DeterministicTraining) {
+  EncodedDataset d = NoisyConcept(1000, 2, 0.1, 7);
+  LogisticRegression a, b;
+  ASSERT_TRUE(a.Train(d, AllRows(d), {0, 1}).ok());
+  ASSERT_TRUE(b.Train(d, AllRows(d), {0, 1}).ok());
+  for (uint32_t dim = 0; dim <= a.num_dims(); ++dim) {
+    EXPECT_EQ(a.weight(0, dim), b.weight(0, dim));
+  }
+}
+
+TEST(LogisticRegressionTest, FactoryAndName) {
+  auto factory = MakeLogisticRegressionFactory();
+  EXPECT_EQ(factory()->name(), "logistic_regression");
+}
+
+}  // namespace
+}  // namespace hamlet

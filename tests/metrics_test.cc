@@ -1,0 +1,76 @@
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hamlet {
+namespace {
+
+TEST(ZeroOneErrorTest, AllCorrectIsZero) {
+  EXPECT_EQ(ZeroOneError({0, 1, 2}, {0, 1, 2}), 0.0);
+}
+
+TEST(ZeroOneErrorTest, AllWrongIsOne) {
+  EXPECT_EQ(ZeroOneError({0, 0}, {1, 1}), 1.0);
+}
+
+TEST(ZeroOneErrorTest, Fractional) {
+  EXPECT_DOUBLE_EQ(ZeroOneError({0, 1, 1, 0}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(ZeroOneErrorTest, EmptyIsZero) {
+  EXPECT_EQ(ZeroOneError({}, {}), 0.0);
+}
+
+TEST(RmseTest, PerfectIsZero) {
+  EXPECT_EQ(RootMeanSquaredError({2, 3}, {2, 3}), 0.0);
+}
+
+TEST(RmseTest, OffByOneEverywhere) {
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({1, 2, 3}, {2, 3, 4}), 1.0);
+}
+
+TEST(RmseTest, MixedDistances) {
+  // Squared errors: 4, 0 -> mean 2 -> sqrt(2).
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0, 1}, {2, 1}), std::sqrt(2.0));
+}
+
+TEST(RmseTest, CustomClassValues) {
+  // Classes valued 1..5 (star ratings); code distance 1 = value gap 1.
+  std::vector<double> stars = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0, 4}, {1, 4}, stars),
+                   std::sqrt(0.5));
+}
+
+TEST(RmseTest, ShiftedClassValuesMatchDefault) {
+  // RMSE is shift-invariant in the class values.
+  std::vector<double> shifted = {10, 11, 12};
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0, 2}, {1, 1}, shifted),
+                   RootMeanSquaredError({0, 2}, {1, 1}));
+}
+
+TEST(RmseTest, EmptyIsZero) {
+  EXPECT_EQ(RootMeanSquaredError({}, {}), 0.0);
+}
+
+TEST(MetricDispatchTest, ComputeErrorMatchesDirectCalls) {
+  std::vector<uint32_t> t = {0, 1, 2, 1};
+  std::vector<uint32_t> p = {0, 2, 2, 0};
+  EXPECT_DOUBLE_EQ(ComputeError(ErrorMetric::kZeroOne, t, p),
+                   ZeroOneError(t, p));
+  EXPECT_DOUBLE_EQ(ComputeError(ErrorMetric::kRmse, t, p),
+                   RootMeanSquaredError(t, p));
+}
+
+TEST(MetricDispatchTest, Names) {
+  EXPECT_STREQ(ErrorMetricToString(ErrorMetric::kZeroOne), "zero-one");
+  EXPECT_STREQ(ErrorMetricToString(ErrorMetric::kRmse), "RMSE");
+}
+
+TEST(MetricsDeathTest, LengthMismatchAborts) {
+  EXPECT_DEATH((void)ZeroOneError({0}, {0, 1}), "length");
+}
+
+}  // namespace
+}  // namespace hamlet

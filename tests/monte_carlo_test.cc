@@ -1,0 +1,108 @@
+#include "sim/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+MonteCarloOptions QuickOptions() {
+  MonteCarloOptions o;
+  o.num_training_sets = 30;
+  o.num_repeats = 3;
+  o.seed = 11;
+  return o;
+}
+
+TEST(MonteCarloTest, VariantNames) {
+  EXPECT_STREQ(ModelVariantToString(ModelVariant::kUseAll), "UseAll");
+  EXPECT_STREQ(ModelVariantToString(ModelVariant::kNoJoin), "NoJoin");
+  EXPECT_STREQ(ModelVariantToString(ModelVariant::kNoFK), "NoFK");
+}
+
+TEST(MonteCarloTest, ErrorsApproachNoiseFloorWithAmpleData) {
+  SimConfig c;
+  c.n_s = 2000;
+  c.d_s = 2;
+  c.d_r = 2;
+  c.n_r = 10;
+  c.p = 0.1;
+  auto r = RunMonteCarlo(c, QuickOptions());
+  ASSERT_TRUE(r.ok());
+  // TR = 200: everything should sit at the noise floor p = 0.1.
+  EXPECT_NEAR(r->use_all.avg_test_error, 0.1, 0.02);
+  EXPECT_NEAR(r->no_join.avg_test_error, 0.1, 0.02);
+  EXPECT_NEAR(r->no_fk.avg_test_error, 0.1, 0.02);
+  EXPECT_NEAR(r->DeltaTestError(), 0.0, 0.02);
+}
+
+TEST(MonteCarloTest, SmallTrDegradesNoJoinOnly) {
+  // The core dichotomy (Figure 3(B)): |D_FK| comparable to n_S hurts the
+  // FK-as-representative model via variance, but not UseAll/NoFK.
+  SimConfig c;
+  c.n_s = 500;
+  c.d_s = 2;
+  c.d_r = 2;
+  c.n_r = 250;
+  c.p = 0.1;
+  auto r = *RunMonteCarlo(c, QuickOptions());
+  EXPECT_GT(r.no_join.avg_test_error, r.use_all.avg_test_error + 0.03);
+  EXPECT_NEAR(r.use_all.avg_test_error, 0.1, 0.02);
+  EXPECT_NEAR(r.no_fk.avg_test_error, 0.1, 0.02);
+  // The degradation is a variance phenomenon.
+  EXPECT_GT(r.no_join.avg_net_variance, r.use_all.avg_net_variance + 0.02);
+}
+
+TEST(MonteCarloTest, ForVariantSelects) {
+  SimConfig c;
+  c.n_s = 400;
+  c.n_r = 20;
+  auto r = *RunMonteCarlo(c, QuickOptions());
+  EXPECT_DOUBLE_EQ(r.ForVariant(ModelVariant::kUseAll).avg_test_error,
+                   r.use_all.avg_test_error);
+  EXPECT_DOUBLE_EQ(r.ForVariant(ModelVariant::kNoJoin).avg_test_error,
+                   r.no_join.avg_test_error);
+  EXPECT_DOUBLE_EQ(r.ForVariant(ModelVariant::kNoFK).avg_test_error,
+                   r.no_fk.avg_test_error);
+}
+
+TEST(MonteCarloTest, DeterministicInSeed) {
+  SimConfig c;
+  c.n_s = 300;
+  c.n_r = 30;
+  auto a = *RunMonteCarlo(c, QuickOptions());
+  auto b = *RunMonteCarlo(c, QuickOptions());
+  EXPECT_DOUBLE_EQ(a.no_join.avg_test_error, b.no_join.avg_test_error);
+  EXPECT_DOUBLE_EQ(a.use_all.avg_net_variance, b.use_all.avg_net_variance);
+}
+
+TEST(MonteCarloTest, RorHelpersMatchCoreModules) {
+  SimConfig c;
+  c.n_s = 1000;
+  c.n_r = 40;
+  EXPECT_DOUBLE_EQ(TupleRatioForSimConfig(c), 25.0);
+  RorInputs in;
+  in.n_train = 1000;
+  in.fk_domain_size = 40;
+  in.min_foreign_domain_size = 2;
+  EXPECT_DOUBLE_EQ(RorForSimConfig(c), WorstCaseRor(in));
+}
+
+TEST(MonteCarloTest, MalignSkewWorseThanBenign) {
+  SimConfig zipf;
+  zipf.n_s = 400;
+  zipf.n_r = 40;
+  zipf.fk_dist = FkDistribution::kZipf;
+  zipf.zipf_skew = 2.0;
+  SimConfig needle = zipf;
+  needle.fk_dist = FkDistribution::kNeedleThread;
+  needle.needle_prob = 0.5;
+  auto rz = *RunMonteCarlo(zipf, QuickOptions());
+  auto rn = *RunMonteCarlo(needle, QuickOptions());
+  // Appendix D: the malign (needle) NoJoin gap exceeds the benign one.
+  double zipf_gap = rz.no_join.avg_test_error - rz.use_all.avg_test_error;
+  double needle_gap = rn.no_join.avg_test_error - rn.use_all.avg_test_error;
+  EXPECT_GT(needle_gap, zipf_gap - 0.005);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,74 @@
+#include "theory/multiclass_dimension.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ror.h"
+
+namespace hamlet {
+namespace {
+
+TEST(MulticlassDimensionTest, GrowsWithClassesAndDims) {
+  double base = MulticlassDimensionBound(10, 2);
+  EXPECT_GT(MulticlassDimensionBound(10, 5), base);
+  EXPECT_GT(MulticlassDimensionBound(100, 2), base);
+}
+
+TEST(MulticlassDimensionTest, DominatesBinaryVcDimension) {
+  // The bound is intentionally conservative: for K = 2 it already
+  // exceeds the binary VC dimension v = dims.
+  for (uint64_t dims : {2ull, 10ull, 100ull, 1000ull}) {
+    EXPECT_GT(MulticlassDimensionBound(dims, 2),
+              static_cast<double>(dims));
+  }
+}
+
+TEST(MulticlassDimensionTest, LogLinearShape) {
+  // dim(VK) / (VK) grows like log2(VK): doubling VK slightly more than
+  // doubles the bound.
+  double d1 = MulticlassDimensionBound(64, 4);
+  double d2 = MulticlassDimensionBound(128, 4);
+  EXPECT_GT(d2, 2.0 * d1);
+  EXPECT_LT(d2, 2.5 * d1);
+}
+
+TEST(MulticlassRorTest, StricterThanBinaryRor) {
+  // Section 4.2: the multiclass-capacity ROR should make avoidance
+  // *harder*, never easier, than the binary rule — conservatism.
+  RorInputs in;
+  in.n_train = 100000;
+  in.fk_domain_size = 300;
+  in.min_foreign_domain_size = 4;
+  in.delta = 0.1;
+  double binary = WorstCaseRor(in);
+  for (uint32_t k : {2u, 5u, 7u}) {
+    double multi = MulticlassWorstCaseRor(in.n_train, in.fk_domain_size,
+                                          in.min_foreign_domain_size, k,
+                                          in.delta);
+    EXPECT_GT(multi, binary) << "K = " << k;
+  }
+}
+
+TEST(MulticlassRorTest, MonotoneInClasses) {
+  double prev = 0.0;
+  for (uint32_t k : {2u, 3u, 5u, 7u}) {
+    double ror = MulticlassWorstCaseRor(100000, 300, 4, k);
+    EXPECT_GT(ror, prev);
+    prev = ror;
+  }
+}
+
+TEST(MulticlassRorTest, ZeroWhenDomainsEqual) {
+  EXPECT_NEAR(MulticlassWorstCaseRor(10000, 50, 50, 5), 0.0, 1e-12);
+}
+
+TEST(MulticlassRorTest, NonNegative) {
+  EXPECT_GE(MulticlassWorstCaseRor(1000, 900, 2, 7), 0.0);
+}
+
+TEST(MulticlassDimensionDeathTest, BadInputsAbort) {
+  EXPECT_DEATH((void)MulticlassDimensionBound(0, 3), "dims");
+  EXPECT_DEATH((void)MulticlassDimensionBound(5, 1), "K");
+}
+
+}  // namespace
+}  // namespace hamlet

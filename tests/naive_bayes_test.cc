@@ -1,0 +1,178 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hamlet {
+namespace {
+
+std::vector<uint32_t> AllRows(const EncodedDataset& d) {
+  std::vector<uint32_t> rows(d.num_rows());
+  for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(NaiveBayesTest, LearnsDeterministicConcept) {
+  // Y = F exactly; plenty of data; NB must recover it.
+  std::vector<uint32_t> f, y;
+  for (int i = 0; i < 100; ++i) {
+    f.push_back(i % 2);
+    y.push_back(i % 2);
+  }
+  EncodedDataset d({f}, {{"F", 2}}, y, 2);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Train(d, AllRows(d), {0}).ok());
+  EXPECT_EQ(nb.PredictOne(d, 0), 0u);
+  EXPECT_EQ(nb.PredictOne(d, 1), 1u);
+}
+
+TEST(NaiveBayesTest, PriorsMatchClosedForm) {
+  // 3 of class 0, 1 of class 1, alpha = 1:
+  // P(0) = (3+1)/(4+2) = 2/3, P(1) = (1+1)/6 = 1/3.
+  EncodedDataset d({{0, 0, 0, 0}}, {{"F", 1}}, {0, 0, 0, 1}, 2);
+  NaiveBayes nb(1.0);
+  ASSERT_TRUE(nb.Train(d, AllRows(d), {}).ok());
+  EXPECT_NEAR(nb.log_priors()[0], std::log(2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(nb.log_priors()[1], std::log(1.0 / 3.0), 1e-12);
+}
+
+TEST(NaiveBayesTest, LogScoresMatchClosedForm) {
+  // One binary feature; n = 4: (f,y) = (0,0), (0,0), (1,0), (1,1).
+  EncodedDataset d({{0, 0, 1, 1}}, {{"F", 2}}, {0, 0, 0, 1}, 2);
+  NaiveBayes nb(1.0);
+  ASSERT_TRUE(nb.Train(d, AllRows(d), {0}).ok());
+  // Priors: P(0) = 4/6, P(1) = 2/6. Likelihoods with alpha=1, card=2:
+  // P(f=0|y=0) = (2+1)/(3+2) = 3/5; P(f=0|y=1) = (0+1)/(1+2) = 1/3.
+  auto scores = nb.LogScores(d, 0);  // f = 0.
+  EXPECT_NEAR(scores[0], std::log(4.0 / 6.0) + std::log(3.0 / 5.0), 1e-12);
+  EXPECT_NEAR(scores[1], std::log(2.0 / 6.0) + std::log(1.0 / 3.0), 1e-12);
+}
+
+TEST(NaiveBayesTest, EmptyFeatureSetPredictsMajority) {
+  EncodedDataset d({{0, 1, 0}}, {{"F", 2}}, {1, 1, 0}, 2);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Train(d, AllRows(d), {}).ok());
+  for (uint32_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(nb.PredictOne(d, r), 1u);
+  }
+}
+
+TEST(NaiveBayesTest, SmoothingHandlesUnseenCategories) {
+  // Category 2 of F never appears in training rows; prediction on it must
+  // not crash and must fall back to the prior ordering.
+  EncodedDataset d({{0, 1, 0, 1, 2}}, {{"F", 3}}, {0, 0, 0, 1, 1}, 2);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Train(d, {0, 1, 2, 3}, {0}).ok());
+  EXPECT_EQ(nb.PredictOne(d, 4), 0u);  // Prior favours class 0 (3 vs 1).
+}
+
+TEST(NaiveBayesTest, RowSubsetRestrictsTraining) {
+  // Training only on rows where Y = 1 must predict 1 everywhere.
+  EncodedDataset d({{0, 1, 0, 1}}, {{"F", 2}}, {0, 0, 1, 1}, 2);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Train(d, {2, 3}, {0}).ok());
+  EXPECT_EQ(nb.PredictOne(d, 0), 1u);
+  EXPECT_EQ(nb.PredictOne(d, 1), 1u);
+}
+
+TEST(NaiveBayesTest, PredictBatchMatchesPredictOne) {
+  Rng rng(3);
+  std::vector<uint32_t> f1(200), f2(200), y(200);
+  for (int i = 0; i < 200; ++i) {
+    f1[i] = rng.Uniform(4);
+    f2[i] = rng.Uniform(3);
+    y[i] = rng.Uniform(3);
+  }
+  EncodedDataset d({f1, f2}, {{"A", 4}, {"B", 3}}, y, 3);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Train(d, AllRows(d), {0, 1}).ok());
+  auto batch = nb.Predict(d, AllRows(d));
+  for (uint32_t r = 0; r < d.num_rows(); ++r) {
+    EXPECT_EQ(batch[r], nb.PredictOne(d, r));
+  }
+}
+
+TEST(NaiveBayesTest, MulticlassRecovery) {
+  // Y = F over 5 classes with mild noise.
+  Rng rng(5);
+  std::vector<uint32_t> f(2000), y(2000);
+  for (int i = 0; i < 2000; ++i) {
+    f[i] = rng.Uniform(5);
+    y[i] = rng.Bernoulli(0.9) ? f[i] : rng.Uniform(5);
+  }
+  EncodedDataset d({f}, {{"F", 5}}, y, 5);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Train(d, AllRows(d), {0}).ok());
+  int correct = 0;
+  for (uint32_t r = 0; r < 2000; ++r) {
+    correct += nb.PredictOne(d, r) == f[r];
+  }
+  EXPECT_GT(correct, 1900);
+}
+
+TEST(NaiveBayesTest, ProbabilitiesNormalizeAndMatchArgmax) {
+  Rng rng(7);
+  std::vector<uint32_t> f(500), y(500);
+  for (int i = 0; i < 500; ++i) {
+    f[i] = rng.Uniform(3);
+    y[i] = rng.Bernoulli(0.8) ? f[i] % 2 : rng.Uniform(2);
+  }
+  EncodedDataset d({f}, {{"F", 3}}, y, 2);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Train(d, AllRows(d), {0}).ok());
+  for (uint32_t r = 0; r < 20; ++r) {
+    auto probs = nb.PredictProbabilities(d, r);
+    double sum = 0.0;
+    uint32_t best = 0;
+    for (uint32_t c = 0; c < probs.size(); ++c) {
+      EXPECT_GE(probs[c], 0.0);
+      sum += probs[c];
+      if (probs[c] > probs[best]) best = c;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_EQ(best, nb.PredictOne(d, r));
+  }
+}
+
+TEST(NaiveBayesTest, ProbabilitiesMatchClosedFormPosterior) {
+  // One binary feature; enumerate the exact smoothed posterior.
+  EncodedDataset d({{0, 0, 1, 1}}, {{"F", 2}}, {0, 0, 0, 1}, 2);
+  NaiveBayes nb(1.0);
+  ASSERT_TRUE(nb.Train(d, AllRows(d), {0}).ok());
+  // Row 0 has f = 0: score(0) = (4/6)(3/5), score(1) = (2/6)(1/3).
+  double s0 = (4.0 / 6.0) * (3.0 / 5.0);
+  double s1 = (2.0 / 6.0) * (1.0 / 3.0);
+  auto probs = nb.PredictProbabilities(d, 0);
+  EXPECT_NEAR(probs[0], s0 / (s0 + s1), 1e-12);
+  EXPECT_NEAR(probs[1], s1 / (s0 + s1), 1e-12);
+}
+
+TEST(NaiveBayesTest, ZeroRowsRejected) {
+  EncodedDataset d({{0}}, {{"F", 2}}, {0}, 2);
+  NaiveBayes nb;
+  EXPECT_EQ(nb.Train(d, {}, {0}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NaiveBayesTest, FactoryCreatesFreshInstances) {
+  auto factory = MakeNaiveBayesFactory(0.5);
+  auto a = factory();
+  auto b = factory();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "naive_bayes");
+}
+
+TEST(NaiveBayesDeathTest, NonPositiveAlphaAborts) {
+  EXPECT_DEATH(NaiveBayes nb(0.0), "alpha");
+}
+
+TEST(NaiveBayesDeathTest, PredictBeforeTrainAborts) {
+  EncodedDataset d({{0}}, {{"F", 2}}, {0}, 2);
+  NaiveBayes nb;
+  EXPECT_DEATH((void)nb.PredictOne(d, 0), "Train");
+}
+
+}  // namespace
+}  // namespace hamlet

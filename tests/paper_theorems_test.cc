@@ -1,0 +1,231 @@
+/// Property-based suites for the paper's formal results (Section 3 and
+/// Appendix C), exercised over randomized joined instances:
+///   * Theorem 3.1:      I(F;Y) <= I(FK;Y) for every foreign feature F.
+///   * Proposition 3.1:  every F in X_R is redundant — FK is a Markov
+///                       blanket (F is a deterministic function of FK).
+///   * Proposition 3.2:  IGR can nevertheless prefer F over FK.
+///   * Proposition 3.3:  H_X = H_FK ⊇ H_{X_R}: any classifier over X_R is
+///                       expressible as a function of FK alone.
+///   * The log-sum inequality underlying Theorem 3.1's proof.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/encoded_dataset.h"
+#include "ml/naive_bayes.h"
+#include "sim/data_synthesis.h"
+#include "stats/info_theory.h"
+
+namespace hamlet {
+namespace {
+
+// A randomized KFK-joined instance: FK uniform or skewed, X_R features
+// deterministic functions of FK (the FD), Y correlated with one X_R
+// feature.
+struct JoinedInstance {
+  std::vector<uint32_t> fk;
+  std::vector<std::vector<uint32_t>> xr;  // d_r foreign features.
+  std::vector<uint32_t> y;
+  uint32_t n_r;
+  std::vector<uint32_t> xr_cards;
+
+  JoinedInstance(uint64_t seed, uint32_t n, uint32_t n_r_in, uint32_t d_r)
+      : n_r(n_r_in) {
+    Rng rng(seed);
+    // Fixed R: each feature maps rid -> code.
+    std::vector<std::vector<uint32_t>> r_map(d_r);
+    for (uint32_t j = 0; j < d_r; ++j) {
+      uint32_t card = 2 + rng.Uniform(5);
+      xr_cards.push_back(card);
+      r_map[j].resize(n_r);
+      for (uint32_t rid = 0; rid < n_r; ++rid) {
+        r_map[j][rid] = rng.Uniform(card);
+      }
+    }
+    xr.resize(d_r);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t rid = rng.Uniform(n_r);
+      fk.push_back(rid);
+      for (uint32_t j = 0; j < d_r; ++j) xr[j].push_back(r_map[j][rid]);
+      // Y depends on X_R feature 0 with noise.
+      uint32_t signal = r_map[0][rid] % 2;
+      y.push_back(rng.Bernoulli(0.8) ? signal : 1 - signal);
+    }
+  }
+};
+
+class JoinedInstanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinedInstanceTest, Theorem31_FkMutualInfoDominates) {
+  JoinedInstance inst(GetParam(), 3000, 10 + GetParam() % 40, 4);
+  double i_fk = MutualInformation(inst.fk, inst.y, inst.n_r, 2);
+  for (uint32_t j = 0; j < inst.xr.size(); ++j) {
+    double i_f =
+        MutualInformation(inst.xr[j], inst.y, inst.xr_cards[j], 2);
+    EXPECT_LE(i_f, i_fk + 1e-9) << "foreign feature " << j;
+  }
+}
+
+TEST_P(JoinedInstanceTest, Proposition31_ForeignFeaturesAreFunctionsOfFk) {
+  // The Markov-blanket property reduces, under the FD, to: fixing FK
+  // fixes every foreign feature. Verify across all row pairs per FK.
+  JoinedInstance inst(GetParam(), 2000, 10 + GetParam() % 40, 4);
+  for (uint32_t j = 0; j < inst.xr.size(); ++j) {
+    std::vector<int64_t> seen(inst.n_r, -1);
+    for (size_t i = 0; i < inst.fk.size(); ++i) {
+      uint32_t rid = inst.fk[i];
+      if (seen[rid] < 0) {
+        seen[rid] = inst.xr[j][i];
+      } else {
+        ASSERT_EQ(static_cast<uint32_t>(seen[rid]), inst.xr[j][i]);
+      }
+    }
+  }
+}
+
+TEST_P(JoinedInstanceTest, Proposition33_FkModelMimicsXrModel) {
+  // H_{X_R} ⊆ H_FK: train NB on the X_R features, then verify its
+  // predictions are constant per FK value (hence expressible as a
+  // function of FK alone).
+  JoinedInstance inst(GetParam(), 2000, 10 + GetParam() % 40, 3);
+  std::vector<std::vector<uint32_t>> features = inst.xr;
+  features.push_back(inst.fk);
+  std::vector<FeatureMeta> metas;
+  for (uint32_t j = 0; j < inst.xr.size(); ++j) {
+    metas.push_back({"XR" + std::to_string(j), inst.xr_cards[j]});
+  }
+  metas.push_back({"FK", inst.n_r});
+  EncodedDataset data(features, metas, inst.y, 2);
+
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  NaiveBayes xr_model;
+  std::vector<uint32_t> xr_features;
+  for (uint32_t j = 0; j < inst.xr.size(); ++j) xr_features.push_back(j);
+  ASSERT_TRUE(xr_model.Train(data, rows, xr_features).ok());
+
+  std::vector<int64_t> pred_per_fk(inst.n_r, -1);
+  for (uint32_t i = 0; i < data.num_rows(); ++i) {
+    uint32_t pred = xr_model.PredictOne(data, i);
+    uint32_t rid = inst.fk[i];
+    if (pred_per_fk[rid] < 0) {
+      pred_per_fk[rid] = pred;
+    } else {
+      ASSERT_EQ(static_cast<uint32_t>(pred_per_fk[rid]), pred)
+          << "an X_R-only model must be a function of FK";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, JoinedInstanceTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(PaperTheoremsTest, Proposition32_IgrCanPreferForeignFeature) {
+  // Construct the paper's counterexample shape: FK has a huge domain and
+  // maximal I(FK;Y), but its entropy dilutes IGR below a compact foreign
+  // feature's.
+  const uint32_t n = 1024, n_r = 256;
+  std::vector<uint32_t> fk(n), f(n), y(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    fk[i] = i % n_r;
+    f[i] = fk[i] % 2;  // The FD: F is a function of FK.
+    y[i] = f[i];       // Y determined by the compact feature.
+  }
+  double igr_fk = InformationGainRatio(fk, y, n_r, 2);
+  double igr_f = InformationGainRatio(f, y, 2, 2);
+  double i_fk = MutualInformation(fk, y, n_r, 2);
+  double i_f = MutualInformation(f, y, 2, 2);
+  EXPECT_GE(i_fk, i_f - 1e-9);  // Theorem 3.1 still holds...
+  EXPECT_GT(igr_f, igr_fk);     // ...but IGR flips the preference.
+}
+
+TEST(PaperTheoremsTest, LogSumInequality) {
+  // sum a_i log(a_i/b_i) >= (sum a_i) log(sum a_i / sum b_i).
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int k = 2 + rng.Uniform(8);
+    double a_sum = 0, b_sum = 0, lhs = 0;
+    for (int i = 0; i < k; ++i) {
+      double a = rng.NextDouble() + 1e-6;
+      double b = rng.NextDouble() + 1e-6;
+      lhs += a * std::log(a / b);
+      a_sum += a;
+      b_sum += b;
+    }
+    double rhs = a_sum * std::log(a_sum / b_sum);
+    EXPECT_GE(lhs, rhs - 1e-9);
+  }
+}
+
+TEST(PaperTheoremsTest, FkModelShattersItsDomain) {
+  // Section 3.2: using FK alone, the maximum VC dimension |D_FK| is
+  // "matched by almost all popular classifiers". Demonstrate it for NB:
+  // with m = |D_FK| distinct points (one per FK value), NB on FK realizes
+  // every one of the 2^m labelings — the domain is shattered.
+  const uint32_t m = 4;
+  for (uint32_t labeling = 0; labeling < (1u << m); ++labeling) {
+    std::vector<uint32_t> fk, y;
+    // Several copies of each point keep counts away from ties.
+    for (uint32_t rep = 0; rep < 3; ++rep) {
+      for (uint32_t v = 0; v < m; ++v) {
+        fk.push_back(v);
+        y.push_back((labeling >> v) & 1);
+      }
+    }
+    EncodedDataset data({fk}, {{"FK", m}}, y, 2);
+    std::vector<uint32_t> rows(data.num_rows());
+    for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    NaiveBayes nb(0.01);  // Light smoothing: counts dominate.
+    ASSERT_TRUE(nb.Train(data, rows, {0}).ok());
+    for (uint32_t v = 0; v < m; ++v) {
+      EXPECT_EQ(nb.PredictOne(data, v), (labeling >> v) & 1)
+          << "labeling " << labeling << " point " << v;
+    }
+  }
+}
+
+TEST(PaperTheoremsTest, XrModelCannotShatterBeyondDistinctRows) {
+  // The flip side of Proposition 3.3: if two FK values share the same
+  // X_R tuple, no X_R-based model can label them differently — the
+  // EmployerID-exclusion example of Section 3.2.
+  std::vector<uint32_t> fk = {0, 1};  // Two employers...
+  std::vector<uint32_t> xr = {1, 1};  // ...same Country/Revenue profile.
+  std::vector<uint32_t> y = {0, 1};   // Only one of them churns.
+  EncodedDataset data({fk, xr}, {{"FK", 2}, {"XR", 2}}, y, 2);
+  NaiveBayes on_xr(0.01), on_fk(0.01);
+  ASSERT_TRUE(on_xr.Train(data, {0, 1}, {1}).ok());
+  ASSERT_TRUE(on_fk.Train(data, {0, 1}, {0}).ok());
+  // The X_R model must collapse the two points to one prediction...
+  EXPECT_EQ(on_xr.PredictOne(data, 0), on_xr.PredictOne(data, 1));
+  // ...while the FK model separates them.
+  EXPECT_EQ(on_fk.PredictOne(data, 0), 0u);
+  EXPECT_EQ(on_fk.PredictOne(data, 1), 1u);
+}
+
+TEST(PaperTheoremsTest, Theorem31HoldsUnderFkSkew) {
+  // The information-theoretic result needs no uniformity assumption.
+  SimConfig c;
+  c.scenario = TrueDistribution::kLoneXr;
+  c.n_s = 4000;
+  c.d_s = 1;
+  c.d_r = 3;
+  c.n_r = 30;
+  c.fk_dist = FkDistribution::kZipf;
+  c.zipf_skew = 1.5;
+  Rng rng(9);
+  SimDataGenerator gen(c, rng);
+  SimDraw draw = gen.Draw(c.n_s, rng);
+  const auto& y = draw.data.labels();
+  double i_fk = MutualInformation(draw.data.feature(gen.FkFeatureIndex()),
+                                  y, c.n_r, 2);
+  for (uint32_t j = 0; j < c.d_r; ++j) {
+    uint32_t idx = c.d_s + 1 + j;
+    double i_f = MutualInformation(draw.data.feature(idx), y, 2, 2);
+    EXPECT_LE(i_f, i_fk + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hamlet

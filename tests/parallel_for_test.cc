@@ -1,0 +1,69 @@
+#include "common/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "sim/monte_carlo.h"
+
+namespace hamlet {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (uint32_t threads : {1u, 2u, 4u, 0u}) {
+    std::vector<std::atomic<int>> visits(257);
+    for (auto& v : visits) v = 0;
+    ParallelFor(257, threads, [&](uint32_t i) { ++visits[i]; });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " threads "
+                                     << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](uint32_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SlotWritesAreDeterministic) {
+  auto run = [](uint32_t threads) {
+    std::vector<uint64_t> out(100);
+    ParallelFor(100, threads, [&](uint32_t i) {
+      out[i] = static_cast<uint64_t>(i) * i + 7;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(1), run(0));
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::vector<int> out(3, 0);
+  ParallelFor(3, 16, [&](uint32_t i) { out[i] = static_cast<int>(i) + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParallelForTest, MonteCarloIdenticalAtAnyThreadCount) {
+  // The promise the Monte Carlo driver makes: bit-for-bit identical
+  // results regardless of threads.
+  SimConfig c;
+  c.n_s = 300;
+  c.n_r = 30;
+  MonteCarloOptions serial;
+  serial.num_training_sets = 20;
+  serial.num_repeats = 4;
+  serial.num_threads = 1;
+  MonteCarloOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto a = *RunMonteCarlo(c, serial);
+  auto b = *RunMonteCarlo(c, parallel);
+  EXPECT_EQ(a.no_join.avg_test_error, b.no_join.avg_test_error);
+  EXPECT_EQ(a.use_all.avg_net_variance, b.use_all.avg_net_variance);
+  EXPECT_EQ(a.no_fk.avg_bias, b.no_fk.avg_bias);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,123 @@
+#include "analytics/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/registry.h"
+
+namespace hamlet {
+namespace {
+
+PipelineConfig BaseConfig() {
+  PipelineConfig config;
+  config.method = FsMethod::kMiFilter;  // Cheapest of the four.
+  config.metric = ErrorMetric::kRmse;
+  config.seed = 7;
+  return config;
+}
+
+TEST(PipelineTest, ClassifierKindNames) {
+  EXPECT_STREQ(ClassifierKindToString(ClassifierKind::kNaiveBayes),
+               "naive_bayes");
+  EXPECT_STREQ(
+      ClassifierKindToString(ClassifierKind::kLogisticRegressionL1),
+      "logreg_l1");
+  EXPECT_STREQ(
+      ClassifierKindToString(ClassifierKind::kLogisticRegressionL2),
+      "logreg_l2");
+  EXPECT_STREQ(ClassifierKindToString(ClassifierKind::kTan), "tan");
+}
+
+TEST(PipelineTest, FactoriesProduceWorkingClassifiers) {
+  EncodedDataset d({{0, 1, 0, 1}}, {{"F", 2}}, {0, 1, 0, 1}, 2);
+  for (ClassifierKind kind :
+       {ClassifierKind::kNaiveBayes, ClassifierKind::kLogisticRegressionL1,
+        ClassifierKind::kLogisticRegressionL2, ClassifierKind::kTan}) {
+    auto model = MakeClassifierFactory(kind)();
+    ASSERT_NE(model, nullptr) << ClassifierKindToString(kind);
+    EXPECT_TRUE(model->Train(d, {0, 1, 2, 3}, {0}).ok());
+    EXPECT_EQ(model->PredictOne(d, 0), 0u);
+    EXPECT_EQ(model->PredictOne(d, 1), 1u);
+  }
+}
+
+TEST(PipelineTest, JoinOptAppliesAdvisorPlan) {
+  auto ds = *MakeDataset("MovieLens1M", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  auto report = RunPipeline(ds, config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->avoidance_applied);
+  EXPECT_EQ(report->plan.fks_avoided.size(), 2u);
+  EXPECT_EQ(report->tables_joined, 0u);  // Both joins avoided.
+  EXPECT_EQ(report->features_in, 2u);    // Just the two FKs.
+}
+
+TEST(PipelineTest, JoinAllBaselineJoinsEverything) {
+  auto ds = *MakeDataset("MovieLens1M", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  config.enable_join_avoidance = false;
+  auto report = *RunPipeline(ds, config);
+  EXPECT_FALSE(report.avoidance_applied);
+  EXPECT_EQ(report.tables_joined, 2u);
+  EXPECT_EQ(report.features_in, 27u);  // 21 + 4 foreign + 2 FKs.
+  // The plan is still computed and reports the missed optimization.
+  EXPECT_EQ(report.plan.fks_avoided.size(), 2u);
+}
+
+TEST(PipelineTest, OptimizerPreservesAccuracyAndCutsWork) {
+  auto ds = *MakeDataset("MovieLens1M", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  auto opt = *RunPipeline(ds, config);
+  config.enable_join_avoidance = false;
+  auto all = *RunPipeline(ds, config);
+  EXPECT_LE(opt.selection.holdout_test_error,
+            all.selection.holdout_test_error + 0.05);
+  EXPECT_LT(opt.selection.selection.models_trained,
+            all.selection.selection.models_trained);
+}
+
+TEST(PipelineTest, OpenDomainTablesAlwaysJoined) {
+  auto ds = *MakeDataset("Expedia", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  config.metric = ErrorMetric::kZeroOne;
+  auto report = *RunPipeline(ds, config);
+  // Hotels avoided; Searches (open-domain SearchID) must be joined.
+  EXPECT_EQ(report.tables_joined, 1u);
+  EXPECT_EQ(report.plan.fks_avoided,
+            (std::vector<std::string>{"HotelID"}));
+}
+
+TEST(PipelineTest, SummaryMentionsTheEssentials) {
+  auto ds = *MakeDataset("Walmart", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  auto report = *RunPipeline(ds, config);
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("JoinOpt"), std::string::npos);
+  EXPECT_NE(summary.find("avoided"), std::string::npos);
+  EXPECT_NE(summary.find("holdout error"), std::string::npos);
+}
+
+TEST(PipelineTest, WorksWithEveryClassifierKind) {
+  auto ds = *MakeDataset("Walmart", 0.01, 3);
+  for (ClassifierKind kind :
+       {ClassifierKind::kNaiveBayes, ClassifierKind::kLogisticRegressionL1,
+        ClassifierKind::kTan}) {
+    PipelineConfig config = BaseConfig();
+    config.classifier = kind;
+    auto report = RunPipeline(ds, config);
+    ASSERT_TRUE(report.ok()) << ClassifierKindToString(kind);
+    EXPECT_GT(report->selection.selection.models_trained, 0u);
+  }
+}
+
+TEST(PipelineTest, DeterministicInSeed) {
+  auto ds = *MakeDataset("Walmart", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  auto a = *RunPipeline(ds, config);
+  auto b = *RunPipeline(ds, config);
+  EXPECT_DOUBLE_EQ(a.selection.holdout_test_error,
+                   b.selection.holdout_test_error);
+  EXPECT_EQ(a.selection.selected_names, b.selection.selected_names);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,88 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hamlet {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2};
+  r->push_back(3);
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::IOError("io"); };
+  auto outer = [&]() -> Status {
+    HAMLET_ASSIGN_OR_RETURN(int v, fails());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto succeeds = []() -> Result<int> { return 5; };
+  int seen = 0;
+  auto outer = [&]() -> Status {
+    HAMLET_ASSIGN_OR_RETURN(int v, succeeds());
+    seen = v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().ok());
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(ResultTest, AssignOrReturnWorksTwiceInOneScope) {
+  auto make = [](int v) -> Result<int> { return v; };
+  auto outer = [&]() -> Result<int> {
+    HAMLET_ASSIGN_OR_RETURN(int a, make(2));
+    HAMLET_ASSIGN_OR_RETURN(int b, make(3));
+    return a * b;
+  };
+  auto r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 6);
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::Internal("gone");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "ValueOrDie");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> r = Status::OK(); (void)r; }, "OK status");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,142 @@
+#include "core/ror.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "theory/generalization_bound.h"
+
+namespace hamlet {
+namespace {
+
+RorInputs BaseInputs() {
+  RorInputs in;
+  in.n_train = 1000;
+  in.fk_domain_size = 100;
+  in.min_foreign_domain_size = 2;
+  in.delta = 0.1;
+  return in;
+}
+
+TEST(RorTest, MatchesClosedForm) {
+  RorInputs in = BaseInputs();
+  double expected =
+      (VcBoundTerm(100, 1000) - VcBoundTerm(2, 1000)) /
+      (0.1 * std::sqrt(2000.0));
+  EXPECT_NEAR(WorstCaseRor(in), expected, 1e-12);
+}
+
+TEST(RorTest, NonNegative) {
+  RorInputs in = BaseInputs();
+  for (uint64_t fk : {2ull, 10ull, 100ull, 999ull}) {
+    in.fk_domain_size = fk;
+    EXPECT_GE(WorstCaseRor(in), 0.0);
+  }
+}
+
+TEST(RorTest, IncreasesWithFkDomain) {
+  RorInputs in = BaseInputs();
+  double prev = -1.0;
+  for (uint64_t fk : {4ull, 16ull, 64ull, 256ull}) {
+    in.fk_domain_size = fk;
+    double ror = WorstCaseRor(in);
+    EXPECT_GT(ror, prev);
+    prev = ror;
+  }
+}
+
+TEST(RorTest, DecreasesWithMoreTrainingData) {
+  RorInputs in = BaseInputs();
+  double prev = 1e18;
+  for (uint64_t n : {500ull, 2000ull, 8000ull, 32000ull}) {
+    in.n_train = n;
+    double ror = WorstCaseRor(in);
+    EXPECT_LT(ror, prev);
+    prev = ror;
+  }
+}
+
+TEST(RorTest, DecreasesAsForeignDomainsApproachFk) {
+  // Figure 5: q*_R ~ |D_FK| makes the ROR small (the join buys little);
+  // q*_R << |D_FK| makes it large.
+  RorInputs in = BaseInputs();
+  in.min_foreign_domain_size = 2;
+  double small_q = WorstCaseRor(in);
+  in.min_foreign_domain_size = 100;
+  double large_q = WorstCaseRor(in);
+  EXPECT_GT(small_q, large_q);
+  EXPECT_NEAR(large_q, 0.0, 1e-12);  // q*_R = |D_FK|: no extra risk.
+}
+
+TEST(RorTest, OutsideTheoremRegimeIsInfiniteRisk) {
+  // |D_FK| >= 2e·n: fewer than one training row per key value on
+  // average — the rule must never call this safe.
+  RorInputs in = BaseInputs();
+  in.n_train = 100;
+  in.fk_domain_size = 600;  // > 2e * 100 ~ 544.
+  EXPECT_TRUE(std::isinf(WorstCaseRor(in)));
+  EXPECT_FALSE(IsSafeToAvoid(in, 1e12));
+  // Just inside the regime the value is finite again.
+  in.fk_domain_size = 500;
+  EXPECT_TRUE(std::isfinite(WorstCaseRor(in)));
+}
+
+TEST(RorTest, QStarClampedToFkDomain) {
+  RorInputs in = BaseInputs();
+  in.min_foreign_domain_size = 10000;  // > |D_FK|.
+  EXPECT_NEAR(WorstCaseRor(in), 0.0, 1e-12);
+}
+
+TEST(RorTest, ScalesInverselyWithDelta) {
+  RorInputs in = BaseInputs();
+  in.delta = 0.1;
+  double at_01 = WorstCaseRor(in);
+  in.delta = 0.05;
+  EXPECT_NEAR(WorstCaseRor(in), 2.0 * at_01, 1e-9);
+}
+
+TEST(RorTest, IsSafeToAvoidThreshold) {
+  RorInputs in = BaseInputs();
+  double ror = WorstCaseRor(in);
+  EXPECT_TRUE(IsSafeToAvoid(in, ror + 0.01));
+  EXPECT_FALSE(IsSafeToAvoid(in, ror - 0.01));
+}
+
+TEST(ExactRorTest, ZeroWhenDimensionsEqual) {
+  EXPECT_NEAR(ExactRor(50, 50, 1000, 0.1), 0.0, 1e-12);
+}
+
+TEST(ExactRorTest, BiasTermAdds) {
+  double without = ExactRor(100, 10, 1000, 0.1, 0.0);
+  double with = ExactRor(100, 10, 1000, 0.1, 0.25);
+  EXPECT_NEAR(with - without, 0.25, 1e-12);
+}
+
+TEST(ExactRorTest, WorstCaseIsUpperBoundOnOracleRors) {
+  // For any oracle (v_yes, v_no) consistent with the derivation
+  // (v_yes = q_S + |D_FK|, v_no in (q_S, q_S + q_R]), the worst-case ROR
+  // with q*_R = min feature domain dominates the exact ROR (with
+  // delta_bias <= 0 dropped).
+  RorInputs in = BaseInputs();
+  double worst = WorstCaseRor(in);
+  for (uint64_t q_s : {0ull, 5ull, 20ull}) {
+    for (uint64_t q_no : {2ull, 10ull, 60ull}) {
+      double exact = ExactRor(q_s + in.fk_domain_size, q_s + q_no,
+                              in.n_train, in.delta);
+      EXPECT_LE(exact, worst + 1e-9)
+          << "q_s=" << q_s << " q_no=" << q_no;
+    }
+  }
+}
+
+TEST(RorDeathTest, BadInputsAbort) {
+  RorInputs in = BaseInputs();
+  in.n_train = 0;
+  EXPECT_DEATH((void)WorstCaseRor(in), "n_train");
+  in = BaseInputs();
+  in.delta = 0.0;
+  EXPECT_DEATH((void)WorstCaseRor(in), "delta");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,101 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+Schema CustomerSchema() {
+  return Schema({ColumnSpec::PrimaryKey("CustomerID"),
+                 ColumnSpec::Target("Churn"),
+                 ColumnSpec::Feature("Gender"),
+                 ColumnSpec::Feature("Age"),
+                 ColumnSpec::ForeignKey("EmployerID", "Employers")});
+}
+
+TEST(SchemaTest, CountsColumns) {
+  EXPECT_EQ(CustomerSchema().num_columns(), 5u);
+}
+
+TEST(SchemaTest, IndexOfFindsColumns) {
+  Schema s = CustomerSchema();
+  EXPECT_EQ(*s.IndexOf("CustomerID"), 0u);
+  EXPECT_EQ(*s.IndexOf("EmployerID"), 4u);
+}
+
+TEST(SchemaTest, IndexOfMissingIsNotFound) {
+  EXPECT_EQ(CustomerSchema().IndexOf("Nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Contains) {
+  Schema s = CustomerSchema();
+  EXPECT_TRUE(s.Contains("Age"));
+  EXPECT_FALSE(s.Contains("Salary"));
+}
+
+TEST(SchemaTest, PrimaryKeyIndex) {
+  EXPECT_EQ(*CustomerSchema().PrimaryKeyIndex(), 0u);
+}
+
+TEST(SchemaTest, TargetIndex) {
+  EXPECT_EQ(*CustomerSchema().TargetIndex(), 1u);
+}
+
+TEST(SchemaTest, MissingPrimaryKeyIsNotFound) {
+  Schema s({ColumnSpec::Feature("F")});
+  EXPECT_FALSE(s.PrimaryKeyIndex().ok());
+  EXPECT_FALSE(s.TargetIndex().ok());
+}
+
+TEST(SchemaTest, ForeignKeyIndices) {
+  Schema s = CustomerSchema();
+  auto fks = s.ForeignKeyIndices();
+  ASSERT_EQ(fks.size(), 1u);
+  EXPECT_EQ(fks[0], 4u);
+  EXPECT_EQ(s.column(fks[0]).ref_table, "Employers");
+}
+
+TEST(SchemaTest, FeatureIndices) {
+  auto feats = CustomerSchema().FeatureIndices();
+  ASSERT_EQ(feats.size(), 2u);
+  EXPECT_EQ(feats[0], 2u);
+  EXPECT_EQ(feats[1], 3u);
+}
+
+TEST(SchemaTest, ForeignKeyClosedDomainDefaultsTrue) {
+  ColumnSpec fk = ColumnSpec::ForeignKey("A", "T");
+  EXPECT_TRUE(fk.closed_domain);
+  ColumnSpec open = ColumnSpec::ForeignKey("B", "T", false);
+  EXPECT_FALSE(open.closed_domain);
+}
+
+TEST(SchemaTest, ProjectKeepsOrderAndSpecs) {
+  Schema s = CustomerSchema();
+  Schema p = s.Project({3, 1});
+  ASSERT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).name, "Age");
+  EXPECT_EQ(p.column(1).name, "Churn");
+  EXPECT_EQ(p.column(1).role, ColumnRole::kTarget);
+}
+
+TEST(SchemaTest, RoleToString) {
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kFeature), "feature");
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kPrimaryKey), "primary_key");
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kForeignKey), "foreign_key");
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kTarget), "target");
+}
+
+TEST(SchemaDeathTest, DuplicateNameAborts) {
+  EXPECT_DEATH(
+      Schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("A")}),
+      "duplicate");
+}
+
+TEST(SchemaDeathTest, ColumnIndexOutOfRangeAborts) {
+  Schema s = CustomerSchema();
+  EXPECT_DEATH((void)s.column(9), "out of range");
+}
+
+}  // namespace
+}  // namespace hamlet

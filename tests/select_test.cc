@@ -1,0 +1,77 @@
+#include "relational/select.h"
+
+#include <gtest/gtest.h>
+
+#include "hamlet.h"  // Also verifies the umbrella header compiles.
+
+namespace hamlet {
+namespace {
+
+Table MakeTable() {
+  Schema schema({ColumnSpec::Target("Y"), ColumnSpec::Feature("Color")});
+  TableBuilder b("T", schema);
+  EXPECT_TRUE(b.AppendRowLabels({"0", "red"}).ok());
+  EXPECT_TRUE(b.AppendRowLabels({"1", "blue"}).ok());
+  EXPECT_TRUE(b.AppendRowLabels({"0", "red"}).ok());
+  EXPECT_TRUE(b.AppendRowLabels({"1", "red"}).ok());
+  EXPECT_TRUE(b.AppendRowLabels({"0", "green"}).ok());
+  return b.Build();
+}
+
+TEST(SelectTest, EqualMatchesAllOccurrences) {
+  auto t = SelectRowsEqual(MakeTable(), "Color", "red");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 3u);
+  for (uint32_t r = 0; r < t->num_rows(); ++r) {
+    EXPECT_EQ(t->column(1).label(r), "red");
+  }
+}
+
+TEST(SelectTest, PreservesRowOrderAndOtherColumns) {
+  auto t = *SelectRowsEqual(MakeTable(), "Color", "red");
+  EXPECT_EQ(t.column(0).label(0), "0");
+  EXPECT_EQ(t.column(0).label(1), "0");
+  EXPECT_EQ(t.column(0).label(2), "1");
+}
+
+TEST(SelectTest, UnknownLabelYieldsEmptyTable) {
+  auto t = *SelectRowsEqual(MakeTable(), "Color", "purple");
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 2u);  // Schema intact.
+}
+
+TEST(SelectTest, UnknownColumnErrors) {
+  EXPECT_FALSE(SelectRowsEqual(MakeTable(), "Nope", "red").ok());
+}
+
+TEST(SelectTest, PredicateVariant) {
+  Table t = MakeTable();
+  uint32_t red = *t.column(1).domain()->Lookup("red");
+  auto selected = *SelectRowsWhere(t, "Color",
+                                   [red](uint32_t c) { return c != red; });
+  EXPECT_EQ(selected.num_rows(), 2u);  // blue + green.
+}
+
+TEST(SelectTest, IndicesVariantIsZeroCopy) {
+  auto rows = *SelectIndicesWhere(MakeTable(), "Y",
+                                  [](uint32_t c) { return c == 1; });
+  EXPECT_EQ(rows, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(SelectTest, SelectAll) {
+  auto t = *SelectRowsWhere(MakeTable(), "Y",
+                            [](uint32_t) { return true; });
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST(SelectTest, ComposesWithProjectAndJoinSemantics) {
+  // sigma then pi: classic fragment.
+  auto reds = *SelectRowsEqual(MakeTable(), "Color", "red");
+  auto projected = reds.Project({"Y"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_columns(), 1u);
+  EXPECT_EQ(projected->num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace hamlet

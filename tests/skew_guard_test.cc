@@ -1,0 +1,66 @@
+#include "core/skew_guard.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hamlet {
+namespace {
+
+std::vector<uint32_t> LabelsWithSplit(uint32_t n, double p1, Rng& rng) {
+  std::vector<uint32_t> y(n);
+  for (uint32_t i = 0; i < n; ++i) y[i] = rng.Bernoulli(p1) ? 1 : 0;
+  return y;
+}
+
+TEST(SkewGuardTest, BalancedLabelsPass) {
+  Rng rng(1);
+  auto y = LabelsWithSplit(5000, 0.5, rng);
+  auto r = CheckSkewGuard(y, 2);
+  EXPECT_TRUE(r.passes);
+  EXPECT_NEAR(r.label_entropy_bits, 1.0, 0.01);
+}
+
+TEST(SkewGuardTest, NinetyTenSplitFailsAtDefaultThreshold) {
+  // The paper's calibration: 90%:10% ~ H = 0.469 < 0.5 bits.
+  Rng rng(2);
+  auto y = LabelsWithSplit(20000, 0.1, rng);
+  auto r = CheckSkewGuard(y, 2);
+  EXPECT_FALSE(r.passes);
+  EXPECT_NEAR(r.label_entropy_bits, 0.469, 0.02);
+}
+
+TEST(SkewGuardTest, EightyTwentySplitPasses) {
+  // H(0.8, 0.2) = 0.722 bits > 0.5.
+  Rng rng(3);
+  auto y = LabelsWithSplit(20000, 0.2, rng);
+  EXPECT_TRUE(CheckSkewGuard(y, 2).passes);
+}
+
+TEST(SkewGuardTest, ConstantLabelsFail) {
+  std::vector<uint32_t> y(100, 1);
+  auto r = CheckSkewGuard(y, 2);
+  EXPECT_FALSE(r.passes);
+  EXPECT_DOUBLE_EQ(r.label_entropy_bits, 0.0);
+}
+
+TEST(SkewGuardTest, CustomThreshold) {
+  Rng rng(4);
+  auto y = LabelsWithSplit(20000, 0.2, rng);  // H ~ 0.72.
+  EXPECT_TRUE(CheckSkewGuard(y, 2, 0.5).passes);
+  EXPECT_FALSE(CheckSkewGuard(y, 2, 0.9).passes);
+  EXPECT_DOUBLE_EQ(CheckSkewGuard(y, 2, 0.9).threshold_bits, 0.9);
+}
+
+TEST(SkewGuardTest, MulticlassEntropy) {
+  // Uniform 5-class: H = log2(5) ~ 2.32 bits, easily passing.
+  Rng rng(5);
+  std::vector<uint32_t> y(5000);
+  for (auto& v : y) v = rng.Uniform(5);
+  auto r = CheckSkewGuard(y, 5);
+  EXPECT_TRUE(r.passes);
+  EXPECT_NEAR(r.label_entropy_bits, 2.32, 0.02);
+}
+
+}  // namespace
+}  // namespace hamlet

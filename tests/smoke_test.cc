@@ -1,0 +1,5 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+TEST(Smoke, StatusOk) { EXPECT_TRUE(hamlet::Status::OK().ok()); }

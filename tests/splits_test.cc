@@ -1,0 +1,86 @@
+#include "data/splits.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hamlet {
+namespace {
+
+TEST(HoldoutSplitTest, PartitionsEveryIndexOnce) {
+  Rng rng(1);
+  HoldoutSplit s = MakeHoldoutSplit(100, rng);
+  std::set<uint32_t> all;
+  all.insert(s.train.begin(), s.train.end());
+  all.insert(s.validation.begin(), s.validation.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(s.train.size() + s.validation.size() + s.test.size(), 100u);
+}
+
+TEST(HoldoutSplitTest, DefaultFractionsAre50_25_25) {
+  Rng rng(2);
+  HoldoutSplit s = MakeHoldoutSplit(1000, rng);
+  EXPECT_EQ(s.train.size(), 500u);
+  EXPECT_EQ(s.validation.size(), 250u);
+  EXPECT_EQ(s.test.size(), 250u);
+}
+
+TEST(HoldoutSplitTest, CustomFractions) {
+  Rng rng(3);
+  SplitFractions f;
+  f.train = 0.6;
+  f.validation = 0.2;
+  HoldoutSplit s = MakeHoldoutSplit(100, rng, f);
+  EXPECT_EQ(s.train.size(), 60u);
+  EXPECT_EQ(s.validation.size(), 20u);
+  EXPECT_EQ(s.test.size(), 20u);
+}
+
+TEST(HoldoutSplitTest, DeterministicInRng) {
+  Rng a(7), b(7);
+  HoldoutSplit s1 = MakeHoldoutSplit(50, a);
+  HoldoutSplit s2 = MakeHoldoutSplit(50, b);
+  EXPECT_EQ(s1.train, s2.train);
+  EXPECT_EQ(s1.test, s2.test);
+}
+
+TEST(HoldoutSplitTest, DifferentSeedsShuffleDifferently) {
+  Rng a(7), b(8);
+  EXPECT_NE(MakeHoldoutSplit(50, a).train, MakeHoldoutSplit(50, b).train);
+}
+
+TEST(HoldoutSplitTest, SmallN) {
+  Rng rng(9);
+  HoldoutSplit s = MakeHoldoutSplit(2, rng);
+  EXPECT_EQ(s.train.size() + s.validation.size() + s.test.size(), 2u);
+}
+
+TEST(TrainTestSplitTest, Partitions) {
+  Rng rng(11);
+  TrainTestSplit s = MakeTrainTestSplit(100, rng, 0.8);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.test.size(), 20u);
+  std::set<uint32_t> all(s.train.begin(), s.train.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplitTest, FullTrainFraction) {
+  Rng rng(13);
+  TrainTestSplit s = MakeTrainTestSplit(10, rng, 1.0);
+  EXPECT_EQ(s.train.size(), 10u);
+  EXPECT_TRUE(s.test.empty());
+}
+
+TEST(SplitsDeathTest, InvalidFractionsAbort) {
+  Rng rng(15);
+  SplitFractions f;
+  f.train = 0.9;
+  f.validation = 0.3;  // Sums past 1.
+  EXPECT_DEATH((void)MakeHoldoutSplit(10, rng, f), "fraction");
+  EXPECT_DEATH((void)MakeTrainTestSplit(10, rng, 0.0), "fraction");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,112 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, PreservesEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, NoSeparator) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\r\n"), "hi");
+}
+
+TEST(TrimWhitespaceTest, NoWhitespaceUnchanged) {
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+}
+
+TEST(TrimWhitespaceTest, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(TrimWhitespaceTest, InteriorWhitespaceKept) {
+  EXPECT_EQ(TrimWhitespace(" a b "), "a b");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(JoinStringsTest, SingleItem) {
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(JoinStringsTest, Empty) {
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+TEST(StringFormatTest, EmptyFormat) {
+  EXPECT_EQ(StringFormat("%s", ""), "");
+}
+
+TEST(StringFormatTest, LongOutput) {
+  std::string long_arg(500, 'y');
+  std::string out = StringFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.14", &v));
+  EXPECT_DOUBLE_EQ(v, 3.14);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_TRUE(ParseDouble(" 7 ", &v));
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("nan", &v));
+  EXPECT_FALSE(ParseDouble("inf", &v));
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12.5", &v));
+  EXPECT_FALSE(ParseInt64("x", &v));
+}
+
+}  // namespace
+}  // namespace hamlet

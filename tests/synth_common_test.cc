@@ -1,0 +1,165 @@
+#include "datasets/synth_common.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/encoded_dataset.h"
+#include "stats/contingency.h"
+#include "stats/info_theory.h"
+
+namespace hamlet {
+namespace {
+
+SynthDatasetSpec ToySpec() {
+  SynthDatasetSpec spec;
+  spec.name = "Toy";
+  spec.entity_name = "S";
+  spec.pk_name = "SID";
+  spec.target_name = "Y";
+  spec.num_classes = 3;
+  spec.n_s = 3000;
+  spec.label_noise = 0.2;
+  spec.s_features = {
+      {SynthFeatureSpec::Noise("SNoise", 4), 0.0},
+      {SynthFeatureSpec::Noise("SSig", 4), 0.8},
+  };
+  SynthAttributeTableSpec r;
+  r.table_name = "R";
+  r.pk_name = "RID";
+  r.fk_name = "RID";
+  r.num_rows = 60;
+  r.latent_cardinality = 8;
+  r.target_weight = 1.0;
+  r.features = {
+      SynthFeatureSpec::Signal("Exposed", 8, 0.9),
+      SynthFeatureSpec::Signal("NumExposed", 6, 0.8, /*numeric=*/true),
+      SynthFeatureSpec::Noise("Junk", 5),
+  };
+  spec.tables = {r};
+  return spec;
+}
+
+TEST(CenteredValueTest, MapsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(CenteredValue(0, 5), -1.0);
+  EXPECT_DOUBLE_EQ(CenteredValue(4, 5), 1.0);
+  EXPECT_DOUBLE_EQ(CenteredValue(2, 5), 0.0);
+  EXPECT_DOUBLE_EQ(CenteredValue(0, 1), 0.0);  // Degenerate domain.
+}
+
+TEST(LatentToCodeTest, InjectiveWhenCardinalityCovers) {
+  // card >= L: distinct latents get distinct codes.
+  std::set<uint32_t> codes;
+  for (uint32_t l = 0; l < 8; ++l) codes.insert(LatentToCode(l, 0, 8, 8));
+  EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(LatentToCodeTest, GroupsContiguouslyWhenSmaller) {
+  // card 2, L 8: lower half -> one code, upper half -> the other.
+  uint32_t low = LatentToCode(0, 0, 2, 8);
+  for (uint32_t l = 1; l < 4; ++l) {
+    EXPECT_EQ(LatentToCode(l, 0, 2, 8), low);
+  }
+  uint32_t high = LatentToCode(4, 0, 2, 8);
+  EXPECT_NE(low, high);
+  for (uint32_t l = 5; l < 8; ++l) {
+    EXPECT_EQ(LatentToCode(l, 0, 2, 8), high);
+  }
+}
+
+TEST(LatentToCodeTest, SaltRotates) {
+  EXPECT_NE(LatentToCode(0, 0, 8, 8), LatentToCode(0, 3, 8, 8));
+}
+
+TEST(SynthDatasetTest, GeneratesValidStarSchema) {
+  auto ds = GenerateSyntheticDataset(ToySpec(), 1.0, 42);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->entity().num_rows(), 3000u);
+  ASSERT_EQ(ds->attribute_tables().size(), 1u);
+  EXPECT_EQ(ds->attribute_tables()[0].num_rows(), 60u);
+  EXPECT_TRUE(ds->entity().Validate().ok());
+  EXPECT_TRUE(ds->attribute_tables()[0].Validate().ok());
+}
+
+TEST(SynthDatasetTest, ScalePreservesTupleRatio) {
+  auto full = *GenerateSyntheticDataset(ToySpec(), 1.0, 42);
+  auto tenth = *GenerateSyntheticDataset(ToySpec(), 0.1, 42);
+  double tr_full = static_cast<double>(full.entity().num_rows()) /
+                   full.attribute_tables()[0].num_rows();
+  double tr_tenth = static_cast<double>(tenth.entity().num_rows()) /
+                    tenth.attribute_tables()[0].num_rows();
+  EXPECT_NEAR(tr_full, tr_tenth, 0.05 * tr_full);
+}
+
+TEST(SynthDatasetTest, ScaleNeverBelowTwoRows) {
+  auto ds = *GenerateSyntheticDataset(ToySpec(), 1e-6, 42);
+  EXPECT_GE(ds.entity().num_rows(), 2u);
+  EXPECT_GE(ds.attribute_tables()[0].num_rows(), 2u);
+}
+
+TEST(SynthDatasetTest, DeterministicInSeed) {
+  auto a = *GenerateSyntheticDataset(ToySpec(), 0.5, 7);
+  auto b = *GenerateSyntheticDataset(ToySpec(), 0.5, 7);
+  EXPECT_EQ(a.entity().column(1).codes(), b.entity().column(1).codes());
+  auto c = *GenerateSyntheticDataset(ToySpec(), 0.5, 8);
+  EXPECT_NE(a.entity().column(1).codes(), c.entity().column(1).codes());
+}
+
+TEST(SynthDatasetTest, SignalFeaturesAreInformative) {
+  auto ds = *GenerateSyntheticDataset(ToySpec(), 1.0, 42);
+  auto joined = *ds.JoinAll();
+  auto enc = *EncodedDataset::FromTableAuto(joined);
+  const auto& y = enc.labels();
+  auto mi = [&](const char* name) {
+    uint32_t j = *enc.FeatureIndexOf(name);
+    return MutualInformation(enc.feature(j), y, enc.meta(j).cardinality,
+                             enc.num_classes());
+  };
+  EXPECT_GT(mi("Exposed"), 5.0 * mi("Junk"));
+  EXPECT_GT(mi("NumExposed"), 5.0 * mi("Junk"));
+  EXPECT_GT(mi("SSig"), 5.0 * mi("SNoise"));
+}
+
+TEST(SynthDatasetTest, FkSharesAttributePkDomain) {
+  auto ds = *GenerateSyntheticDataset(ToySpec(), 1.0, 42);
+  auto fk_col = *ds.entity().ColumnByName("RID");
+  auto pk_col = ds.attribute_tables()[0].column(0);
+  EXPECT_EQ(fk_col->domain(), pk_col.domain());
+}
+
+TEST(SynthDatasetTest, ZipfSkewConcentratesHeadRids) {
+  SynthDatasetSpec spec = ToySpec();
+  spec.tables[0].fk_zipf = 1.5;
+  auto ds = *GenerateSyntheticDataset(spec, 1.0, 42);
+  auto fk_col = *ds.entity().ColumnByName("RID");
+  std::vector<uint32_t> counts(60, 0);
+  for (uint32_t c : fk_col->codes()) ++counts[c];
+  // Head RID far more popular than a tail RID.
+  EXPECT_GT(counts[0], 8 * std::max(counts[59], 1u));
+}
+
+TEST(SynthDatasetTest, InvalidInputsRejected) {
+  EXPECT_FALSE(GenerateSyntheticDataset(ToySpec(), 0.0, 1).ok());
+  SynthDatasetSpec no_signal = ToySpec();
+  no_signal.s_features.clear();
+  no_signal.tables[0].target_weight = 0.0;
+  EXPECT_FALSE(GenerateSyntheticDataset(no_signal, 1.0, 1).ok());
+}
+
+TEST(SynthDatasetTest, BinaryTargetUsesSignOfScore) {
+  SynthDatasetSpec spec = ToySpec();
+  spec.num_classes = 2;
+  auto ds = *GenerateSyntheticDataset(spec, 1.0, 42);
+  auto y_idx = ds.entity().schema().TargetIndex();
+  const Column& y = ds.entity().column(*y_idx);
+  EXPECT_EQ(y.domain_size(), 2u);
+  // Roughly balanced classes for a symmetric score.
+  auto counts = MarginalCounts(y.codes(), 2);
+  double frac = static_cast<double>(counts[1]) / y.size();
+  EXPECT_GT(frac, 0.3);
+  EXPECT_LT(frac, 0.7);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,46 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"A", "Long header"});
+  printer.AddRow({"wide cell", "x"});
+  std::string out = printer.ToString();
+  // Every line has equal length (trailing padding included).
+  size_t first_nl = out.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  EXPECT_NE(out.find("wide cell"), std::string::npos);
+  EXPECT_NE(out.find("Long header"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRowPresent) {
+  TablePrinter printer({"X"});
+  printer.AddRow({"1"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter printer({"X"});
+  EXPECT_EQ(printer.num_rows(), 0u);
+  printer.AddRow({"1"});
+  printer.AddRow({"2"});
+  EXPECT_EQ(printer.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter printer({"OnlyHeader"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("OnlyHeader"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, WrongCellCountAborts) {
+  TablePrinter printer({"A", "B"});
+  EXPECT_DEATH(printer.AddRow({"only one"}), "cells");
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,99 @@
+#include "relational/table_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+Table MakeProfiled() {
+  Schema schema({ColumnSpec::PrimaryKey("ID"),
+                 ColumnSpec::Feature("Color"),
+                 ColumnSpec::Feature("Size")});
+  auto color = std::make_shared<Domain>(
+      std::vector<std::string>{"red", "green", "blue"});
+  auto size = std::make_shared<Domain>(
+      std::vector<std::string>{"s", "m", "l", "xl"});
+  TableBuilder b("T", schema, {Domain::Dense(4, "r"), color, size});
+  b.AppendRowCodes({0, 0, 1});
+  b.AppendRowCodes({1, 0, 1});
+  b.AppendRowCodes({2, 0, 2});
+  b.AppendRowCodes({3, 1, 1});
+  return b.Build();
+}
+
+TEST(TableStatsTest, ProfilesEveryColumn) {
+  TableStats stats = ComputeTableStats(MakeProfiled());
+  EXPECT_EQ(stats.table_name, "T");
+  EXPECT_EQ(stats.num_rows, 4u);
+  ASSERT_EQ(stats.columns.size(), 3u);
+}
+
+TEST(TableStatsTest, DomainVsObservedDistinct) {
+  TableStats stats = ComputeTableStats(MakeProfiled());
+  const ColumnStats* color = stats.Find("Color");
+  ASSERT_NE(color, nullptr);
+  EXPECT_EQ(color->domain_size, 3u);       // blue never occurs...
+  EXPECT_EQ(color->distinct_observed, 2u);  // ...but red/green do.
+  const ColumnStats* id = stats.Find("ID");
+  EXPECT_EQ(id->distinct_observed, 4u);     // Primary key: all distinct.
+}
+
+TEST(TableStatsTest, EntropyAndTopShare) {
+  TableStats stats = ComputeTableStats(MakeProfiled());
+  const ColumnStats* color = stats.Find("Color");
+  // Color counts: red 3, green 1 -> H(3/4, 1/4) = 0.811 bits.
+  EXPECT_NEAR(color->entropy_bits, 0.8113, 1e-3);
+  EXPECT_EQ(color->top_label, "red");
+  EXPECT_DOUBLE_EQ(color->top_share, 0.75);
+  // The primary key is uniform: H = log2(4) = 2 bits.
+  EXPECT_NEAR(stats.Find("ID")->entropy_bits, 2.0, 1e-12);
+}
+
+TEST(TableStatsTest, FindMissingIsNull) {
+  EXPECT_EQ(ComputeTableStats(MakeProfiled()).Find("Nope"), nullptr);
+}
+
+TEST(TableStatsTest, RenderingMentionsColumns) {
+  std::string s = ComputeTableStats(MakeProfiled()).ToString();
+  EXPECT_NE(s.find("Color"), std::string::npos);
+  EXPECT_NE(s.find("primary_key"), std::string::npos);
+  EXPECT_NE(s.find("4 rows"), std::string::npos);
+}
+
+TEST(TableStatsTest, ToCandidateStatsUsesSmallestFeatureDomain) {
+  auto cand = ToCandidateStats(MakeProfiled(), "TID");
+  ASSERT_TRUE(cand.ok());
+  EXPECT_EQ(cand->fk_column, "TID");
+  EXPECT_EQ(cand->table_name, "T");
+  EXPECT_EQ(cand->num_rows, 4u);
+  EXPECT_EQ(cand->min_feature_domain, 3u);  // min(|Color|=3, |Size|=4).
+  EXPECT_TRUE(cand->closed_domain);
+}
+
+TEST(TableStatsTest, ToCandidateStatsFeedsAdvisor) {
+  auto cand = *ToCandidateStats(MakeProfiled(), "TID");
+  auto plan = AdviseJoinsFromStats(400, 1.0, {cand});
+  ASSERT_TRUE(plan.ok());
+  // TR = 400 / 4 = 100: avoid.
+  EXPECT_EQ(plan->fks_avoided, (std::vector<std::string>{"TID"}));
+}
+
+TEST(TableStatsTest, FeaturelessTableRejected) {
+  Schema schema({ColumnSpec::PrimaryKey("ID")});
+  TableBuilder b("KeysOnly", schema, {Domain::Dense(2, "k")});
+  b.AppendRowCodes({0});
+  b.AppendRowCodes({1});
+  EXPECT_FALSE(ToCandidateStats(b.Build(), "FK").ok());
+}
+
+TEST(TableStatsTest, EmptyTable) {
+  Schema schema({ColumnSpec::Feature("F")});
+  TableBuilder b("Empty", schema);
+  TableStats stats = ComputeTableStats(b.Build());
+  EXPECT_EQ(stats.num_rows, 0u);
+  EXPECT_EQ(stats.columns[0].entropy_bits, 0.0);
+  EXPECT_EQ(stats.columns[0].top_share, 0.0);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,155 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+Table MakeEmployers() {
+  Schema schema({ColumnSpec::PrimaryKey("EmployerID"),
+                 ColumnSpec::Feature("Country"),
+                 ColumnSpec::Feature("Revenue")});
+  TableBuilder builder("Employers", schema);
+  EXPECT_TRUE(builder.AppendRowLabels({"e0", "US", "high"}).ok());
+  EXPECT_TRUE(builder.AppendRowLabels({"e1", "IN", "low"}).ok());
+  EXPECT_TRUE(builder.AppendRowLabels({"e2", "US", "low"}).ok());
+  return builder.Build();
+}
+
+TEST(TableTest, BasicShape) {
+  Table t = MakeEmployers();
+  EXPECT_EQ(t.name(), "Employers");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t = MakeEmployers();
+  auto col = t.ColumnByName("Country");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->label(1), "IN");
+  EXPECT_FALSE(t.ColumnByName("Missing").ok());
+}
+
+TEST(TableTest, ProjectByName) {
+  Table t = MakeEmployers();
+  auto p = t.Project({"Revenue", "EmployerID"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_columns(), 2u);
+  EXPECT_EQ(p->schema().column(0).name, "Revenue");
+  EXPECT_EQ(p->num_rows(), 3u);
+}
+
+TEST(TableTest, ProjectMissingColumnFails) {
+  EXPECT_FALSE(MakeEmployers().Project({"Nope"}).ok());
+}
+
+TEST(TableTest, GatherRows) {
+  Table t = MakeEmployers();
+  Table g = t.GatherRows({2, 0});
+  EXPECT_EQ(g.num_rows(), 2u);
+  EXPECT_EQ((*g.ColumnByName("EmployerID"))->label(0), "e2");
+  EXPECT_EQ((*g.ColumnByName("EmployerID"))->label(1), "e0");
+}
+
+TEST(TableTest, ValidatePasses) {
+  EXPECT_TRUE(MakeEmployers().Validate().ok());
+}
+
+TEST(TableTest, UniquePrimaryKeyDetected) {
+  EXPECT_TRUE(MakeEmployers().HasUniquePrimaryKey());
+}
+
+TEST(TableTest, DuplicatePrimaryKeyDetected) {
+  Schema schema({ColumnSpec::PrimaryKey("ID"), ColumnSpec::Feature("F")});
+  TableBuilder builder("T", schema);
+  ASSERT_TRUE(builder.AppendRowLabels({"k", "a"}).ok());
+  ASSERT_TRUE(builder.AppendRowLabels({"k", "b"}).ok());
+  Table t = builder.Build();
+  EXPECT_FALSE(t.HasUniquePrimaryKey());
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableTest, GatherBreaksPkUniqueness) {
+  Table t = MakeEmployers().GatherRows({0, 0});
+  EXPECT_FALSE(t.HasUniquePrimaryKey());
+}
+
+TEST(TableBuilderTest, RowCountTracked) {
+  Schema schema({ColumnSpec::Feature("F")});
+  TableBuilder builder("T", schema);
+  EXPECT_EQ(builder.num_rows(), 0u);
+  ASSERT_TRUE(builder.AppendRowLabels({"x"}).ok());
+  EXPECT_EQ(builder.num_rows(), 1u);
+}
+
+TEST(TableBuilderTest, WrongArityRejected) {
+  Schema schema({ColumnSpec::Feature("F"), ColumnSpec::Feature("G")});
+  TableBuilder builder("T", schema);
+  EXPECT_EQ(builder.AppendRowLabels({"only one"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.num_rows(), 0u);
+}
+
+TEST(TableBuilderTest, FixedDomainRejectsUnknownLabels) {
+  Schema schema({ColumnSpec::Feature("F")});
+  auto closed = std::make_shared<Domain>(std::vector<std::string>{"a", "b"});
+  TableBuilder builder("T", schema, {closed});
+  EXPECT_TRUE(builder.AppendRowLabels({"a"}).ok());
+  Status st = builder.AppendRowLabels({"z"});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The failed append must not have grown anything.
+  EXPECT_EQ(builder.num_rows(), 1u);
+  EXPECT_EQ(closed->size(), 2u);
+}
+
+TEST(TableBuilderTest, FailedMixedRowLeavesBuilderConsistent) {
+  Schema schema({ColumnSpec::Feature("F"), ColumnSpec::Feature("G")});
+  auto closed = std::make_shared<Domain>(std::vector<std::string>{"a"});
+  TableBuilder builder("T", schema, {nullptr, closed});
+  // First column's label would be new; second is invalid. Neither column
+  // may be mutated.
+  EXPECT_FALSE(builder.AppendRowLabels({"fresh", "bad"}).ok());
+  EXPECT_TRUE(builder.AppendRowLabels({"fresh2", "a"}).ok());
+  Table t = builder.Build();
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TableBuilderTest, AppendRowCodes) {
+  Schema schema({ColumnSpec::Feature("F")});
+  auto domain = std::make_shared<Domain>(std::vector<std::string>{"a", "b"});
+  TableBuilder builder("T", schema, {domain});
+  builder.AppendRowCodes({1});
+  builder.AppendRowCodes({0});
+  Table t = builder.Build();
+  EXPECT_EQ(t.column(0).label(0), "b");
+  EXPECT_EQ(t.column(0).label(1), "a");
+}
+
+TEST(TableBuilderTest, SharedDomainIsShared) {
+  Schema schema({ColumnSpec::Feature("F")});
+  auto domain = std::make_shared<Domain>(std::vector<std::string>{"a"});
+  TableBuilder builder("T", schema, {domain});
+  ASSERT_TRUE(builder.AppendRowLabels({"a"}).ok());
+  Table t = builder.Build();
+  EXPECT_EQ(t.column(0).domain(), domain);
+}
+
+TEST(TableDeathTest, SchemaColumnMismatchAborts) {
+  Schema schema({ColumnSpec::Feature("F"), ColumnSpec::Feature("G")});
+  std::vector<Column> one_col(1);
+  EXPECT_DEATH(Table("T", schema, std::move(one_col)), "columns");
+}
+
+TEST(TableDeathTest, RaggedColumnsAbort) {
+  Schema schema({ColumnSpec::Feature("F"), ColumnSpec::Feature("G")});
+  auto d = std::make_shared<Domain>(std::vector<std::string>{"a"});
+  std::vector<Column> cols;
+  cols.emplace_back(std::vector<uint32_t>{0, 0}, d);
+  cols.emplace_back(std::vector<uint32_t>{0}, d);
+  EXPECT_DEATH(Table("T", schema, std::move(cols)), "length");
+}
+
+}  // namespace
+}  // namespace hamlet

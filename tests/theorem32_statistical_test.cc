@@ -1,0 +1,78 @@
+/// A statistical check of Theorem 3.2 itself: over many independently
+/// drawn training sets, |test error − train error| must stay within the
+/// VC bound at least (1 − δ) of the time. The bound is famously loose,
+/// so in practice violations should be zero — the test allows the
+/// nominal δ·runs budget plus slack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/naive_bayes.h"
+#include "sim/data_synthesis.h"
+#include "stats/metrics.h"
+#include "theory/generalization_bound.h"
+#include "theory/vc_dimension.h"
+
+namespace hamlet {
+namespace {
+
+std::vector<uint32_t> GatherTruth(const SimDraw& draw,
+                                  const std::vector<uint32_t>& rows) {
+  std::vector<uint32_t> out;
+  out.reserve(rows.size());
+  for (uint32_t r : rows) out.push_back(draw.data.labels()[r]);
+  return out;
+}
+
+class Theorem32Test : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Theorem32Test, BoundHoldsWithHighProbability) {
+  const uint32_t n_r = GetParam();
+  SimConfig config;
+  config.scenario = TrueDistribution::kLoneXr;
+  config.n_s = 2000;
+  config.d_s = 2;
+  config.d_r = 2;
+  config.n_r = n_r;
+  config.p = 0.1;
+
+  const double delta = 0.1;
+  const uint32_t runs = 60;
+  Rng rng(1234 + n_r);
+  SimDataGenerator gen(config, rng);
+  const std::vector<uint32_t> features = gen.NoJoinFeatures();
+
+  // v for the NoJoin model: 1 + d_s·(2−1) + (n_r − 1) ≈ |D_FK| + d_s.
+  uint64_t v = 1 + config.d_s + (n_r - 1);
+  ASSERT_GT(config.n_s, v);  // The theorem's regime.
+  const double bound = VcGeneralizationBound(v, config.n_s, delta);
+
+  uint32_t violations = 0;
+  for (uint32_t run = 0; run < runs; ++run) {
+    SimDraw train = gen.Draw(config.n_s, rng);
+    SimDraw test = gen.Draw(config.TestSize(), rng);
+    std::vector<uint32_t> train_rows(train.data.num_rows());
+    for (uint32_t i = 0; i < train_rows.size(); ++i) train_rows[i] = i;
+    std::vector<uint32_t> test_rows(test.data.num_rows());
+    for (uint32_t i = 0; i < test_rows.size(); ++i) test_rows[i] = i;
+
+    NaiveBayes nb;
+    ASSERT_TRUE(nb.Train(train.data, train_rows, features).ok());
+    double train_err = ZeroOneError(GatherTruth(train, train_rows),
+                                    nb.Predict(train.data, train_rows));
+    double test_err = ZeroOneError(GatherTruth(test, test_rows),
+                                   nb.Predict(test.data, test_rows));
+    if (std::fabs(test_err - train_err) > bound) ++violations;
+  }
+  // Nominal allowance: delta * runs = 6; the bound's looseness means the
+  // observed count should be far below even that.
+  EXPECT_LE(violations, static_cast<uint32_t>(delta * runs))
+      << "n_r = " << n_r << ", bound = " << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(FkDomains, Theorem32Test,
+                         ::testing::Values(20u, 100u, 400u));
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,45 @@
+#include "theory/vc_dimension.h"
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace {
+
+TEST(VcDimensionTest, EmptyFeatureSetHasBiasOnly) {
+  EXPECT_EQ(LinearVcDimension(std::vector<uint32_t>{}), 1u);
+}
+
+TEST(VcDimensionTest, BinaryFeaturesAddOneEach) {
+  EXPECT_EQ(LinearVcDimension({2, 2, 2}), 4u);
+}
+
+TEST(VcDimensionTest, MixedCardinalities) {
+  // 1 + (4-1) + (2-1) + (10-1) = 14.
+  EXPECT_EQ(LinearVcDimension({4, 2, 10}), 14u);
+}
+
+TEST(VcDimensionTest, ConstantFeatureAddsNothing) {
+  EXPECT_EQ(LinearVcDimension({1}), 1u);
+}
+
+TEST(VcDimensionTest, FkAloneIsItsDomainSize) {
+  EXPECT_EQ(ForeignKeyVcDimension(540), 540u);
+}
+
+TEST(VcDimensionTest, DatasetOverload) {
+  EncodedDataset d({{0, 1}, {0, 2}}, {{"A", 2}, {"B", 5}}, {0, 1}, 2);
+  EXPECT_EQ(LinearVcDimension(d, {0, 1}), 1u + 1u + 4u);
+  EXPECT_EQ(LinearVcDimension(d, {1}), 5u);
+  EXPECT_EQ(LinearVcDimension(d, {}), 1u);
+}
+
+TEST(VcDimensionTest, FkFeatureVcDimConsistency) {
+  // Section 3.2: the VC dim of a linear model on a lone FK (one-hot) is
+  // 1 + (|D_FK| - 1) = |D_FK| — consistent with ForeignKeyVcDimension.
+  for (uint32_t card : {2u, 10u, 540u, 3182u}) {
+    EXPECT_EQ(LinearVcDimension({card}), ForeignKeyVcDimension(card));
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
