@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "common/parallel_for.h"
 #include "core/advisor.h"
 #include "data/encoded_dataset.h"
 #include "data/splits.h"
@@ -155,6 +158,124 @@ void BM_TanTrain(benchmark::State& state) {
 }
 BENCHMARK(BM_TanTrain)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
+
+// --- Shared pool vs spawn-per-call parallel regions. The pool's point
+// is amortizing thread startup across the thousands of short regions a
+// feature selection search issues; this measures exactly that gap. ---
+
+// The pre-pool ParallelFor: spawns and joins threads on every call.
+template <typename Fn>
+void SpawnThreadsFor(uint32_t n, uint32_t num_threads, Fn&& fn) {
+  uint32_t threads = num_threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : num_threads;
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (uint32_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([t, threads, n, &fn] {
+      for (uint32_t i = t; i < n; i += threads) fn(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+// A work item sized like one small candidate evaluation (~microseconds).
+uint64_t SmallWorkItem(uint32_t i) {
+  uint64_t h = i + 0x9E3779B97F4A7C15ULL;
+  for (int k = 0; k < 2000; ++k) {
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+  }
+  return h;
+}
+
+void BM_ParallelRegionSpawn(benchmark::State& state) {
+  const uint32_t items = static_cast<uint32_t>(state.range(0));
+  std::vector<uint64_t> out(items);
+  for (auto _ : state) {
+    SpawnThreadsFor(items, 0, [&](uint32_t i) { out[i] = SmallWorkItem(i); });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_ParallelRegionSpawn)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelRegionPool(benchmark::State& state) {
+  const uint32_t items = static_cast<uint32_t>(state.range(0));
+  std::vector<uint64_t> out(items);
+  ParallelFor(1, 0, [](uint32_t) {});  // Warm the shared pool up front.
+  for (auto _ : state) {
+    ParallelFor(items, 0, [&](uint32_t i) { out[i] = SmallWorkItem(i); });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_ParallelRegionPool)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Serial vs parallel greedy search on a MovieLens-scale synthetic
+// config (the Figure 7 workload shape: ~10^4 rows, X_S + FK + X_R
+// candidates). Arg is the per-step thread count (1 = serial, 0 = all
+// hardware threads); selections are bit-identical across args, only the
+// wall clock moves. ---
+void BM_ForwardSelectionThreads(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  SimConfig config;
+  config.n_s = 8000;
+  config.d_s = 8;
+  config.d_r = 8;
+  config.n_r = 200;
+  Rng rng(3);
+  SimDataGenerator gen(config, rng);
+  SimDraw draw = gen.Draw(config.n_s, rng);
+  Rng split_rng(4);
+  HoldoutSplit split = MakeHoldoutSplit(draw.data.num_rows(), split_rng);
+  for (auto _ : state) {
+    ForwardSelection fs;
+    fs.set_num_threads(threads);
+    auto result = fs.Select(draw.data, split, MakeNaiveBayesFactory(),
+                            ErrorMetric::kZeroOne,
+                            draw.data.AllFeatureIndices());
+    benchmark::DoNotOptimize(result->selected.size());
+  }
+  state.SetLabel(threads == 1 ? "serial" : threads == 0 ? "hw" :
+                 std::to_string(threads) + "t");
+}
+BENCHMARK(BM_ForwardSelectionThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Serial vs parallel MI filter scoring over all features. ---
+void BM_MiFilterScoringThreads(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  SimConfig config;
+  config.n_s = 100000;
+  config.d_s = 16;
+  config.d_r = 16;
+  config.n_r = 200;
+  Rng rng(1);
+  SimDataGenerator gen(config, rng);
+  SimDraw draw = gen.Draw(config.n_s, rng);
+  std::vector<uint32_t> rows(draw.data.num_rows());
+  for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  ScoreFilter filter(FilterScore::kMutualInformation);
+  filter.set_num_threads(threads);
+  auto candidates = draw.data.AllFeatureIndices();
+  for (auto _ : state) {
+    auto scores = filter.ScoreFeatures(draw.data, rows, candidates);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * config.n_s *
+                          candidates.size());
+  state.SetLabel(threads == 1 ? "serial" : "hw");
+}
+BENCHMARK(BM_MiFilterScoringThreads)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMicrosecond);
 
 // --- The advisor itself: metadata-only decisions must be ~free. ---
 void BM_AdviseJoins(benchmark::State& state) {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the tree with ThreadSanitizer (HAMLET_SANITIZE=thread) and runs
+# the threading + determinism suites: the thread pool contract, the
+# ParallelFor exception/no-op/coverage tests, the bit-for-bit determinism
+# regressions for search/filters/Monte Carlo, and the greedy tie-break.
+#
+# Usage: scripts/check_determinism.sh [extra ctest args...]
+# Env:   BUILD_DIR (default build-tsan), JOBS (default nproc).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHAMLET_SANITIZE=thread \
+  -DHAMLET_BUILD_BENCHMARKS=OFF \
+  -DHAMLET_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j"${JOBS}"
+
+# Everything whose name binds it to the threading/determinism contract.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R 'ThreadPool|ParallelFor|Determinism|TieBreak|ThreadInvariant|ParallelSearch' \
+  "$@"

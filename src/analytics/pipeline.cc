@@ -79,7 +79,8 @@ Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
       MakeHoldoutSplit(data.num_rows(), rng, config.split);
 
   // 4. Feature selection + final holdout evaluation.
-  std::unique_ptr<FeatureSelector> selector = MakeSelector(config.method);
+  std::unique_ptr<FeatureSelector> selector =
+      MakeSelector(config.method, config.num_threads);
   ClassifierFactory factory = MakeClassifierFactory(config.classifier);
   HAMLET_ASSIGN_OR_RETURN(
       report.selection,

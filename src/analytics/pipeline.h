@@ -52,6 +52,10 @@ struct PipelineConfig {
   ErrorMetric metric = ErrorMetric::kZeroOne;
   SplitFractions split;
   uint64_t seed = 42;
+  /// Threads for the feature selection search (0 = one shard per hardware
+  /// thread, 1 = serial). Selections are bit-for-bit identical at any
+  /// setting; only the runtime changes.
+  uint32_t num_threads = 0;
 };
 
 /// Everything one pipeline run produces.

@@ -2,41 +2,33 @@
 #define HAMLET_COMMON_PARALLEL_FOR_H_
 
 /// \file parallel_for.h
-/// Deterministic data-parallel loops for the Monte Carlo drivers. Work
-/// items are indexed, each item writes only its own slot, and each item
-/// derives its randomness from its index — so the result is bit-for-bit
-/// identical at any thread count.
+/// Deterministic data-parallel loops for the library's hot paths (feature
+/// selection search steps, filter scoring, Monte Carlo training loops).
+/// Work items are indexed, each item writes only its own slot, and each
+/// item derives any randomness from its index — so the result is
+/// bit-for-bit identical at any thread count.
+///
+/// Calls dispatch onto the process-wide persistent ThreadPool
+/// (common/thread_pool.h) instead of spawning threads per call, so
+/// repeated short regions pay no spawn/join cost. Nested calls degrade to
+/// serial loops (see the pool's nesting contract), and an exception
+/// thrown by a work item is captured and rethrown on the calling thread —
+/// the lowest-indexed shard's exception wins, deterministically.
 
 #include <cstdint>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace hamlet {
 
-/// Runs fn(i) for i in [0, n) across up to `num_threads` threads
-/// (0 = std::thread::hardware_concurrency). fn must be safe to call
-/// concurrently for distinct indices. Blocks until every item completes.
+/// Runs fn(i) for i in [0, n) across up to `num_threads` shards of the
+/// shared pool (0 = one shard per hardware thread). fn must be safe to
+/// call concurrently for distinct indices. Blocks until every item
+/// completes; rethrows the first (lowest-shard) work-item exception.
 template <typename Fn>
 void ParallelFor(uint32_t n, uint32_t num_threads, Fn&& fn) {
-  if (n == 0) return;
-  uint32_t threads = num_threads == 0
-                         ? std::max(1u, std::thread::hardware_concurrency())
-                         : num_threads;
-  threads = std::min(threads, n);
-  if (threads <= 1) {
-    for (uint32_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (uint32_t t = 0; t < threads; ++t) {
-    workers.emplace_back([t, threads, n, &fn] {
-      // Strided assignment keeps chunk sizes within one of each other and
-      // needs no atomic counter.
-      for (uint32_t i = t; i < n; i += threads) fn(i);
-    });
-  }
-  for (auto& w : workers) w.join();
+  ThreadPool::Global().ParallelFor(n, num_threads, std::forward<Fn>(fn));
 }
 
 }  // namespace hamlet

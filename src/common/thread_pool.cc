@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace hamlet {
+
+namespace {
+
+// Set while the current thread executes pool work. Worker threads hold it
+// for their whole lifetime; the calling thread holds it only while running
+// its inline shard. Nested ParallelFor calls consult it to degrade to a
+// serial loop instead of re-entering the queue (which could deadlock the
+// caller behind its own work).
+thread_local bool tls_in_parallel_region = false;
+
+class ScopedParallelRegion {
+ public:
+  ScopedParallelRegion() : prev_(tls_in_parallel_region) {
+    tls_in_parallel_region = true;
+  }
+  ~ScopedParallelRegion() { tls_in_parallel_region = prev_; }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t num_workers) {
+  const uint32_t hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  const uint32_t n =
+      num_workers == 0 ? std::max(1u, hardware - 1) : num_workers;
+  workers_.reserve(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_parallel_region = true;  // Workers never spawn nested regions.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunShards(
+    uint32_t shards, const std::function<void(uint32_t)>& shard_fn) {
+  // Per-region completion state lives on the caller's stack; the caller
+  // blocks until `remaining` hits zero, so it outlives every task.
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    uint32_t remaining;
+    // One slot per shard; slot writes race with nothing (distinct shards)
+    // and are published by the `remaining` handoff below.
+    std::vector<std::exception_ptr> errors;
+  };
+  ForState state;
+  state.remaining = shards - 1;  // Shard 0 runs inline on this thread.
+  state.errors.assign(shards, nullptr);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t s = 1; s < shards; ++s) {
+      queue_.emplace_back([&state, &shard_fn, s] {
+        try {
+          shard_fn(s);
+        } catch (...) {
+          state.errors[s] = std::current_exception();
+        }
+        std::lock_guard<std::mutex> done(state.mu);
+        if (--state.remaining == 0) state.done_cv.notify_one();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  {
+    ScopedParallelRegion region;
+    try {
+      shard_fn(0);
+    } catch (...) {
+      state.errors[0] = std::current_exception();
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&] { return state.remaining == 0; });
+  }
+
+  // Deterministic propagation: the lowest-indexed shard's exception wins,
+  // independent of which shard finished (or threw) first in wall time.
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (state.errors[s]) std::rethrow_exception(state.errors[s]);
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
+
+}  // namespace hamlet

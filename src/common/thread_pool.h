@@ -1,0 +1,114 @@
+#ifndef HAMLET_COMMON_THREAD_POOL_H_
+#define HAMLET_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// A shared pool of persistent worker threads with deterministic, chunked
+/// static scheduling. The pool exists so that the hot loops of feature
+/// selection search and Monte Carlo simulation — which issue thousands of
+/// short parallel regions — stop paying a thread spawn/join per call.
+///
+/// Determinism contract (the invariant every user of this pool inherits):
+/// work items are indexed, each item writes only its own output slot, any
+/// randomness an item needs is derived from its index, and reductions over
+/// item outputs happen on the calling thread in index order. Under that
+/// discipline results are bit-for-bit identical at any thread count,
+/// which the determinism suites in tests/ lock down.
+///
+/// Scheduling is chunked and static: index range [0, n) is split into
+/// `shards` contiguous chunks balanced within one item, shard 0 runs
+/// inline on the calling thread, and shards 1..k-1 are queued to the
+/// persistent workers. There is no work stealing and no atomic index
+/// counter, so the item → thread assignment is a pure function of (n,
+/// shards) — never of timing.
+///
+/// Nesting: a ParallelFor issued from inside a running parallel region
+/// (worker thread or the caller's inline shard) degrades to a serial loop
+/// instead of re-submitting to the pool. Composed parallelism — e.g. the
+/// Monte Carlo outer repeat loop over a parallel inner training loop —
+/// therefore cannot deadlock or oversubscribe: whichever region starts
+/// first owns the workers.
+///
+/// Exceptions: an exception thrown by a work item aborts that shard's
+/// remaining items, every other shard still runs to completion, and the
+/// exception from the lowest-indexed throwing shard is rethrown on the
+/// calling thread once the region completes.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hamlet {
+
+/// Fixed-size pool of persistent workers (see \file block for the full
+/// scheduling / determinism / nesting / exception contract).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` persistent threads. 0 means "hardware
+  /// concurrency minus one": the calling thread always executes shard 0
+  /// inline, so workers + caller together saturate the machine.
+  explicit ThreadPool(uint32_t num_workers = 0);
+
+  /// Joins all workers. Must not run while a ParallelFor is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of persistent worker threads (excludes the calling thread).
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Runs fn(i) for every i in [0, n), splitting the range into up to
+  /// `num_threads` contiguous shards (0 = workers + caller). Blocks until
+  /// every item finishes. fn must be safe to call concurrently for
+  /// distinct indices. Called from inside a parallel region, runs serial.
+  template <typename Fn>
+  void ParallelFor(uint32_t n, uint32_t num_threads, Fn&& fn) {
+    if (n == 0) return;
+    uint32_t shards =
+        num_threads == 0 ? num_workers() + 1 : num_threads;
+    shards = std::min(shards, n);
+    if (shards <= 1 || InParallelRegion()) {
+      for (uint32_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    RunShards(shards, [n, shards, &fn](uint32_t s) {
+      const uint64_t lo = static_cast<uint64_t>(s) * n / shards;
+      const uint64_t hi = (static_cast<uint64_t>(s) + 1) * n / shards;
+      for (uint64_t i = lo; i < hi; ++i) fn(static_cast<uint32_t>(i));
+    });
+  }
+
+  /// The process-wide pool every ParallelFor (common/parallel_for.h)
+  /// call shares. Constructed on first use with hardware sizing.
+  static ThreadPool& Global();
+
+  /// True while the current thread is executing pool work (a worker, or
+  /// the caller inside its inline shard). Nested ParallelFor calls check
+  /// this to degrade to serial.
+  static bool InParallelRegion();
+
+ private:
+  /// Queues shards 1..shards-1, runs shard 0 inline, waits for all, and
+  /// rethrows the lowest-shard exception if any item threw.
+  void RunShards(uint32_t shards,
+                 const std::function<void(uint32_t)>& shard_fn);
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "fs/exhaustive_search.h"
 
+#include "common/parallel_for.h"
 #include "common/string_util.h"
 #include "ml/eval.h"
 
@@ -15,22 +16,47 @@ Result<SelectionResult> ExhaustiveSelection::Select(
         "(2^d models)",
         candidates.size(), max_candidates_));
   }
+  // The per-mask error table below caps the lattice at 2^30 entries;
+  // anything near that is computationally absurd for 2^d model trainings
+  // anyway.
+  if (candidates.size() > 30) {
+    return Status::InvalidArgument(StringFormat(
+        "exhaustive search over %zu candidates cannot enumerate 2^d masks",
+        candidates.size()));
+  }
   SelectionResult result;
   const uint32_t d = static_cast<uint32_t>(candidates.size());
+  const uint32_t total = 1u << d;
+
+  // Every subset is an independent train/score, so the lattice is
+  // evaluated in parallel, one slot per mask; the optimum (with the
+  // smaller-subset-then-lower-mask tie-break) is found by a serial scan
+  // afterwards, identical at any thread count.
+  std::vector<double> errors(total, 0.0);
+  std::vector<Status> statuses(total);
+  ParallelFor(total, num_threads_, [&](uint32_t mask) {
+    std::vector<uint32_t> subset;
+    for (uint32_t j = 0; j < d; ++j) {
+      if (mask & (1u << j)) subset.push_back(candidates[j]);
+    }
+    Result<double> err = TrainAndScore(factory, data, split.train,
+                                       split.validation, subset, metric);
+    if (err.ok()) {
+      errors[mask] = *err;
+    } else {
+      statuses[mask] = err.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    HAMLET_RETURN_NOT_OK(st);
+  }
+  result.models_trained = total;
+
   double best_error = 0.0;
   uint64_t best_mask = 0;
   bool first = true;
-
-  std::vector<uint32_t> subset;
-  for (uint64_t mask = 0; mask < (1ull << d); ++mask) {
-    subset.clear();
-    for (uint32_t j = 0; j < d; ++j) {
-      if (mask & (1ull << j)) subset.push_back(candidates[j]);
-    }
-    HAMLET_ASSIGN_OR_RETURN(
-        double err, TrainAndScore(factory, data, split.train,
-                                  split.validation, subset, metric));
-    ++result.models_trained;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    const double err = errors[mask];
     // Strictly-better wins; ties prefer smaller subsets (lower popcount),
     // then lower masks, for determinism.
     if (first || err < best_error ||

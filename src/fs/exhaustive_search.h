@@ -7,7 +7,10 @@
 /// guarded to small candidate sets — its role is ground truth: the
 /// paper's Section 5.1 attributes several JoinAll anomalies to greedy
 /// wrappers getting stuck in local optima, and this selector lets tests
-/// and ablations measure that gap exactly.
+/// and ablations measure that gap exactly. Subset evaluations are
+/// independent and run in parallel on the shared pool (set_num_threads);
+/// the optimum is picked by a serial mask-ordered scan, so the result is
+/// identical at any thread count.
 
 #include "fs/feature_selector.h"
 

@@ -44,6 +44,18 @@ class FeatureSelector {
 
   /// Method name ("forward_selection", "mi_filter", ...).
   virtual std::string name() const = 0;
+
+  /// Threads used to evaluate the independent candidate models within one
+  /// search step (0 = one shard per hardware thread, 1 = serial). Every
+  /// setting yields bit-for-bit identical selections: candidate scores are
+  /// written to per-index slots and the per-step winner is chosen by a
+  /// serial index-ordered reduction, so ties break by index — never by
+  /// completion order.
+  void set_num_threads(uint32_t num_threads) { num_threads_ = num_threads; }
+  uint32_t num_threads() const { return num_threads_; }
+
+ protected:
+  uint32_t num_threads_ = 0;
 };
 
 }  // namespace hamlet

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel_for.h"
 #include "ml/eval.h"
 #include "stats/info_theory.h"
 
@@ -11,25 +12,28 @@ namespace hamlet {
 std::vector<double> ScoreFilter::ScoreFeatures(
     const EncodedDataset& data, const std::vector<uint32_t>& rows,
     const std::vector<uint32_t>& candidates) const {
-  // Gather labels once.
+  // Gather labels once; shared read-only across the scoring items.
   std::vector<uint32_t> y;
   y.reserve(rows.size());
   for (uint32_t r : rows) y.push_back(data.labels()[r]);
 
-  std::vector<double> scores;
-  scores.reserve(candidates.size());
-  std::vector<uint32_t> f;
-  for (uint32_t j : candidates) {
-    const std::vector<uint32_t>& col = data.feature(j);
-    f.clear();
-    f.reserve(rows.size());
-    for (uint32_t r : rows) f.push_back(col[r]);
-    ContingencyTable table(f, y, data.meta(j).cardinality,
-                           data.num_classes());
-    scores.push_back(score_ == FilterScore::kMutualInformation
-                         ? MutualInformation(table)
-                         : InformationGainRatio(table));
-  }
+  // Each feature's score is independent of the others, so the scan is
+  // data-parallel: one slot per candidate, no cross-item state.
+  std::vector<double> scores(candidates.size(), 0.0);
+  ParallelFor(
+      static_cast<uint32_t>(candidates.size()), num_threads_,
+      [&](uint32_t idx) {
+        const uint32_t j = candidates[idx];
+        const std::vector<uint32_t>& col = data.feature(j);
+        std::vector<uint32_t> f;
+        f.reserve(rows.size());
+        for (uint32_t r : rows) f.push_back(col[r]);
+        ContingencyTable table(f, y, data.meta(j).cardinality,
+                               data.num_classes());
+        scores[idx] = score_ == FilterScore::kMutualInformation
+                          ? MutualInformation(table)
+                          : InformationGainRatio(table);
+      });
   return scores;
 }
 
@@ -56,16 +60,35 @@ Result<SelectionResult> ScoreFilter::Select(
     return scores[a] > scores[b];
   });
 
-  // Tune k on validation error.
+  // Tune k on validation error. Each prefix model is independent, so all
+  // |order| prefixes train in parallel; the argmin scan below runs
+  // serially in k order (strict `<` keeps the smallest k among ties).
+  const uint32_t num_k = static_cast<uint32_t>(order.size());
+  std::vector<double> errors(num_k, 0.0);
+  std::vector<Status> statuses(num_k);
+  ParallelFor(num_k, num_threads_, [&](uint32_t i) {
+    std::vector<uint32_t> prefix;
+    prefix.reserve(i + 1);
+    for (uint32_t k = 0; k <= i; ++k) {
+      prefix.push_back(candidates[order[k]]);
+    }
+    Result<double> err = TrainAndScore(factory, data, split.train,
+                                       split.validation, prefix, metric);
+    if (err.ok()) {
+      errors[i] = *err;
+    } else {
+      statuses[i] = err.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    HAMLET_RETURN_NOT_OK(st);
+  }
+  result.models_trained += num_k;
+
   double best_error = 0.0;
   size_t best_k = 1;
-  std::vector<uint32_t> prefix;
-  for (size_t k = 1; k <= order.size(); ++k) {
-    prefix.push_back(candidates[order[k - 1]]);
-    HAMLET_ASSIGN_OR_RETURN(
-        double err, TrainAndScore(factory, data, split.train,
-                                  split.validation, prefix, metric));
-    ++result.models_trained;
+  for (uint32_t k = 1; k <= num_k; ++k) {
+    const double err = errors[k - 1];
     if (k == 1 || err < best_error) {
       best_error = err;
       best_k = k;

@@ -6,6 +6,11 @@
 /// Y on the training rows independently of any classifier, features are
 /// ranked, and the cut-off k is tuned with the validation error of the
 /// given classifier ("as a wrapper", per Section 5).
+///
+/// Both phases are data-parallel on the shared pool (set_num_threads on
+/// the base class): per-feature scores and per-k prefix models each write
+/// their own slot, and the rank/argmin reductions run serially in index
+/// order, so results are bit-for-bit identical at any thread count.
 
 #include "fs/feature_selector.h"
 

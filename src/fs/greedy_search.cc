@@ -2,9 +2,45 @@
 
 #include <algorithm>
 
+#include "common/parallel_for.h"
 #include "ml/eval.h"
 
 namespace hamlet {
+
+namespace {
+
+// Evaluates `make_trial(i)`'s subset for every candidate index in
+// [0, count) in parallel, writing each error to its own slot, and returns
+// the first failure (in index order) if any evaluation failed. The
+// argmax/argmin over `errors` is the caller's job and must run serially in
+// index order — that replay is what keeps parallel selections bit-for-bit
+// identical to serial ones, including tie-breaks.
+template <typename MakeTrial>
+Status EvaluateCandidates(const EncodedDataset& data,
+                          const HoldoutSplit& split,
+                          const ClassifierFactory& factory,
+                          ErrorMetric metric, uint32_t count,
+                          uint32_t num_threads, const MakeTrial& make_trial,
+                          std::vector<double>* errors) {
+  errors->assign(count, 0.0);
+  std::vector<Status> statuses(count);
+  ParallelFor(count, num_threads, [&](uint32_t i) {
+    Result<double> err =
+        TrainAndScore(factory, data, split.train, split.validation,
+                      make_trial(i), metric);
+    if (err.ok()) {
+      (*errors)[i] = *err;
+    } else {
+      statuses[i] = err.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    HAMLET_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<SelectionResult> ForwardSelection::Select(
     const EncodedDataset& data, const HoldoutSplit& split,
@@ -20,18 +56,26 @@ Result<SelectionResult> ForwardSelection::Select(
   ++result.models_trained;
 
   while (!remaining.empty()) {
+    const uint32_t m = static_cast<uint32_t>(remaining.size());
+    std::vector<double> errors;
+    HAMLET_RETURN_NOT_OK(EvaluateCandidates(
+        data, split, factory, metric, m, num_threads_,
+        [&](uint32_t i) {
+          std::vector<uint32_t> trial = result.selected;
+          trial.push_back(remaining[i]);
+          return trial;
+        },
+        &errors));
+    result.models_trained += m;
+
+    // Serial index-ordered reduction: a candidate wins only by improving
+    // strictly beyond the running best minus tolerance, so exact ties keep
+    // the lower index at any thread count.
     double round_best = best_error;
     int32_t round_pick = -1;
-    std::vector<uint32_t> trial = result.selected;
-    trial.push_back(0);  // Placeholder overwritten per candidate.
-    for (size_t i = 0; i < remaining.size(); ++i) {
-      trial.back() = remaining[i];
-      HAMLET_ASSIGN_OR_RETURN(
-          double err, TrainAndScore(factory, data, split.train,
-                                    split.validation, trial, metric));
-      ++result.models_trained;
-      if (err < round_best - tolerance_) {
-        round_best = err;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (errors[i] < round_best - tolerance_) {
+        round_best = errors[i];
         round_pick = static_cast<int32_t>(i);
       }
     }
@@ -58,20 +102,28 @@ Result<SelectionResult> BackwardSelection::Select(
   ++result.models_trained;
 
   while (result.selected.size() > 1) {
+    const uint32_t m = static_cast<uint32_t>(result.selected.size());
+    std::vector<double> errors;
+    HAMLET_RETURN_NOT_OK(EvaluateCandidates(
+        data, split, factory, metric, m, num_threads_,
+        [&](uint32_t i) {
+          std::vector<uint32_t> trial;
+          trial.reserve(result.selected.size() - 1);
+          for (uint32_t k = 0; k < m; ++k) {
+            if (k != i) trial.push_back(result.selected[k]);
+          }
+          return trial;
+        },
+        &errors));
+    result.models_trained += m;
+
+    // Serial reduction preserving the original semantics: `<=` keeps the
+    // last index among exact ties (prefer dropping later features).
     double round_best = best_error + tolerance_;
     int32_t round_pick = -1;
-    for (size_t i = 0; i < result.selected.size(); ++i) {
-      std::vector<uint32_t> trial;
-      trial.reserve(result.selected.size() - 1);
-      for (size_t k = 0; k < result.selected.size(); ++k) {
-        if (k != i) trial.push_back(result.selected[k]);
-      }
-      HAMLET_ASSIGN_OR_RETURN(
-          double err, TrainAndScore(factory, data, split.train,
-                                    split.validation, trial, metric));
-      ++result.models_trained;
-      if (err <= round_best) {
-        round_best = err;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (errors[i] <= round_best) {
+        round_best = errors[i];
         round_pick = static_cast<int32_t>(i);
       }
     }

@@ -6,6 +6,12 @@
 /// subset from empty, backward selection shrinks it from full; both move
 /// one feature at a time by validation error and stop when no move
 /// improves it.
+///
+/// Each step's candidate models are independent, so they are trained and
+/// scored in parallel on the shared pool (set_num_threads on the base
+/// class) with a barrier per step; the winner is then picked by a serial
+/// index-ordered reduction, keeping selections bit-for-bit identical to a
+/// serial run at any thread count.
 
 #include "fs/feature_selector.h"
 

@@ -21,19 +21,27 @@ const char* FsMethodToString(FsMethod method) {
   return "unknown";
 }
 
-std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method) {
+std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method,
+                                              uint32_t num_threads) {
+  std::unique_ptr<FeatureSelector> selector;
   switch (method) {
     case FsMethod::kForwardSelection:
-      return std::make_unique<ForwardSelection>();
+      selector = std::make_unique<ForwardSelection>();
+      break;
     case FsMethod::kBackwardSelection:
-      return std::make_unique<BackwardSelection>();
+      selector = std::make_unique<BackwardSelection>();
+      break;
     case FsMethod::kMiFilter:
-      return std::make_unique<ScoreFilter>(FilterScore::kMutualInformation);
+      selector =
+          std::make_unique<ScoreFilter>(FilterScore::kMutualInformation);
+      break;
     case FsMethod::kIgrFilter:
-      return std::make_unique<ScoreFilter>(
-          FilterScore::kInformationGainRatio);
+      selector =
+          std::make_unique<ScoreFilter>(FilterScore::kInformationGainRatio);
+      break;
   }
-  return nullptr;
+  if (selector != nullptr) selector->set_num_threads(num_threads);
+  return selector;
 }
 
 std::vector<FsMethod> AllFsMethods() {

@@ -25,8 +25,12 @@ enum class FsMethod {
 /// Display name ("Forward Selection", ...).
 const char* FsMethodToString(FsMethod method);
 
-/// Constructs the selector for a method.
-std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method);
+/// Constructs the selector for a method. `num_threads` shards each search
+/// step's independent candidate evaluations onto the shared pool (0 = one
+/// shard per hardware thread, 1 = serial); every setting produces
+/// bit-for-bit identical selections.
+std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method,
+                                              uint32_t num_threads = 0);
 
 /// All methods in paper order (Figure 7 columns).
 std::vector<FsMethod> AllFsMethods();

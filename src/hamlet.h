@@ -7,6 +7,10 @@
 /// `#include "hamlet.h"`; the individual headers remain the
 /// finer-grained option.
 
+// Shared runtime (deterministic parallelism substrate).
+#include "common/parallel_for.h"       // Indexed data-parallel loops.
+#include "common/thread_pool.h"        // Persistent shared worker pool.
+
 // Relational substrate (Section 2.1's data model).
 #include "relational/catalog.h"        // NormalizedDataset (S + R_i).
 #include "relational/cold_start.h"     // "Others" key absorption.

@@ -1,6 +1,10 @@
 #include "sim/monte_carlo.h"
 
+#include <array>
+#include <numeric>
+
 #include "common/parallel_for.h"
+#include "common/thread_pool.h"
 #include "core/tuple_ratio.h"
 #include "ml/naive_bayes.h"
 
@@ -77,23 +81,56 @@ Status RunOneRepeat(const SimConfig& config,
   const std::vector<uint32_t> f_nojoin = generator.NoJoinFeatures();
   const std::vector<uint32_t> f_nofk = generator.NoFkFeatures();
 
-  for (uint32_t t = 0; t < options.num_training_sets; ++t) {
-    SimDraw train = generator.Draw(config.n_s, rng);
-    std::vector<uint32_t> train_rows(train.data.num_rows());
-    for (uint32_t i = 0; i < train_rows.size(); ++i) train_rows[i] = i;
+  // Inner training-set loop, parallelized in blocks. Each block's draws
+  // are taken serially in t order (preserving the exact RNG stream of a
+  // fully serial run), the 3 variant trainings per draw — the expensive
+  // part — run in parallel with one prediction slot per (t, variant), and
+  // the accumulators consume the slots serially in t order. Results are
+  // therefore bit-for-bit identical at any thread count and any block
+  // size. When the outer repeat loop already runs parallel, the nested
+  // ParallelFor below degrades to serial (shared pool, no
+  // oversubscription).
+  const uint32_t num_sets = options.num_training_sets;
+  const uint32_t block_size =
+      std::max(4 * (ThreadPool::Global().num_workers() + 1), 16u);
+  std::vector<SimDraw> draws;
+  for (uint32_t start = 0; start < num_sets; start += block_size) {
+    const uint32_t count = std::min(block_size, num_sets - start);
+    draws.clear();
+    draws.reserve(count);
+    for (uint32_t b = 0; b < count; ++b) {
+      draws.push_back(generator.Draw(config.n_s, rng));
+    }
 
-    // The test set shares the feature layout, so models trained on the
-    // training draw can predict it directly.
-    auto run_variant = [&](const std::vector<uint32_t>& feats,
-                           BiasVarianceAccumulator* acc) -> Status {
-      std::unique_ptr<Classifier> model = make();
-      HAMLET_RETURN_NOT_OK(model->Train(train.data, train_rows, feats));
-      acc->AddModel(model->Predict(test.data, test_rows));
-      return Status::OK();
-    };
-    HAMLET_RETURN_NOT_OK(run_variant(f_all, &acc_all));
-    HAMLET_RETURN_NOT_OK(run_variant(f_nojoin, &acc_nojoin));
-    HAMLET_RETURN_NOT_OK(run_variant(f_nofk, &acc_nofk));
+    std::vector<std::array<std::vector<uint32_t>, 3>> predictions(count);
+    std::vector<Status> statuses(count);
+    ParallelFor(count, options.num_threads, [&](uint32_t b) {
+      const SimDraw& train = draws[b];
+      std::vector<uint32_t> train_rows(train.data.num_rows());
+      std::iota(train_rows.begin(), train_rows.end(), 0u);
+
+      // The test set shares the feature layout, so models trained on the
+      // training draw can predict it directly.
+      auto run_variant = [&](const std::vector<uint32_t>& feats,
+                             std::vector<uint32_t>* out) -> Status {
+        std::unique_ptr<Classifier> model = make();
+        HAMLET_RETURN_NOT_OK(model->Train(train.data, train_rows, feats));
+        *out = model->Predict(test.data, test_rows);
+        return Status::OK();
+      };
+      Status st = run_variant(f_all, &predictions[b][0]);
+      if (st.ok()) st = run_variant(f_nojoin, &predictions[b][1]);
+      if (st.ok()) st = run_variant(f_nofk, &predictions[b][2]);
+      statuses[b] = st;
+    });
+    for (const Status& st : statuses) {
+      HAMLET_RETURN_NOT_OK(st);
+    }
+    for (uint32_t b = 0; b < count; ++b) {
+      acc_all.AddModel(predictions[b][0]);
+      acc_nojoin.AddModel(predictions[b][1]);
+      acc_nofk.AddModel(predictions[b][2]);
+    }
   }
 
   out->use_all = acc_all.Finalize();

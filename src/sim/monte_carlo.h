@@ -36,9 +36,16 @@ struct MonteCarloOptions {
   uint32_t num_training_sets = 100;  ///< |S| of the decomposition.
   uint32_t num_repeats = 10;         ///< Outer seed repeats.
   uint64_t seed = 42;
-  /// Threads for the outer repeat loop (0 = hardware concurrency).
-  /// Results are bit-for-bit identical at any thread count: each repeat
-  /// derives its RNG from its index and writes only its own slot.
+  /// Threads for the protocol's parallel loops (0 = hardware
+  /// concurrency), all dispatched onto the shared persistent pool. The
+  /// outer repeat loop parallelizes first (each repeat forks its RNG from
+  /// its index and writes only its own slot); within a repeat the
+  /// training-set loop parallelizes the model trainings (draws stay
+  /// serial to preserve the RNG stream, predictions land in per-index
+  /// slots, accumulation replays serially in index order). Nested regions
+  /// degrade to serial on the shared pool, so the two levels compose
+  /// without oversubscription — and results are bit-for-bit identical at
+  /// any thread count.
   uint32_t num_threads = 0;
 };
 

@@ -130,6 +130,49 @@ TEST(GreedySearchTest, Names) {
   EXPECT_EQ(BackwardSelection().name(), "backward_selection");
 }
 
+TEST(ForwardSelectionTest, TieBreaksByLowestIndexAtAnyThreadCount) {
+  // Features 0 and 1 are byte-identical columns (each alone determines Y
+  // up to noise), so their candidate models — and validation errors — are
+  // exactly equal. The determinism contract requires the tie to go to the
+  // lower feature index no matter how many threads evaluate the step.
+  const uint32_t n = 600;
+  Rng rng(21);
+  std::vector<std::vector<uint32_t>> feats(3, std::vector<uint32_t>(n));
+  std::vector<uint32_t> y(n);
+  std::vector<FeatureMeta> metas = {{"TwinA", 2}, {"TwinB", 2},
+                                    {"Noise0", 4}};
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t bit = rng.Uniform(2);
+    feats[0][i] = bit;
+    feats[1][i] = bit;  // Exact duplicate of feature 0.
+    feats[2][i] = rng.Uniform(4);
+    y[i] = rng.Bernoulli(0.9) ? bit : rng.Uniform(2);
+  }
+  EncodedDataset data(std::move(feats), std::move(metas), std::move(y), 2);
+  Rng split_rng(22);
+  HoldoutSplit split = MakeHoldoutSplit(data.num_rows(), split_rng);
+
+  SelectionResult reference;
+  for (uint32_t threads : {1u, 2u, 7u, 0u}) {
+    ForwardSelection fs;
+    fs.set_num_threads(threads);
+    auto result = *fs.Select(data, split, MakeNaiveBayesFactory(),
+                             ErrorMetric::kZeroOne,
+                             data.AllFeatureIndices());
+    ASSERT_FALSE(result.selected.empty()) << "threads " << threads;
+    // The twin with the lower index wins the exact tie.
+    EXPECT_EQ(result.selected[0], 0u) << "threads " << threads;
+    if (threads == 1u) {
+      reference = result;
+    } else {
+      EXPECT_EQ(result.selected, reference.selected)
+          << "threads " << threads;
+      EXPECT_EQ(result.validation_error, reference.validation_error)
+          << "threads " << threads;
+    }
+  }
+}
+
 // Property sweep: forward selection's validation error never exceeds the
 // prior-only baseline, across seeds.
 class ForwardNeverWorseTest : public ::testing::TestWithParam<uint64_t> {};

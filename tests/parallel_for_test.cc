@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "sim/monte_carlo.h"
 
@@ -48,7 +50,7 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
 
 TEST(ParallelForTest, MonteCarloIdenticalAtAnyThreadCount) {
   // The promise the Monte Carlo driver makes: bit-for-bit identical
-  // results regardless of threads.
+  // results regardless of threads — serial, even, odd, and hardware.
   SimConfig c;
   c.n_s = 300;
   c.n_r = 30;
@@ -56,13 +58,61 @@ TEST(ParallelForTest, MonteCarloIdenticalAtAnyThreadCount) {
   serial.num_training_sets = 20;
   serial.num_repeats = 4;
   serial.num_threads = 1;
-  MonteCarloOptions parallel = serial;
-  parallel.num_threads = 4;
   auto a = *RunMonteCarlo(c, serial);
-  auto b = *RunMonteCarlo(c, parallel);
-  EXPECT_EQ(a.no_join.avg_test_error, b.no_join.avg_test_error);
-  EXPECT_EQ(a.use_all.avg_net_variance, b.use_all.avg_net_variance);
-  EXPECT_EQ(a.no_fk.avg_bias, b.no_fk.avg_bias);
+  for (uint32_t threads : {2u, 4u, 7u, 0u}) {
+    MonteCarloOptions parallel = serial;
+    parallel.num_threads = threads;
+    auto b = *RunMonteCarlo(c, parallel);
+    EXPECT_EQ(a.no_join.avg_test_error, b.no_join.avg_test_error)
+        << "threads " << threads;
+    EXPECT_EQ(a.use_all.avg_net_variance, b.use_all.avg_net_variance)
+        << "threads " << threads;
+    EXPECT_EQ(a.no_fk.avg_bias, b.no_fk.avg_bias) << "threads " << threads;
+  }
+}
+
+TEST(ParallelForTest, WorkerExceptionRethrownOnCaller) {
+  // An exception thrown by fn(i) on a worker thread must reach the
+  // caller instead of std::terminate-ing the process.
+  EXPECT_THROW(ParallelFor(100, 4,
+                           [](uint32_t i) {
+                             if (i == 57) {
+                               throw std::runtime_error("item 57 failed");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, FirstShardExceptionWins) {
+  // With every item throwing, the deterministic choice is the lowest
+  // shard's exception — shard 0 starts at index 0.
+  try {
+    ParallelFor(64, 8, [](uint32_t i) {
+      throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(ParallelForTest, SerialFallbackAlsoPropagates) {
+  EXPECT_THROW(ParallelFor(10, 1,
+                           [](uint32_t i) {
+                             if (i == 3) throw std::runtime_error("serial");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallsCompleteWithoutDeadlock) {
+  // ParallelFor inside ParallelFor degrades to serial on the shared pool.
+  std::vector<uint64_t> out(16, 0);
+  ParallelFor(16, 4, [&](uint32_t i) {
+    uint64_t sum = 0;
+    ParallelFor(100, 4, [&](uint32_t j) { sum += j; });  // Serial inside.
+    out[i] = sum;
+  });
+  for (uint64_t v : out) EXPECT_EQ(v, 4950u);
 }
 
 }  // namespace

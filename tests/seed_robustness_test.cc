@@ -83,6 +83,38 @@ TEST_P(SeedRobustnessTest, SimulationDichotomyHolds) {
   EXPECT_NEAR(high.DeltaTestError(), 0.0, 0.01) << "seed " << GetParam();
 }
 
+TEST_P(SeedRobustnessTest, ParallelSearchMatchesSerialOnEverySeed) {
+  // The determinism contract must hold on real (generated) schemas, not
+  // just synthetic fixtures: a parallel forward selection returns exactly
+  // the serial run's subset, errors, and model count, whatever the seed.
+  auto ds = *MakeDataset("MovieLens1M", 0.02, GetParam());
+  auto table = *ds.JoinAll();
+  auto data = *EncodedDataset::FromTableAuto(table);
+  auto run = [&](uint32_t threads) {
+    Rng rng(7);
+    HoldoutSplit split = MakeHoldoutSplit(data.num_rows(), rng);
+    auto selector = MakeSelector(FsMethod::kForwardSelection, threads);
+    return *RunFeatureSelection(*selector, data, split,
+                                MakeNaiveBayesFactory(),
+                                *MetricForDataset("MovieLens1M"),
+                                data.AllFeatureIndices());
+  };
+  const FsRunReport serial = run(1);
+  for (uint32_t threads : {2u, 7u, 0u}) {
+    const FsRunReport parallel = run(threads);
+    EXPECT_EQ(parallel.selection.selected, serial.selection.selected)
+        << "seed " << GetParam() << " threads " << threads;
+    EXPECT_EQ(parallel.selection.validation_error,
+              serial.selection.validation_error)
+        << "seed " << GetParam() << " threads " << threads;
+    EXPECT_EQ(parallel.selection.models_trained,
+              serial.selection.models_trained)
+        << "seed " << GetParam() << " threads " << threads;
+    EXPECT_EQ(parallel.holdout_test_error, serial.holdout_test_error)
+        << "seed " << GetParam() << " threads " << threads;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustnessTest,
                          ::testing::Values(1u, 137u, 9001u));
 

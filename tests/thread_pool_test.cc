@@ -1,0 +1,161 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hamlet {
+namespace {
+
+TEST(ThreadPoolTest, ConstructionAndTeardown) {
+  // Pools of various sizes construct, idle, and join cleanly — including
+  // repeatedly, since teardown must leave no detached state behind.
+  for (int round = 0; round < 3; ++round) {
+    ThreadPool one(1);
+    EXPECT_EQ(one.num_workers(), 1u);
+    ThreadPool four(4);
+    EXPECT_EQ(four.num_workers(), 4u);
+    ThreadPool hardware;
+    EXPECT_GE(hardware.num_workers(), 1u);
+  }
+}
+
+TEST(ThreadPoolTest, TeardownAfterWork) {
+  std::atomic<uint32_t> count{0};
+  {
+    ThreadPool pool(3);
+    pool.ParallelFor(100, 0, [&](uint32_t) { ++count; });
+  }  // Destructor joins workers with an empty queue.
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ChunkedSchedulingCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  for (uint32_t shards : {1u, 2u, 3u, 7u, 16u, 0u}) {
+    std::vector<std::atomic<int>> visits(257);
+    for (auto& v : visits) v = 0;
+    pool.ParallelFor(257, shards, [&](uint32_t i) { ++visits[i]; });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1)
+          << "index " << i << " shards " << shards;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, MoreShardsThanWorkersStillCompletes) {
+  // Shards beyond the worker count queue up and drain; nothing is lost.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> visits(100);
+  for (auto& v : visits) v = 0;
+  pool.ParallelFor(100, 32, [&](uint32_t i) { ++visits[i]; });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 4, [&](uint32_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100, 8,
+                                [](uint32_t i) {
+                                  if (i == 57) {
+                                    throw std::runtime_error("bad item");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing region and remains usable.
+  std::atomic<uint32_t> count{0};
+  pool.ParallelFor(64, 8, [&](uint32_t) { ++count; });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPoolTest, LowestShardExceptionWinsDeterministically) {
+  // When several shards throw, the caller must always observe the
+  // lowest-indexed shard's exception — shard 0 owns index 0, so with
+  // every item throwing its own index the winner is "0" regardless of
+  // which shard *finished* throwing first.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.ParallelFor(64, 8, [](uint32_t i) {
+        throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "0");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SoleThrowingItemIsTheOneRethrown) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(40, 4, [](uint32_t i) {
+      if (i == 23) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "23");
+  }
+}
+
+TEST(ThreadPoolTest, NestedSubmissionDegradesToSerial) {
+  ThreadPool pool(2);
+  std::atomic<uint32_t> outer_done{0};
+  pool.ParallelFor(4, 4, [&](uint32_t) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // The nested region must run entirely on this thread (serial), and
+    // must not deadlock even though every worker may be busy with the
+    // outer region.
+    const std::thread::id me = std::this_thread::get_id();
+    std::vector<std::thread::id> ran_on(50);
+    pool.ParallelFor(50, 4, [&](uint32_t j) {
+      ran_on[j] = std::this_thread::get_id();
+    });
+    for (const auto& id : ran_on) EXPECT_EQ(id, me);
+    ++outer_done;
+  });
+  EXPECT_EQ(outer_done.load(), 4u);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, SerialFallbackDoesNotMarkRegion) {
+  // A single-shard call runs inline without claiming the region, so a
+  // loop nested under an explicitly-serial outer loop may still
+  // parallelize (the Monte Carlo serial-outer/parallel-inner shape).
+  ThreadPool pool(2);
+  pool.ParallelFor(3, 1, [&](uint32_t) {
+    EXPECT_FALSE(ThreadPool::InParallelRegion());
+  });
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+  EXPECT_GE(ThreadPool::Global().num_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, SlotWritesAreDeterministic) {
+  ThreadPool pool(4);
+  auto run = [&](uint32_t shards) {
+    std::vector<uint64_t> out(1000);
+    pool.ParallelFor(1000, shards, [&](uint32_t i) {
+      out[i] = static_cast<uint64_t>(i) * 2654435761u + 7;
+    });
+    return out;
+  };
+  const auto reference = run(1);
+  for (uint32_t shards : {2u, 7u, 0u}) {
+    EXPECT_EQ(run(shards), reference) << "shards " << shards;
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
