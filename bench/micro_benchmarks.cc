@@ -18,6 +18,8 @@
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/tan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/data_synthesis.h"
 
 namespace {
@@ -276,6 +278,85 @@ void BM_MiFilterScoringThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_MiFilterScoringThreads)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMicrosecond);
+
+// --- Observability cost contract (docs/OBSERVABILITY.md): with
+// collection off, a span or metric touch is one relaxed load and a
+// predictable branch; these pin the disabled path and size the enabled
+// one. RAII guard so a crashed bench cannot leave collection enabled. ---
+struct ScopedObsEnabled {
+  explicit ScopedObsEnabled(bool on) : prev(hamlet::obs::Enabled()) {
+    hamlet::obs::SetEnabled(on);
+  }
+  ~ScopedObsEnabled() { hamlet::obs::SetEnabled(prev); }
+  bool prev;
+};
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  ScopedObsEnabled off(false);
+  for (auto _ : state) {
+    hamlet::obs::TraceSpan span("bench.disabled");
+    span.AddAttr("i", static_cast<uint64_t>(1));
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  ScopedObsEnabled on(true);
+  // Drain the tracer in batches so the bench does not grow memory
+  // without bound (Clear() outside the timed region).
+  constexpr uint32_t kBatch = 4096;
+  while (state.KeepRunningBatch(kBatch)) {
+    for (uint32_t i = 0; i < kBatch; ++i) {
+      hamlet::obs::TraceSpan span("bench.enabled");
+      span.AddAttr("i", static_cast<uint64_t>(i));
+      benchmark::DoNotOptimize(span.active());
+    }
+    state.PauseTiming();
+    hamlet::obs::Tracer::Global().Clear();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_CounterDisabled(benchmark::State& state) {
+  ScopedObsEnabled off(false);
+  auto& counter =
+      hamlet::obs::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterDisabled);
+
+void BM_CounterEnabled(benchmark::State& state) {
+  ScopedObsEnabled on(true);
+  auto& counter =
+      hamlet::obs::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+  counter.Reset();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterEnabled);
+
+void BM_HistogramRecordEnabled(benchmark::State& state) {
+  ScopedObsEnabled on(true);
+  auto& histogram =
+      hamlet::obs::MetricsRegistry::Global().GetHistogram("bench.histogram");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.Record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // Vary the bucket.
+  }
+  histogram.Reset();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecordEnabled);
 
 // --- The advisor itself: metadata-only decisions must be ~free. ---
 void BM_AdviseJoins(benchmark::State& state) {

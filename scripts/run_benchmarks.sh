@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the google-benchmark targets in Release and runs the
+# microbenchmark suite with JSON output, writing BENCH_<date>.json at the
+# repo root (see docs/DEVELOPMENT.md "Benchmarks"). Pass a filter regex
+# to run a subset, e.g.:
+#
+#   scripts/run_benchmarks.sh                    # everything
+#   scripts/run_benchmarks.sh 'BM_TraceSpan.*'   # just the obs probes
+#
+# Env: BUILD_DIR (default build-bench), JOBS (default nproc),
+#      OUT (default BENCH_<YYYY-MM-DD>.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+JOBS=${JOBS:-$(nproc)}
+OUT=${OUT:-BENCH_$(date +%Y-%m-%d).json}
+FILTER=${1:-.}
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DHAMLET_BUILD_BENCHMARKS=ON \
+  -DHAMLET_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j"${JOBS}" --target micro_benchmarks
+
+"${BUILD_DIR}/bench/micro_benchmarks" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json
+
+echo "Wrote ${OUT}"

@@ -1,5 +1,7 @@
 #include "analytics/pipeline.h"
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -46,46 +48,163 @@ ClassifierFactory MakeClassifierFactory(ClassifierKind kind) {
   return MakeNaiveBayesFactory();
 }
 
+namespace {
+
+/// Coarse per-stage rollup for untraced runs: the same stage names the
+/// span tree would produce, built from the Timer readings RunPipeline
+/// takes anyway, so PipelineReport.trace_summary is never empty.
+obs::TraceSummary CoarseSummary(const PipelineReport& report,
+                                double advise_seconds,
+                                double encode_seconds,
+                                double split_seconds) {
+  obs::TraceSummary summary;
+  const double child_seconds = advise_seconds + report.join_seconds +
+                               encode_seconds + split_seconds +
+                               report.selection.total_seconds;
+  const double self_seconds =
+      std::max(0.0, report.total_seconds - child_seconds);
+  summary.stages = {
+      {"pipeline", 0, 1, report.total_seconds, self_seconds, {}},
+      {"pipeline.advise", 1, 1, advise_seconds, advise_seconds, {}},
+      {"pipeline.join",
+       1,
+       1,
+       report.join_seconds,
+       report.join_seconds,
+       {{"tables", static_cast<int64_t>(report.tables_joined)}}},
+      {"pipeline.encode",
+       1,
+       1,
+       encode_seconds,
+       encode_seconds,
+       {{"features", static_cast<int64_t>(report.features_in)}}},
+      {"pipeline.split", 1, 1, split_seconds, split_seconds, {}},
+      {"fs.search",
+       1,
+       1,
+       report.selection.runtime_seconds,
+       report.selection.runtime_seconds,
+       {{"models_trained",
+         static_cast<int64_t>(report.selection.selection.models_trained)}}},
+      {"fs.final_fit", 1, 1, report.selection.fit_seconds,
+       report.selection.fit_seconds, {}}};
+  summary.counters = {
+      {"fs.models_trained", report.selection.selection.models_trained}};
+  summary.total_seconds = report.total_seconds;
+  return summary;
+}
+
+}  // namespace
+
 Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
                                    const PipelineConfig& config) {
+  // One collection window per run: tracing is on when the config (or the
+  // HAMLET_TRACE environment variable) asks for it, and the previous
+  // enabled state is restored on every exit path.
+  obs::ScopedCollection collection(config.trace || obs::EnvRequested());
+
   PipelineReport report;
   report.avoidance_applied = config.enable_join_avoidance;
 
-  // 1. Advise (always computed — even the JoinAll baseline reports what
-  //    the optimizer *would* have done).
-  HAMLET_ASSIGN_OR_RETURN(report.plan,
-                          AdviseJoins(dataset, config.advisor));
-
-  // 2. Materialize the joins the plan keeps (or all of them).
-  std::vector<std::string> to_join;
-  if (config.enable_join_avoidance) {
-    to_join = report.plan.fks_to_join;
-  } else {
-    for (const auto& fk : dataset.foreign_keys()) {
-      to_join.push_back(fk.fk_column);
+  Timer total_timer;
+  double advise_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double split_seconds = 0.0;
+  {
+    obs::TraceSpan pipeline_span("pipeline");
+    if (pipeline_span.active()) {
+      pipeline_span.AddAttr(
+          "mode", std::string(config.enable_join_avoidance ? "JoinOpt"
+                                                           : "JoinAll"));
+      pipeline_span.AddAttr("method",
+                            std::string(FsMethodToString(config.method)));
     }
+
+    // 1. Advise (always computed — even the JoinAll baseline reports what
+    //    the optimizer *would* have done).
+    {
+      obs::TraceSpan span("pipeline.advise");
+      Timer timer;
+      HAMLET_ASSIGN_OR_RETURN(report.plan,
+                              AdviseJoins(dataset, config.advisor));
+      advise_seconds = timer.ElapsedSeconds();
+      if (span.active()) {
+        span.AddAttr("fks_joined",
+                     static_cast<uint64_t>(report.plan.fks_to_join.size()));
+        span.AddAttr("fks_avoided",
+                     static_cast<uint64_t>(report.plan.fks_avoided.size()));
+      }
+    }
+
+    // 2. Materialize the joins the plan keeps (or all of them).
+    std::vector<std::string> to_join;
+    if (config.enable_join_avoidance) {
+      to_join = report.plan.fks_to_join;
+    } else {
+      for (const auto& fk : dataset.foreign_keys()) {
+        to_join.push_back(fk.fk_column);
+      }
+    }
+    report.tables_joined = static_cast<uint32_t>(to_join.size());
+    Table table;
+    {
+      obs::TraceSpan span("pipeline.join");
+      span.AddAttr("tables", static_cast<uint64_t>(to_join.size()));
+      Timer join_timer;
+      HAMLET_ASSIGN_OR_RETURN(table, dataset.JoinSubset(to_join));
+      report.join_seconds = join_timer.ElapsedSeconds();
+    }
+
+    // 3. Encode usable features and split per the holdout protocol.
+    HoldoutSplit split;
+    std::unique_ptr<EncodedDataset> data;
+    {
+      obs::TraceSpan span("pipeline.encode");
+      Timer timer;
+      HAMLET_ASSIGN_OR_RETURN(EncodedDataset encoded,
+                              EncodedDataset::FromTableAuto(table));
+      data = std::make_unique<EncodedDataset>(std::move(encoded));
+      encode_seconds = timer.ElapsedSeconds();
+      report.features_in = data->num_features();
+      if (span.active()) {
+        span.AddAttr("features", report.features_in);
+        span.AddAttr("rows", data->num_rows());
+      }
+    }
+    {
+      obs::TraceSpan span("pipeline.split");
+      Timer timer;
+      Rng rng(config.seed);
+      split = MakeHoldoutSplit(data->num_rows(), rng, config.split);
+      split_seconds = timer.ElapsedSeconds();
+      if (span.active()) {
+        span.AddAttr("train", static_cast<uint64_t>(split.train.size()));
+        span.AddAttr("validation",
+                     static_cast<uint64_t>(split.validation.size()));
+        span.AddAttr("test", static_cast<uint64_t>(split.test.size()));
+      }
+    }
+
+    // 4. Feature selection + final holdout evaluation (spans fs.search /
+    //    fs.step / fs.final_fit open inside, nesting under `pipeline`).
+    std::unique_ptr<FeatureSelector> selector =
+        MakeSelector(config.method, config.num_threads);
+    ClassifierFactory factory = MakeClassifierFactory(config.classifier);
+    HAMLET_ASSIGN_OR_RETURN(
+        report.selection,
+        RunFeatureSelection(*selector, *data, split, factory, config.metric,
+                            data->AllFeatureIndices()));
   }
-  Timer join_timer;
-  HAMLET_ASSIGN_OR_RETURN(Table table, dataset.JoinSubset(to_join));
-  report.join_seconds = join_timer.ElapsedSeconds();
-  report.tables_joined = static_cast<uint32_t>(to_join.size());
+  report.total_seconds = total_timer.ElapsedSeconds();
 
-  // 3. Encode usable features and split per the holdout protocol.
-  HAMLET_ASSIGN_OR_RETURN(EncodedDataset data,
-                          EncodedDataset::FromTableAuto(table));
-  report.features_in = data.num_features();
-  Rng rng(config.seed);
-  HoldoutSplit split =
-      MakeHoldoutSplit(data.num_rows(), rng, config.split);
-
-  // 4. Feature selection + final holdout evaluation.
-  std::unique_ptr<FeatureSelector> selector =
-      MakeSelector(config.method, config.num_threads);
-  ClassifierFactory factory = MakeClassifierFactory(config.classifier);
-  HAMLET_ASSIGN_OR_RETURN(
-      report.selection,
-      RunFeatureSelection(*selector, data, split, factory, config.metric,
-                          data.AllFeatureIndices()));
+  if (collection.enabled()) {
+    report.trace = obs::Tracer::Global().Collect();
+    report.trace_summary = obs::SummarizeTrace(
+        report.trace, obs::MetricsRegistry::Global().Snapshot());
+  } else {
+    report.trace_summary =
+        CoarseSummary(report, advise_seconds, encode_seconds, split_seconds);
+  }
   return report;
 }
 
@@ -101,11 +220,17 @@ std::string PipelineReport::Summary() const {
       << selection.selected_names.size() << " selected {"
       << JoinStrings(selection.selected_names, ", ") << "}";
   oss << StringFormat(
-      "; holdout error %.4f; FS ran %llu models in %.3fs",
+      "; holdout error %.4f; FS ran %llu models in %.3fs (+%.3fs final "
+      "fit); %.3fs end to end",
       selection.holdout_test_error,
       static_cast<unsigned long long>(selection.selection.models_trained),
-      selection.runtime_seconds);
+      selection.runtime_seconds, selection.fit_seconds, total_seconds);
   return oss.str();
+}
+
+std::string PipelineReport::ExplainTree() const {
+  if (trace.empty()) return std::string();
+  return obs::RenderExplainTree(trace);
 }
 
 }  // namespace hamlet

@@ -22,6 +22,8 @@
 #include "data/splits.h"
 #include "fs/runner.h"
 #include "ml/logistic_regression.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "relational/catalog.h"
 #include "stats/metrics.h"
 
@@ -56,6 +58,10 @@ struct PipelineConfig {
   /// thread, 1 = serial). Selections are bit-for-bit identical at any
   /// setting; only the runtime changes.
   uint32_t num_threads = 0;
+  /// Collect a span tree + metrics for this run (see docs/OBSERVABILITY.md).
+  /// The HAMLET_TRACE environment variable turns tracing on as well; when
+  /// both are off, instrumentation costs a single predictable branch.
+  bool trace = false;
 };
 
 /// Everything one pipeline run produces.
@@ -66,9 +72,20 @@ struct PipelineReport {
   uint32_t features_in = 0;      ///< Candidate features offered to FS.
   FsRunReport selection;         ///< Chosen subset + errors + timings.
   double join_seconds = 0.0;     ///< Time spent materializing joins.
+  double total_seconds = 0.0;    ///< Wall clock for the whole run.
+
+  /// Raw span events (empty unless the run was traced).
+  obs::Trace trace;
+  /// Stage-level timing rollup. Always populated: from the span tree when
+  /// the run was traced, from coarse per-stage timers otherwise.
+  obs::TraceSummary trace_summary;
 
   /// A one-paragraph analyst-facing summary.
   std::string Summary() const;
+
+  /// The explain-style stage tree (multi-line; empty string when the run
+  /// was not traced).
+  std::string ExplainTree() const;
 };
 
 /// Runs the pipeline end to end on a normalized dataset.

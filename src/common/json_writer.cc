@@ -1,0 +1,131 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace hamlet {
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;  // A bare top-level value.
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    HAMLET_CHECK(pending_key_, "object value emitted without a Key()");
+    pending_key_ = false;
+    return;  // Key() already wrote the separator.
+  }
+  if (!top.first) os_ << ',';
+  top.first = false;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << '{';
+  stack_.push_back({/*is_object=*/true, /*first=*/true});
+}
+
+void JsonWriter::EndObject() {
+  HAMLET_CHECK(!stack_.empty() && stack_.back().is_object,
+               "EndObject() without matching BeginObject()");
+  HAMLET_CHECK(!pending_key_, "EndObject() with a dangling Key()");
+  stack_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << '[';
+  stack_.push_back({/*is_object=*/false, /*first=*/true});
+}
+
+void JsonWriter::EndArray() {
+  HAMLET_CHECK(!stack_.empty() && !stack_.back().is_object,
+               "EndArray() without matching BeginArray()");
+  stack_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  HAMLET_CHECK(!stack_.empty() && stack_.back().is_object,
+               "Key() outside an object");
+  HAMLET_CHECK(!pending_key_, "two Key() calls without a value between");
+  Frame& top = stack_.back();
+  if (!top.first) os_ << ',';
+  top.first = false;
+  os_ << '"' << Escape(key) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  os_ << '"' << Escape(value) << '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  os_ << value;
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  os_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    os_ << "null";  // JSON has no NaN/Inf.
+    return;
+  }
+  os_ << StringFormat("%.17g", value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StringFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,72 @@
+#ifndef HAMLET_COMMON_JSON_WRITER_H_
+#define HAMLET_COMMON_JSON_WRITER_H_
+
+/// \file json_writer.h
+/// A small hand-rolled streaming JSON serializer — no dependency, no DOM.
+/// The observability layer uses it to emit Chrome trace_event files
+/// (obs/report.h); anything else that needs machine-readable output can
+/// share it. The writer tracks nesting and comma placement, so callers
+/// only state structure:
+///
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("name");  w.String("fs.search");
+///   w.Key("dur");   w.Double(12.5);
+///   w.EndObject();
+///
+/// Strings are escaped per RFC 8259 (quotes, backslashes, control
+/// characters as \u00XX). Doubles print round-trippable (%.17g); NaN and
+/// infinities, which JSON cannot represent, are emitted as null.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hamlet {
+
+/// Streaming JSON writer (see \file block). Begin/End calls must pair up
+/// and every object value must be preceded by Key(); violations are
+/// programming errors and abort via HAMLET_CHECK.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Names the next value inside the enclosing object.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// RFC 8259 string escaping (without the surrounding quotes).
+  static std::string Escape(const std::string& s);
+
+ private:
+  /// Comma/key bookkeeping shared by every value-emitting call.
+  void BeforeValue();
+
+  struct Frame {
+    bool is_object = false;
+    bool first = true;
+  };
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_JSON_WRITER_H_

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <exception>
 
 namespace hamlet {
@@ -13,6 +15,18 @@ namespace {
 // serial loop instead of re-entering the queue (which could deadlock the
 // caller behind its own work).
 thread_local bool tls_in_parallel_region = false;
+
+// Dense per-thread id for observability sharding: 0 for non-pool threads,
+// 1..k for workers (assigned once at worker startup, unique across pools).
+thread_local uint32_t tls_worker_id = 0;
+std::atomic<uint32_t> g_next_worker_id{1};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 class ScopedParallelRegion {
  public:
@@ -49,6 +63,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   tls_in_parallel_region = true;  // Workers never spawn nested regions.
+  tls_worker_id = g_next_worker_id.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     std::function<void()> task;
     {
@@ -59,7 +74,34 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void ThreadPool::RecordQueueWait(uint64_t wait_ns) {
+  queue_wait_count_.fetch_add(1, std::memory_order_relaxed);
+  queue_wait_total_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+  const uint32_t width = static_cast<uint32_t>(std::bit_width(wait_ns));
+  const uint32_t bucket =
+      std::min(width == 0 ? 0u : width - 1, kQueueWaitBuckets - 1);
+  queue_wait_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadPoolStats ThreadPool::GetStats() const {
+  ThreadPoolStats stats;
+  stats.regions = regions_.load(std::memory_order_relaxed);
+  stats.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  stats.serial_degradations =
+      serial_degradations_.load(std::memory_order_relaxed);
+  stats.queue_wait_count = queue_wait_count_.load(std::memory_order_relaxed);
+  stats.queue_wait_total_ns =
+      queue_wait_total_ns_.load(std::memory_order_relaxed);
+  stats.queue_wait_ns_buckets.reserve(kQueueWaitBuckets);
+  for (const auto& b : queue_wait_buckets_) {
+    stats.queue_wait_ns_buckets.push_back(
+        b.load(std::memory_order_relaxed));
+  }
+  return stats;
 }
 
 void ThreadPool::RunShards(
@@ -78,10 +120,15 @@ void ThreadPool::RunShards(
   state.remaining = shards - 1;  // Shard 0 runs inline on this thread.
   state.errors.assign(shards, nullptr);
 
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  // 0 doubles as "timing off": steady_clock is monotonically far from 0.
+  const uint64_t enqueue_ns =
+      collect_queue_wait_.load(std::memory_order_relaxed) ? NowNanos() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (uint32_t s = 1; s < shards; ++s) {
-      queue_.emplace_back([&state, &shard_fn, s] {
+      queue_.emplace_back([this, &state, &shard_fn, s, enqueue_ns] {
+        if (enqueue_ns != 0) RecordQueueWait(NowNanos() - enqueue_ns);
         try {
           shard_fn(s);
         } catch (...) {
@@ -121,5 +168,7 @@ ThreadPool& ThreadPool::Global() {
 }
 
 bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
+
+uint32_t ThreadPool::CurrentWorkerId() { return tls_worker_id; }
 
 }  // namespace hamlet

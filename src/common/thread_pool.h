@@ -34,6 +34,8 @@
 /// calling thread once the region completes.
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -43,6 +45,23 @@
 #include <vector>
 
 namespace hamlet {
+
+/// Lifetime counters a pool accumulates while scheduling work. The three
+/// counters are always on (one relaxed atomic increment per region/task);
+/// the queue-wait histogram is gated by set_collect_queue_wait because it
+/// needs two clock reads per task. The observability layer (obs/metrics.h)
+/// snapshots this struct into named metrics.
+struct ThreadPoolStats {
+  uint64_t regions = 0;              ///< Parallel regions dispatched.
+  uint64_t tasks_run = 0;            ///< Queued shard tasks executed.
+  uint64_t serial_degradations = 0;  ///< Nested regions run serially.
+  uint64_t queue_wait_count = 0;     ///< Tasks with a measured wait.
+  uint64_t queue_wait_total_ns = 0;  ///< Sum of measured waits.
+  /// Log-scale wait histogram: bucket b counts waits w with
+  /// bit_width(w) - 1 == b, i.e. w in [2^b, 2^(b+1)) ns (bucket 0 also
+  /// holds 0-1 ns; the last bucket absorbs everything above its floor).
+  std::vector<uint64_t> queue_wait_ns_buckets;
+};
 
 /// Fixed-size pool of persistent workers (see \file block for the full
 /// scheduling / determinism / nesting / exception contract).
@@ -74,7 +93,14 @@ class ThreadPool {
     uint32_t shards =
         num_threads == 0 ? num_workers() + 1 : num_threads;
     shards = std::min(shards, n);
-    if (shards <= 1 || InParallelRegion()) {
+    if (shards <= 1) {
+      for (uint32_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    if (InParallelRegion()) {
+      // A nested region degrades to serial (see the nesting contract);
+      // count it so composition mistakes show up in the stats.
+      serial_degradations_.fetch_add(1, std::memory_order_relaxed);
       for (uint32_t i = 0; i < n; ++i) fn(i);
       return;
     }
@@ -94,6 +120,27 @@ class ThreadPool {
   /// this to degrade to serial.
   static bool InParallelRegion();
 
+  /// Small dense id of the current thread for per-thread sharding of
+  /// observability state: 0 for any non-pool thread (the main thread),
+  /// 1..k for pool workers (unique across every pool in the process).
+  static uint32_t CurrentWorkerId();
+
+  /// Snapshot of the lifetime scheduling stats (see ThreadPoolStats).
+  ThreadPoolStats GetStats() const;
+
+  /// Enables the per-task queue-wait histogram (two steady_clock reads
+  /// per queued task). Off by default: the disabled path costs one
+  /// relaxed atomic load per enqueue.
+  void set_collect_queue_wait(bool on) {
+    collect_queue_wait_.store(on, std::memory_order_relaxed);
+  }
+  bool collect_queue_wait() const {
+    return collect_queue_wait_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of queue-wait histogram buckets (log2-nanosecond scale).
+  static constexpr uint32_t kQueueWaitBuckets = 32;
+
  private:
   /// Queues shards 1..shards-1, runs shard 0 inline, waits for all, and
   /// rethrows the lowest-shard exception if any item threw.
@@ -102,11 +149,23 @@ class ThreadPool {
 
   void WorkerLoop();
 
+  void RecordQueueWait(uint64_t wait_ns);
+
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+
+  // Lifetime stats: always-on relaxed counters plus the gated wait
+  // histogram (see ThreadPoolStats for bucket semantics).
+  std::atomic<uint64_t> regions_{0};
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> serial_degradations_{0};
+  std::atomic<bool> collect_queue_wait_{false};
+  std::atomic<uint64_t> queue_wait_count_{0};
+  std::atomic<uint64_t> queue_wait_total_ns_{0};
+  std::array<std::atomic<uint64_t>, kQueueWaitBuckets> queue_wait_buckets_{};
 };
 
 }  // namespace hamlet

@@ -5,9 +5,20 @@
 
 #include "common/parallel_for.h"
 #include "ml/eval.h"
+#include "obs/trace.h"
 #include "stats/info_theory.h"
 
 namespace hamlet {
+
+namespace {
+
+obs::Counter& ModelsTrainedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("fs.models_trained");
+  return counter;
+}
+
+}  // namespace
 
 std::vector<double> ScoreFilter::ScoreFeatures(
     const EncodedDataset& data, const std::vector<uint32_t>& rows,
@@ -48,10 +59,16 @@ Result<SelectionResult> ScoreFilter::Select(
         TrainAndScore(factory, data, split.train, split.validation, {},
                       metric));
     ++result.models_trained;
+    ModelsTrainedCounter().Add(1);
     return result;
   }
 
-  std::vector<double> scores = ScoreFeatures(data, split.train, candidates);
+  std::vector<double> scores;
+  {
+    obs::TraceSpan span("fs.filter_score");
+    span.AddAttr("candidates", static_cast<uint64_t>(candidates.size()));
+    scores = ScoreFeatures(data, split.train, candidates);
+  }
 
   // Rank candidates by descending score (stable for determinism).
   std::vector<uint32_t> order(candidates.size());
@@ -64,6 +81,8 @@ Result<SelectionResult> ScoreFilter::Select(
   // |order| prefixes train in parallel; the argmin scan below runs
   // serially in k order (strict `<` keeps the smallest k among ties).
   const uint32_t num_k = static_cast<uint32_t>(order.size());
+  obs::TraceSpan tune_span("fs.filter_tune");
+  tune_span.AddAttr("prefixes", num_k);
   std::vector<double> errors(num_k, 0.0);
   std::vector<Status> statuses(num_k);
   ParallelFor(num_k, num_threads_, [&](uint32_t i) {
@@ -84,6 +103,7 @@ Result<SelectionResult> ScoreFilter::Select(
     HAMLET_RETURN_NOT_OK(st);
   }
   result.models_trained += num_k;
+  ModelsTrainedCounter().Add(num_k);
 
   double best_error = 0.0;
   size_t best_k = 1;

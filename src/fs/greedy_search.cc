@@ -4,10 +4,25 @@
 
 #include "common/parallel_for.h"
 #include "ml/eval.h"
+#include "obs/trace.h"
 
 namespace hamlet {
 
 namespace {
+
+// Metric handles are registered once and cached; increments/records on
+// them are lock-free and no-ops while collection is disabled.
+obs::Counter& ModelsTrainedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("fs.models_trained");
+  return counter;
+}
+
+obs::Histogram& CandidateEvalHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("fs.candidate_eval_ns");
+  return histogram;
+}
 
 // Evaluates `make_trial(i)`'s subset for every candidate index in
 // [0, count) in parallel, writing each error to its own slot, and returns
@@ -25,6 +40,7 @@ Status EvaluateCandidates(const EncodedDataset& data,
   errors->assign(count, 0.0);
   std::vector<Status> statuses(count);
   ParallelFor(count, num_threads, [&](uint32_t i) {
+    obs::ScopedLatency latency(CandidateEvalHistogram());
     Result<double> err =
         TrainAndScore(factory, data, split.train, split.validation,
                       make_trial(i), metric);
@@ -34,6 +50,7 @@ Status EvaluateCandidates(const EncodedDataset& data,
       statuses[i] = err.status();
     }
   });
+  ModelsTrainedCounter().Add(count);
   for (const Status& st : statuses) {
     HAMLET_RETURN_NOT_OK(st);
   }
@@ -54,9 +71,12 @@ Result<SelectionResult> ForwardSelection::Select(
       double best_error,
       TrainAndScore(factory, data, split.train, split.validation, {}, metric));
   ++result.models_trained;
+  ModelsTrainedCounter().Add(1);
 
   while (!remaining.empty()) {
     const uint32_t m = static_cast<uint32_t>(remaining.size());
+    obs::TraceSpan step_span("fs.step");
+    step_span.AddAttr("candidates", m);
     std::vector<double> errors;
     HAMLET_RETURN_NOT_OK(EvaluateCandidates(
         data, split, factory, metric, m, num_threads_,
@@ -100,9 +120,12 @@ Result<SelectionResult> BackwardSelection::Select(
       TrainAndScore(factory, data, split.train, split.validation,
                     result.selected, metric));
   ++result.models_trained;
+  ModelsTrainedCounter().Add(1);
 
   while (result.selected.size() > 1) {
     const uint32_t m = static_cast<uint32_t>(result.selected.size());
+    obs::TraceSpan step_span("fs.step");
+    step_span.AddAttr("candidates", m);
     std::vector<double> errors;
     HAMLET_RETURN_NOT_OK(EvaluateCandidates(
         data, split, factory, metric, m, num_threads_,

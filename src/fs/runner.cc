@@ -4,6 +4,7 @@
 #include "fs/filters.h"
 #include "fs/greedy_search.h"
 #include "ml/eval.h"
+#include "obs/trace.h"
 
 namespace hamlet {
 
@@ -56,17 +57,45 @@ Result<FsRunReport> RunFeatureSelection(
   FsRunReport report;
   report.method = selector.name();
 
-  Timer timer;
-  HAMLET_ASSIGN_OR_RETURN(
-      report.selection,
-      selector.Select(data, split, factory, metric, candidates));
-  report.runtime_seconds = timer.ElapsedSeconds();
+  Timer total_timer;
+  {
+    obs::TraceSpan span("fs.search");
+    span.AddAttr("method", selector.name());
+    span.AddAttr("candidates", static_cast<uint64_t>(candidates.size()));
+    Timer timer;
+    HAMLET_ASSIGN_OR_RETURN(
+        report.selection,
+        selector.Select(data, split, factory, metric, candidates));
+    report.runtime_seconds = timer.ElapsedSeconds();
+    span.AddAttr("models_trained", report.selection.models_trained);
+    span.AddAttr("selected",
+                 static_cast<uint64_t>(report.selection.selected.size()));
+  }
 
   report.selected_names = data.FeatureNames(report.selection.selected);
-  HAMLET_ASSIGN_OR_RETURN(
-      report.holdout_test_error,
-      TrainAndScore(factory, data, split.train, split.test,
-                    report.selection.selected, metric));
+  {
+    obs::TraceSpan span("fs.final_fit");
+    span.AddAttr("features",
+                 static_cast<uint64_t>(report.selection.selected.size()));
+    Timer timer;
+    HAMLET_ASSIGN_OR_RETURN(
+        report.holdout_test_error,
+        TrainAndScore(factory, data, split.train, split.test,
+                      report.selection.selected, metric));
+    report.fit_seconds = timer.ElapsedSeconds();
+  }
+  report.total_seconds = total_timer.ElapsedSeconds();
+
+  // The same decomposition the spans record, embedded so every consumer
+  // (traced or not) sees where the run's time went.
+  report.trace_summary.stages = {
+      {"fs.search", 0, 1, report.runtime_seconds, report.runtime_seconds,
+       {{"models_trained",
+         static_cast<int64_t>(report.selection.models_trained)}}},
+      {"fs.final_fit", 0, 1, report.fit_seconds, report.fit_seconds, {}}};
+  report.trace_summary.counters = {
+      {"fs.models_trained", report.selection.models_trained}};
+  report.trace_summary.total_seconds = report.total_seconds;
   return report;
 }
 

@@ -11,6 +11,12 @@
 #include "common/parallel_for.h"       // Indexed data-parallel loops.
 #include "common/thread_pool.h"        // Persistent shared worker pool.
 
+// Observability (tracing, metrics, explain-style run reports).
+#include "common/json_writer.h"        // Hand-rolled JSON serializer.
+#include "obs/metrics.h"               // Counters + latency histograms.
+#include "obs/report.h"                // Explain tree + Chrome JSON.
+#include "obs/trace.h"                 // RAII spans + collection switch.
+
 // Relational substrate (Section 2.1's data model).
 #include "relational/catalog.h"        // NormalizedDataset (S + R_i).
 #include "relational/cold_start.h"     // "Others" key absorption.

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hamlet::obs {
+
+namespace {
+
+// The innermost open span on this thread; new spans parent under it.
+thread_local uint64_t tls_current_span = 0;
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.clear();
+  }
+}
+
+Trace Tracer::Collect() const {
+  Trace trace;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    trace.events.insert(trace.events.end(), shard.events.begin(),
+                        shard.events.end());
+  }
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  return trace;
+}
+
+void Tracer::Record(TraceEvent event) {
+  Shard& shard =
+      shards_[ThreadPool::CurrentWorkerId() & (kShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.events.push_back(std::move(event));
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  active_ = true;
+  id_ = Tracer::Global().NextSpanId();
+  parent_id_ = tls_current_span;
+  tls_current_span = id_;
+  start_ns_ = NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceEvent event;
+  event.id = id_;
+  event.parent_id = parent_id_;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.end_ns = NowNanos();
+  event.worker_id = ThreadPool::CurrentWorkerId();
+  event.attrs = std::move(attrs_);
+  tls_current_span = parent_id_;
+  Tracer::Global().Record(std::move(event));
+}
+
+void TraceSpan::AddAttr(const char* key, int64_t value) {
+  if (!active_) return;
+  TraceAttr attr;
+  attr.key = key;
+  attr.number = value;
+  attr.is_number = true;
+  attrs_.push_back(std::move(attr));
+}
+
+void TraceSpan::AddAttr(const char* key, const std::string& value) {
+  if (!active_) return;
+  TraceAttr attr;
+  attr.key = key;
+  attr.text = value;
+  attrs_.push_back(std::move(attr));
+}
+
+double TraceSpan::ElapsedSeconds() const {
+  return active_ ? static_cast<double>(NowNanos() - start_ns_) * 1e-9
+                 : 0.0;
+}
+
+ScopedCollection::ScopedCollection(bool enable) : enabled_(enable) {
+  if (!enabled_) return;
+  prev_ = Enabled();
+  Tracer::Global().Clear();
+  MetricsRegistry::Global().Reset();
+  SetEnabled(true);
+}
+
+ScopedCollection::~ScopedCollection() {
+  if (enabled_) SetEnabled(prev_);
+}
+
+}  // namespace hamlet::obs

@@ -3,10 +3,23 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace hamlet {
 
 namespace {
+
+obs::Counter& RowsBuiltCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("join.rows_built");
+  return counter;
+}
+
+obs::Counter& RowsProbedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("join.rows_probed");
+  return counter;
+}
 
 // Maps each code of `fk_domain` to the r-row holding that RID, or UINT32_MAX
 // if no R row carries it. Translates through labels when the domains are
@@ -39,6 +52,16 @@ Result<std::vector<uint32_t>> BuildRidIndex(const Column& fk,
 
 Result<Table> KfkJoin(const Table& s, const Table& r,
                       const std::string& fk_column) {
+  obs::TraceSpan span("join.kfk");
+  if (span.active()) {
+    span.AddAttr("entity", s.name());
+    span.AddAttr("attribute_table", r.name());
+    span.AddAttr("rows_built", r.num_rows());
+    span.AddAttr("rows_probed", s.num_rows());
+  }
+  RowsBuiltCounter().Add(r.num_rows());
+  RowsProbedCounter().Add(s.num_rows());
+
   HAMLET_ASSIGN_OR_RETURN(uint32_t fk_idx, s.schema().IndexOf(fk_column));
   const ColumnSpec& fk_spec = s.schema().column(fk_idx);
   if (fk_spec.role != ColumnRole::kForeignKey) {
@@ -90,6 +113,14 @@ Result<Table> KfkJoin(const Table& s, const Table& r,
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_column,
                        const std::string& right_column) {
+  obs::TraceSpan span("join.hash");
+  if (span.active()) {
+    span.AddAttr("rows_built", right.num_rows());
+    span.AddAttr("rows_probed", left.num_rows());
+  }
+  RowsBuiltCounter().Add(right.num_rows());
+  RowsProbedCounter().Add(left.num_rows());
+
   HAMLET_ASSIGN_OR_RETURN(uint32_t l_idx, left.schema().IndexOf(left_column));
   HAMLET_ASSIGN_OR_RETURN(uint32_t r_idx,
                           right.schema().IndexOf(right_column));

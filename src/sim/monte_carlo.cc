@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "core/tuple_ratio.h"
 #include "ml/naive_bayes.h"
+#include "obs/trace.h"
 
 namespace hamlet {
 
@@ -59,11 +60,23 @@ void Scale(BiasVarianceResult* acc, double inv) {
 
 namespace {
 
+obs::Counter& SimModelsTrainedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.models_trained");
+  return counter;
+}
+
 // One outer repeat: fresh R, fresh test set, |S| training draws.
 Status RunOneRepeat(const SimConfig& config,
                     const MonteCarloOptions& options,
                     const ClassifierFactory& make, uint32_t rep,
                     MonteCarloResult* out) {
+  // When repeats run on pool workers this span roots at its thread; the
+  // explain tree still groups every sim.repeat into one stage.
+  obs::TraceSpan span("sim.repeat");
+  span.AddAttr("repeat", rep);
+  span.AddAttr("training_sets", options.num_training_sets);
+
   Rng root(options.seed);
   Rng rng = root.Fork(rep);
   SimDataGenerator generator(config, rng);
@@ -115,6 +128,7 @@ Status RunOneRepeat(const SimConfig& config,
                              std::vector<uint32_t>* out) -> Status {
         std::unique_ptr<Classifier> model = make();
         HAMLET_RETURN_NOT_OK(model->Train(train.data, train_rows, feats));
+        SimModelsTrainedCounter().Add(1);
         *out = model->Predict(test.data, test_rows);
         return Status::OK();
       };
@@ -146,6 +160,12 @@ Result<MonteCarloResult> RunMonteCarlo(const SimConfig& config,
                                        const ClassifierFactory* factory) {
   ClassifierFactory nb = MakeNaiveBayesFactory();
   const ClassifierFactory& make = factory != nullptr ? *factory : nb;
+
+  obs::TraceSpan span("sim.monte_carlo");
+  if (span.active()) {
+    span.AddAttr("repeats", options.num_repeats);
+    span.AddAttr("training_sets", options.num_training_sets);
+  }
 
   // Repeats are independent (each forks its RNG from its index) and write
   // only their own slot, so the parallel reduction below is deterministic

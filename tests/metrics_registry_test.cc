@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace hamlet {
+namespace {
+
+TEST(MetricsRegistryTest, DisabledCounterCountsNothing) {
+  obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("test.disabled_counter");
+  counter.Reset();
+  ASSERT_FALSE(obs::Enabled());
+  counter.Add(5);
+  counter.Add();
+  EXPECT_EQ(counter.Total(), 0u);
+}
+
+TEST(MetricsRegistryTest, EnabledCounterSumsAcrossShards) {
+  obs::ScopedCollection collection(true);
+  obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("test.enabled_counter");
+  counter.Add(3);
+  counter.Add();
+  EXPECT_EQ(counter.Total(), 4u);
+  counter.Reset();
+  EXPECT_EQ(counter.Total(), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsFromPoolWorkersAreLossless) {
+  obs::ScopedCollection collection(true);
+  obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("test.concurrent_counter");
+  constexpr uint32_t kItems = 10000;
+  ThreadPool pool(4);
+  pool.ParallelFor(kItems, 0, [&](uint32_t) { counter.Add(); });
+  EXPECT_EQ(counter.Total(), kItems);
+}
+
+TEST(MetricsRegistryTest, RegistryReturnsSameObjectForSameName) {
+  obs::Counter& a = obs::MetricsRegistry::Global().GetCounter("test.dedup");
+  obs::Counter& b = obs::MetricsRegistry::Global().GetCounter("test.dedup");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& h1 =
+      obs::MetricsRegistry::Global().GetHistogram("test.dedup_ns");
+  obs::Histogram& h2 =
+      obs::MetricsRegistry::Global().GetHistogram("test.dedup_ns");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  // Bucket b holds [2^b, 2^(b+1)); bucket 0 additionally holds 0 and 1.
+  EXPECT_EQ(obs::Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketFor(1), 0u);
+  EXPECT_EQ(obs::Histogram::BucketFor(2), 1u);
+  EXPECT_EQ(obs::Histogram::BucketFor(3), 1u);
+  EXPECT_EQ(obs::Histogram::BucketFor(4), 2u);
+  EXPECT_EQ(obs::Histogram::BucketFor(7), 2u);
+  EXPECT_EQ(obs::Histogram::BucketFor(8), 3u);
+  for (uint32_t k = 1; k < obs::Histogram::kBuckets; ++k) {
+    EXPECT_EQ(obs::Histogram::BucketFor(uint64_t{1} << k), k) << "k=" << k;
+    EXPECT_EQ(obs::Histogram::BucketFor((uint64_t{1} << (k + 1)) - 1), k)
+        << "k=" << k;
+  }
+  // Everything past the last bucket's floor clamps into it.
+  EXPECT_EQ(obs::Histogram::BucketFor(UINT64_MAX),
+            obs::Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketLowerBoundInvertsBucketFor) {
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(0), 0u);
+  for (uint32_t b = 1; b < obs::Histogram::kBuckets; ++b) {
+    const uint64_t lo = obs::Histogram::BucketLowerBound(b);
+    EXPECT_EQ(lo, uint64_t{1} << b);
+    EXPECT_EQ(obs::Histogram::BucketFor(lo), b);
+    EXPECT_EQ(obs::Histogram::BucketFor(lo - 1), b - 1);
+  }
+}
+
+TEST(HistogramTest, RecordSnapshotMeanAndPercentile) {
+  obs::ScopedCollection collection(true);
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("test.latency_ns");
+  // 10 observations in bucket 2 ([4,8)) and 90 in bucket 6 ([64,128)).
+  for (int i = 0; i < 10; ++i) histogram.Record(4);
+  for (int i = 0; i < 90; ++i) histogram.Record(100);
+  obs::HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum_nanos, 10u * 4 + 90u * 100);
+  ASSERT_EQ(snap.buckets.size(), obs::Histogram::kBuckets);
+  EXPECT_EQ(snap.buckets[2], 10u);
+  EXPECT_EQ(snap.buckets[6], 90u);
+  EXPECT_DOUBLE_EQ(snap.MeanNanos(), (10.0 * 4 + 90.0 * 100) / 100.0);
+  // p5 falls inside the first bucket; p50 and p99 inside the second.
+  EXPECT_EQ(snap.PercentileNanos(0.05), 4u);
+  EXPECT_EQ(snap.PercentileNanos(0.50), 64u);
+  EXPECT_EQ(snap.PercentileNanos(0.99), 64u);
+}
+
+TEST(HistogramTest, DisabledRecordIsANoOp) {
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("test.noop_ns");
+  histogram.Reset();
+  ASSERT_FALSE(obs::Enabled());
+  histogram.Record(1000);
+  EXPECT_EQ(histogram.Snapshot().count, 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIncludesThreadPoolLifetimeStats) {
+  obs::ScopedCollection collection(true);
+  // Force at least one global-pool region so the counters are nonzero.
+  ParallelFor(64, 0, [](uint32_t) {});
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.CounterValue("threadpool.regions"), 1u);
+  EXPECT_GE(snap.CounterValue("threadpool.tasks_run"),
+            snap.CounterValue("threadpool.regions"));
+  bool found_queue_wait = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "threadpool.queue_wait_ns") found_queue_wait = true;
+  }
+  EXPECT_TRUE(found_queue_wait);
+  // Snapshots are sorted by name for deterministic rendering.
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  EXPECT_NE(snap.ToString().find("threadpool.tasks_run"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesRegisteredMetrics) {
+  obs::ScopedCollection collection(true);
+  obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("test.reset_counter");
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("test.reset_ns");
+  counter.Add(7);
+  histogram.Record(42);
+  obs::MetricsRegistry::Global().Reset();
+  EXPECT_EQ(counter.Total(), 0u);
+  EXPECT_EQ(histogram.Snapshot().count, 0u);
+}
+
+TEST(MetricsRegistryTest, ScopedCollectionResetsAndRestores) {
+  ASSERT_FALSE(obs::Enabled());
+  obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("test.window_counter");
+  {
+    obs::ScopedCollection collection(true);
+    EXPECT_TRUE(obs::Enabled());
+    EXPECT_TRUE(collection.enabled());
+    counter.Add(2);
+    EXPECT_EQ(counter.Total(), 2u);
+  }
+  EXPECT_FALSE(obs::Enabled());
+  {
+    // A second window starts from a clean registry.
+    obs::ScopedCollection collection(true);
+    EXPECT_EQ(counter.Total(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hamlet

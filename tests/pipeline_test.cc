@@ -109,6 +109,77 @@ TEST(PipelineTest, WorksWithEveryClassifierKind) {
   }
 }
 
+TEST(PipelineTest, UntracedRunStillCarriesATimingSummary) {
+  auto ds = *MakeDataset("Walmart", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  auto report = *RunPipeline(ds, config);
+  EXPECT_FALSE(config.trace);
+  EXPECT_TRUE(report.trace.empty());
+  EXPECT_EQ(report.ExplainTree(), "");
+  // The coarse rollup is always there, with the same stage names a
+  // traced run would produce.
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.trace_summary.total_seconds,
+                   report.total_seconds);
+  EXPECT_DOUBLE_EQ(report.trace_summary.StageSeconds("pipeline.join"),
+                   report.join_seconds);
+  EXPECT_DOUBLE_EQ(report.trace_summary.StageSeconds("fs.search"),
+                   report.selection.runtime_seconds);
+  EXPECT_GT(report.selection.total_seconds,
+            report.selection.runtime_seconds);
+  EXPECT_GE(report.selection.fit_seconds, 0.0);
+}
+
+TEST(PipelineTest, TracedRunProducesACoveringSpanTree) {
+  auto ds = *MakeDataset("Walmart", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  config.trace = true;
+  auto report = *RunPipeline(ds, config);
+  ASSERT_FALSE(report.trace.empty());
+  ASSERT_FALSE(report.trace_summary.stages.empty());
+  EXPECT_EQ(report.trace_summary.stages[0].name, "pipeline");
+
+  // Every expected stage shows up, and the depth-1 stages account for
+  // nearly all of the root span's time (the explain-tree contract).
+  for (const char* stage :
+       {"pipeline.advise", "pipeline.join", "pipeline.encode",
+        "pipeline.split", "fs.search", "fs.final_fit"}) {
+    EXPECT_GT(report.trace_summary.StageSeconds(stage), 0.0) << stage;
+  }
+  double child_seconds = 0.0;
+  for (const auto& stage : report.trace_summary.stages) {
+    if (stage.depth == 1) child_seconds += stage.total_seconds;
+  }
+  const double wall = report.trace_summary.StageSeconds("pipeline");
+  EXPECT_GT(wall, 0.0);
+  EXPECT_GE(child_seconds, 0.9 * wall);
+  EXPECT_LE(child_seconds, wall * 1.001);
+
+  // Tracing folds the run's counters into the summary.
+  EXPECT_GT(report.trace_summary.counters.size(), 0u);
+  uint64_t models = 0;
+  for (const auto& c : report.trace_summary.counters) {
+    if (c.name == "fs.models_trained") models = c.value;
+  }
+  EXPECT_EQ(models, report.selection.selection.models_trained);
+
+  // The rendered tree and the trace survive the collection window.
+  EXPECT_NE(report.ExplainTree().find("pipeline"), std::string::npos);
+  EXPECT_FALSE(obs::Enabled());
+}
+
+TEST(PipelineTest, TracingDoesNotChangeResults) {
+  auto ds = *MakeDataset("Walmart", 0.02, 3);
+  PipelineConfig config = BaseConfig();
+  auto plain = *RunPipeline(ds, config);
+  config.trace = true;
+  auto traced = *RunPipeline(ds, config);
+  EXPECT_DOUBLE_EQ(plain.selection.holdout_test_error,
+                   traced.selection.holdout_test_error);
+  EXPECT_EQ(plain.selection.selected_names,
+            traced.selection.selected_names);
+}
+
 TEST(PipelineTest, DeterministicInSeed) {
   auto ds = *MakeDataset("Walmart", 0.02, 3);
   PipelineConfig config = BaseConfig();

@@ -142,6 +142,83 @@ TEST(ThreadPoolTest, GlobalPoolIsASingleton) {
   EXPECT_GE(ThreadPool::Global().num_workers(), 1u);
 }
 
+TEST(ThreadPoolTest, LifetimeStatsCountRegionsAndTasks) {
+  ThreadPool pool(2);
+  const ThreadPoolStats before = pool.GetStats();
+  EXPECT_EQ(before.regions, 0u);
+  EXPECT_EQ(before.tasks_run, 0u);
+  EXPECT_EQ(before.serial_degradations, 0u);
+
+  pool.ParallelFor(100, 4, [](uint32_t) {});
+  pool.ParallelFor(100, 4, [](uint32_t) {});
+  const ThreadPoolStats after = pool.GetStats();
+  EXPECT_EQ(after.regions, 2u);
+  // Shard 0 runs inline on the caller; the rest are pool tasks.
+  EXPECT_GE(after.tasks_run, 2u);
+  EXPECT_EQ(after.serial_degradations, 0u);
+
+  // A single-shard call never reaches the pool and counts nothing.
+  pool.ParallelFor(100, 1, [](uint32_t) {});
+  EXPECT_EQ(pool.GetStats().regions, 2u);
+}
+
+TEST(ThreadPoolTest, NestedRegionsCountAsSerialDegradations) {
+  // The regression the stats exist to catch: parallel work accidentally
+  // issued from inside a parallel region silently runs serial — the
+  // counter makes that visible.
+  ThreadPool pool(2);
+  pool.ParallelFor(4, 4, [&](uint32_t) {
+    pool.ParallelFor(4, 4, [](uint32_t) {});
+  });
+  const ThreadPoolStats stats = pool.GetStats();
+  EXPECT_EQ(stats.serial_degradations, 4u);
+  // Only the outer call was a real pool region.
+  EXPECT_EQ(stats.regions, 1u);
+
+  // Explicitly-serial inner loops (shards <= 1) are not degradations.
+  pool.ParallelFor(4, 4, [&](uint32_t) {
+    pool.ParallelFor(4, 1, [](uint32_t) {});
+  });
+  EXPECT_EQ(pool.GetStats().serial_degradations, 4u);
+}
+
+TEST(ThreadPoolTest, QueueWaitCollectionIsOffByDefaultAndGated) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.collect_queue_wait());
+  pool.ParallelFor(64, 4, [](uint32_t) {});
+  EXPECT_EQ(pool.GetStats().queue_wait_count, 0u);
+
+  pool.set_collect_queue_wait(true);
+  pool.ParallelFor(64, 4, [](uint32_t) {});
+  pool.set_collect_queue_wait(false);
+  const ThreadPoolStats stats = pool.GetStats();
+  EXPECT_GT(stats.queue_wait_count, 0u);
+  ASSERT_EQ(stats.queue_wait_ns_buckets.size(),
+            ThreadPool::kQueueWaitBuckets);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : stats.queue_wait_ns_buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, stats.queue_wait_count);
+
+  // Back off: no further samples accumulate.
+  pool.ParallelFor(64, 4, [](uint32_t) {});
+  EXPECT_EQ(pool.GetStats().queue_wait_count, stats.queue_wait_count);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreStableAndNonZeroOnWorkers) {
+  // Worker threads get dense nonzero ids (the metrics shard key); the
+  // caller thread reports 0 unless it is itself a pool worker.
+  ThreadPool pool(3);
+  std::vector<uint32_t> seen(64, 0);
+  pool.ParallelFor(64, 64, [&](uint32_t i) {
+    seen[i] = ThreadPool::CurrentWorkerId();
+  });
+  // Shard 0 ran inline on this thread; its id must match ours.
+  EXPECT_EQ(seen[0], ThreadPool::CurrentWorkerId());
+  bool any_worker = false;
+  for (uint32_t id : seen) any_worker |= id != 0;
+  EXPECT_TRUE(any_worker);
+}
+
 TEST(ThreadPoolTest, SlotWritesAreDeterministic) {
   ThreadPool pool(4);
   auto run = [&](uint32_t shards) {
