@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compares two google-benchmark JSON files and fails on regressions.
+
+Usage: compare_bench.py OLD.json NEW.json [--threshold 0.10]
+
+Benchmarks are matched by full name ("BM_Foo/25"). Only the feature
+selection / Naive Bayes microbenches gate (see GATED below) — the rest of
+the suite is reported but informational, since e.g. the obs probes sit at
+nanosecond scale where scheduler noise swamps any real signal. Exits
+nonzero when any gated benchmark's real_time regressed by more than the
+threshold (default +10%).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# The perf-gated families: candidate evaluation and model training, the
+# paths BENCH trajectories track across PRs (docs/PERFORMANCE.md).
+GATED = re.compile(
+    r"^BM_(NBTrain|NaiveBayesTrain|GreedyForward|ForwardSelection"
+    r"|MiFilterScoring)"
+)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed real_time regression fraction")
+    args = parser.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+    common = [name for name in new if name in old]
+    if not common:
+        print("compare_bench: no common benchmarks between "
+              f"{args.old} and {args.new}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'benchmark':<44} {'old':>12} {'new':>12} {'ratio':>7}  gated")
+    for name in common:
+        t_old = old[name]["real_time"]
+        t_new = new[name]["real_time"]
+        ratio = t_new / t_old if t_old > 0 else float("inf")
+        gated = bool(GATED.match(name))
+        unit = new[name].get("time_unit", "ns")
+        flag = "yes" if gated else "-"
+        marker = ""
+        if gated and ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            marker = "  << REGRESSION"
+        print(f"{name:<44} {t_old:>10.1f}{unit:>2} {t_new:>10.1f}{unit:>2} "
+              f"{ratio:>6.2f}x  {flag}{marker}")
+
+    missing = [name for name in old if name not in new and GATED.match(name)]
+    for name in missing:
+        print(f"note: gated benchmark {name} present in {args.old} "
+              f"but missing from {args.new}")
+
+    if regressions:
+        print(f"\ncompare_bench: {len(regressions)} gated regression(s) "
+              f"beyond +{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\ncompare_bench: no gated regressions beyond "
+          f"+{args.threshold:.0%} ({len(common)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,15 +7,37 @@
 #   scripts/run_benchmarks.sh                    # everything
 #   scripts/run_benchmarks.sh 'BM_TraceSpan.*'   # just the obs probes
 #
+# --compare additionally diffs the fresh BENCH json against the most
+# recent previous one (scripts/compare_bench.py) and exits nonzero on a
+# >10% real_time regression in the gated FS/NB microbenches:
+#
+#   scripts/run_benchmarks.sh --compare          # run + regression gate
+#
 # Env: BUILD_DIR (default build-bench), JOBS (default nproc),
-#      OUT (default BENCH_<YYYY-MM-DD>.json).
+#      OUT (default BENCH_<YYYY-MM-DD>.json),
+#      COMPARE_THRESHOLD (default 0.10).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+COMPARE=0
+if [[ "${1:-}" == "--compare" ]]; then
+  COMPARE=1
+  shift
+fi
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 JOBS=${JOBS:-$(nproc)}
 OUT=${OUT:-BENCH_$(date +%Y-%m-%d).json}
 FILTER=${1:-.}
+COMPARE_THRESHOLD=${COMPARE_THRESHOLD:-0.10}
+
+# Before overwriting today's file, remember the newest BENCH json as the
+# comparison baseline (lexicographic order == chronological order).
+PREV=""
+if [[ "${COMPARE}" == 1 ]]; then
+  PREV=$(ls BENCH_*.json 2>/dev/null | grep -vFx "${OUT}" | sort | tail -1 \
+         || true)
+fi
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
@@ -30,3 +52,13 @@ cmake --build "${BUILD_DIR}" -j"${JOBS}" --target micro_benchmarks
   --benchmark_out_format=json
 
 echo "Wrote ${OUT}"
+
+if [[ "${COMPARE}" == 1 ]]; then
+  if [[ -z "${PREV}" ]]; then
+    echo "No previous BENCH_*.json to compare against; skipping the gate."
+  else
+    echo "Comparing ${PREV} -> ${OUT}"
+    python3 scripts/compare_bench.py "${PREV}" "${OUT}" \
+      --threshold "${COMPARE_THRESHOLD}"
+  fi
+fi

@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "data/encoded_dataset.h"
 #include "ml/naive_bayes.h"
+#include "ml/suff_stats.h"
 #include "ml/tan.h"
 
 namespace hamlet {
@@ -103,6 +104,10 @@ Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
   // enabled state is restored on every exit path.
   obs::ScopedCollection collection(config.trace || obs::EnvRequested());
 
+  // While active, every sufficient-statistics lookup misses, so model
+  // training and candidate scoring take the original scan paths.
+  ScopedSuffStatsBypass scan_only(config.force_scan_eval);
+
   PipelineReport report;
   report.avoidance_applied = config.enable_join_avoidance;
 
@@ -187,8 +192,8 @@ Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
 
     // 4. Feature selection + final holdout evaluation (spans fs.search /
     //    fs.step / fs.final_fit open inside, nesting under `pipeline`).
-    std::unique_ptr<FeatureSelector> selector =
-        MakeSelector(config.method, config.num_threads);
+    std::unique_ptr<FeatureSelector> selector = MakeSelector(
+        config.method, config.num_threads, config.force_scan_eval);
     ClassifierFactory factory = MakeClassifierFactory(config.classifier);
     HAMLET_ASSIGN_OR_RETURN(
         report.selection,

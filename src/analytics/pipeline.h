@@ -62,6 +62,13 @@ struct PipelineConfig {
   /// The HAMLET_TRACE environment variable turns tracing on as well; when
   /// both are off, instrumentation costs a single predictable branch.
   bool trace = false;
+  /// Escape hatch: disable the sufficient-statistics cache and incremental
+  /// candidate scoring for this run, forcing the original scan-based
+  /// evaluation (full retrain per candidate model). Selections and errors
+  /// are unchanged — the fast path is equivalence-tested — so this exists
+  /// for debugging and for measuring the fast path's speedup (see
+  /// docs/PERFORMANCE.md).
+  bool force_scan_eval = false;
 };
 
 /// Everything one pipeline run produces.

@@ -1,0 +1,44 @@
+#include "fs/candidate_eval.h"
+
+#include "ml/naive_bayes.h"
+
+namespace hamlet {
+
+obs::Counter& FsModelsTrainedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("fs.models_trained");
+  return counter;
+}
+
+obs::Histogram& FsCandidateEvalHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("fs.candidate_eval_ns");
+  return histogram;
+}
+
+obs::Counter& FsDeltaEvalsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("fs.delta_evals");
+  return counter;
+}
+
+std::unique_ptr<NbSubsetEvaluator> TryMakeNbEvaluator(
+    const EncodedDataset& data, const HoldoutSplit& split, ErrorMetric metric,
+    const ClassifierFactory& factory, const std::vector<uint32_t>& candidates,
+    uint32_t num_threads) {
+  if (SuffStatsCache::Bypassed()) return nullptr;
+  if (split.train.empty()) return nullptr;
+  // The factory is an opaque std::function; probe one instance to learn
+  // the concrete classifier (and its smoothing constant).
+  std::unique_ptr<Classifier> probe = factory();
+  auto* nb = dynamic_cast<NaiveBayes*>(probe.get());
+  if (nb == nullptr) return nullptr;
+  std::shared_ptr<const SuffStats> stats =
+      SuffStatsCache::Global().GetOrBuild(data, split.train, num_threads);
+  if (stats == nullptr) return nullptr;
+  return std::make_unique<NbSubsetEvaluator>(data, stats, split.validation,
+                                             metric, nb->alpha(), candidates,
+                                             num_threads);
+}
+
+}  // namespace hamlet

@@ -1,0 +1,93 @@
+#ifndef HAMLET_FS_CANDIDATE_EVAL_H_
+#define HAMLET_FS_CANDIDATE_EVAL_H_
+
+/// \file candidate_eval.h
+/// Shared candidate-evaluation plumbing for the wrapper searches. All
+/// three searches (forward, backward, exhaustive) route their candidate
+/// models through these helpers so that
+///
+///   - the `fs.models_trained` counter and `fs.candidate_eval_ns`
+///     histogram are recorded uniformly,
+///   - evaluation labels are gathered once per search instead of once per
+///     candidate, and
+///   - the sufficient-statistics fast path (NbSubsetEvaluator) is probed
+///     in one place: TryMakeNbEvaluator returns an evaluator when the
+///     factory produces Naive Bayes models and caching is not bypassed,
+///     nullptr when the caller must fall back to the scan path.
+
+#include <memory>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/result.h"
+#include "data/encoded_dataset.h"
+#include "data/splits.h"
+#include "ml/classifier.h"
+#include "ml/eval.h"
+#include "ml/suff_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stats/metrics.h"
+
+namespace hamlet {
+
+/// Candidate models trained (or delta-evaluated) by the searches.
+obs::Counter& FsModelsTrainedCounter();
+
+/// Wall time per candidate evaluation, scan and fast path alike.
+obs::Histogram& FsCandidateEvalHistogram();
+
+/// Candidate evaluations served by an incremental delta pass instead of a
+/// full retrain.
+obs::Counter& FsDeltaEvalsCounter();
+
+/// Probes the fast path: if `factory` produces categorical Naive Bayes
+/// models and no ScopedSuffStatsBypass is active, fetches (or builds) the
+/// sufficient statistics of `split.train` from the global cache and wraps
+/// them in an NbSubsetEvaluator over `split.validation`. Returns nullptr
+/// when the caller must use the scan path (non-NB classifier, bypass
+/// active, or an empty train split).
+std::unique_ptr<NbSubsetEvaluator> TryMakeNbEvaluator(
+    const EncodedDataset& data, const HoldoutSplit& split, ErrorMetric metric,
+    const ClassifierFactory& factory, const std::vector<uint32_t>& candidates,
+    uint32_t num_threads);
+
+/// Scan-path workhorse: evaluates `make_trial(i)`'s subset for every
+/// candidate index in [0, count) in parallel — full retrain per candidate
+/// — writing each error to its own slot, and returns the first failure in
+/// index order if any evaluation failed. `eval_labels` are the
+/// pre-gathered labels of `split.validation`. The argmax/argmin over
+/// `errors` is the caller's job and must run serially in index order; that
+/// replay is what keeps parallel selections bit-for-bit identical to
+/// serial ones, including tie-breaks.
+template <typename MakeTrial>
+Status EvaluateSubsetsScan(const EncodedDataset& data,
+                           const HoldoutSplit& split,
+                           const std::vector<uint32_t>& eval_labels,
+                           const ClassifierFactory& factory,
+                           ErrorMetric metric, uint32_t count,
+                           uint32_t num_threads, const MakeTrial& make_trial,
+                           std::vector<double>* errors) {
+  errors->assign(count, 0.0);
+  std::vector<Status> statuses(count);
+  ParallelFor(count, num_threads, [&](uint32_t i) {
+    obs::ScopedLatency latency(FsCandidateEvalHistogram());
+    Result<double> err =
+        TrainAndScore(factory, data, split.train, split.validation,
+                      eval_labels, make_trial(i), metric);
+    if (err.ok()) {
+      (*errors)[i] = *err;
+    } else {
+      statuses[i] = err.status();
+    }
+  });
+  FsModelsTrainedCounter().Add(count);
+  for (const Status& st : statuses) {
+    HAMLET_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace hamlet
+
+#endif  // HAMLET_FS_CANDIDATE_EVAL_H_

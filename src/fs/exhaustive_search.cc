@@ -1,10 +1,56 @@
 #include "fs/exhaustive_search.h"
 
+#include <vector>
+
 #include "common/parallel_for.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "fs/candidate_eval.h"
 #include "ml/eval.h"
+#include "obs/trace.h"
 
 namespace hamlet {
+
+namespace {
+
+// Fast path over the full lattice: a DFS that shares partial score sums
+// between subsets. The low `split_bits` bits of the mask are enumerated as
+// independent subtrees (parallel work items); within a subtree, extending
+// the subset by one feature is a single AccumulateFeature pass, so each of
+// the 2^d leaves costs O(eval_rows × classes) instead of a full retrain.
+// Features are always accumulated in ascending bit order — the same order
+// the scan path assembles each subset — so every leaf error is
+// bit-identical to its scan twin.
+void EvaluateLatticeFast(const NbSubsetEvaluator& ev,
+                         const std::vector<uint32_t>& candidates,
+                         uint32_t split_bits, uint32_t num_threads,
+                         std::vector<double>* errors) {
+  const uint32_t d = static_cast<uint32_t>(candidates.size());
+  ParallelFor(1u << split_bits, num_threads, [&](uint32_t prefix) {
+    // One score buffer per DFS level, reused across the whole subtree.
+    std::vector<std::vector<double>> levels(d - split_bits + 1);
+    ev.InitScores(&levels[0]);
+    for (uint32_t j = 0; j < split_bits; ++j) {
+      if (prefix & (1u << j)) {
+        ev.AccumulateFeature(candidates[j], levels[0], &levels[0]);
+      }
+    }
+    auto rec = [&](auto&& self, uint32_t level, uint32_t bit,
+                   uint32_t mask) -> void {
+      if (bit == d) {
+        obs::ScopedLatency latency(FsCandidateEvalHistogram());
+        (*errors)[mask] = ev.ErrorFromScores(levels[level]);
+        return;
+      }
+      self(self, level, bit + 1, mask);  // Exclude candidates[bit].
+      ev.AccumulateFeature(candidates[bit], levels[level], &levels[level + 1]);
+      self(self, level + 1, bit + 1, mask | (1u << bit));
+    };
+    rec(rec, 0, split_bits, prefix);
+  });
+}
+
+}  // namespace
 
 Result<SelectionResult> ExhaustiveSelection::Select(
     const EncodedDataset& data, const HoldoutSplit& split,
@@ -28,30 +74,49 @@ Result<SelectionResult> ExhaustiveSelection::Select(
   const uint32_t d = static_cast<uint32_t>(candidates.size());
   const uint32_t total = 1u << d;
 
-  // Every subset is an independent train/score, so the lattice is
-  // evaluated in parallel, one slot per mask; the optimum (with the
-  // smaller-subset-then-lower-mask tie-break) is found by a serial scan
-  // afterwards, identical at any thread count.
+  std::unique_ptr<NbSubsetEvaluator> fast;
+  if (!force_scan_eval_) {
+    fast = TryMakeNbEvaluator(data, split, metric, factory, candidates,
+                              num_threads_);
+  }
+
   std::vector<double> errors(total, 0.0);
-  std::vector<Status> statuses(total);
-  ParallelFor(total, num_threads_, [&](uint32_t mask) {
-    std::vector<uint32_t> subset;
-    for (uint32_t j = 0; j < d; ++j) {
-      if (mask & (1u << j)) subset.push_back(candidates[j]);
+  if (fast != nullptr) {
+    // Enough subtrees to keep every worker busy (≥4× effective threads),
+    // but never more than the lattice has — or than is worth the per-task
+    // setup.
+    const uint32_t effective =
+        num_threads_ == 0
+            ? static_cast<uint32_t>(ThreadPool::Global().num_workers() + 1)
+            : num_threads_;
+    uint32_t split_bits = 0;
+    while ((1u << split_bits) < 4 * effective && split_bits < d &&
+           split_bits < 12) {
+      ++split_bits;
     }
-    Result<double> err = TrainAndScore(factory, data, split.train,
-                                       split.validation, subset, metric);
-    if (err.ok()) {
-      errors[mask] = *err;
-    } else {
-      statuses[mask] = err.status();
-    }
-  });
-  for (const Status& st : statuses) {
-    HAMLET_RETURN_NOT_OK(st);
+    EvaluateLatticeFast(*fast, candidates, split_bits, num_threads_, &errors);
+    FsModelsTrainedCounter().Add(total);
+    FsDeltaEvalsCounter().Add(total);
+  } else {
+    // Every subset is an independent train/score, so the lattice is
+    // evaluated in parallel, one slot per mask, through the same
+    // instrumented helper the greedy searches use.
+    std::vector<uint32_t> eval_labels = GatherLabels(data, split.validation);
+    HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
+        data, split, eval_labels, factory, metric, total, num_threads_,
+        [&](uint32_t mask) {
+          std::vector<uint32_t> subset;
+          for (uint32_t j = 0; j < d; ++j) {
+            if (mask & (1u << j)) subset.push_back(candidates[j]);
+          }
+          return subset;
+        },
+        &errors));
   }
   result.models_trained = total;
 
+  // The optimum (with the smaller-subset-then-lower-mask tie-break) is
+  // found by a serial mask-ordered scan, identical at any thread count.
   double best_error = 0.0;
   uint64_t best_mask = 0;
   bool first = true;

@@ -54,8 +54,16 @@ class FeatureSelector {
   void set_num_threads(uint32_t num_threads) { num_threads_ = num_threads; }
   uint32_t num_threads() const { return num_threads_; }
 
+  /// Forces the original scan-based evaluation (full model retrain per
+  /// candidate) even when a sufficient-statistics fast path is available.
+  /// Escape hatch surfaced as PipelineConfig::force_scan_eval; the fast
+  /// path selects identical subsets, so this only trades speed.
+  void set_force_scan_eval(bool force) { force_scan_eval_ = force; }
+  bool force_scan_eval() const { return force_scan_eval_; }
+
  protected:
   uint32_t num_threads_ = 0;
+  bool force_scan_eval_ = false;
 };
 
 }  // namespace hamlet

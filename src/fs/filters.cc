@@ -4,25 +4,38 @@
 #include <numeric>
 
 #include "common/parallel_for.h"
+#include "fs/candidate_eval.h"
 #include "ml/eval.h"
+#include "ml/suff_stats.h"
 #include "obs/trace.h"
+#include "stats/contingency.h"
 #include "stats/info_theory.h"
 
 namespace hamlet {
 
-namespace {
-
-obs::Counter& ModelsTrainedCounter() {
-  static obs::Counter& counter =
-      obs::MetricsRegistry::Global().GetCounter("fs.models_trained");
-  return counter;
-}
-
-}  // namespace
-
 std::vector<double> ScoreFilter::ScoreFeatures(
     const EncodedDataset& data, const std::vector<uint32_t>& rows,
     const std::vector<uint32_t>& candidates) const {
+  // If sufficient statistics for (data, rows) are cached, every
+  // contingency table is already sitting in them — same integer counts,
+  // so the scores are bit-identical to the gathering path below.
+  std::shared_ptr<const SuffStats> stats =
+      SuffStatsCache::Global().Peek(data, rows);
+  std::vector<double> scores(candidates.size(), 0.0);
+  if (stats != nullptr) {
+    ParallelFor(
+        static_cast<uint32_t>(candidates.size()), num_threads_,
+        [&](uint32_t idx) {
+          const uint32_t j = candidates[idx];
+          ContingencyTable table(stats->feature_counts[j],
+                                 stats->cardinalities[j], stats->num_classes);
+          scores[idx] = score_ == FilterScore::kMutualInformation
+                            ? MutualInformation(table)
+                            : InformationGainRatio(table);
+        });
+    return scores;
+  }
+
   // Gather labels once; shared read-only across the scoring items.
   std::vector<uint32_t> y;
   y.reserve(rows.size());
@@ -30,7 +43,6 @@ std::vector<double> ScoreFilter::ScoreFeatures(
 
   // Each feature's score is independent of the others, so the scan is
   // data-parallel: one slot per candidate, no cross-item state.
-  std::vector<double> scores(candidates.size(), 0.0);
   ParallelFor(
       static_cast<uint32_t>(candidates.size()), num_threads_,
       [&](uint32_t idx) {
@@ -59,8 +71,17 @@ Result<SelectionResult> ScoreFilter::Select(
         TrainAndScore(factory, data, split.train, split.validation, {},
                       metric));
     ++result.models_trained;
-    ModelsTrainedCounter().Add(1);
+    FsModelsTrainedCounter().Add(1);
     return result;
+  }
+
+  // Probe the sufficient-statistics fast path up front: GetOrBuild inside
+  // TryMakeNbEvaluator populates the cache, so the ScoreFeatures call
+  // below reads its contingency tables from the same one-pass statistics.
+  std::unique_ptr<NbSubsetEvaluator> fast;
+  if (!force_scan_eval_) {
+    fast = TryMakeNbEvaluator(data, split, metric, factory, candidates,
+                              num_threads_);
   }
 
   std::vector<double> scores;
@@ -77,33 +98,40 @@ Result<SelectionResult> ScoreFilter::Select(
     return scores[a] > scores[b];
   });
 
-  // Tune k on validation error. Each prefix model is independent, so all
-  // |order| prefixes train in parallel; the argmin scan below runs
-  // serially in k order (strict `<` keeps the smallest k among ties).
+  // Tune k on validation error. The prefixes are nested in rank order, so
+  // the fast path walks them serially with one AddToBase per k — strictly
+  // less work than retraining every prefix, and the summation order
+  // (features in rank order) matches the scan path's, so the errors are
+  // bit-identical. The argmin scan below runs serially in k order (strict
+  // `<` keeps the smallest k among ties).
   const uint32_t num_k = static_cast<uint32_t>(order.size());
   obs::TraceSpan tune_span("fs.filter_tune");
   tune_span.AddAttr("prefixes", num_k);
   std::vector<double> errors(num_k, 0.0);
-  std::vector<Status> statuses(num_k);
-  ParallelFor(num_k, num_threads_, [&](uint32_t i) {
-    std::vector<uint32_t> prefix;
-    prefix.reserve(i + 1);
-    for (uint32_t k = 0; k <= i; ++k) {
-      prefix.push_back(candidates[order[k]]);
+  if (fast != nullptr) {
+    fast->ResetBase({});
+    for (uint32_t i = 0; i < num_k; ++i) {
+      obs::ScopedLatency latency(FsCandidateEvalHistogram());
+      fast->AddToBase(candidates[order[i]]);
+      errors[i] = fast->EvalBase();
     }
-    Result<double> err = TrainAndScore(factory, data, split.train,
-                                       split.validation, prefix, metric);
-    if (err.ok()) {
-      errors[i] = *err;
-    } else {
-      statuses[i] = err.status();
-    }
-  });
-  for (const Status& st : statuses) {
-    HAMLET_RETURN_NOT_OK(st);
+    FsModelsTrainedCounter().Add(num_k);
+    FsDeltaEvalsCounter().Add(num_k);
+  } else {
+    std::vector<uint32_t> eval_labels = GatherLabels(data, split.validation);
+    HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
+        data, split, eval_labels, factory, metric, num_k, num_threads_,
+        [&](uint32_t i) {
+          std::vector<uint32_t> prefix;
+          prefix.reserve(i + 1);
+          for (uint32_t k = 0; k <= i; ++k) {
+            prefix.push_back(candidates[order[k]]);
+          }
+          return prefix;
+        },
+        &errors));
   }
   result.models_trained += num_k;
-  ModelsTrainedCounter().Add(num_k);
 
   double best_error = 0.0;
   size_t best_k = 1;

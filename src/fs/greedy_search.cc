@@ -3,61 +3,11 @@
 #include <algorithm>
 
 #include "common/parallel_for.h"
+#include "fs/candidate_eval.h"
 #include "ml/eval.h"
 #include "obs/trace.h"
 
 namespace hamlet {
-
-namespace {
-
-// Metric handles are registered once and cached; increments/records on
-// them are lock-free and no-ops while collection is disabled.
-obs::Counter& ModelsTrainedCounter() {
-  static obs::Counter& counter =
-      obs::MetricsRegistry::Global().GetCounter("fs.models_trained");
-  return counter;
-}
-
-obs::Histogram& CandidateEvalHistogram() {
-  static obs::Histogram& histogram =
-      obs::MetricsRegistry::Global().GetHistogram("fs.candidate_eval_ns");
-  return histogram;
-}
-
-// Evaluates `make_trial(i)`'s subset for every candidate index in
-// [0, count) in parallel, writing each error to its own slot, and returns
-// the first failure (in index order) if any evaluation failed. The
-// argmax/argmin over `errors` is the caller's job and must run serially in
-// index order — that replay is what keeps parallel selections bit-for-bit
-// identical to serial ones, including tie-breaks.
-template <typename MakeTrial>
-Status EvaluateCandidates(const EncodedDataset& data,
-                          const HoldoutSplit& split,
-                          const ClassifierFactory& factory,
-                          ErrorMetric metric, uint32_t count,
-                          uint32_t num_threads, const MakeTrial& make_trial,
-                          std::vector<double>* errors) {
-  errors->assign(count, 0.0);
-  std::vector<Status> statuses(count);
-  ParallelFor(count, num_threads, [&](uint32_t i) {
-    obs::ScopedLatency latency(CandidateEvalHistogram());
-    Result<double> err =
-        TrainAndScore(factory, data, split.train, split.validation,
-                      make_trial(i), metric);
-    if (err.ok()) {
-      (*errors)[i] = *err;
-    } else {
-      statuses[i] = err.status();
-    }
-  });
-  ModelsTrainedCounter().Add(count);
-  for (const Status& st : statuses) {
-    HAMLET_RETURN_NOT_OK(st);
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 Result<SelectionResult> ForwardSelection::Select(
     const EncodedDataset& data, const HoldoutSplit& split,
@@ -66,26 +16,55 @@ Result<SelectionResult> ForwardSelection::Select(
   SelectionResult result;
   std::vector<uint32_t> remaining = candidates;
 
+  // Fast path: with Naive Bayes, derive every candidate score from shared
+  // sufficient statistics + the base log-scores of the current subset.
+  // EvalBasePlus sums the candidate's contribution last — the same order
+  // the scan path uses for S ∪ {f} — so selections are bit-identical.
+  std::unique_ptr<NbSubsetEvaluator> fast;
+  if (!force_scan_eval_) {
+    fast = TryMakeNbEvaluator(data, split, metric, factory, candidates,
+                              num_threads_);
+  }
+
   // Baseline: the prior-only (empty-subset) model.
-  HAMLET_ASSIGN_OR_RETURN(
-      double best_error,
-      TrainAndScore(factory, data, split.train, split.validation, {}, metric));
+  double best_error = 0.0;
+  std::vector<uint32_t> eval_labels;  // Scan path only; gathered once.
+  if (fast != nullptr) {
+    fast->ResetBase({});
+    best_error = fast->EvalBase();
+  } else {
+    eval_labels = GatherLabels(data, split.validation);
+    HAMLET_ASSIGN_OR_RETURN(
+        best_error, TrainAndScore(factory, data, split.train, split.validation,
+                                  eval_labels, {}, metric));
+  }
   ++result.models_trained;
-  ModelsTrainedCounter().Add(1);
+  FsModelsTrainedCounter().Add(1);
 
   while (!remaining.empty()) {
     const uint32_t m = static_cast<uint32_t>(remaining.size());
     obs::TraceSpan step_span("fs.step");
     step_span.AddAttr("candidates", m);
     std::vector<double> errors;
-    HAMLET_RETURN_NOT_OK(EvaluateCandidates(
-        data, split, factory, metric, m, num_threads_,
-        [&](uint32_t i) {
-          std::vector<uint32_t> trial = result.selected;
-          trial.push_back(remaining[i]);
-          return trial;
-        },
-        &errors));
+    if (fast != nullptr) {
+      errors.assign(m, 0.0);
+      const NbSubsetEvaluator& ev = *fast;
+      ParallelFor(m, num_threads_, [&](uint32_t i) {
+        obs::ScopedLatency latency(FsCandidateEvalHistogram());
+        errors[i] = ev.EvalBasePlus(remaining[i]);
+      });
+      FsModelsTrainedCounter().Add(m);
+      FsDeltaEvalsCounter().Add(m);
+    } else {
+      HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
+          data, split, eval_labels, factory, metric, m, num_threads_,
+          [&](uint32_t i) {
+            std::vector<uint32_t> trial = result.selected;
+            trial.push_back(remaining[i]);
+            return trial;
+          },
+          &errors));
+    }
     result.models_trained += m;
 
     // Serial index-ordered reduction: a candidate wins only by improving
@@ -101,6 +80,7 @@ Result<SelectionResult> ForwardSelection::Select(
     }
     if (round_pick < 0) break;
     result.selected.push_back(remaining[round_pick]);
+    if (fast != nullptr) fast->AddToBase(remaining[round_pick]);
     remaining.erase(remaining.begin() + round_pick);
     best_error = round_best;
   }
@@ -115,29 +95,57 @@ Result<SelectionResult> BackwardSelection::Select(
   SelectionResult result;
   result.selected = candidates;
 
-  HAMLET_ASSIGN_OR_RETURN(
-      double best_error,
-      TrainAndScore(factory, data, split.train, split.validation,
-                    result.selected, metric));
+  // Fast path: base log-scores of the current subset; dropping feature f
+  // subtracts its column. Subtraction re-associates the floating-point
+  // sum, so candidate scores match a scan retrain to ~1e-15 per score
+  // rather than bit-exactly (see docs/PERFORMANCE.md).
+  std::unique_ptr<NbSubsetEvaluator> fast;
+  if (!force_scan_eval_) {
+    fast = TryMakeNbEvaluator(data, split, metric, factory, candidates,
+                              num_threads_);
+  }
+
+  double best_error = 0.0;
+  std::vector<uint32_t> eval_labels;  // Scan path only; gathered once.
+  if (fast != nullptr) {
+    fast->ResetBase(result.selected);
+    best_error = fast->EvalBase();
+  } else {
+    eval_labels = GatherLabels(data, split.validation);
+    HAMLET_ASSIGN_OR_RETURN(
+        best_error, TrainAndScore(factory, data, split.train, split.validation,
+                                  eval_labels, result.selected, metric));
+  }
   ++result.models_trained;
-  ModelsTrainedCounter().Add(1);
+  FsModelsTrainedCounter().Add(1);
 
   while (result.selected.size() > 1) {
     const uint32_t m = static_cast<uint32_t>(result.selected.size());
     obs::TraceSpan step_span("fs.step");
     step_span.AddAttr("candidates", m);
     std::vector<double> errors;
-    HAMLET_RETURN_NOT_OK(EvaluateCandidates(
-        data, split, factory, metric, m, num_threads_,
-        [&](uint32_t i) {
-          std::vector<uint32_t> trial;
-          trial.reserve(result.selected.size() - 1);
-          for (uint32_t k = 0; k < m; ++k) {
-            if (k != i) trial.push_back(result.selected[k]);
-          }
-          return trial;
-        },
-        &errors));
+    if (fast != nullptr) {
+      errors.assign(m, 0.0);
+      const NbSubsetEvaluator& ev = *fast;
+      ParallelFor(m, num_threads_, [&](uint32_t i) {
+        obs::ScopedLatency latency(FsCandidateEvalHistogram());
+        errors[i] = ev.EvalBaseMinus(result.selected[i]);
+      });
+      FsModelsTrainedCounter().Add(m);
+      FsDeltaEvalsCounter().Add(m);
+    } else {
+      HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
+          data, split, eval_labels, factory, metric, m, num_threads_,
+          [&](uint32_t i) {
+            std::vector<uint32_t> trial;
+            trial.reserve(result.selected.size() - 1);
+            for (uint32_t k = 0; k < m; ++k) {
+              if (k != i) trial.push_back(result.selected[k]);
+            }
+            return trial;
+          },
+          &errors));
+    }
     result.models_trained += m;
 
     // Serial reduction preserving the original semantics: `<=` keeps the
@@ -151,6 +159,7 @@ Result<SelectionResult> BackwardSelection::Select(
       }
     }
     if (round_pick < 0) break;
+    if (fast != nullptr) fast->RemoveFromBase(result.selected[round_pick]);
     result.selected.erase(result.selected.begin() + round_pick);
     best_error = std::min(best_error, round_best);
   }

@@ -23,7 +23,8 @@ const char* FsMethodToString(FsMethod method) {
 }
 
 std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method,
-                                              uint32_t num_threads) {
+                                              uint32_t num_threads,
+                                              bool force_scan_eval) {
   std::unique_ptr<FeatureSelector> selector;
   switch (method) {
     case FsMethod::kForwardSelection:
@@ -41,7 +42,10 @@ std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method,
           std::make_unique<ScoreFilter>(FilterScore::kInformationGainRatio);
       break;
   }
-  if (selector != nullptr) selector->set_num_threads(num_threads);
+  if (selector != nullptr) {
+    selector->set_num_threads(num_threads);
+    selector->set_force_scan_eval(force_scan_eval);
+  }
   return selector;
 }
 

@@ -29,9 +29,12 @@ const char* FsMethodToString(FsMethod method);
 /// Constructs the selector for a method. `num_threads` shards each search
 /// step's independent candidate evaluations onto the shared pool (0 = one
 /// shard per hardware thread, 1 = serial); every setting produces
-/// bit-for-bit identical selections.
+/// bit-for-bit identical selections. `force_scan_eval` disables the
+/// sufficient-statistics fast path (full retrain per candidate) — the
+/// escape hatch behind PipelineConfig::force_scan_eval.
 std::unique_ptr<FeatureSelector> MakeSelector(FsMethod method,
-                                              uint32_t num_threads = 0);
+                                              uint32_t num_threads = 0,
+                                              bool force_scan_eval = false);
 
 /// All methods in paper order (Figure 7 columns).
 std::vector<FsMethod> AllFsMethods();

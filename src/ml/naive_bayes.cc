@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "ml/suff_stats.h"
 
 namespace hamlet {
 
@@ -16,6 +17,13 @@ Status NaiveBayes::Train(const EncodedDataset& data,
                          const std::vector<uint32_t>& features) {
   if (rows.empty()) {
     return Status::InvalidArgument("cannot train Naive Bayes on zero rows");
+  }
+  // If sufficient statistics for this (dataset, row subset) are already
+  // cached, derive the model from the counts instead of rescanning; the
+  // doubles are identical (same counts, same expressions).
+  if (std::shared_ptr<const SuffStats> stats =
+          SuffStatsCache::Global().Peek(data, rows)) {
+    return TrainFromStats(*stats, features);
   }
   num_classes_ = data.num_classes();
   features_ = features;
@@ -58,10 +66,50 @@ Status NaiveBayes::Train(const EncodedDataset& data,
   return Status::OK();
 }
 
-std::vector<double> NaiveBayes::LogScores(const EncodedDataset& data,
-                                          uint32_t row) const {
+Status NaiveBayes::TrainFromStats(const SuffStats& stats,
+                                  const std::vector<uint32_t>& features) {
+  if (stats.num_rows() == 0) {
+    return Status::InvalidArgument("cannot train Naive Bayes on zero rows");
+  }
+  num_classes_ = stats.num_classes;
+  features_ = features;
+
+  log_priors_.resize(num_classes_);
+  const double n = static_cast<double>(stats.num_rows());
+  for (uint32_t c = 0; c < num_classes_; ++c) {
+    log_priors_[c] = std::log(
+        (static_cast<double>(stats.class_counts[c]) + alpha_) /
+        (n + alpha_ * num_classes_));
+  }
+
+  log_likelihoods_.assign(features_.size(), {});
+  for (size_t jj = 0; jj < features_.size(); ++jj) {
+    uint32_t j = features_[jj];
+    HAMLET_CHECK(j < stats.feature_counts.size(),
+                 "feature %u not covered by the statistics", j);
+    const std::vector<uint64_t>& counts = stats.feature_counts[j];
+    const uint32_t card = stats.cardinalities[j];
+    std::vector<double>& ll = log_likelihoods_[jj];
+    ll.resize(counts.size());
+    for (uint32_t c = 0; c < num_classes_; ++c) {
+      const double denom = static_cast<double>(stats.class_counts[c]) +
+                           alpha_ * static_cast<double>(card);
+      const double log_denom = std::log(denom);
+      for (uint32_t v = 0; v < card; ++v) {
+        size_t idx = static_cast<size_t>(v) * num_classes_ + c;
+        ll[idx] = std::log(static_cast<double>(counts[idx]) + alpha_) -
+                  log_denom;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void NaiveBayes::LogScoresInto(const EncodedDataset& data, uint32_t row,
+                               std::vector<double>* out) const {
   HAMLET_CHECK(num_classes_ > 0, "LogScores() before Train()");
-  std::vector<double> scores = log_priors_;
+  out->assign(log_priors_.begin(), log_priors_.end());
+  std::vector<double>& scores = *out;
   for (size_t jj = 0; jj < features_.size(); ++jj) {
     uint32_t code = data.feature(features_[jj])[row];
     const std::vector<double>& ll = log_likelihoods_[jj];
@@ -70,6 +118,12 @@ std::vector<double> NaiveBayes::LogScores(const EncodedDataset& data,
     const double* cell = &ll[static_cast<size_t>(code) * num_classes_];
     for (uint32_t c = 0; c < num_classes_; ++c) scores[c] += cell[c];
   }
+}
+
+std::vector<double> NaiveBayes::LogScores(const EncodedDataset& data,
+                                          uint32_t row) const {
+  std::vector<double> scores;
+  LogScoresInto(data, row, &scores);
   return scores;
 }
 

@@ -12,6 +12,8 @@
 
 namespace hamlet {
 
+struct SuffStats;
+
 /// Multinomial/categorical Naive Bayes:
 ///   predict argmax_y log P(y) + sum_j log P(x_j | y)
 /// with all probabilities Laplace-smoothed by `alpha`.
@@ -20,8 +22,18 @@ class NaiveBayes : public Classifier {
   /// `alpha` is the Laplace smoothing pseudo-count (> 0).
   explicit NaiveBayes(double alpha = 1.0);
 
+  /// Trains on (rows, features). If the global SuffStatsCache already
+  /// holds statistics for (data, rows) — and no ScopedSuffStatsBypass is
+  /// active — the model is derived from the cached counts without
+  /// rescanning the data; the result is bit-identical either way.
   Status Train(const EncodedDataset& data, const std::vector<uint32_t>& rows,
                const std::vector<uint32_t>& features) override;
+
+  /// Trains from precomputed sufficient statistics: zero data scans. Uses
+  /// the exact floating-point expressions of the scan path on the exact
+  /// same integer counts, so the resulting model is bit-identical.
+  Status TrainFromStats(const SuffStats& stats,
+                        const std::vector<uint32_t>& features);
 
   uint32_t PredictOne(const EncodedDataset& data, uint32_t row) const override;
 
@@ -36,12 +48,20 @@ class NaiveBayes : public Classifier {
   std::vector<double> LogScores(const EncodedDataset& data,
                                 uint32_t row) const;
 
+  /// Allocation-free variant: writes the log-scores into `*out` (resized
+  /// to num_classes). Callers scoring many rows reuse one buffer.
+  void LogScoresInto(const EncodedDataset& data, uint32_t row,
+                     std::vector<double>* out) const;
+
   /// Normalized posterior P(y | x) for one row (softmax of LogScores).
   std::vector<double> PredictProbabilities(const EncodedDataset& data,
                                            uint32_t row) const;
 
   /// The smoothed log prior vector (for tests).
   const std::vector<double>& log_priors() const { return log_priors_; }
+
+  /// The Laplace smoothing pseudo-count this model was built with.
+  double alpha() const { return alpha_; }
 
  private:
   double alpha_;

@@ -1,0 +1,406 @@
+#include "ml/suff_stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/parallel_for.h"
+#include "obs/trace.h"
+
+namespace hamlet {
+
+namespace {
+
+obs::Counter& CacheHitsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("fs.cache_hits");
+  return counter;
+}
+
+obs::Counter& CacheMissesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("fs.cache_misses");
+  return counter;
+}
+
+obs::Histogram& StatsBuildHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("fs.stats_build_ns");
+  return histogram;
+}
+
+// FNV-1a over the row indices; the cache verifies candidates with an
+// exact vector comparison, so the hash only needs to be a good filter.
+uint64_t HashRows(const std::vector<uint32_t>& rows) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (uint32_t r : rows) {
+    h ^= r;
+    h *= 0x100000001B3ULL;
+  }
+  h ^= rows.size();
+  h *= 0x100000001B3ULL;
+  return h;
+}
+
+// Depth of active ScopedSuffStatsBypass guards (process-wide).
+std::atomic<int> g_bypass_depth{0};
+
+// Per-thread scratch for the Eval* hot paths: reused across calls so a
+// candidate evaluation allocates nothing after warm-up. Pool workers are
+// persistent, so the buffers stay hot for a whole search.
+thread_local std::vector<uint32_t> t_predicted;
+thread_local std::vector<double> t_scores;
+
+}  // namespace
+
+SuffStats BuildSuffStats(const EncodedDataset& data,
+                         const std::vector<uint32_t>& rows,
+                         uint32_t num_threads) {
+  SuffStats stats;
+  stats.dataset_id = data.cache_id();
+  stats.num_classes = data.num_classes();
+  stats.rows = rows;
+
+  const std::vector<uint32_t>& y = data.labels();
+  stats.class_counts.assign(stats.num_classes, 0);
+  for (uint32_t r : rows) {
+    HAMLET_DCHECK(r < data.num_rows(), "row %u out of range %u", r,
+                  data.num_rows());
+    ++stats.class_counts[y[r]];
+  }
+
+  const uint32_t num_features = data.num_features();
+  stats.cardinalities.resize(num_features);
+  stats.feature_counts.resize(num_features);
+  // Integer counts per feature, one work item per feature: bit-identical
+  // at any thread count.
+  ParallelFor(num_features, num_threads, [&](uint32_t j) {
+    const uint32_t card = data.meta(j).cardinality;
+    stats.cardinalities[j] = card;
+    const std::vector<uint32_t>& f = data.feature(j);
+    std::vector<uint64_t>& counts = stats.feature_counts[j];
+    counts.assign(static_cast<size_t>(card) * stats.num_classes, 0);
+    for (uint32_t r : rows) {
+      ++counts[static_cast<size_t>(f[r]) * stats.num_classes + y[r]];
+    }
+  });
+  return stats;
+}
+
+SuffStatsCache& SuffStatsCache::Global() {
+  static SuffStatsCache* cache = new SuffStatsCache();
+  return *cache;
+}
+
+bool SuffStatsCache::Bypassed() {
+  return g_bypass_depth.load(std::memory_order_relaxed) > 0;
+}
+
+std::shared_ptr<const SuffStats> SuffStatsCache::FindLocked(
+    uint64_t dataset_id, uint64_t rows_hash,
+    const std::vector<uint32_t>& rows) const {
+  for (Entry& entry : entries_) {
+    if (entry.dataset_id == dataset_id && entry.rows_hash == rows_hash &&
+        entry.stats->rows == rows) {
+      entry.last_used = ++tick_;
+      return entry.stats;
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const SuffStats> SuffStatsCache::Peek(
+    const EncodedDataset& data, const std::vector<uint32_t>& rows) const {
+  if (Bypassed()) return nullptr;
+  const uint64_t hash = HashRows(rows);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const SuffStats> found =
+      FindLocked(data.cache_id(), hash, rows);
+  if (found != nullptr) CacheHitsCounter().Add(1);
+  return found;
+}
+
+std::shared_ptr<const SuffStats> SuffStatsCache::GetOrBuild(
+    const EncodedDataset& data, const std::vector<uint32_t>& rows,
+    uint32_t num_threads) {
+  if (Bypassed()) return nullptr;
+  const uint64_t dataset_id = data.cache_id();
+  const uint64_t hash = HashRows(rows);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<const SuffStats> found =
+        FindLocked(dataset_id, hash, rows);
+    if (found != nullptr) {
+      CacheHitsCounter().Add(1);
+      return found;
+    }
+  }
+
+  // Build outside the lock — a concurrent builder of a different key must
+  // not serialize behind this pass.
+  CacheMissesCounter().Add(1);
+  std::shared_ptr<const SuffStats> built;
+  {
+    obs::ScopedLatency latency(StatsBuildHistogram());
+    built = std::make_shared<const SuffStats>(
+        BuildSuffStats(data, rows, num_threads));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Another thread may have inserted the same key while we built.
+  std::shared_ptr<const SuffStats> raced =
+      FindLocked(dataset_id, hash, rows);
+  if (raced != nullptr) return raced;
+  if (entries_.size() >= capacity_ && !entries_.empty()) {
+    size_t lru = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].last_used < entries_[lru].last_used) lru = i;
+    }
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(lru));
+  }
+  entries_.push_back(Entry{dataset_id, hash, ++tick_, built});
+  return built;
+}
+
+void SuffStatsCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void SuffStatsCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+  while (entries_.size() > capacity_) {
+    size_t lru = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].last_used < entries_[lru].last_used) lru = i;
+    }
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(lru));
+  }
+}
+
+ScopedSuffStatsBypass::ScopedSuffStatsBypass(bool enable)
+    : enabled_(enable) {
+  if (enabled_) g_bypass_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedSuffStatsBypass::~ScopedSuffStatsBypass() {
+  if (enabled_) g_bypass_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+NbSubsetEvaluator::NbSubsetEvaluator(const EncodedDataset& data,
+                                     std::shared_ptr<const SuffStats> stats,
+                                     std::vector<uint32_t> eval_rows,
+                                     ErrorMetric metric, double alpha,
+                                     const std::vector<uint32_t>& candidates,
+                                     uint32_t num_threads)
+    : data_(data),
+      stats_(std::move(stats)),
+      eval_rows_(std::move(eval_rows)),
+      metric_(metric),
+      num_classes_(data.num_classes()) {
+  HAMLET_CHECK(stats_ != nullptr, "NbSubsetEvaluator needs statistics");
+  HAMLET_CHECK(stats_->dataset_id == data.cache_id(),
+               "statistics built for a different dataset");
+  HAMLET_CHECK(stats_->num_rows() > 0,
+               "cannot evaluate models over zero training rows");
+  HAMLET_CHECK(alpha > 0.0, "Laplace alpha must be > 0, got %f", alpha);
+
+  eval_labels_.reserve(eval_rows_.size());
+  for (uint32_t r : eval_rows_) eval_labels_.push_back(data.labels()[r]);
+
+  // Smoothed log priors — the exact expression NaiveBayes::Train uses, on
+  // the exact same integer counts, so the doubles are identical.
+  const double n = static_cast<double>(stats_->num_rows());
+  log_priors_.resize(num_classes_);
+  for (uint32_t c = 0; c < num_classes_; ++c) {
+    log_priors_[c] = std::log(
+        (static_cast<double>(stats_->class_counts[c]) + alpha) /
+        (n + alpha * num_classes_));
+  }
+
+  // One log-likelihood table per candidate feature, derived once; the
+  // scan path re-derives these for every candidate model it trains.
+  log_likelihoods_.resize(data.num_features());
+  std::vector<uint32_t> unique = candidates;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  ParallelFor(
+      static_cast<uint32_t>(unique.size()), num_threads, [&](uint32_t idx) {
+        const uint32_t j = unique[idx];
+        const uint32_t card = stats_->cardinalities[j];
+        const std::vector<uint64_t>& counts = stats_->feature_counts[j];
+        std::vector<double>& ll = log_likelihoods_[j];
+        ll.resize(counts.size());
+        for (uint32_t c = 0; c < num_classes_; ++c) {
+          const double denom =
+              static_cast<double>(stats_->class_counts[c]) +
+              alpha * static_cast<double>(card);
+          const double log_denom = std::log(denom);
+          for (uint32_t v = 0; v < card; ++v) {
+            const size_t i = static_cast<size_t>(v) * num_classes_ + c;
+            ll[i] = std::log(static_cast<double>(counts[i]) + alpha) -
+                    log_denom;
+          }
+        }
+      });
+}
+
+double NbSubsetEvaluator::ErrorOf(
+    const std::vector<uint32_t>& predicted) const {
+  return ComputeError(metric_, eval_labels_, predicted);
+}
+
+double NbSubsetEvaluator::EvalSubset(
+    const std::vector<uint32_t>& features) const {
+  const uint32_t n = num_eval_rows();
+  std::vector<uint32_t>& predicted = t_predicted;
+  predicted.resize(n);
+  std::vector<double>& scores = t_scores;
+  scores.resize(num_classes_);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t row = eval_rows_[i];
+    for (uint32_t c = 0; c < num_classes_; ++c) scores[c] = log_priors_[c];
+    for (uint32_t j : features) {
+      HAMLET_DCHECK(!log_likelihoods_[j].empty(),
+                    "feature %u was not a candidate", j);
+      const uint32_t code = data_.feature(j)[row];
+      const double* cell =
+          &log_likelihoods_[j][static_cast<size_t>(code) * num_classes_];
+      for (uint32_t c = 0; c < num_classes_; ++c) scores[c] += cell[c];
+    }
+    uint32_t best = 0;
+    for (uint32_t c = 1; c < num_classes_; ++c) {
+      if (scores[c] > scores[best]) best = c;
+    }
+    predicted[i] = best;
+  }
+  return ErrorOf(predicted);
+}
+
+void NbSubsetEvaluator::ResetBase(const std::vector<uint32_t>& features) {
+  InitScores(&base_);
+  for (uint32_t j : features) AddToBase(j);
+}
+
+void NbSubsetEvaluator::InitScores(std::vector<double>* out) const {
+  const uint32_t n = num_eval_rows();
+  out->resize(static_cast<size_t>(n) * num_classes_);
+  for (uint32_t i = 0; i < n; ++i) {
+    double* row = out->data() + static_cast<size_t>(i) * num_classes_;
+    for (uint32_t c = 0; c < num_classes_; ++c) row[c] = log_priors_[c];
+  }
+}
+
+void NbSubsetEvaluator::AccumulateFeature(uint32_t feature,
+                                          const std::vector<double>& in,
+                                          std::vector<double>* out) const {
+  HAMLET_DCHECK(!log_likelihoods_[feature].empty(),
+                "feature %u was not a candidate", feature);
+  const uint32_t n = num_eval_rows();
+  out->resize(in.size());
+  const uint32_t* col = data_.feature(feature).data();
+  const std::vector<double>& ll = log_likelihoods_[feature];
+  for (uint32_t i = 0; i < n; ++i) {
+    const double* src = in.data() + static_cast<size_t>(i) * num_classes_;
+    double* dst = out->data() + static_cast<size_t>(i) * num_classes_;
+    const double* cell =
+        &ll[static_cast<size_t>(col[eval_rows_[i]]) * num_classes_];
+    for (uint32_t c = 0; c < num_classes_; ++c) dst[c] = src[c] + cell[c];
+  }
+}
+
+double NbSubsetEvaluator::ErrorFromScores(
+    const std::vector<double>& scores) const {
+  const uint32_t n = num_eval_rows();
+  std::vector<uint32_t>& predicted = t_predicted;
+  predicted.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const double* row = scores.data() + static_cast<size_t>(i) * num_classes_;
+    uint32_t best = 0;
+    for (uint32_t c = 1; c < num_classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    predicted[i] = best;
+  }
+  return ErrorOf(predicted);
+}
+
+void NbSubsetEvaluator::AddToBase(uint32_t feature) {
+  AccumulateFeature(feature, base_, &base_);
+}
+
+void NbSubsetEvaluator::RemoveFromBase(uint32_t feature) {
+  HAMLET_DCHECK(!log_likelihoods_[feature].empty(),
+                "feature %u was not a candidate", feature);
+  const uint32_t n = num_eval_rows();
+  const uint32_t* col = data_.feature(feature).data();
+  const std::vector<double>& ll = log_likelihoods_[feature];
+  for (uint32_t i = 0; i < n; ++i) {
+    double* row = base_.data() + static_cast<size_t>(i) * num_classes_;
+    const double* cell =
+        &ll[static_cast<size_t>(col[eval_rows_[i]]) * num_classes_];
+    for (uint32_t c = 0; c < num_classes_; ++c) row[c] -= cell[c];
+  }
+}
+
+double NbSubsetEvaluator::EvalBase() const {
+  return ErrorFromScores(base_);
+}
+
+double NbSubsetEvaluator::EvalBasePlus(uint32_t feature) const {
+  HAMLET_DCHECK(!log_likelihoods_[feature].empty(),
+                "feature %u was not a candidate", feature);
+  const uint32_t n = num_eval_rows();
+  std::vector<uint32_t>& predicted = t_predicted;
+  predicted.resize(n);
+  const uint32_t* col = data_.feature(feature).data();
+  const std::vector<double>& ll = log_likelihoods_[feature];
+  for (uint32_t i = 0; i < n; ++i) {
+    const double* row = base_.data() + static_cast<size_t>(i) * num_classes_;
+    const double* cell =
+        &ll[static_cast<size_t>(col[eval_rows_[i]]) * num_classes_];
+    // f's contribution lands last, matching the scan path's summation
+    // order for S ∪ {f}: argmax over identical doubles.
+    uint32_t best = 0;
+    double best_score = row[0] + cell[0];
+    for (uint32_t c = 1; c < num_classes_; ++c) {
+      const double s = row[c] + cell[c];
+      if (s > best_score) {
+        best_score = s;
+        best = c;
+      }
+    }
+    predicted[i] = best;
+  }
+  return ErrorOf(predicted);
+}
+
+double NbSubsetEvaluator::EvalBaseMinus(uint32_t feature) const {
+  HAMLET_DCHECK(!log_likelihoods_[feature].empty(),
+                "feature %u was not a candidate", feature);
+  const uint32_t n = num_eval_rows();
+  std::vector<uint32_t>& predicted = t_predicted;
+  predicted.resize(n);
+  const uint32_t* col = data_.feature(feature).data();
+  const std::vector<double>& ll = log_likelihoods_[feature];
+  for (uint32_t i = 0; i < n; ++i) {
+    const double* row = base_.data() + static_cast<size_t>(i) * num_classes_;
+    const double* cell =
+        &ll[static_cast<size_t>(col[eval_rows_[i]]) * num_classes_];
+    uint32_t best = 0;
+    double best_score = row[0] - cell[0];
+    for (uint32_t c = 1; c < num_classes_; ++c) {
+      const double s = row[c] - cell[c];
+      if (s > best_score) {
+        best_score = s;
+        best = c;
+      }
+    }
+    predicted[i] = best;
+  }
+  return ErrorOf(predicted);
+}
+
+}  // namespace hamlet

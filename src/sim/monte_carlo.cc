@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "core/tuple_ratio.h"
 #include "ml/naive_bayes.h"
+#include "ml/suff_stats.h"
 #include "obs/trace.h"
 
 namespace hamlet {
@@ -94,6 +95,12 @@ Status RunOneRepeat(const SimConfig& config,
   const std::vector<uint32_t> f_nojoin = generator.NoJoinFeatures();
   const std::vector<uint32_t> f_nofk = generator.NoFkFeatures();
 
+  // Probe the opaque factory once: the statistics reuse below only pays
+  // off for classifiers that can train from counts.
+  const bool nb_variants =
+      !SuffStatsCache::Bypassed() &&
+      dynamic_cast<NaiveBayes*>(make().get()) != nullptr;
+
   // Inner training-set loop, parallelized in blocks. Each block's draws
   // are taken serially in t order (preserving the exact RNG stream of a
   // fully serial run), the 3 variant trainings per draw — the expensive
@@ -121,6 +128,13 @@ Status RunOneRepeat(const SimConfig& config,
       const SimDraw& train = draws[b];
       std::vector<uint32_t> train_rows(train.data.num_rows());
       std::iota(train_rows.begin(), train_rows.end(), 0u);
+
+      // With Naive Bayes, one sufficient-statistics pass over the draw
+      // serves all three variant trainings (Train peeks the cache and
+      // derives the model from the counts — bit-identical either way).
+      if (nb_variants) {
+        SuffStatsCache::Global().GetOrBuild(train.data, train_rows, 1);
+      }
 
       // The test set shares the feature layout, so models trained on the
       // training draw can predict it directly.

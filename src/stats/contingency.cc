@@ -36,4 +36,25 @@ ContingencyTable::ContingencyTable(const std::vector<uint32_t>& f_codes,
   }
 }
 
+ContingencyTable::ContingencyTable(std::vector<uint64_t> cells,
+                                   uint32_t f_card, uint32_t y_card)
+    : f_card_(f_card),
+      y_card_(y_card),
+      total_(0),
+      cells_(std::move(cells)),
+      f_marginals_(f_card, 0),
+      y_marginals_(y_card, 0) {
+  HAMLET_CHECK(cells_.size() == static_cast<size_t>(f_card) * y_card,
+               "cell count %zu does not match %u x %u", cells_.size(), f_card,
+               y_card);
+  for (uint32_t f = 0; f < f_card_; ++f) {
+    for (uint32_t y = 0; y < y_card_; ++y) {
+      const uint64_t n = cells_[static_cast<size_t>(f) * y_card_ + y];
+      f_marginals_[f] += n;
+      y_marginals_[y] += n;
+      total_ += n;
+    }
+  }
+}
+
 }  // namespace hamlet

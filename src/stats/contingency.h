@@ -29,6 +29,12 @@ class ContingencyTable {
                    const std::vector<uint32_t>& y_codes, uint32_t f_card,
                    uint32_t y_card);
 
+  /// Adopts precomputed joint counts laid out [f * y_card + y] (the layout
+  /// SuffStats uses); marginals and the total are derived by summation, so
+  /// the table is identical to one built from the raw code vectors.
+  ContingencyTable(std::vector<uint64_t> cells, uint32_t f_card,
+                   uint32_t y_card);
+
   /// Joint count n(f, y).
   uint64_t count(uint32_t f, uint32_t y) const {
     HAMLET_DCHECK(f < f_card_ && y < y_card_, "cell (%u,%u) out of range", f,

@@ -1,0 +1,360 @@
+/// Cached-vs-scan equivalence suite for the sufficient-statistics fast
+/// path (docs/PERFORMANCE.md). The contract under test: with the cache
+/// active, every search selects the *identical* subset, reports an error
+/// within 1e-12 of the scan path (bit-equal for forward/exhaustive/
+/// filters, whose summation order matches the scan path exactly), and
+/// trains the same number of candidate models — across bundled datasets
+/// and thread counts {1, 2, 8}. The scan reference runs under
+/// ScopedSuffStatsBypass + set_force_scan_eval, which is also how
+/// PipelineConfig::force_scan_eval is exercised.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "common/rng.h"
+#include "data/splits.h"
+#include "datasets/registry.h"
+#include "fs/candidate_eval.h"
+#include "fs/exhaustive_search.h"
+#include "fs/filters.h"
+#include "fs/greedy_search.h"
+#include "fs/runner.h"
+#include "ml/eval.h"
+#include "ml/naive_bayes.h"
+#include "ml/suff_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hamlet {
+namespace {
+
+const uint32_t kThreadCounts[] = {1u, 2u, 8u};
+
+// Bundled datasets the sweep covers: one with avoidable joins, one
+// open-domain-key schema, one where nothing is avoidable — small scales
+// keep the whole sweep fast while exercising real cardinalities.
+struct DatasetCase {
+  const char* name;
+  double scale;
+};
+const DatasetCase kDatasetCases[] = {
+    {"Walmart", 0.02}, {"Expedia", 0.004}, {"Yelp", 0.02}};
+
+struct EncodedCase {
+  std::string name;
+  std::unique_ptr<EncodedDataset> data;
+  HoldoutSplit split;
+  ErrorMetric metric;
+};
+
+EncodedCase MakeEncodedCase(const DatasetCase& c, uint64_t seed) {
+  EncodedCase out;
+  out.name = c.name;
+  NormalizedDataset dataset = *MakeDataset(c.name, c.scale, seed);
+  std::vector<std::string> to_join;
+  for (const auto& fk : dataset.foreign_keys()) {
+    to_join.push_back(fk.fk_column);
+  }
+  Table table = *dataset.JoinSubset(to_join);
+  out.data =
+      std::make_unique<EncodedDataset>(*EncodedDataset::FromTableAuto(table));
+  Rng rng(seed + 1);
+  out.split = MakeHoldoutSplit(out.data->num_rows(), rng);
+  out.metric = *MetricForDataset(c.name);
+  return out;
+}
+
+// --- TrainFromStats is bit-identical to the scan Train. -------------------
+
+TEST(SuffStatsTest, TrainFromStatsMatchesScanTrainBitExactly) {
+  EncodedCase c = MakeEncodedCase(kDatasetCases[0], 7);
+  const SuffStats stats = BuildSuffStats(*c.data, c.split.train, 1);
+  const std::vector<uint32_t> features = c.data->AllFeatureIndices();
+
+  NaiveBayes scan(1.0);
+  {
+    ScopedSuffStatsBypass bypass;  // Guarantee the scan path.
+    ASSERT_TRUE(scan.Train(*c.data, c.split.train, features).ok());
+  }
+  NaiveBayes from_stats(1.0);
+  ASSERT_TRUE(from_stats.TrainFromStats(stats, features).ok());
+
+  ASSERT_EQ(scan.log_priors().size(), from_stats.log_priors().size());
+  for (size_t c2 = 0; c2 < scan.log_priors().size(); ++c2) {
+    EXPECT_EQ(scan.log_priors()[c2], from_stats.log_priors()[c2]);
+  }
+  for (uint32_t r : c.split.validation) {
+    const std::vector<double> a = scan.LogScores(*c.data, r);
+    const std::vector<double> b = from_stats.LogScores(*c.data, r);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(SuffStatsTest, BuildIsIdenticalAtAnyThreadCount) {
+  EncodedCase c = MakeEncodedCase(kDatasetCases[0], 8);
+  const SuffStats ref = BuildSuffStats(*c.data, c.split.train, 1);
+  for (uint32_t threads : {2u, 8u, 0u}) {
+    const SuffStats got = BuildSuffStats(*c.data, c.split.train, threads);
+    EXPECT_EQ(got.class_counts, ref.class_counts) << "threads " << threads;
+    EXPECT_EQ(got.cardinalities, ref.cardinalities) << "threads " << threads;
+    EXPECT_EQ(got.feature_counts, ref.feature_counts) << "threads " << threads;
+  }
+}
+
+// --- Cache behavior: hit, bypass, eviction. -------------------------------
+
+TEST(SuffStatsCacheTest, GetOrBuildHitsAndPeeks) {
+  SuffStatsCache::Global().Clear();
+  EncodedCase c = MakeEncodedCase(kDatasetCases[0], 9);
+  auto a = SuffStatsCache::Global().GetOrBuild(*c.data, c.split.train, 1);
+  ASSERT_NE(a, nullptr);
+  auto b = SuffStatsCache::Global().GetOrBuild(*c.data, c.split.train, 1);
+  EXPECT_EQ(a.get(), b.get());  // Same entry, no rebuild.
+  auto p = SuffStatsCache::Global().Peek(*c.data, c.split.train);
+  EXPECT_EQ(a.get(), p.get());
+  // A different row subset is a different key.
+  EXPECT_EQ(SuffStatsCache::Global().Peek(*c.data, c.split.validation),
+            nullptr);
+  SuffStatsCache::Global().Clear();
+  EXPECT_EQ(SuffStatsCache::Global().Peek(*c.data, c.split.train), nullptr);
+}
+
+TEST(SuffStatsCacheTest, BypassForcesMisses) {
+  SuffStatsCache::Global().Clear();
+  EncodedCase c = MakeEncodedCase(kDatasetCases[0], 10);
+  auto a = SuffStatsCache::Global().GetOrBuild(*c.data, c.split.train, 1);
+  ASSERT_NE(a, nullptr);
+  {
+    ScopedSuffStatsBypass bypass;
+    EXPECT_TRUE(SuffStatsCache::Bypassed());
+    EXPECT_EQ(SuffStatsCache::Global().Peek(*c.data, c.split.train), nullptr);
+    EXPECT_EQ(SuffStatsCache::Global().GetOrBuild(*c.data, c.split.train, 1),
+              nullptr);
+    {
+      ScopedSuffStatsBypass nested;  // Nestable.
+      EXPECT_TRUE(SuffStatsCache::Bypassed());
+    }
+    EXPECT_TRUE(SuffStatsCache::Bypassed());
+  }
+  EXPECT_FALSE(SuffStatsCache::Bypassed());
+  EXPECT_NE(SuffStatsCache::Global().Peek(*c.data, c.split.train), nullptr);
+  SuffStatsCache::Global().Clear();
+}
+
+TEST(SuffStatsCacheTest, EvictsLeastRecentlyUsed) {
+  SuffStatsCache::Global().Clear();
+  SuffStatsCache::Global().set_capacity(2);
+  EncodedCase c = MakeEncodedCase(kDatasetCases[0], 11);
+  std::vector<uint32_t> rows_a = {0, 1, 2, 3};
+  std::vector<uint32_t> rows_b = {4, 5, 6, 7};
+  std::vector<uint32_t> rows_c = {8, 9, 10, 11};
+  SuffStatsCache::Global().GetOrBuild(*c.data, rows_a, 1);
+  SuffStatsCache::Global().GetOrBuild(*c.data, rows_b, 1);
+  // Touch A so B is the LRU entry, then insert C.
+  ASSERT_NE(SuffStatsCache::Global().Peek(*c.data, rows_a), nullptr);
+  SuffStatsCache::Global().GetOrBuild(*c.data, rows_c, 1);
+  EXPECT_NE(SuffStatsCache::Global().Peek(*c.data, rows_a), nullptr);
+  EXPECT_EQ(SuffStatsCache::Global().Peek(*c.data, rows_b), nullptr);
+  EXPECT_NE(SuffStatsCache::Global().Peek(*c.data, rows_c), nullptr);
+  SuffStatsCache::Global().set_capacity(16);
+  SuffStatsCache::Global().Clear();
+}
+
+// --- Fast path vs scan path: full search equivalence. ---------------------
+
+SelectionResult RunScanReference(FeatureSelector& selector,
+                                 const EncodedCase& c,
+                                 const std::vector<uint32_t>& candidates) {
+  ScopedSuffStatsBypass bypass;
+  selector.set_force_scan_eval(true);
+  selector.set_num_threads(1);
+  return *selector.Select(*c.data, c.split, MakeNaiveBayesFactory(),
+                          c.metric, candidates);
+}
+
+void ExpectEquivalent(const SelectionResult& scan, const SelectionResult& fast,
+                      const std::string& label) {
+  EXPECT_EQ(fast.selected, scan.selected) << label;
+  EXPECT_LE(std::fabs(fast.validation_error - scan.validation_error), 1e-12)
+      << label;
+  EXPECT_EQ(fast.models_trained, scan.models_trained) << label;
+}
+
+TEST(FastPathEquivalenceTest, ForwardSelectionMatchesScanOnBundledDatasets) {
+  for (const DatasetCase& dc : kDatasetCases) {
+    EncodedCase c = MakeEncodedCase(dc, 21);
+    const std::vector<uint32_t> candidates = c.data->AllFeatureIndices();
+    ForwardSelection scan_fs;
+    const SelectionResult scan = RunScanReference(scan_fs, c, candidates);
+    for (uint32_t threads : kThreadCounts) {
+      SuffStatsCache::Global().Clear();
+      ForwardSelection fs;
+      fs.set_num_threads(threads);
+      const SelectionResult fast = *fs.Select(
+          *c.data, c.split, MakeNaiveBayesFactory(), c.metric, candidates);
+      ExpectEquivalent(scan, fast,
+                       c.name + " threads=" + std::to_string(threads));
+      // Forward's summation order matches the scan path exactly.
+      EXPECT_EQ(fast.validation_error, scan.validation_error) << c.name;
+    }
+  }
+}
+
+TEST(FastPathEquivalenceTest, BackwardSelectionMatchesScanOnBundledDatasets) {
+  for (const DatasetCase& dc : kDatasetCases) {
+    EncodedCase c = MakeEncodedCase(dc, 22);
+    const std::vector<uint32_t> candidates = c.data->AllFeatureIndices();
+    BackwardSelection scan_bs;
+    const SelectionResult scan = RunScanReference(scan_bs, c, candidates);
+    for (uint32_t threads : kThreadCounts) {
+      SuffStatsCache::Global().Clear();
+      BackwardSelection bs;
+      bs.set_num_threads(threads);
+      const SelectionResult fast = *bs.Select(
+          *c.data, c.split, MakeNaiveBayesFactory(), c.metric, candidates);
+      ExpectEquivalent(scan, fast,
+                       c.name + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(FastPathEquivalenceTest, ExhaustiveSelectionMatchesScanOnBundledDatasets) {
+  for (const DatasetCase& dc : kDatasetCases) {
+    EncodedCase c = MakeEncodedCase(dc, 23);
+    // Cap the lattice: the first (up to) 8 features.
+    std::vector<uint32_t> candidates = c.data->AllFeatureIndices();
+    if (candidates.size() > 8) candidates.resize(8);
+    ExhaustiveSelection scan_ex;
+    const SelectionResult scan = RunScanReference(scan_ex, c, candidates);
+    for (uint32_t threads : kThreadCounts) {
+      SuffStatsCache::Global().Clear();
+      ExhaustiveSelection ex;
+      ex.set_num_threads(threads);
+      const SelectionResult fast = *ex.Select(
+          *c.data, c.split, MakeNaiveBayesFactory(), c.metric, candidates);
+      ExpectEquivalent(scan, fast,
+                       c.name + " threads=" + std::to_string(threads));
+      // The DFS accumulates features in ascending bit order — the scan
+      // path's subset order — so errors are bit-equal, not just close.
+      EXPECT_EQ(fast.validation_error, scan.validation_error) << c.name;
+    }
+  }
+}
+
+TEST(FastPathEquivalenceTest, FiltersMatchScanOnBundledDatasets) {
+  for (const DatasetCase& dc : kDatasetCases) {
+    EncodedCase c = MakeEncodedCase(dc, 24);
+    const std::vector<uint32_t> candidates = c.data->AllFeatureIndices();
+    for (FilterScore score : {FilterScore::kMutualInformation,
+                              FilterScore::kInformationGainRatio}) {
+      ScoreFilter scan_filter(score);
+      const SelectionResult scan = RunScanReference(scan_filter, c,
+                                                    candidates);
+      for (uint32_t threads : kThreadCounts) {
+        SuffStatsCache::Global().Clear();
+        ScoreFilter filter(score);
+        filter.set_num_threads(threads);
+        const SelectionResult fast = *filter.Select(
+            *c.data, c.split, MakeNaiveBayesFactory(), c.metric, candidates);
+        ExpectEquivalent(scan, fast,
+                         c.name + " threads=" + std::to_string(threads));
+        EXPECT_EQ(fast.validation_error, scan.validation_error) << c.name;
+      }
+    }
+  }
+}
+
+TEST(FastPathEquivalenceTest, FilterScoresMatchCachedContingencyTables) {
+  EncodedCase c = MakeEncodedCase(kDatasetCases[0], 25);
+  const std::vector<uint32_t> candidates = c.data->AllFeatureIndices();
+  for (FilterScore score : {FilterScore::kMutualInformation,
+                            FilterScore::kInformationGainRatio}) {
+    ScoreFilter filter(score);
+    filter.set_num_threads(1);
+    std::vector<double> scan_scores;
+    {
+      ScopedSuffStatsBypass bypass;
+      scan_scores = filter.ScoreFeatures(*c.data, c.split.train, candidates);
+    }
+    SuffStatsCache::Global().Clear();
+    SuffStatsCache::Global().GetOrBuild(*c.data, c.split.train, 1);
+    const std::vector<double> cached_scores =
+        filter.ScoreFeatures(*c.data, c.split.train, candidates);
+    ASSERT_EQ(cached_scores.size(), scan_scores.size());
+    for (size_t i = 0; i < scan_scores.size(); ++i) {
+      EXPECT_EQ(cached_scores[i], scan_scores[i]) << "feature " << i;
+    }
+    SuffStatsCache::Global().Clear();
+  }
+}
+
+// --- NbSubsetEvaluator unit invariants. -----------------------------------
+
+TEST(NbSubsetEvaluatorTest, EvalPathsAgreeWithEachOther) {
+  EncodedCase c = MakeEncodedCase(kDatasetCases[0], 26);
+  const std::vector<uint32_t> candidates = c.data->AllFeatureIndices();
+  auto stats = std::make_shared<const SuffStats>(
+      BuildSuffStats(*c.data, c.split.train, 1));
+  NbSubsetEvaluator ev(*c.data, stats, c.split.validation, c.metric, 1.0,
+                       candidates, 1);
+
+  std::vector<uint32_t> subset;
+  ev.ResetBase(subset);
+  for (uint32_t f : candidates) {
+    // EvalBasePlus(f) must equal evaluating S ∪ {f} from scratch.
+    const double plus = ev.EvalBasePlus(f);
+    std::vector<uint32_t> grown = subset;
+    grown.push_back(f);
+    EXPECT_EQ(plus, ev.EvalSubset(grown)) << "feature " << f;
+    if (subset.size() < 3) {
+      subset = grown;
+      ev.AddToBase(f);
+      EXPECT_EQ(ev.EvalBase(), ev.EvalSubset(subset));
+    }
+  }
+  // RemoveFromBase then EvalBase ≈ evaluating the shrunk subset (the
+  // subtraction re-associates the sum, hence tolerance not equality).
+  const uint32_t dropped = subset.back();
+  ev.RemoveFromBase(dropped);
+  subset.pop_back();
+  EXPECT_LE(std::fabs(ev.EvalBase() - ev.EvalSubset(subset)), 1e-12);
+}
+
+// --- Observability: the fs.* probes record under collection. --------------
+
+TEST(SuffStatsObservabilityTest, ProbesRecordUnderCollection) {
+  SuffStatsCache::Global().Clear();
+  EncodedCase c = MakeEncodedCase(kDatasetCases[0], 27);
+  obs::ScopedCollection collection(true);
+  ForwardSelection fs;
+  fs.set_num_threads(1);
+  ASSERT_TRUE(fs.Select(*c.data, c.split, MakeNaiveBayesFactory(), c.metric,
+                        c.data->AllFeatureIndices())
+                  .ok());
+  // A Peek hit on the same split must also count.
+  ASSERT_NE(SuffStatsCache::Global().Peek(*c.data, c.split.train), nullptr);
+
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  uint64_t hits = 0, misses = 0, deltas = 0, builds = 0;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "fs.cache_hits") hits = counter.value;
+    if (counter.name == "fs.cache_misses") misses = counter.value;
+    if (counter.name == "fs.delta_evals") deltas = counter.value;
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "fs.stats_build_ns") builds = histogram.count;
+  }
+  EXPECT_GE(misses, 1u);  // The search's GetOrBuild built once...
+  EXPECT_EQ(builds, misses);
+  EXPECT_GE(hits, 1u);    // ...and the later Peek hit.
+  EXPECT_GE(deltas, c.data->num_features());
+  SuffStatsCache::Global().Clear();
+}
+
+}  // namespace
+}  // namespace hamlet
