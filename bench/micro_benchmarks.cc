@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <memory>
 #include <thread>
 
 #include "common/parallel_for.h"
@@ -21,6 +23,9 @@
 #include "ml/tan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/artifact_store.h"
+#include "serve/serde.h"
+#include "serve/service.h"
 #include "sim/data_synthesis.h"
 
 namespace {
@@ -484,6 +489,135 @@ void BM_EncodeDataset(benchmark::State& state) {
                           joined.num_columns());
 }
 BENCHMARK(BM_EncodeDataset)->Unit(benchmark::kMillisecond);
+
+// --- Serving stack: serde throughput and the micro-batching gap. ---
+
+// Shared fixture state for the serve benches: a synthetic dataset, a
+// trained NB model, and an artifact store + service on a temp directory.
+// Built once and leaked (benchmark processes exit right after).
+struct ServeBenchState {
+  SimDraw draw;
+  NaiveBayes model{1.0};
+  std::unique_ptr<serve::ArtifactStore> store;
+  std::unique_ptr<serve::HamletService> batched;
+  std::unique_ptr<serve::HamletService> unbatched;
+  std::vector<serve::ScoreRequest> requests;  // 16 blocks x 256 rows.
+
+  static ServeBenchState& Get() {
+    static ServeBenchState* state = [] {
+      auto* s = new ServeBenchState();
+      SimConfig config;
+      config.n_s = 20000;
+      config.d_s = 8;
+      config.d_r = 8;
+      config.n_r = 200;
+      Rng rng(11);
+      SimDataGenerator gen(config, rng);
+      s->draw = gen.Draw(config.n_s, rng);
+      std::vector<uint32_t> rows(s->draw.data.num_rows());
+      for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+      if (!s->model.Train(s->draw.data, rows, gen.UseAllFeatures()).ok()) {
+        std::abort();
+      }
+      const std::string root =
+          (std::filesystem::temp_directory_path() / "hamlet_serve_bench")
+              .string();
+      std::filesystem::remove_all(root);
+      s->store = std::make_unique<serve::ArtifactStore>(root);
+      if (!s->store->PutNaiveBayes("m", s->model).ok()) std::abort();
+      serve::ServiceOptions on;
+      s->batched = std::make_unique<serve::HamletService>(s->store.get(), on);
+      serve::ServiceOptions off;
+      off.batch_scoring = false;
+      s->unbatched =
+          std::make_unique<serve::HamletService>(s->store.get(), off);
+      Rng block_rng(12);
+      for (int b = 0; b < 16; ++b) {
+        std::vector<uint32_t> sample(256);
+        for (auto& r : sample) r = block_rng.Uniform(s->draw.data.num_rows());
+        serve::ScoreRequest req;
+        req.model = "m";
+        req.rows = std::make_shared<const EncodedDataset>(
+            s->draw.data.GatherRows(sample));
+        s->requests.push_back(std::move(req));
+      }
+      return s;
+    }();
+    return *state;
+  }
+};
+
+void BM_SerdeSave(benchmark::State& state) {
+  auto& s = ServeBenchState::Get();
+  const bool dataset = state.range(0) == 1;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string out = dataset ? serve::SerializeDataset(s.draw.data)
+                              : serve::SerializeNaiveBayes(s.model);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.SetLabel(dataset ? "dataset" : "nb_model");
+}
+BENCHMARK(BM_SerdeSave)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_SerdeLoad(benchmark::State& state) {
+  auto& s = ServeBenchState::Get();
+  const bool dataset = state.range(0) == 1;
+  const std::string bytes = dataset ? serve::SerializeDataset(s.draw.data)
+                                    : serve::SerializeNaiveBayes(s.model);
+  for (auto _ : state) {
+    if (dataset) {
+      auto back = serve::DeserializeDataset(bytes);
+      benchmark::DoNotOptimize(back.ok());
+    } else {
+      auto back = serve::DeserializeNaiveBayes(bytes);
+      benchmark::DoNotOptimize(back.ok());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * bytes.size());
+  state.SetLabel(dataset ? "dataset" : "nb_model");
+}
+BENCHMARK(BM_SerdeLoad)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// The micro-batching gap: 16 concurrent-style Score requests for the
+// same model served as ONE coalesced pass (shared model resolution +
+// one parallel region) versus 16 independent passes. Predictions are
+// identical; only the per-request overhead moves.
+void BM_ServeScoreBatched(benchmark::State& state) {
+  auto& s = ServeBenchState::Get();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto responses = s.batched->ScoreBatchDirect(s.requests);
+    if (!responses.ok()) std::abort();
+    rows = 0;
+    for (const auto& r : *responses) rows += r.predictions.size();
+    benchmark::DoNotOptimize(responses->data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel("16 reqs/pass");
+}
+BENCHMARK(BM_ServeScoreBatched)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeScoreUnbatched(benchmark::State& state) {
+  auto& s = ServeBenchState::Get();
+  uint64_t rows = 0;
+  std::vector<serve::ScoreRequest> one(1);
+  for (auto _ : state) {
+    rows = 0;
+    for (const auto& req : s.requests) {
+      one[0] = req;
+      auto responses = s.unbatched->ScoreBatchDirect(one);
+      if (!responses.ok()) std::abort();
+      rows += (*responses)[0].predictions.size();
+      benchmark::DoNotOptimize(responses->data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel("1 req/pass");
+}
+BENCHMARK(BM_ServeScoreUnbatched)->Unit(benchmark::kMicrosecond);
 
 // --- Dataset synthesis throughput (rows/s). ---
 void BM_SynthesizeDataset(benchmark::State& state) {

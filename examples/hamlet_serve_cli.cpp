@@ -1,0 +1,250 @@
+/// hamlet_serve_cli: a synthetic closed-loop workload against the
+/// in-process serving stack (src/serve/).
+///
+/// The driver stands up an artifact store and a HamletService, persists
+/// a synthetic dataset and a trained Naive Bayes model, then hammers the
+/// service with N closed-loop clients (each issues its next request the
+/// moment the previous one returns): mostly Score calls over small row
+/// blocks — the micro-batcher's bread and butter — seasoned with
+/// metadata-only Advise calls, and one SelectFeatures run at the end
+/// that persists a second model. It prints a throughput/latency report
+/// (client-observed percentiles plus the service's own serve.* latency
+/// histograms) and the explain-style stage tree.
+///
+/// Run: ./hamlet_serve_cli [clients] [requests_per_client] [seed]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "serve/artifact_store.h"
+#include "serve/service.h"
+#include "sim/data_synthesis.h"
+
+using namespace hamlet;        // NOLINT: example brevity.
+using namespace hamlet::serve; // NOLINT: example brevity.
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Client-observed latency digest (the service keeps its own histograms;
+// these are the end-to-end numbers including queue wait).
+struct LatencyDigest {
+  uint64_t count = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0, mean_us = 0;
+};
+
+LatencyDigest Digest(std::vector<uint64_t> nanos) {
+  LatencyDigest d;
+  if (nanos.empty()) return d;
+  std::sort(nanos.begin(), nanos.end());
+  d.count = nanos.size();
+  auto at = [&](double p) {
+    size_t i = static_cast<size_t>(p * (nanos.size() - 1));
+    return static_cast<double>(nanos[i]) / 1e3;
+  };
+  d.p50_us = at(0.50);
+  d.p95_us = at(0.95);
+  d.p99_us = at(0.99);
+  double sum = 0;
+  for (uint64_t v : nanos) sum += static_cast<double>(v);
+  d.mean_us = sum / static_cast<double>(nanos.size()) / 1e3;
+  return d;
+}
+
+void PrintDigest(const char* label, const LatencyDigest& d) {
+  std::printf("  %-10s %8llu reqs   p50 %9.1f us   p95 %9.1f us   "
+              "p99 %9.1f us   mean %9.1f us\n",
+              label, static_cast<unsigned long long>(d.count), d.p50_us,
+              d.p95_us, d.p99_us, d.mean_us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t clients =
+      argc > 1 ? static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10)) : 8;
+  const uint32_t per_client =
+      argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
+               : 200;
+  const uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  // --- Synthesize a dataset and train the model to serve. ---
+  SimConfig config;
+  config.n_s = 20000;
+  config.d_s = 8;
+  config.d_r = 8;
+  config.n_r = 200;
+  Rng rng(seed);
+  SimDataGenerator gen(config, rng);
+  SimDraw draw = gen.Draw(config.n_s, rng);
+
+  std::vector<uint32_t> all_rows(draw.data.num_rows());
+  for (uint32_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  NaiveBayes model(1.0);
+  auto trained = model.Train(draw.data, all_rows, gen.UseAllFeatures());
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+
+  const std::string root = "artifacts/hamlet_serve_cli";
+  std::filesystem::remove_all(root);
+  ArtifactStore store(root);
+  if (!store.PutDataset("churn_data", draw.data).ok() ||
+      !store.PutNaiveBayes("churn_nb", model).ok()) {
+    std::fprintf(stderr, "artifact store setup failed\n");
+    return 1;
+  }
+
+  // Pre-build one 64-row block per client (GatherRows outside the timed
+  // loop; the closed loop measures serving, not data prep).
+  std::vector<std::shared_ptr<const EncodedDataset>> blocks;
+  for (uint32_t c = 0; c < clients; ++c) {
+    Rng block_rng(seed + 1000 + c);
+    std::vector<uint32_t> sample(64);
+    for (auto& r : sample) r = block_rng.Uniform(draw.data.num_rows());
+    blocks.push_back(std::make_shared<const EncodedDataset>(
+        draw.data.GatherRows(sample)));
+  }
+
+  // --- The closed loop: every client re-issues as soon as it hears
+  // back; every 16th request is a metadata-only Advise. ---
+  obs::ScopedCollection collect(true);
+  HamletService service(&store);
+
+  std::vector<std::vector<uint64_t>> score_ns(clients), advise_ns(clients);
+  std::vector<int> failures(clients, 0);
+  const uint64_t t0 = NowNanos();
+  {
+    std::vector<std::thread> threads;
+    for (uint32_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (uint32_t i = 0; i < per_client; ++i) {
+          const uint64_t start = NowNanos();
+          if (i % 16 == 15) {
+            AdviseRequest req;
+            req.n_train = 10000;
+            req.candidates = {{"EmployerID", "Employers", 400, 8, true},
+                              {"RegionID", "Regions", 9000, 2, true}};
+            auto plan = service.Advise(std::move(req));
+            if (!plan.ok()) { ++failures[c]; continue; }
+            advise_ns[c].push_back(NowNanos() - start);
+          } else {
+            ScoreRequest req;
+            req.model = "churn_nb";
+            req.rows = blocks[c];
+            auto resp = service.Score(std::move(req));
+            if (!resp.ok()) { ++failures[c]; continue; }
+            score_ns[c].push_back(NowNanos() - start);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_seconds = static_cast<double>(NowNanos() - t0) / 1e9;
+
+  // --- One feature selection run, persisted through the service. ---
+  SelectFeaturesRequest fs_req;
+  fs_req.dataset = "churn_data";
+  fs_req.model_name = "churn_nb_selected";
+  fs_req.seed = seed;
+  const uint64_t fs_start = NowNanos();
+  auto fs_resp = service.SelectFeatures(std::move(fs_req));
+  const double fs_seconds = static_cast<double>(NowNanos() - fs_start) / 1e9;
+  if (!fs_resp.ok()) {
+    std::fprintf(stderr, "SelectFeatures failed: %s\n",
+                 fs_resp.status().ToString().c_str());
+    return 1;
+  }
+  service.Stop();
+
+  // --- Report. ---
+  std::vector<uint64_t> all_score, all_advise;
+  int total_failures = 0;
+  for (uint32_t c = 0; c < clients; ++c) {
+    all_score.insert(all_score.end(), score_ns[c].begin(), score_ns[c].end());
+    all_advise.insert(all_advise.end(), advise_ns[c].begin(),
+                      advise_ns[c].end());
+    total_failures += failures[c];
+  }
+  const uint64_t total_reqs = all_score.size() + all_advise.size();
+
+  std::printf("hamlet_serve_cli: %u closed-loop clients x %u requests "
+              "(seed %llu)\n\n",
+              clients, per_client, static_cast<unsigned long long>(seed));
+  std::printf("Throughput: %llu requests in %.3fs = %.0f req/s "
+              "(%d failures)\n",
+              static_cast<unsigned long long>(total_reqs), wall_seconds,
+              static_cast<double>(total_reqs) / wall_seconds, total_failures);
+  std::printf("Client-observed latency (includes queue wait):\n");
+  PrintDigest("Score", Digest(std::move(all_score)));
+  PrintDigest("Advise", Digest(std::move(all_advise)));
+
+  auto metrics = obs::MetricsRegistry::Global().Snapshot();
+  const auto& batch_hist = obs::MetricsRegistry::Global()
+                               .GetHistogram("serve.batch_size")
+                               .Snapshot();
+  std::printf("\nService-side view (serve.* metrics):\n");
+  std::printf("  requests        %llu  (score %llu, advise %llu, "
+              "select %llu)\n",
+              static_cast<unsigned long long>(
+                  metrics.CounterValue("serve.requests")),
+              static_cast<unsigned long long>(
+                  metrics.CounterValue("serve.score_requests")),
+              static_cast<unsigned long long>(
+                  metrics.CounterValue("serve.advise_requests")),
+              static_cast<unsigned long long>(
+                  metrics.CounterValue("serve.select_requests")));
+  std::printf("  rows scored     %llu in %llu batched passes "
+              "(mean batch %.2f requests)\n",
+              static_cast<unsigned long long>(
+                  metrics.CounterValue("serve.score_rows")),
+              static_cast<unsigned long long>(
+                  metrics.CounterValue("serve.score_batches")),
+              batch_hist.count > 0
+                  ? static_cast<double>(batch_hist.sum_nanos) /
+                        static_cast<double>(batch_hist.count)
+                  : 0.0);
+  std::printf("  model cache     %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(store.cache_hits()),
+              static_cast<unsigned long long>(store.cache_misses()));
+  std::printf("  SelectFeatures  %.3fs -> model '%s' v%u (%zu features, "
+              "holdout error %.4f)\n",
+              fs_seconds, "churn_nb_selected", fs_resp->model_version,
+              fs_resp->report.selection.selected.size(),
+              fs_resp->report.holdout_test_error);
+
+  std::printf("\nExplain tree (merged serve.* spans):\n%s\n",
+              obs::RenderExplainTree(obs::Tracer::Global().Collect())
+                  .c_str());
+  std::printf("Artifacts left under %s:\n", root.c_str());
+  auto list = store.List();
+  if (list.ok()) {
+    for (const auto& ref : *list) {
+      std::printf("  %-24s v%-3u %-16s %8llu bytes\n", ref.name.c_str(),
+                  ref.version, ArtifactKindToString(ref.kind),
+                  static_cast<unsigned long long>(ref.size_bytes));
+    }
+  }
+  return 0;
+}

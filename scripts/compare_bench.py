@@ -17,10 +17,11 @@ import re
 import sys
 
 # The perf-gated families: candidate evaluation and model training, the
-# paths BENCH trajectories track across PRs (docs/PERFORMANCE.md).
+# paths BENCH trajectories track across PRs (docs/PERFORMANCE.md), plus
+# the serving stack's serde and batched-scoring paths (docs/SERVING.md).
 GATED = re.compile(
     r"^BM_(NBTrain|NaiveBayesTrain|GreedyForward|ForwardSelection"
-    r"|MiFilterScoring)"
+    r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore)"
 )
 
 

@@ -9,7 +9,9 @@
 #
 # --compare additionally diffs the fresh BENCH json against the most
 # recent previous one (scripts/compare_bench.py) and exits nonzero on a
-# >10% real_time regression in the gated FS/NB microbenches:
+# >10% real_time regression in the gated microbenches (the FS/NB
+# families plus the serving stack's BM_SerdeSave/Load and
+# BM_ServeScore* — see docs/SERVING.md):
 #
 #   scripts/run_benchmarks.sh --compare          # run + regression gate
 #

@@ -1,0 +1,23 @@
+#ifndef HAMLET_COMMON_CRC32_H_
+#define HAMLET_COMMON_CRC32_H_
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// the serve/serde artifact format uses to detect corrupt or truncated
+/// files before deserialization touches the payload.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hamlet {
+
+/// CRC-32 of `size` bytes at `data`. Pass a previous return value as
+/// `seed` to checksum a logical stream in chunks:
+///   crc = Crc32(a, n_a); crc = Crc32(b, n_b, crc);
+/// equals Crc32 over the concatenation of a and b. Seed 0 starts a
+/// fresh checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_CRC32_H_

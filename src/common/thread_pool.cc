@@ -73,8 +73,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Count before running: the task's completion handoff wakes the
+    // region's caller, so counting after would let a stats snapshot
+    // observe a finished region with its tasks still uncounted.
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    task();
   }
 }
 

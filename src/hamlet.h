@@ -69,4 +69,11 @@
 #include "analytics/pipeline.h"
 #include "datasets/registry.h"
 
+// Serving (docs/SERVING.md): versioned binary serde, the artifact
+// store, and the in-process scoring + join-advice service.
+#include "common/crc32.h"
+#include "serve/artifact_store.h"
+#include "serve/serde.h"
+#include "serve/service.h"
+
 #endif  // HAMLET_HAMLET_H_

@@ -200,6 +200,61 @@ double LogisticRegression::weight(uint32_t cls, uint32_t dim) const {
   return weights_[static_cast<size_t>(cls) * stride + dim];
 }
 
+uint32_t LogisticRegression::trained_cardinality(size_t jj) const {
+  HAMLET_CHECK(jj < offsets_.size(), "feature slot out of range");
+  uint32_t end =
+      jj + 1 < offsets_.size() ? offsets_[jj + 1] : num_dims_;
+  return end - offsets_[jj] + 1;
+}
+
+LogisticRegressionParams LogisticRegression::ExportParams() const {
+  LogisticRegressionParams params;
+  params.options = options_;
+  params.num_classes = num_classes_;
+  params.num_dims = num_dims_;
+  params.features = features_;
+  params.offsets = offsets_;
+  params.weights = weights_;
+  return params;
+}
+
+Result<LogisticRegression> LogisticRegression::FromParams(
+    LogisticRegressionParams params) {
+  if (params.options.lambda < 0.0 || params.options.max_epochs < 1) {
+    return Status::InvalidArgument(
+        "logistic regression options are out of range");
+  }
+  if (params.num_classes == 0) {
+    return Status::InvalidArgument(
+        "logistic regression needs at least one class");
+  }
+  if (params.offsets.size() != params.features.size()) {
+    return Status::InvalidArgument(
+        "logistic regression offset/feature count mismatch");
+  }
+  const size_t stride = static_cast<size_t>(params.num_dims) + 1;
+  if (params.weights.size() != stride * params.num_classes) {
+    return Status::InvalidArgument(
+        "logistic regression weight count mismatch");
+  }
+  uint32_t prev = 0;
+  for (uint32_t off : params.offsets) {
+    if (off < prev || off > params.num_dims) {
+      return Status::InvalidArgument(
+          "logistic regression offsets are not monotone within the "
+          "one-hot layout");
+    }
+    prev = off;
+  }
+  LogisticRegression model(params.options);
+  model.num_classes_ = params.num_classes;
+  model.num_dims_ = params.num_dims;
+  model.features_ = std::move(params.features);
+  model.offsets_ = std::move(params.offsets);
+  model.weights_ = std::move(params.weights);
+  return model;
+}
+
 ClassifierFactory MakeLogisticRegressionFactory(
     LogisticRegressionOptions options) {
   return [options]() { return std::make_unique<LogisticRegression>(options); };

@@ -39,6 +39,21 @@ struct LogisticRegressionOptions {
   double tolerance = 1e-7;
 };
 
+/// The complete trained state of a LogisticRegression model, as plain
+/// data — the serialization surface mirroring NaiveBayesParams. The
+/// weight doubles pass through untouched so a round trip is bit-exact
+/// (serve/serde.h).
+struct LogisticRegressionParams {
+  LogisticRegressionOptions options;
+  uint32_t num_classes = 0;
+  uint32_t num_dims = 0;             ///< One-hot dims without the bias.
+  std::vector<uint32_t> features;    ///< Trained feature indices.
+  std::vector<uint32_t> offsets;     ///< One-hot dim offset per feature.
+  /// Flat [cls * (num_dims + 1) + dim]; the last dim of each class row
+  /// is the bias.
+  std::vector<double> weights;
+};
+
 /// Softmax regression classifier.
 class LogisticRegression : public Classifier {
  public:
@@ -67,8 +82,26 @@ class LogisticRegression : public Classifier {
   /// Total one-hot dimensionality (without bias); for tests.
   uint32_t num_dims() const { return num_dims_; }
 
+  /// Training-time cardinality of trained feature slot `jj` (its one-hot
+  /// group width + 1). The serving layer checks block layouts against it
+  /// before scoring, since the zero-vector convention keys off the
+  /// block's cardinality.
+  uint32_t trained_cardinality(size_t jj) const;
+
   /// Coefficient for (class, dim); for tests.
   double weight(uint32_t cls, uint32_t dim) const;
+
+  /// Trained feature indices (empty before Train()).
+  const std::vector<uint32_t>& trained_features() const { return features_; }
+
+  /// Copies the trained state out as plain data.
+  LogisticRegressionParams ExportParams() const;
+
+  /// Rebuilds a model from exported state. Returns InvalidArgument when
+  /// the params are inconsistent instead of crashing — the
+  /// deserialization entry point.
+  static Result<LogisticRegression> FromParams(LogisticRegressionParams
+                                                   params);
 
  private:
   /// Active one-hot dims of `row` under the trained feature layout;

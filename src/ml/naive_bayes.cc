@@ -179,6 +179,51 @@ std::vector<uint32_t> NaiveBayes::Predict(
   return out;
 }
 
+uint32_t NaiveBayes::trained_cardinality(size_t jj) const {
+  HAMLET_CHECK(jj < log_likelihoods_.size(), "feature slot out of range");
+  if (num_classes_ == 0) return 0;
+  return static_cast<uint32_t>(log_likelihoods_[jj].size() / num_classes_);
+}
+
+NaiveBayesParams NaiveBayes::ExportParams() const {
+  NaiveBayesParams params;
+  params.alpha = alpha_;
+  params.num_classes = num_classes_;
+  params.features = features_;
+  params.log_priors = log_priors_;
+  params.log_likelihoods = log_likelihoods_;
+  return params;
+}
+
+Result<NaiveBayes> NaiveBayes::FromParams(NaiveBayesParams params) {
+  if (!(params.alpha > 0.0)) {
+    return Status::InvalidArgument("NaiveBayes alpha must be > 0");
+  }
+  if (params.num_classes == 0) {
+    return Status::InvalidArgument("NaiveBayes needs at least one class");
+  }
+  if (params.log_priors.size() != params.num_classes) {
+    return Status::InvalidArgument("NaiveBayes log-prior count mismatch");
+  }
+  if (params.log_likelihoods.size() != params.features.size()) {
+    return Status::InvalidArgument(
+        "NaiveBayes per-feature table count mismatch");
+  }
+  for (const std::vector<double>& ll : params.log_likelihoods) {
+    if (ll.empty() || ll.size() % params.num_classes != 0) {
+      return Status::InvalidArgument(
+          "NaiveBayes log-likelihood table is not a whole number of "
+          "categories");
+    }
+  }
+  NaiveBayes model(params.alpha);
+  model.num_classes_ = params.num_classes;
+  model.features_ = std::move(params.features);
+  model.log_priors_ = std::move(params.log_priors);
+  model.log_likelihoods_ = std::move(params.log_likelihoods);
+  return model;
+}
+
 ClassifierFactory MakeNaiveBayesFactory(double alpha) {
   return [alpha]() { return std::make_unique<NaiveBayes>(alpha); };
 }

@@ -14,6 +14,19 @@ namespace hamlet {
 
 struct SuffStats;
 
+/// The complete trained state of a NaiveBayes model, as plain data. This
+/// is the serialization surface: ExportParams() captures a model,
+/// NaiveBayes::FromParams() validates and restores one, and the doubles
+/// pass through untouched so a round trip is bit-exact (serve/serde.h).
+struct NaiveBayesParams {
+  double alpha = 1.0;
+  uint32_t num_classes = 0;
+  std::vector<uint32_t> features;    ///< Trained feature indices.
+  std::vector<double> log_priors;    ///< [y], num_classes entries.
+  /// Per trained feature: flat [code * num_classes + y] log-likelihoods.
+  std::vector<std::vector<double>> log_likelihoods;
+};
+
 /// Multinomial/categorical Naive Bayes:
 ///   predict argmax_y log P(y) + sum_j log P(x_j | y)
 /// with all probabilities Laplace-smoothed by `alpha`.
@@ -62,6 +75,26 @@ class NaiveBayes : public Classifier {
 
   /// The Laplace smoothing pseudo-count this model was built with.
   double alpha() const { return alpha_; }
+
+  /// Number of classes seen at training time (0 before Train()).
+  uint32_t num_classes() const { return num_classes_; }
+
+  /// Code-domain size the likelihood table of trained feature slot `jj`
+  /// covers — the training-time cardinality. Scoring a row whose code
+  /// reaches past this reads out of bounds, so the serving layer checks
+  /// block layouts against it before scoring.
+  uint32_t trained_cardinality(size_t jj) const;
+
+  /// Trained feature indices (empty before Train()).
+  const std::vector<uint32_t>& trained_features() const { return features_; }
+
+  /// Copies the trained state out as plain data (see NaiveBayesParams).
+  NaiveBayesParams ExportParams() const;
+
+  /// Rebuilds a model from exported state. Returns InvalidArgument when
+  /// the params are inconsistent (size mismatches, alpha <= 0, zero
+  /// classes) instead of crashing — the deserialization entry point.
+  static Result<NaiveBayes> FromParams(NaiveBayesParams params);
 
  private:
   double alpha_;

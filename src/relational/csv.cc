@@ -66,6 +66,7 @@ Result<Table> ReadCsvWithDomains(const std::string& path,
     }
   }
 
+  const uint32_t num_columns = schema.num_columns();
   TableBuilder builder(std::move(table_name), std::move(schema),
                        std::move(domains));
   size_t line_no = 1;
@@ -73,6 +74,14 @@ Result<Table> ReadCsvWithDomains(const std::string& path,
     ++line_no;
     if (line.empty()) continue;
     std::vector<std::string> fields = ParseCsvLine(line, options.delimiter);
+    // A wrong field count means the file's framing is broken (stray
+    // delimiter, unclosed quote); dropping such rows would silently skew
+    // every downstream statistic, so it is an error even when !strict.
+    if (fields.size() != num_columns) {
+      return Status::InvalidArgument(
+          StringFormat("%s:%zu: row has %zu fields, header has %u",
+                       path.c_str(), line_no, fields.size(), num_columns));
+    }
     Status st = builder.AppendRowLabels(fields);
     if (!st.ok()) {
       if (options.strict) {

@@ -21,8 +21,10 @@ namespace hamlet {
 /// Options controlling CSV parsing.
 struct CsvOptions {
   char delimiter = ',';
-  /// If true, a row whose field count mismatches the header is an error;
-  /// otherwise the row is skipped.
+  /// If true, any malformed row is an error; otherwise rows with domain
+  /// violations are skipped. A row whose field count mismatches the
+  /// header is a line-numbered error in BOTH modes — such rows signal
+  /// broken framing, and dropping them would silently bias the data.
   bool strict = true;
 };
 

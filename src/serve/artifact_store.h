@@ -1,0 +1,138 @@
+#ifndef HAMLET_SERVE_ARTIFACT_STORE_H_
+#define HAMLET_SERVE_ARTIFACT_STORE_H_
+
+/// \file artifact_store.h
+/// A directory-backed, versioned, thread-safe artifact registry — the
+/// middle layer of src/serve/. Artifacts are addressed by (name,
+/// version); every Put allocates the next version and writes atomically
+/// (tmp file + rename), so readers — including other processes scanning
+/// the same directory — never observe a half-written artifact.
+///
+/// Layout: `<root>/<name>/v<version>.hamlet`, each file in the
+/// serve/serde.h envelope format. Version numbers start at 1 and only
+/// grow; version 0 (kLatest) means "the highest version present".
+///
+/// Deserialized datasets and models are held in a small in-memory LRU
+/// keyed by (name, resolved version) — the same eviction pattern as
+/// ml/suff_stats.h's SuffStatsCache — so a scoring service resolving the
+/// same model per request pays the disk + decode cost once. Cache hits
+/// and misses surface as the `serve.model_cache_hits` /
+/// `serve.model_cache_misses` counters when obs collection is enabled.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/serde.h"
+
+namespace hamlet::serve {
+
+/// One stored artifact, as List() reports it.
+struct ArtifactRef {
+  std::string name;
+  uint32_t version = 0;
+  ArtifactKind kind = ArtifactKind::kEncodedDataset;
+  uint64_t size_bytes = 0;
+};
+
+/// The versioned registry. All methods are safe to call concurrently.
+class ArtifactStore {
+ public:
+  /// Version argument meaning "resolve the highest stored version".
+  static constexpr uint32_t kLatest = 0;
+
+  /// Artifacts live under `root` (created on first Put if missing).
+  /// `cache_capacity` bounds the deserialized-artifact LRU.
+  explicit ArtifactStore(std::string root, size_t cache_capacity = 8);
+
+  const std::string& root() const { return root_; }
+
+  /// --- Writers: serialize, write tmp, rename; return the new version.
+  /// Fails with InvalidArgument on a bad name (names are restricted to
+  /// [A-Za-z0-9_.-], no leading dot, so they stay path-safe). ---
+  Result<uint32_t> PutDataset(const std::string& name,
+                              const EncodedDataset& data);
+  Result<uint32_t> PutNaiveBayes(const std::string& name,
+                                 const NaiveBayes& model);
+  Result<uint32_t> PutLogisticRegression(const std::string& name,
+                                         const LogisticRegression& model);
+  Result<uint32_t> PutFsRunReport(const std::string& name,
+                                  const FsRunReport& report);
+
+  /// --- Readers: resolve the version (kLatest → highest), consult the
+  /// LRU, load + verify + deserialize on miss. NotFound when the name
+  /// or version does not exist; serde's typed errors when the file is
+  /// corrupt or of the wrong kind. ---
+  Result<std::shared_ptr<const EncodedDataset>> GetDataset(
+      const std::string& name, uint32_t version = kLatest);
+  Result<std::shared_ptr<const NaiveBayes>> GetNaiveBayes(
+      const std::string& name, uint32_t version = kLatest);
+  Result<std::shared_ptr<const LogisticRegression>> GetLogisticRegression(
+      const std::string& name, uint32_t version = kLatest);
+  /// Reports are small and rarely re-read; loaded fresh each call.
+  Result<FsRunReport> GetFsRunReport(const std::string& name,
+                                     uint32_t version = kLatest);
+
+  /// Highest stored version of `name`; NotFound when absent.
+  Result<uint32_t> LatestVersion(const std::string& name) const;
+
+  /// Artifact kind of (name, version) from the file header (cheap probe).
+  Result<ArtifactKind> KindOf(const std::string& name,
+                              uint32_t version = kLatest) const;
+
+  /// Every stored artifact, sorted by (name, version). Unreadable or
+  /// foreign files under the root are skipped, not errors.
+  Result<std::vector<ArtifactRef>> List() const;
+
+  /// Drops the deserialized-artifact LRU (not the files).
+  void ClearCache();
+
+  /// Lifetime LRU counters (also mirrored into serve.model_cache_*).
+  uint64_t cache_hits() const;
+  uint64_t cache_misses() const;
+
+ private:
+  struct CacheEntry {
+    std::string name;
+    uint32_t version = 0;
+    ArtifactKind kind = ArtifactKind::kEncodedDataset;
+    uint64_t last_used = 0;
+    std::shared_ptr<const void> value;
+  };
+
+  /// Serialize-agnostic write path shared by every Put.
+  Result<uint32_t> PutBytes(const std::string& name,
+                            const std::string& bytes);
+
+  /// Directory + file path helpers (no filesystem access).
+  std::string DirFor(const std::string& name) const;
+  std::string PathFor(const std::string& name, uint32_t version) const;
+
+  /// Resolves kLatest to a concrete version (NotFound when absent).
+  Result<uint32_t> ResolveVersion(const std::string& name,
+                                  uint32_t version) const;
+
+  /// Highest version currently on disk, 0 when none (caller holds no
+  /// lock; the scan reads directory entries only).
+  uint32_t ScanLatestVersion(const std::string& name) const;
+
+  std::shared_ptr<const void> CacheLookup(const std::string& name,
+                                          uint32_t version,
+                                          ArtifactKind kind);
+  void CacheInsert(const std::string& name, uint32_t version,
+                   ArtifactKind kind, std::shared_ptr<const void> value);
+
+  std::string root_;
+  size_t cache_capacity_;
+
+  mutable std::mutex mu_;  ///< Guards versions being allocated + the LRU.
+  mutable uint64_t tick_ = 0;
+  std::vector<CacheEntry> cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace hamlet::serve
+
+#endif  // HAMLET_SERVE_ARTIFACT_STORE_H_

@@ -1,0 +1,483 @@
+#include "serve/service.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "data/splits.h"
+#include "obs/trace.h"
+
+namespace hamlet::serve {
+
+namespace {
+
+/// Static-local metric handles so the registry mutex is paid once per
+/// process, not per request (the obs layer's caching idiom).
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& advise_requests;
+  obs::Counter& score_requests;
+  obs::Counter& select_requests;
+  obs::Counter& score_rows;
+  obs::Counter& score_batches;
+  obs::Histogram& advise_ns;
+  obs::Histogram& score_ns;
+  obs::Histogram& select_ns;
+  obs::Histogram& queue_wait_ns;
+  obs::Histogram& batch_size;
+
+  static ServeMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static ServeMetrics m{reg.GetCounter("serve.requests"),
+                          reg.GetCounter("serve.advise_requests"),
+                          reg.GetCounter("serve.score_requests"),
+                          reg.GetCounter("serve.select_requests"),
+                          reg.GetCounter("serve.score_rows"),
+                          reg.GetCounter("serve.score_batches"),
+                          reg.GetHistogram("serve.advise_ns"),
+                          reg.GetHistogram("serve.score_ns"),
+                          reg.GetHistogram("serve.select_ns"),
+                          reg.GetHistogram("serve.queue_wait_ns"),
+                          reg.GetHistogram("serve.batch_size")};
+    return m;
+  }
+};
+
+struct AdvisePending {
+  AdviseRequest request;
+  std::promise<Result<JoinPlan>> out;
+};
+
+struct ScorePending {
+  ScoreRequest request;
+  std::promise<Result<ScoreResponse>> out;
+};
+
+struct SelectPending {
+  SelectFeaturesRequest request;
+  std::promise<Result<SelectFeaturesResponse>> out;
+};
+
+struct Pending {
+  std::variant<AdvisePending, ScorePending, SelectPending> op;
+  uint64_t enqueue_ns = 0;  ///< 0 when collection was off at enqueue.
+};
+
+/// Exactly one of the two pointers is set.
+struct ResolvedModel {
+  std::shared_ptr<const NaiveBayes> nb;
+  std::shared_ptr<const LogisticRegression> lr;
+};
+
+/// The block must have every trained feature at its training-time
+/// cardinality; anything else would index the model's tables out of
+/// bounds (NB) or shift the zero-vector convention (LR).
+template <typename Model>
+Status ValidateBlockForModel(const EncodedDataset& block, const Model& model,
+                             const char* model_kind) {
+  const std::vector<uint32_t>& features = model.trained_features();
+  for (size_t jj = 0; jj < features.size(); ++jj) {
+    uint32_t j = features[jj];
+    if (j >= block.num_features()) {
+      return Status::InvalidArgument(StringFormat(
+          "score block has %u features but %s model was trained on "
+          "feature index %u",
+          block.num_features(), model_kind, j));
+    }
+    uint32_t want = model.trained_cardinality(jj);
+    if (block.meta(j).cardinality != want) {
+      return Status::InvalidArgument(StringFormat(
+          "score block feature %u has cardinality %u but %s model was "
+          "trained with cardinality %u",
+          j, block.meta(j).cardinality, model_kind, want));
+    }
+  }
+  return Status::OK();
+}
+
+/// Per-block outcome of one scoring pass. A block-level failure (layout
+/// mismatch) fails only that block's request, not the batch.
+struct BlockScore {
+  Status status = Status::OK();
+  std::vector<uint32_t> predictions;
+};
+
+}  // namespace
+
+struct HamletService::Impl {
+  ArtifactStore* store = nullptr;
+  ServiceOptions options;
+
+  std::mutex mu;
+  std::condition_variable cv_nonempty;  ///< Dispatcher waits for work.
+  std::condition_variable cv_space;     ///< Clients wait for queue room.
+  std::deque<Pending> queue;
+  bool stopping = false;
+  std::thread dispatcher;
+
+  template <typename PendingT, typename ResponseT>
+  Result<ResponseT> EnqueueAndWait(PendingT pending) {
+    std::future<Result<ResponseT>> future = pending.out.get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv_space.wait(lock, [&] {
+        return stopping || queue.size() < options.queue_capacity;
+      });
+      if (stopping) {
+        return Status::FailedPrecondition("HamletService is stopped");
+      }
+      Pending p;
+      p.op = std::move(pending);
+      p.enqueue_ns = obs::Enabled() ? obs::NowNanos() : 0;
+      queue.push_back(std::move(p));
+    }
+    cv_nonempty.notify_one();
+    return future.get();
+  }
+
+  static void RecordQueueWait(const Pending& p) {
+    if (p.enqueue_ns != 0 && obs::Enabled()) {
+      ServeMetrics::Get().queue_wait_ns.RecordAlways(obs::NowNanos() -
+                                                     p.enqueue_ns);
+    }
+  }
+
+  void DispatchLoop() {
+    for (;;) {
+      Pending head;
+      std::vector<ScorePending> coalesced;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_nonempty.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // Stopping and fully drained.
+        head = std::move(queue.front());
+        queue.pop_front();
+        if (options.batch_scoring &&
+            std::holds_alternative<ScorePending>(head.op)) {
+          // Coalesce queued Score requests for the same (model, version)
+          // behind the head into one scoring pass. Requests left behind
+          // keep their arrival order. A kLatest request only batches
+          // with other kLatest requests — resolution happens once per
+          // pass, so mixing could pin a concrete version a client did
+          // not ask for.
+          const ScoreRequest& lead = std::get<ScorePending>(head.op).request;
+          for (auto it = queue.begin();
+               it != queue.end() && 1 + coalesced.size() < options.max_batch;) {
+            auto* sp = std::get_if<ScorePending>(&it->op);
+            if (sp != nullptr && sp->request.model == lead.model &&
+                sp->request.version == lead.version) {
+              RecordQueueWait(*it);
+              coalesced.push_back(std::move(*sp));
+              it = queue.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        if (!coalesced.empty()) cv_space.notify_all();
+      }
+      cv_space.notify_one();
+      RecordQueueWait(head);
+      if (auto* a = std::get_if<AdvisePending>(&head.op)) {
+        DoAdvise(std::move(*a));
+      } else if (auto* s = std::get_if<ScorePending>(&head.op)) {
+        std::vector<ScorePending> group;
+        group.reserve(1 + coalesced.size());
+        group.push_back(std::move(*s));
+        for (ScorePending& c : coalesced) group.push_back(std::move(c));
+        DoScoreGroup(std::move(group));
+      } else {
+        DoSelect(std::move(std::get<SelectPending>(head.op)));
+      }
+    }
+  }
+
+  void DoAdvise(AdvisePending p) {
+    ServeMetrics& m = ServeMetrics::Get();
+    m.requests.Add();
+    m.advise_requests.Add();
+    obs::TraceSpan span("serve.advise");
+    span.AddAttr("candidates",
+                 static_cast<uint64_t>(p.request.candidates.size()));
+    obs::ScopedLatency latency(m.advise_ns);
+    p.out.set_value(AdviseJoinsFromStats(p.request.n_train,
+                                         p.request.label_entropy_bits,
+                                         p.request.candidates,
+                                         p.request.options));
+  }
+
+  Result<ResolvedModel> ResolveModel(const std::string& name,
+                                     uint32_t version) {
+    Result<std::shared_ptr<const NaiveBayes>> nb =
+        store->GetNaiveBayes(name, version);
+    if (nb.ok()) return ResolvedModel{std::move(nb).ValueOrDie(), nullptr};
+    if (SerdeErrorOf(nb.status()) != SerdeError::kKindMismatch) {
+      return nb.status();
+    }
+    HAMLET_ASSIGN_OR_RETURN(std::shared_ptr<const LogisticRegression> lr,
+                            store->GetLogisticRegression(name, version));
+    return ResolvedModel{nullptr, std::move(lr)};
+  }
+
+  /// The scoring pass: resolve once, validate each block, score every
+  /// valid row in one parallel region. Top-level failure = the model
+  /// could not be resolved (fails every request of the pass).
+  Result<std::vector<BlockScore>> ScorePass(
+      const std::string& model_name, uint32_t version,
+      const std::vector<const EncodedDataset*>& blocks) {
+    ServeMetrics& m = ServeMetrics::Get();
+    m.requests.Add(blocks.size());
+    m.score_requests.Add(blocks.size());
+    m.score_batches.Add();
+    obs::TraceSpan span("serve.score");
+    span.AddAttr("batch_requests", static_cast<uint64_t>(blocks.size()));
+    const uint64_t start_ns = obs::Enabled() ? obs::NowNanos() : 0;
+    if (start_ns != 0) {
+      m.batch_size.RecordAlways(static_cast<uint64_t>(blocks.size()));
+    }
+
+    HAMLET_ASSIGN_OR_RETURN(ResolvedModel model,
+                            ResolveModel(model_name, version));
+
+    std::vector<BlockScore> out(blocks.size());
+    // Row offsets of the valid blocks within the fused index space.
+    std::vector<size_t> valid;
+    std::vector<uint64_t> base;
+    uint64_t total_rows = 0;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      const EncodedDataset& block = *blocks[i];
+      Status st = model.nb != nullptr
+                      ? ValidateBlockForModel(block, *model.nb, "naive_bayes")
+                      : ValidateBlockForModel(block, *model.lr,
+                                              "logistic_regression");
+      if (!st.ok()) {
+        out[i].status = std::move(st);
+        continue;
+      }
+      out[i].predictions.resize(block.num_rows());
+      valid.push_back(i);
+      base.push_back(total_rows);
+      total_rows += block.num_rows();
+    }
+    if (total_rows > UINT32_MAX) {
+      return Status::InvalidArgument(StringFormat(
+          "score batch holds %llu rows; at most 2^32 - 1 per pass",
+          static_cast<unsigned long long>(total_rows)));
+    }
+    span.AddAttr("rows", total_rows);
+    m.score_rows.Add(total_rows);
+
+    const NaiveBayes* nb = model.nb.get();
+    const LogisticRegression* lr = model.lr.get();
+    ThreadPool::Global().ParallelFor(
+        static_cast<uint32_t>(total_rows), options.num_threads,
+        [&](uint32_t fused) {
+          // Fused index → (block, row). Blocks are few; linear scan over
+          // the offset table stays cheap and branch-predictable.
+          size_t b = valid.size() - 1;
+          while (base[b] > fused) --b;
+          const EncodedDataset& block = *blocks[valid[b]];
+          const uint32_t row = static_cast<uint32_t>(fused - base[b]);
+          uint32_t pred;
+          if (nb != nullptr) {
+            thread_local std::vector<double> scores;
+            nb->LogScoresInto(block, row, &scores);
+            // Same argmax tie-break as NaiveBayes::PredictOne: first
+            // strictly-greatest class wins.
+            uint32_t best = 0;
+            for (uint32_t c = 1; c < nb->num_classes(); ++c) {
+              if (scores[c] > scores[best]) best = c;
+            }
+            pred = best;
+          } else {
+            pred = lr->PredictOne(block, row);
+          }
+          out[valid[b]].predictions[row] = pred;
+        });
+
+    if (start_ns != 0) {
+      const uint64_t elapsed = obs::NowNanos() - start_ns;
+      // One observation per request of the pass, so per-request latency
+      // percentiles stay meaningful under batching.
+      for (size_t i = 0; i < blocks.size(); ++i) {
+        m.score_ns.RecordAlways(elapsed);
+      }
+    }
+    return out;
+  }
+
+  void DoScoreGroup(std::vector<ScorePending> group) {
+    std::vector<const EncodedDataset*> blocks;
+    blocks.reserve(group.size());
+    for (const ScorePending& g : group) blocks.push_back(g.request.rows.get());
+    Result<std::vector<BlockScore>> scored =
+        ScorePass(group[0].request.model, group[0].request.version, blocks);
+    if (!scored.ok()) {
+      for (ScorePending& g : group) g.out.set_value(scored.status());
+      return;
+    }
+    std::vector<BlockScore>& per_block = scored.ValueOrDie();
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (!per_block[i].status.ok()) {
+        group[i].out.set_value(std::move(per_block[i].status));
+        continue;
+      }
+      ScoreResponse response;
+      response.predictions = std::move(per_block[i].predictions);
+      response.batch_requests = static_cast<uint32_t>(group.size());
+      group[i].out.set_value(std::move(response));
+    }
+  }
+
+  Result<SelectFeaturesResponse> RunSelect(SelectFeaturesRequest request) {
+    if (request.model_name.empty()) {
+      return Status::InvalidArgument(
+          "SelectFeaturesRequest.model_name must be set");
+    }
+    HAMLET_ASSIGN_OR_RETURN(
+        std::shared_ptr<const EncodedDataset> data,
+        store->GetDataset(request.dataset, request.dataset_version));
+    Rng rng(request.seed);
+    HoldoutSplit split = MakeHoldoutSplit(data->num_rows(), rng);
+    std::unique_ptr<FeatureSelector> selector =
+        MakeSelector(request.method, options.num_threads);
+    ClassifierFactory factory = MakeNaiveBayesFactory(request.nb_alpha);
+    std::vector<uint32_t> candidates(data->num_features());
+    std::iota(candidates.begin(), candidates.end(), 0u);
+    HAMLET_ASSIGN_OR_RETURN(
+        FsRunReport report,
+        RunFeatureSelection(*selector, *data, split, factory, request.metric,
+                            candidates));
+    // Refit the winner exactly as the runner's final fit did, so the
+    // persisted model reproduces the reported holdout error.
+    NaiveBayes model(request.nb_alpha);
+    HAMLET_RETURN_NOT_OK(
+        model.Train(*data, split.train, report.selection.selected));
+    SelectFeaturesResponse response;
+    HAMLET_ASSIGN_OR_RETURN(response.model_version,
+                            store->PutNaiveBayes(request.model_name, model));
+    HAMLET_ASSIGN_OR_RETURN(
+        response.report_version,
+        store->PutFsRunReport(request.model_name + ".fs_report", report));
+    response.report = std::move(report);
+    return response;
+  }
+
+  void DoSelect(SelectPending p) {
+    ServeMetrics& m = ServeMetrics::Get();
+    m.requests.Add();
+    m.select_requests.Add();
+    obs::TraceSpan span("serve.select_features");
+    span.AddAttr("method", std::string(FsMethodToString(p.request.method)));
+    obs::ScopedLatency latency(m.select_ns);
+    p.out.set_value(RunSelect(std::move(p.request)));
+  }
+};
+
+HamletService::HamletService(ArtifactStore* store, ServiceOptions options)
+    : impl_(std::make_unique<Impl>()), options_(options) {
+  HAMLET_CHECK(store != nullptr, "HamletService needs an ArtifactStore");
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  impl_->store = store;
+  impl_->options = options_;
+  impl_->dispatcher = std::thread([impl = impl_.get()] {
+    impl->DispatchLoop();
+  });
+}
+
+HamletService::~HamletService() { Stop(); }
+
+void HamletService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv_nonempty.notify_all();
+  impl_->cv_space.notify_all();
+  if (impl_->dispatcher.joinable()) impl_->dispatcher.join();
+}
+
+Result<JoinPlan> HamletService::Advise(AdviseRequest request) {
+  AdvisePending pending;
+  pending.request = std::move(request);
+  return impl_->EnqueueAndWait<AdvisePending, JoinPlan>(std::move(pending));
+}
+
+Result<ScoreResponse> HamletService::Score(ScoreRequest request) {
+  if (request.rows == nullptr) {
+    return Status::InvalidArgument("ScoreRequest.rows must be set");
+  }
+  if (request.model.empty()) {
+    return Status::InvalidArgument("ScoreRequest.model must be set");
+  }
+  ScorePending pending;
+  pending.request = std::move(request);
+  return impl_->EnqueueAndWait<ScorePending, ScoreResponse>(
+      std::move(pending));
+}
+
+Result<SelectFeaturesResponse> HamletService::SelectFeatures(
+    SelectFeaturesRequest request) {
+  SelectPending pending;
+  pending.request = std::move(request);
+  return impl_->EnqueueAndWait<SelectPending, SelectFeaturesResponse>(
+      std::move(pending));
+}
+
+Result<std::vector<ScoreResponse>> HamletService::ScoreBatchDirect(
+    const std::vector<ScoreRequest>& batch) {
+  std::vector<ScoreResponse> responses(batch.size());
+  // Group request indices by (model, version), preserving arrival order
+  // within each group — the dispatcher's coalescing rule without the
+  // queue.
+  std::vector<char> done(batch.size(), 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (done[i]) continue;
+    if (batch[i].rows == nullptr) {
+      return Status::InvalidArgument("ScoreRequest.rows must be set");
+    }
+    std::vector<size_t> group;
+    for (size_t j = i; j < batch.size(); ++j) {
+      if (!done[j] && batch[j].model == batch[i].model &&
+          batch[j].version == batch[i].version) {
+        if (batch[j].rows == nullptr) {
+          return Status::InvalidArgument("ScoreRequest.rows must be set");
+        }
+        group.push_back(j);
+        done[j] = 1;
+      }
+    }
+    std::vector<const EncodedDataset*> blocks;
+    blocks.reserve(group.size());
+    for (size_t j : group) blocks.push_back(batch[j].rows.get());
+    HAMLET_ASSIGN_OR_RETURN(
+        std::vector<BlockScore> scored,
+        impl_->ScorePass(batch[i].model, batch[i].version, blocks));
+    for (size_t k = 0; k < group.size(); ++k) {
+      HAMLET_RETURN_NOT_OK(scored[k].status);
+      responses[group[k]].predictions = std::move(scored[k].predictions);
+      responses[group[k]].batch_requests = static_cast<uint32_t>(group.size());
+    }
+  }
+  return responses;
+}
+
+size_t HamletService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->queue.size();
+}
+
+}  // namespace hamlet::serve

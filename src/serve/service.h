@@ -1,0 +1,150 @@
+#ifndef HAMLET_SERVE_SERVICE_H_
+#define HAMLET_SERVE_SERVICE_H_
+
+/// \file service.h
+/// HamletService: the in-process serving surface of src/serve/ — the
+/// deployment shape of the ROADMAP's "heavy traffic" north star. Three
+/// request types:
+///
+///   - Advise:         the paper's ROR/TR join-avoidance decision from
+///                     schema metadata only (core/advisor's
+///                     AdviseJoinsFromStats) — the cheap advisory call
+///                     that is worth serving rather than recomputing;
+///   - Score:          batched classification of an encoded row block
+///                     against a named model from the artifact store;
+///   - SelectFeatures: a full feature selection run over a stored
+///                     dataset, persisting the winning model.
+///
+/// Concurrency model: callers block on their own threads; requests pass
+/// through a bounded FIFO queue (enqueue blocks when full — natural
+/// backpressure) drained by one dispatcher thread. The dispatcher
+/// executes the actual work as data-parallel regions on the existing
+/// shared ThreadPool (common/thread_pool.h), so the service composes
+/// with the library's determinism contract: a request's response is a
+/// pure function of the request and the referenced artifacts, never of
+/// timing or batch composition.
+///
+/// Micro-batching: while a Score request is being served, other Score
+/// requests for the same (model, version) queue up behind it; the
+/// dispatcher coalesces them (up to max_batch) into ONE scoring pass —
+/// a single parallel region running LogScoresInto row by row — so
+/// concurrent clients share the model resolution and the region
+/// dispatch overhead instead of paying it per call. Batch composition
+/// affects only latency, never results.
+///
+/// Observability: every endpoint records `serve.*` counters and latency
+/// histograms (see docs/SERVING.md and docs/OBSERVABILITY.md) when obs
+/// collection is enabled; queue wait and batch sizes are measured too.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "fs/runner.h"
+#include "serve/artifact_store.h"
+
+namespace hamlet::serve {
+
+/// Service tuning knobs.
+struct ServiceOptions {
+  /// Bounded request queue; enqueue blocks while the queue holds this
+  /// many requests (backpressure toward the clients).
+  size_t queue_capacity = 256;
+  /// Most Score requests coalesced into one scoring pass.
+  size_t max_batch = 64;
+  /// Micro-batching switch; off = one scoring pass per request (the
+  /// BM_ServeScoreUnbatched baseline).
+  bool batch_scoring = true;
+  /// ParallelFor shards for scoring passes and FS runs (0 = one per
+  /// hardware thread, 1 = serial). Results are identical either way.
+  uint32_t num_threads = 0;
+};
+
+/// Join-advice from pure metadata (see AdviseJoinsFromStats).
+struct AdviseRequest {
+  uint64_t n_train = 0;
+  double label_entropy_bits = 1.0;
+  std::vector<CandidateTableStats> candidates;
+  AdvisorOptions options;
+};
+
+/// Score an encoded row block against a stored model. The block must
+/// share the feature layout the model was trained on (same feature
+/// indices and cardinalities).
+struct ScoreRequest {
+  std::string model;                           ///< Artifact name.
+  uint32_t version = ArtifactStore::kLatest;   ///< 0 = latest.
+  std::shared_ptr<const EncodedDataset> rows;  ///< Block to score.
+};
+
+struct ScoreResponse {
+  /// Predicted class code per row of the block, in row order. Identical
+  /// to calling the model's Predict serially (the determinism tests
+  /// lock this down under concurrency).
+  std::vector<uint32_t> predictions;
+  /// How many requests shared the scoring pass (1 when unbatched);
+  /// diagnostic only.
+  uint32_t batch_requests = 1;
+};
+
+/// Run feature selection over a stored dataset and persist the winner.
+struct SelectFeaturesRequest {
+  std::string dataset;                              ///< Dataset artifact.
+  uint32_t dataset_version = ArtifactStore::kLatest;
+  FsMethod method = FsMethod::kForwardSelection;
+  ErrorMetric metric = ErrorMetric::kZeroOne;
+  double nb_alpha = 1.0;   ///< Naive Bayes smoothing for the models.
+  uint64_t seed = 7;       ///< Drives the holdout split.
+  std::string model_name;  ///< Store the winning model under this name.
+};
+
+struct SelectFeaturesResponse {
+  FsRunReport report;
+  uint32_t model_version = 0;   ///< Version of the persisted NB model.
+  uint32_t report_version = 0;  ///< Version of "<model_name>.fs_report".
+};
+
+/// The in-process service. Public methods are safe to call from any
+/// number of client threads; each blocks until its response is ready.
+class HamletService {
+ public:
+  /// `store` must outlive the service.
+  explicit HamletService(ArtifactStore* store, ServiceOptions options = {});
+
+  /// Stops and drains (see Stop()).
+  ~HamletService();
+
+  HamletService(const HamletService&) = delete;
+  HamletService& operator=(const HamletService&) = delete;
+
+  Result<JoinPlan> Advise(AdviseRequest request);
+  Result<ScoreResponse> Score(ScoreRequest request);
+  Result<SelectFeaturesResponse> SelectFeatures(SelectFeaturesRequest request);
+
+  /// Finishes every queued request, rejects new ones
+  /// (FailedPrecondition), and joins the dispatcher. Idempotent.
+  void Stop();
+
+  /// The exact scoring pass the dispatcher's micro-batcher runs, minus
+  /// the queue: resolves each distinct (model, version) once and scores
+  /// all blocks in one parallel region per model group. Exposed so the
+  /// determinism tests and benchmarks can drive the batched path
+  /// directly.
+  Result<std::vector<ScoreResponse>> ScoreBatchDirect(
+      const std::vector<ScoreRequest>& batch);
+
+  /// Requests currently queued (diagnostics/tests).
+  size_t queue_depth() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  ServiceOptions options_;
+};
+
+}  // namespace hamlet::serve
+
+#endif  // HAMLET_SERVE_SERVICE_H_

@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hamlet {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value for the canonical 9-byte test input.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, ChunkedMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t one_shot = Crc32(data.data(), data.size());
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t chained = Crc32(data.data(), cut);
+    chained = Crc32(data.data() + cut, data.size() - cut, chained);
+    EXPECT_EQ(chained, one_shot) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "hamlet artifact payload";
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32(data.data(), data.size()), clean)
+          << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -93,13 +93,53 @@ TEST_F(CsvTest, StrictModeRejectsRaggedRows) {
   EXPECT_FALSE(ReadCsv(path, "T", schema).ok());
 }
 
-TEST_F(CsvTest, LenientModeSkipsRaggedRows) {
+// Field-count mismatches are framing errors and reject the file in BOTH
+// modes — lenient mode used to skip such rows silently, biasing the data.
+TEST_F(CsvTest, LenientModeStillRejectsRaggedRows) {
   std::string path = WriteTemp("A,B\n1,2\nonly_one\n3,4\n");
   Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
   CsvOptions options;
   options.strict = false;
   auto t = ReadCsv(path, "T", schema, options);
-  ASSERT_TRUE(t.ok());
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, RaggedRowErrorNamesTheLine) {
+  // The short row is on line 3 of the file (header is line 1).
+  std::string path = WriteTemp("A,B\n1,2\nonly_one\n3,4\n");
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+  CsvOptions options;
+  options.strict = false;
+  auto t = ReadCsv(path, "T", schema, options);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find(":3:"), std::string::npos)
+      << t.status();
+  EXPECT_NE(t.status().message().find("1 fields"), std::string::npos)
+      << t.status();
+}
+
+TEST_F(CsvTest, TooManyFieldsRejectedWithLineNumber) {
+  std::string path = WriteTemp("A,B\n1,2\n3,4,5\n");
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+  auto t = ReadCsv(path, "T", schema);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find(":3:"), std::string::npos)
+      << t.status();
+}
+
+// What lenient mode still tolerates: rows violating a closed domain are
+// skipped (the framing is fine, only the value is foreign).
+TEST_F(CsvTest, LenientModeSkipsDomainViolations) {
+  std::string path = WriteTemp("A\nyes\nmaybe\nno\n");
+  Schema schema({ColumnSpec::Feature("A")});
+  auto closed =
+      std::make_shared<Domain>(std::vector<std::string>{"yes", "no"});
+  CsvOptions options;
+  options.strict = false;
+  auto t = ReadCsvWithDomains(path, "T", schema, {closed}, options);
+  ASSERT_TRUE(t.ok()) << t.status();
   EXPECT_EQ(t->num_rows(), 2u);
 }
 

@@ -1,0 +1,344 @@
+#include "serve/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "data/splits.h"
+
+namespace hamlet::serve {
+namespace {
+
+/// Bit-exact double comparison (== would conflate -0.0/0.0 and choke on
+/// any NaN; the format's contract is the bit pattern).
+bool BitsEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<uint64_t>(a[i]) != std::bit_cast<uint64_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Small synthetic dataset with a predictive feature and a noise feature.
+EncodedDataset MakeData(uint64_t seed, uint32_t n = 400) {
+  Rng rng(seed);
+  std::vector<uint32_t> f(n), g(n), y(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    f[i] = rng.Uniform(2);
+    g[i] = rng.Uniform(5);
+    y[i] = rng.Bernoulli(0.85) ? f[i] : 1 - f[i];
+  }
+  return EncodedDataset({f, g}, {{"F", 2}, {"G", 5}}, y, 2);
+}
+
+NaiveBayes TrainNb(const EncodedDataset& data) {
+  NaiveBayes model(0.5);
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  EXPECT_TRUE(model.Train(data, rows, {0, 1}).ok());
+  return model;
+}
+
+LogisticRegression TrainLr(const EncodedDataset& data) {
+  LogisticRegressionOptions options;
+  options.regularizer = Regularizer::kL1;
+  options.lambda = 1e-3;
+  options.max_epochs = 5;
+  LogisticRegression model(options);
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  EXPECT_TRUE(model.Train(data, rows, {0, 1}).ok());
+  return model;
+}
+
+/// Rewrites the CRC footer so a deliberate header edit is the ONLY
+/// inconsistency under test.
+void PatchCrc(std::string* bytes) {
+  uint32_t crc = Crc32(bytes->data(), bytes->size() - kFooterSize);
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[bytes->size() - kFooterSize + i] =
+        static_cast<char>(crc >> (8 * i));
+  }
+}
+
+TEST(SerdeTest, DatasetRoundTripIsExact) {
+  EncodedDataset data = MakeData(1);
+  std::string bytes = SerializeDataset(data);
+  auto back = DeserializeDataset(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), data.num_rows());
+  ASSERT_EQ(back->num_features(), data.num_features());
+  EXPECT_EQ(back->num_classes(), data.num_classes());
+  EXPECT_EQ(back->labels(), data.labels());
+  for (uint32_t j = 0; j < data.num_features(); ++j) {
+    EXPECT_EQ(back->feature(j), data.feature(j)) << "feature " << j;
+    EXPECT_EQ(back->meta(j).name, data.meta(j).name);
+    EXPECT_EQ(back->meta(j).cardinality, data.meta(j).cardinality);
+  }
+}
+
+TEST(SerdeTest, NaiveBayesRoundTripIsBitExact) {
+  EncodedDataset data = MakeData(2);
+  NaiveBayes model = TrainNb(data);
+  std::string bytes = SerializeNaiveBayes(model);
+  auto back = DeserializeNaiveBayes(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+
+  NaiveBayesParams a = model.ExportParams();
+  NaiveBayesParams b = back->ExportParams();
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.alpha), std::bit_cast<uint64_t>(b.alpha));
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_TRUE(BitsEqual(a.log_priors, b.log_priors));
+  ASSERT_EQ(a.log_likelihoods.size(), b.log_likelihoods.size());
+  for (size_t j = 0; j < a.log_likelihoods.size(); ++j) {
+    EXPECT_TRUE(BitsEqual(a.log_likelihoods[j], b.log_likelihoods[j]));
+  }
+
+  // Bit-exact parameters imply identical predictions everywhere.
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  EXPECT_EQ(model.Predict(data, rows), back->Predict(data, rows));
+}
+
+TEST(SerdeTest, LogisticRegressionRoundTripIsBitExact) {
+  EncodedDataset data = MakeData(3);
+  LogisticRegression model = TrainLr(data);
+  std::string bytes = SerializeLogisticRegression(model);
+  auto back = DeserializeLogisticRegression(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+
+  LogisticRegressionParams a = model.ExportParams();
+  LogisticRegressionParams b = back->ExportParams();
+  EXPECT_EQ(a.options.regularizer, b.options.regularizer);
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.options.lambda),
+            std::bit_cast<uint64_t>(b.options.lambda));
+  EXPECT_EQ(a.options.max_epochs, b.options.max_epochs);
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_EQ(a.num_dims, b.num_dims);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_TRUE(BitsEqual(a.weights, b.weights));
+
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  EXPECT_EQ(model.Predict(data, rows), back->Predict(data, rows));
+}
+
+TEST(SerdeTest, FsRunReportRoundTrip) {
+  FsRunReport report;
+  report.method = "Forward Selection";
+  report.selection.selected = {2, 0, 5};
+  report.selection.validation_error = 0.125;
+  report.selection.models_trained = 42;
+  report.selected_names = {"C", "A", "F"};
+  report.holdout_test_error = 0.0625;
+  report.runtime_seconds = 1.5;
+  report.fit_seconds = 0.25;
+  report.total_seconds = 1.75;
+
+  std::string bytes = SerializeFsRunReport(report);
+  auto back = DeserializeFsRunReport(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->method, report.method);
+  EXPECT_EQ(back->selection.selected, report.selection.selected);
+  EXPECT_EQ(std::bit_cast<uint64_t>(back->selection.validation_error),
+            std::bit_cast<uint64_t>(report.selection.validation_error));
+  EXPECT_EQ(back->selection.models_trained, report.selection.models_trained);
+  EXPECT_EQ(back->selected_names, report.selected_names);
+  EXPECT_EQ(std::bit_cast<uint64_t>(back->holdout_test_error),
+            std::bit_cast<uint64_t>(report.holdout_test_error));
+  EXPECT_EQ(std::bit_cast<uint64_t>(back->runtime_seconds),
+            std::bit_cast<uint64_t>(report.runtime_seconds));
+  // The trace digest is re-derived from the stored scalars: the same
+  // two-stage shape fs/runner.cc builds.
+  ASSERT_EQ(back->trace_summary.stages.size(), 2u);
+  EXPECT_EQ(back->trace_summary.stages[0].name, "fs.search");
+  EXPECT_EQ(back->trace_summary.stages[1].name, "fs.final_fit");
+  EXPECT_DOUBLE_EQ(back->trace_summary.StageSeconds("fs.search"), 1.5);
+}
+
+TEST(SerdeTest, SerializationIsDeterministic) {
+  EncodedDataset data = MakeData(4);
+  NaiveBayes model = TrainNb(data);
+  EXPECT_EQ(SerializeNaiveBayes(model), SerializeNaiveBayes(model));
+  EXPECT_EQ(SerializeDataset(data), SerializeDataset(data));
+}
+
+TEST(SerdeTest, HeaderLayoutIsAsDocumented) {
+  std::string bytes = SerializeDataset(MakeData(5, 10));
+  ASSERT_GE(bytes.size(), kHeaderSize + kFooterSize);
+  EXPECT_EQ(bytes.substr(0, 4), "HMLT");
+  uint16_t version = static_cast<uint8_t>(bytes[4]) |
+                     (static_cast<uint16_t>(static_cast<uint8_t>(bytes[5]))
+                      << 8);
+  EXPECT_EQ(version, kFormatVersion);
+  uint16_t kind = static_cast<uint8_t>(bytes[6]) |
+                  (static_cast<uint16_t>(static_cast<uint8_t>(bytes[7])) << 8);
+  EXPECT_EQ(kind, static_cast<uint16_t>(ArtifactKind::kEncodedDataset));
+}
+
+TEST(SerdeTest, KindOfSerializedAndMismatch) {
+  EncodedDataset data = MakeData(6, 50);
+  std::string dataset_bytes = SerializeDataset(data);
+  auto kind = KindOfSerialized(dataset_bytes);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, ArtifactKind::kEncodedDataset);
+
+  auto as_model = DeserializeNaiveBayes(dataset_bytes);
+  ASSERT_FALSE(as_model.ok());
+  EXPECT_EQ(SerdeErrorOf(as_model.status()), SerdeError::kKindMismatch);
+  EXPECT_EQ(as_model.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SerdeTest, WrongFormatVersionRejected) {
+  std::string bytes = SerializeNaiveBayes(TrainNb(MakeData(7, 60)));
+  bytes[4] = 2;  // Pretend a future format version...
+  PatchCrc(&bytes);  // ...with an otherwise-valid file.
+  auto back = DeserializeNaiveBayes(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(SerdeErrorOf(back.status()), SerdeError::kBadVersion);
+  EXPECT_EQ(back.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SerdeTest, EveryTruncationIsATypedError) {
+  std::string bytes = SerializeNaiveBayes(TrainNb(MakeData(8, 30)));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto back = DeserializeNaiveBayes(bytes.substr(0, len));
+    ASSERT_FALSE(back.ok()) << "prefix length " << len;
+    EXPECT_NE(SerdeErrorOf(back.status()), SerdeError::kNone)
+        << "prefix length " << len << ": " << back.status();
+  }
+}
+
+TEST(SerdeTest, TrailingBytesRejected) {
+  std::string bytes = SerializeNaiveBayes(TrainNb(MakeData(9, 30)));
+  bytes.push_back('\0');
+  auto back = DeserializeNaiveBayes(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(SerdeErrorOf(back.status()), SerdeError::kTrailingBytes);
+}
+
+// The fuzz contract of ISSUE 4: flipping ANY single byte of a saved
+// artifact — header, payload, or CRC footer — yields a typed error,
+// never a crash and never a silently wrong artifact.
+TEST(SerdeTest, FlippingAnyByteIsATypedError) {
+  std::string bytes = SerializeNaiveBayes(TrainNb(MakeData(10, 25)));
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(~static_cast<uint8_t>(corrupt[i]));
+    auto back = DeserializeNaiveBayes(corrupt);
+    ASSERT_FALSE(back.ok()) << "byte " << i;
+    EXPECT_NE(SerdeErrorOf(back.status()), SerdeError::kNone)
+        << "byte " << i << ": " << back.status();
+  }
+}
+
+TEST(SerdeTest, FlippingFooterBytesIsCrcMismatch) {
+  std::string bytes = SerializeDataset(MakeData(11, 20));
+  for (size_t i = bytes.size() - kFooterSize; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(~static_cast<uint8_t>(corrupt[i]));
+    auto back = DeserializeDataset(corrupt);
+    ASSERT_FALSE(back.ok()) << "byte " << i;
+    EXPECT_EQ(SerdeErrorOf(back.status()), SerdeError::kCrcMismatch);
+    EXPECT_EQ(back.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST(SerdeTest, GarbageInputsAreTypedErrors) {
+  EXPECT_EQ(SerdeErrorOf(DeserializeDataset("").status()),
+            SerdeError::kTruncated);
+  EXPECT_EQ(SerdeErrorOf(DeserializeDataset("not a hamlet artifact").status()),
+            SerdeError::kBadMagic);
+  std::string zeros(64, '\0');
+  EXPECT_NE(SerdeErrorOf(DeserializeDataset(zeros).status()),
+            SerdeError::kNone);
+}
+
+TEST(SerdeTest, SerdeErrorOfIgnoresForeignStatuses) {
+  EXPECT_EQ(SerdeErrorOf(Status::OK()), SerdeError::kNone);
+  EXPECT_EQ(SerdeErrorOf(Status::IOError("disk on fire")), SerdeError::kNone);
+}
+
+TEST(SerdeTest, FileRoundTripAndMissingFile) {
+  EncodedDataset data = MakeData(12, 40);
+  NaiveBayes model = TrainNb(data);
+  std::string path = ::testing::TempDir() + "/serde_nb_roundtrip.hamlet";
+  ASSERT_TRUE(SaveNaiveBayes(model, path).ok());
+
+  auto kind = PeekKind(path);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, ArtifactKind::kNaiveBayes);
+
+  auto back = LoadNaiveBayes(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  NaiveBayesParams a = model.ExportParams();
+  NaiveBayesParams b = back->ExportParams();
+  EXPECT_TRUE(BitsEqual(a.log_priors, b.log_priors));
+
+  EXPECT_EQ(LoadNaiveBayes("/nonexistent/model.hamlet").status().code(),
+            StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, TruncatedFileOnDiskIsTypedError) {
+  EncodedDataset data = MakeData(13, 40);
+  std::string path = ::testing::TempDir() + "/serde_truncated.hamlet";
+  ASSERT_TRUE(SaveDataset(data, path).ok());
+  std::string bytes = *ReadFileBytes(path);
+  ASSERT_TRUE(
+      WriteFileBytes(path, std::string_view(bytes).substr(0, bytes.size() / 2))
+          .ok());
+  auto back = LoadDataset(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(SerdeErrorOf(back.status()), SerdeError::kTruncated);
+  std::remove(path.c_str());
+}
+
+// Models produced by the parallel search serialize to the same bytes at
+// any thread count — serde composes with the pool's determinism
+// contract, so artifacts are reproducible across machines.
+TEST(SerdeTest, SerializedBytesIdenticalAcrossNumThreads) {
+  EncodedDataset data = MakeData(14, 600);
+  Rng rng(99);
+  HoldoutSplit split = MakeHoldoutSplit(data.num_rows(), rng);
+
+  std::string bytes_by_threads[2];
+  const uint32_t thread_counts[2] = {1, 4};
+  for (int t = 0; t < 2; ++t) {
+    auto selector = MakeSelector(FsMethod::kForwardSelection,
+                                 thread_counts[t]);
+    auto report = RunFeatureSelection(*selector, data, split,
+                                      MakeNaiveBayesFactory(0.5),
+                                      ErrorMetric::kZeroOne,
+                                      data.AllFeatureIndices());
+    ASSERT_TRUE(report.ok()) << report.status();
+    NaiveBayes model(0.5);
+    ASSERT_TRUE(
+        model.Train(data, split.train, report->selection.selected).ok());
+    bytes_by_threads[t] = SerializeNaiveBayes(model);
+  }
+  EXPECT_EQ(bytes_by_threads[0], bytes_by_threads[1]);
+}
+
+TEST(SerdeTest, ArtifactKindNames) {
+  EXPECT_STREQ(ArtifactKindToString(ArtifactKind::kEncodedDataset),
+               "dataset");
+  EXPECT_STREQ(ArtifactKindToString(ArtifactKind::kNaiveBayes),
+               "naive_bayes");
+  EXPECT_TRUE(IsKnownArtifactKind(2));
+  EXPECT_FALSE(IsKnownArtifactKind(0));
+  EXPECT_FALSE(IsKnownArtifactKind(99));
+}
+
+}  // namespace
+}  // namespace hamlet::serve
