@@ -6,10 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 
 #include "common/parallel_for.h"
+#include "relational/csv.h"
 #include "core/advisor.h"
 #include "data/encoded_dataset.h"
 #include "data/splits.h"
@@ -44,6 +47,188 @@ void BM_KfkJoin(benchmark::State& state) {
                           ds->entity().num_rows());
 }
 BENCHMARK(BM_KfkJoin)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// --- Ingest: the pre-PR getline/label-map reader (frozen here as the
+// baseline) vs the chunked string_view/code reader, on a ~1M-row CSV.
+// The acceptance bar is >=2x on BM_ReadCsvParallel vs BM_ReadCsvBaseline
+// (docs/PERFORMANCE.md "Ingest & join fast path"). ---
+
+struct CsvBenchState {
+  std::string path;
+  Schema schema{{ColumnSpec::Feature("A"), ColumnSpec::Feature("B"),
+                 ColumnSpec::Feature("C")}};
+
+  static CsvBenchState& Get() {
+    static CsvBenchState* state = [] {
+      auto* s = new CsvBenchState();
+      s->path = (std::filesystem::temp_directory_path() /
+                 "hamlet_ingest_bench.csv")
+                    .string();
+      std::ofstream out(s->path);
+      out << "A,B,C\n";
+      // ~1M rows, mixed cardinalities (1000 / 100 / 10 distinct labels).
+      for (uint32_t i = 0; i < 1000000; ++i) {
+        out << "a" << i % 1000 << ",b" << (i * 13) % 100 << ",c" << i % 10
+            << "\n";
+      }
+      return s;
+    }();
+    return *state;
+  }
+};
+
+// The pre-PR serial reader: getline framing, ParseCsvLine into
+// std::string fields, TableBuilder::AppendRowLabels per row.
+Result<Table> BaselineReadCsv(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open");
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty");
+  TableBuilder builder("T", schema);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line, ',');
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument("ragged row");
+    }
+    Status append = builder.AppendRowLabels(fields);
+    if (!append.ok()) return append;
+  }
+  return builder.Build();
+}
+
+void BM_ReadCsvBaseline(benchmark::State& state) {
+  auto& s = CsvBenchState::Get();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto t = BaselineReadCsv(s.path, s.schema);
+    if (!t.ok()) std::abort();
+    rows = t->num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ReadCsvBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_ReadCsvParallel(benchmark::State& state) {
+  auto& s = CsvBenchState::Get();
+  CsvOptions options;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto t = ReadCsv(s.path, "T", s.schema, options);
+    if (!t.ok()) std::abort();
+    rows = t->num_rows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel(options.num_threads == 1 ? "serial" : "hw");
+}
+BENCHMARK(BM_ReadCsvParallel)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// --- HashJoin: the pre-PR label-keyed build/probe (frozen baseline) vs
+// the code-level CSR implementation, 1M probe rows against a 10k-row
+// build side. Distinct-but-equal key domains force a real DomainRemap in
+// the new path (the old path always paid label hashing). ---
+
+struct HashJoinBenchState {
+  Table left;
+  Table right;
+
+  static HashJoinBenchState& Get() {
+    static HashJoinBenchState* state = [] {
+      auto* s = new HashJoinBenchState();
+      constexpr uint32_t kRightRows = 10000;
+      constexpr uint32_t kLeftRows = 1000000;
+      // Distinct Domain objects with identical labels: the code path
+      // builds a remap table, the baseline hashes labels either way.
+      auto l_keys = Domain::Dense(kRightRows, "k");
+      auto r_keys = Domain::Dense(kRightRows, "k");
+      auto values = Domain::Dense(64, "v");
+
+      std::vector<uint32_t> r_key(kRightRows), r_val(kRightRows);
+      for (uint32_t i = 0; i < kRightRows; ++i) {
+        r_key[i] = (i * 7919) % kRightRows;  // Permuted key order.
+        r_val[i] = i % 64;
+      }
+      s->right = Table(
+          "R",
+          Schema({ColumnSpec::Feature("K2"), ColumnSpec::Feature("VR")}),
+          {Column(std::move(r_key), r_keys),
+           Column(std::move(r_val), values)});
+
+      std::vector<uint32_t> l_key(kLeftRows), l_val(kLeftRows);
+      for (uint32_t i = 0; i < kLeftRows; ++i) {
+        l_key[i] = (i * 31) % kRightRows;
+        l_val[i] = (i * 3) % 64;
+      }
+      s->left = Table(
+          "L",
+          Schema({ColumnSpec::Feature("K"), ColumnSpec::Feature("VL")}),
+          {Column(std::move(l_key), l_keys),
+           Column(std::move(l_val), values)});
+      return s;
+    }();
+    return *state;
+  }
+};
+
+// The pre-PR HashJoin: label-keyed unordered_map build, per-key row
+// vectors, label-hash probe per left row.
+Table BaselineHashJoin(const Table& left, const Table& right,
+                       uint32_t l_idx, uint32_t r_idx) {
+  const Column& lcol = left.column(l_idx);
+  const Column& rcol = right.column(r_idx);
+  std::unordered_map<std::string, std::vector<uint32_t>> build;
+  build.reserve(right.num_rows());
+  for (uint32_t row = 0; row < right.num_rows(); ++row) {
+    build[rcol.label(row)].push_back(row);
+  }
+  std::vector<uint32_t> l_rows, r_rows;
+  for (uint32_t row = 0; row < left.num_rows(); ++row) {
+    auto it = build.find(lcol.label(row));
+    if (it == build.end()) continue;
+    for (uint32_t r_row : it->second) {
+      l_rows.push_back(row);
+      r_rows.push_back(r_row);
+    }
+  }
+  std::vector<ColumnSpec> out_specs = left.schema().columns();
+  std::vector<Column> out_cols;
+  for (uint32_t c = 0; c < left.num_columns(); ++c) {
+    out_cols.push_back(left.column(c).Gather(l_rows));
+  }
+  for (uint32_t c = 0; c < right.num_columns(); ++c) {
+    if (c == r_idx) continue;
+    out_specs.push_back(right.schema().column(c));
+    out_cols.push_back(right.column(c).Gather(r_rows));
+  }
+  return Table("LR", Schema(std::move(out_specs)), std::move(out_cols));
+}
+
+void BM_HashJoinBaseline(benchmark::State& state) {
+  auto& s = HashJoinBenchState::Get();
+  for (auto _ : state) {
+    Table t = BaselineHashJoin(s.left, s.right, 0, 0);
+    benchmark::DoNotOptimize(t.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * s.left.num_rows());
+}
+BENCHMARK(BM_HashJoinBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoin(benchmark::State& state) {
+  auto& s = HashJoinBenchState::Get();
+  JoinOptions options;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto t = HashJoin(s.left, s.right, "K", "K2", options);
+    if (!t.ok()) std::abort();
+    benchmark::DoNotOptimize(t->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * s.left.num_rows());
+  state.SetLabel(options.num_threads == 1 ? "serial" : "hw");
+}
+BENCHMARK(BM_HashJoin)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 // --- Naive Bayes training throughput (rows x features / s). ---
 void BM_NaiveBayesTrain(benchmark::State& state) {

@@ -18,21 +18,39 @@ import sys
 
 # The perf-gated families: candidate evaluation and model training, the
 # paths BENCH trajectories track across PRs (docs/PERFORMANCE.md), plus
-# the serving stack's serde and batched-scoring paths (docs/SERVING.md).
+# the serving stack's serde and batched-scoring paths (docs/SERVING.md)
+# and the data-plane ingest/join fast paths (docs/PERFORMANCE.md "Ingest
+# & join fast path": BM_ReadCsv*, BM_HashJoin*, BM_KfkJoin).
 GATED = re.compile(
     r"^BM_(NBTrain|NaiveBayesTrain|GreedyForward|ForwardSelection"
-    r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore)"
+    r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore"
+    r"|ReadCsv|HashJoin|KfkJoin)"
 )
 
 
 def load(path):
+    """Loads {base name -> entry}, preferring median aggregates.
+
+    Files recorded with --benchmark_repetitions carry aggregate entries
+    (mean/median/stddev/cv) whose run_name is the base benchmark name;
+    the median is robust to the scheduler noise a single run picks up on
+    a busy host, so it wins over raw entries when both exist. Raw-format
+    files (one entry per benchmark, no aggregates) load unchanged, so
+    old and new BENCH files stay comparable across the format change.
+    """
     with open(path) as f:
         doc = json.load(f)
-    out = {}
+    raw = {}
+    medians = {}
     for b in doc.get("benchmarks", []):
+        base = b.get("run_name", b["name"])
         if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[base] = b
             continue
-        out[b["name"]] = b
+        raw[base] = b
+    out = raw
+    out.update(medians)
     return out
 
 

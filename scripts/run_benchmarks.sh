@@ -10,14 +10,18 @@
 # --compare additionally diffs the fresh BENCH json against the most
 # recent previous one (scripts/compare_bench.py) and exits nonzero on a
 # >10% real_time regression in the gated microbenches (the FS/NB
-# families plus the serving stack's BM_SerdeSave/Load and
-# BM_ServeScore* — see docs/SERVING.md):
+# families, the serving stack's BM_SerdeSave/Load and BM_ServeScore* —
+# see docs/SERVING.md — and the ingest/join fast paths BM_ReadCsv*,
+# BM_HashJoin*, BM_KfkJoin — see docs/PERFORMANCE.md):
 #
 #   scripts/run_benchmarks.sh --compare          # run + regression gate
 #
 # Env: BUILD_DIR (default build-bench), JOBS (default nproc),
 #      OUT (default BENCH_<YYYY-MM-DD>.json),
-#      COMPARE_THRESHOLD (default 0.10).
+#      COMPARE_THRESHOLD (default 0.10), REPETITIONS (default 3; the
+#      JSON records mean/median/stddev/cv aggregates and the gate
+#      compares medians — raw-format BENCH files from before the
+#      repetition change still compare fine).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,8 +51,13 @@ cmake -B "${BUILD_DIR}" -S . \
   -DHAMLET_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j"${JOBS}" --target micro_benchmarks
 
+# Three repetitions, medians recorded: single runs on a shared (noisy)
+# host swing short benches by 10-30%; compare_bench.py gates on the
+# median aggregate, which is stable run to run.
 "${BUILD_DIR}/bench/micro_benchmarks" \
   --benchmark_filter="${FILTER}" \
+  --benchmark_repetitions="${REPETITIONS:-3}" \
+  --benchmark_report_aggregates_only=true \
   --benchmark_format=json \
   --benchmark_out="${OUT}" \
   --benchmark_out_format=json

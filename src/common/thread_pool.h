@@ -83,15 +83,27 @@ class ThreadPool {
     return static_cast<uint32_t>(workers_.size());
   }
 
+  /// Shards a default-width (num_threads == 0) region uses: the workers
+  /// plus the inline caller, capped at the hardware concurrency. The pool
+  /// always spawns at least one worker (so the scheduling machinery is
+  /// exercised everywhere), but on a single-core host time-slicing two
+  /// shards on one core only adds handoff latency — default regions run
+  /// serial there instead. Explicit `num_threads` requests are honored
+  /// uncapped.
+  uint32_t DefaultShards() const {
+    static const uint32_t hardware =
+        std::max(1u, std::thread::hardware_concurrency());
+    return std::min(num_workers() + 1, hardware);
+  }
+
   /// Runs fn(i) for every i in [0, n), splitting the range into up to
-  /// `num_threads` contiguous shards (0 = workers + caller). Blocks until
+  /// `num_threads` contiguous shards (0 = DefaultShards()). Blocks until
   /// every item finishes. fn must be safe to call concurrently for
   /// distinct indices. Called from inside a parallel region, runs serial.
   template <typename Fn>
   void ParallelFor(uint32_t n, uint32_t num_threads, Fn&& fn) {
     if (n == 0) return;
-    uint32_t shards =
-        num_threads == 0 ? num_workers() + 1 : num_threads;
+    uint32_t shards = num_threads == 0 ? DefaultShards() : num_threads;
     shards = std::min(shards, n);
     if (shards <= 1) {
       for (uint32_t i = 0; i < n; ++i) fn(i);

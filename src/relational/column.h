@@ -63,8 +63,12 @@ class Column {
   }
 
   /// Returns a column with rows picked (with repetition allowed) by
-  /// `rows`; shares this column's domain.
-  Column Gather(const std::vector<uint32_t>& rows) const;
+  /// `rows`; shares this column's domain. With `num_threads` != 1 the
+  /// copy runs as chunked writes into the pre-sized output on the shared
+  /// pool (0 = all hardware threads); every thread count produces the
+  /// same column, so join materialization can parallelize freely.
+  Column Gather(const std::vector<uint32_t>& rows,
+                uint32_t num_threads = 1) const;
 
   /// Number of *distinct* codes that actually occur (≤ domain_size()).
   /// The ROR derivation needs this (q_R: observed distinct values).

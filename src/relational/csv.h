@@ -8,7 +8,15 @@
 /// label. Numeric columns should be discretized after loading (see
 /// stats/binning.h) per the paper's all-nominal assumption; the reader
 /// itself stays typeless. RFC-4180-style quoting ("" escapes a quote) is
-/// supported.
+/// supported, including quoted fields that span line breaks.
+///
+/// Ingestion is chunked and parallel (docs/PERFORMANCE.md "Ingest & join
+/// fast path"): the file is read into one buffer, a serial framing scan
+/// splits it into record-aligned byte ranges, each chunk is tokenized
+/// with std::string_view fields into per-chunk dictionaries, and the
+/// dictionaries merge deterministically in chunk order — so codes and
+/// domain label order are bit-identical to a serial read at any
+/// `num_threads`.
 
 #include <string>
 #include <vector>
@@ -26,6 +34,13 @@ struct CsvOptions {
   /// header is a line-numbered error in BOTH modes — such rows signal
   /// broken framing, and dropping them would silently bias the data.
   bool strict = true;
+  /// Parse shards (0 = all hardware threads, 1 = serial). Every value
+  /// produces the same table: same codes, same domain label order.
+  uint32_t num_threads = 0;
+  /// Floor on bytes per parse chunk, so tiny files stay single-chunk
+  /// where sharding overhead would dominate. Tests lower it to force
+  /// multi-chunk parsing on small inputs; the result is identical.
+  size_t min_chunk_bytes = 64 * 1024;
 };
 
 /// Reads a CSV file into a table. The schema must name exactly the header
@@ -45,7 +60,10 @@ Result<Table> ReadCsvWithDomains(const std::string& path,
 Status WriteCsv(const Table& table, const std::string& path,
                 const CsvOptions& options = {});
 
-/// Parses one CSV record with quoting; exposed for tests.
+/// Parses one CSV record with quoting; exposed for tests. A '"' opens a
+/// quoted run only at the start of a field (mid-field quotes are
+/// literal), "" inside quotes escapes a quote, characters after a
+/// closing quote append literally, and unquoted '\r' is dropped.
 std::vector<std::string> ParseCsvLine(const std::string& line,
                                       char delimiter);
 

@@ -23,20 +23,21 @@ std::shared_ptr<Domain> Domain::Dense(uint32_t n, const std::string& prefix) {
   return std::make_shared<Domain>(std::move(labels));
 }
 
-uint32_t Domain::GetOrAdd(const std::string& label) {
+uint32_t Domain::GetOrAdd(std::string_view label) {
   auto it = index_.find(label);
   if (it != index_.end()) return it->second;
   uint32_t code = size();
-  labels_.push_back(label);
-  index_.emplace(label, code);
+  labels_.emplace_back(label);
+  index_.emplace(std::string(label), code);
   return code;
 }
 
-Result<uint32_t> Domain::Lookup(const std::string& label) const {
+Result<uint32_t> Domain::Lookup(std::string_view label) const {
   auto it = index_.find(label);
   if (it == index_.end()) {
     return Status::NotFound(
-        StringFormat("label '%s' not in domain", label.c_str()));
+        StringFormat("label '%.*s' not in domain",
+                     static_cast<int>(label.size()), label.data()));
   }
   return it->second;
 }
@@ -45,6 +46,20 @@ const std::string& Domain::label(uint32_t code) const {
   HAMLET_CHECK(code < size(), "code %u out of domain of size %u", code,
                size());
   return labels_[code];
+}
+
+DomainRemap::DomainRemap(const std::shared_ptr<Domain>& from,
+                         const std::shared_ptr<Domain>& to) {
+  HAMLET_CHECK(from != nullptr && to != nullptr,
+               "DomainRemap requires non-null domains");
+  if (from == to) {
+    identity_ = true;
+    return;
+  }
+  map_.resize(from->size());
+  for (uint32_t c = 0; c < from->size(); ++c) {
+    map_[c] = to->CodeOf(from->label(c));
+  }
 }
 
 }  // namespace hamlet

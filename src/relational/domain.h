@@ -11,10 +11,15 @@
 /// they reference, which is what makes the closed-domain assumption
 /// (dom(FK) = set of RID values in R) structural rather than a runtime
 /// convention.
+///
+/// Lookups are heterogeneous (std::string_view), so hot paths — the
+/// chunked CSV parser, DomainRemap construction — never materialize a
+/// temporary std::string just to probe the index.
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +27,15 @@
 #include "common/status.h"
 
 namespace hamlet {
+
+/// Transparent hash so the label index accepts std::string_view probes
+/// without constructing a std::string key.
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// A finite, ordered set of category labels with O(1) label<->code lookup.
 class Domain {
@@ -37,13 +51,21 @@ class Domain {
   static std::shared_ptr<Domain> Dense(uint32_t n, const std::string& prefix = "");
 
   /// Returns the code of `label`, adding it if absent.
-  uint32_t GetOrAdd(const std::string& label);
+  uint32_t GetOrAdd(std::string_view label);
 
   /// Returns the code of `label` or NotFound.
-  Result<uint32_t> Lookup(const std::string& label) const;
+  Result<uint32_t> Lookup(std::string_view label) const;
+
+  /// Like Lookup but without a Status on miss: returns kNoCode when the
+  /// label is absent. The code-level join/ingest paths use this form.
+  static constexpr uint32_t kNoCode = UINT32_MAX;
+  uint32_t CodeOf(std::string_view label) const {
+    auto it = index_.find(label);
+    return it == index_.end() ? kNoCode : it->second;
+  }
 
   /// True iff the label is present.
-  bool Contains(const std::string& label) const {
+  bool Contains(std::string_view label) const {
     return index_.find(label) != index_.end();
   }
 
@@ -58,7 +80,35 @@ class Domain {
 
  private:
   std::vector<std::string> labels_;
-  std::unordered_map<std::string, uint32_t> index_;
+  std::unordered_map<std::string, uint32_t, StringViewHash, std::equal_to<>>
+      index_;
+};
+
+/// A one-shot code→code translation between two domains, so joins probe
+/// integer codes instead of labels even when the two columns were built
+/// with distinct Domain objects. map[c] is the code in `to` of
+/// from.label(c), or Domain::kNoCode when `to` lacks the label. When
+/// `from` and `to` are the same object the remap is the identity and no
+/// table is built.
+class DomainRemap {
+ public:
+  static constexpr uint32_t kNoCode = Domain::kNoCode;
+
+  DomainRemap(const std::shared_ptr<Domain>& from,
+              const std::shared_ptr<Domain>& to);
+
+  /// Translates a `from` code (must be < from.size()).
+  uint32_t operator[](uint32_t from_code) const {
+    if (identity_) return from_code;
+    return map_[from_code];
+  }
+
+  /// True when the two domains are the same object (zero-cost remap).
+  bool identity() const { return identity_; }
+
+ private:
+  bool identity_ = false;
+  std::vector<uint32_t> map_;
 };
 
 }  // namespace hamlet

@@ -1,7 +1,8 @@
 #include "relational/join.h"
 
-#include <unordered_map>
+#include <atomic>
 
+#include "common/parallel_for.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
 
@@ -21,23 +22,43 @@ obs::Counter& RowsProbedCounter() {
   return counter;
 }
 
-// Maps each code of `fk_domain` to the r-row holding that RID, or UINT32_MAX
-// if no R row carries it. Translates through labels when the domains are
-// distinct objects.
+obs::Counter& RowsEmittedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("join.rows_emitted");
+  return counter;
+}
+
+obs::Histogram& BuildLatency() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("join.build_ns");
+  return h;
+}
+
+obs::Histogram& ProbeLatency() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("join.probe_ns");
+  return h;
+}
+
+obs::Histogram& MaterializeLatency() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("join.materialize_ns");
+  return h;
+}
+
+constexpr uint32_t kMissing = UINT32_MAX;
+
+// Maps each code of `fk`'s domain to the r-row holding that RID, or
+// kMissing if no R row carries it. A DomainRemap translates rid codes
+// into fk codes once, so the per-row loop is integer-only even when the
+// two columns use distinct Domain objects.
 Result<std::vector<uint32_t>> BuildRidIndex(const Column& fk,
                                             const Column& rid) {
-  constexpr uint32_t kMissing = UINT32_MAX;
   std::vector<uint32_t> rid_to_row(fk.domain_size(), kMissing);
-  const bool shared = fk.domain() == rid.domain();
+  const DomainRemap remap(rid.domain(), fk.domain());
   for (uint32_t row = 0; row < rid.size(); ++row) {
-    uint32_t fk_code;
-    if (shared) {
-      fk_code = rid.code(row);
-    } else {
-      auto lookup = fk.domain()->Lookup(rid.label(row));
-      if (!lookup.ok()) continue;  // RID never referenced by S.
-      fk_code = *lookup;
-    }
+    const uint32_t fk_code = remap[rid.code(row)];
+    if (fk_code == DomainRemap::kNoCode) continue;  // Never referenced by S.
     if (fk_code >= rid_to_row.size()) continue;
     if (rid_to_row[fk_code] != kMissing) {
       return Status::InvalidArgument(StringFormat(
@@ -48,10 +69,30 @@ Result<std::vector<uint32_t>> BuildRidIndex(const Column& fk,
   return rid_to_row;
 }
 
+// Lowest index for which a parallel work item reported failure, or
+// UINT32_MAX. The min makes the reported error independent of thread
+// count and timing.
+class FirstFailure {
+ public:
+  void Report(uint32_t index) {
+    uint32_t seen = index_.load(std::memory_order_relaxed);
+    while (index < seen &&
+           !index_.compare_exchange_weak(seen, index,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  uint32_t index() const { return index_.load(std::memory_order_relaxed); }
+  bool failed() const { return index() != UINT32_MAX; }
+
+ private:
+  std::atomic<uint32_t> index_{UINT32_MAX};
+};
+
 }  // namespace
 
 Result<Table> KfkJoin(const Table& s, const Table& r,
-                      const std::string& fk_column) {
+                      const std::string& fk_column,
+                      const JoinOptions& options) {
   obs::TraceSpan span("join.kfk");
   if (span.active()) {
     span.AddAttr("entity", s.name());
@@ -73,27 +114,40 @@ Result<Table> KfkJoin(const Table& s, const Table& r,
 
   const Column& fk = s.column(fk_idx);
   const Column& rid = r.column(rid_idx);
-  HAMLET_ASSIGN_OR_RETURN(std::vector<uint32_t> rid_to_row,
-                          BuildRidIndex(fk, rid));
-
-  // Match every S row to its unique R row.
-  std::vector<uint32_t> matched(s.num_rows());
-  for (uint32_t row = 0; row < s.num_rows(); ++row) {
-    uint32_t m = rid_to_row[fk.code(row)];
-    if (m == UINT32_MAX) {
-      return Status::InvalidArgument(StringFormat(
-          "referential integrity violation: FK value '%s' has no matching "
-          "RID in '%s'",
-          fk.label(row).c_str(), r.name().c_str()));
-    }
-    matched[row] = m;
+  std::vector<uint32_t> rid_to_row;
+  {
+    obs::ScopedLatency timer(BuildLatency());
+    HAMLET_ASSIGN_OR_RETURN(rid_to_row, BuildRidIndex(fk, rid));
   }
+
+  // Match every S row to its unique R row: a pure per-index gather, so
+  // the probe shards freely. The lowest unmatched row (if any) names the
+  // referential-integrity error, independent of thread count.
+  std::vector<uint32_t> matched(s.num_rows());
+  FirstFailure failure;
+  {
+    obs::ScopedLatency timer(ProbeLatency());
+    ParallelFor(s.num_rows(), options.num_threads, [&](uint32_t row) {
+      const uint32_t m = rid_to_row[fk.code(row)];
+      if (m == kMissing) failure.Report(row);
+      matched[row] = m;
+    });
+  }
+  if (failure.failed()) {
+    return Status::InvalidArgument(StringFormat(
+        "referential integrity violation: FK value '%s' has no matching "
+        "RID in '%s'",
+        fk.label(failure.index()).c_str(), r.name().c_str()));
+  }
+  RowsEmittedCounter().Add(s.num_rows());
+  if (span.active()) span.AddAttr("rows_emitted", s.num_rows());
 
   std::vector<ColumnSpec> out_specs = s.schema().columns();
   std::vector<Column> out_cols;
   out_cols.reserve(s.num_columns() + r.num_columns() - 1);
   for (uint32_t c = 0; c < s.num_columns(); ++c) out_cols.push_back(s.column(c));
 
+  obs::ScopedLatency timer(MaterializeLatency());
   for (uint32_t c = 0; c < r.num_columns(); ++c) {
     if (c == rid_idx) continue;  // RID is represented by FK in the output.
     const ColumnSpec& spec = r.schema().column(c);
@@ -103,7 +157,7 @@ Result<Table> KfkJoin(const Table& s, const Table& r,
           spec.name.c_str(), s.name().c_str(), r.name().c_str()));
     }
     out_specs.push_back(spec);
-    out_cols.push_back(r.column(c).Gather(matched));
+    out_cols.push_back(r.column(c).Gather(matched, options.num_threads));
   }
 
   return Table(s.name() + "_join_" + r.name(), Schema(std::move(out_specs)),
@@ -112,7 +166,8 @@ Result<Table> KfkJoin(const Table& s, const Table& r,
 
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_column,
-                       const std::string& right_column) {
+                       const std::string& right_column,
+                       const JoinOptions& options) {
   obs::TraceSpan span("join.hash");
   if (span.active()) {
     span.AddAttr("rows_built", right.num_rows());
@@ -127,28 +182,68 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   const Column& lcol = left.column(l_idx);
   const Column& rcol = right.column(r_idx);
 
-  // Build side: label -> list of right rows. Labels make the join correct
-  // even when the two columns use distinct Domain objects.
-  std::unordered_map<std::string, std::vector<uint32_t>> build;
-  build.reserve(right.num_rows());
-  for (uint32_t row = 0; row < right.num_rows(); ++row) {
-    build[rcol.label(row)].push_back(row);
-  }
-
-  std::vector<uint32_t> l_rows, r_rows;
-  for (uint32_t row = 0; row < left.num_rows(); ++row) {
-    auto it = build.find(lcol.label(row));
-    if (it == build.end()) continue;
-    for (uint32_t rr : it->second) {
-      l_rows.push_back(row);
-      r_rows.push_back(rr);
+  // Build side: a CSR-style counting sort of right rows by key code —
+  // bucket k holds rows offsets[k]..offsets[k+1] in ascending row order
+  // (the order the old per-key vectors accumulated). One allocation per
+  // side, no hash map, no per-key vectors.
+  const uint32_t n_buckets = rcol.domain_size();
+  std::vector<uint32_t> offsets(n_buckets + 1, 0);
+  std::vector<uint32_t> bucket_rows(right.num_rows());
+  {
+    obs::ScopedLatency timer(BuildLatency());
+    for (uint32_t row = 0; row < right.num_rows(); ++row) {
+      ++offsets[rcol.code(row) + 1];
+    }
+    for (uint32_t k = 0; k < n_buckets; ++k) offsets[k + 1] += offsets[k];
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (uint32_t row = 0; row < right.num_rows(); ++row) {
+      bucket_rows[cursor[rcol.code(row)]++] = row;
     }
   }
 
+  // Probe side: translate left codes into right codes once, then emit
+  // matches in two deterministic passes — count matches per left row,
+  // prefix-sum into output positions, write each row's slice. Output
+  // order is left-row-major with right rows ascending, exactly the
+  // label-keyed implementation's order.
+  const DomainRemap remap(lcol.domain(), rcol.domain());
+  const uint32_t n_left = left.num_rows();
+  std::vector<uint32_t> l_rows, r_rows;
+  {
+    obs::ScopedLatency timer(ProbeLatency());
+    std::vector<uint64_t> out_pos(n_left + 1, 0);
+    ParallelFor(n_left, options.num_threads, [&](uint32_t row) {
+      const uint32_t rc = remap[lcol.code(row)];
+      out_pos[row + 1] =
+          rc == DomainRemap::kNoCode ? 0 : offsets[rc + 1] - offsets[rc];
+    });
+    for (uint32_t row = 0; row < n_left; ++row) {
+      out_pos[row + 1] += out_pos[row];
+    }
+    const uint64_t total = out_pos[n_left];
+    l_rows.resize(total);
+    r_rows.resize(total);
+    ParallelFor(n_left, options.num_threads, [&](uint32_t row) {
+      const uint32_t rc = remap[lcol.code(row)];
+      if (rc == DomainRemap::kNoCode) return;
+      uint64_t pos = out_pos[row];
+      for (uint32_t k = offsets[rc]; k < offsets[rc + 1]; ++k) {
+        l_rows[pos] = row;
+        r_rows[pos] = bucket_rows[k];
+        ++pos;
+      }
+    });
+  }
+  RowsEmittedCounter().Add(l_rows.size());
+  if (span.active()) {
+    span.AddAttr("rows_emitted", static_cast<uint64_t>(l_rows.size()));
+  }
+
+  obs::ScopedLatency timer(MaterializeLatency());
   std::vector<ColumnSpec> out_specs = left.schema().columns();
   std::vector<Column> out_cols;
   for (uint32_t c = 0; c < left.num_columns(); ++c) {
-    out_cols.push_back(left.column(c).Gather(l_rows));
+    out_cols.push_back(left.column(c).Gather(l_rows, options.num_threads));
   }
   for (uint32_t c = 0; c < right.num_columns(); ++c) {
     if (c == r_idx) continue;
@@ -158,7 +253,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
           "column name collision on '%s'", spec.name.c_str()));
     }
     out_specs.push_back(spec);
-    out_cols.push_back(right.column(c).Gather(r_rows));
+    out_cols.push_back(right.column(c).Gather(r_rows, options.num_threads));
   }
   return Table(left.name() + "_join_" + right.name(),
                Schema(std::move(out_specs)), std::move(out_cols));

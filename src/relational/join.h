@@ -12,6 +12,14 @@
 ///
 /// HashJoin is a general inner equi-join used as a reference implementation
 /// and by tests.
+///
+/// Both joins are code-level: when the key columns use distinct Domain
+/// objects a one-shot DomainRemap (domain.h) translates codes once, so
+/// build and probe never touch labels. HashJoin's build side is a
+/// CSR-style offsets+rows layout indexed by key code (no per-key
+/// allocations), and output materialization gathers each column with
+/// chunked parallel writes. Results are bit-identical at any thread count
+/// (the repo's determinism contract).
 
 #include <string>
 
@@ -19,6 +27,13 @@
 #include "relational/table.h"
 
 namespace hamlet {
+
+/// Knobs shared by both joins.
+struct JoinOptions {
+  /// Shards for probe and output materialization (0 = all hardware
+  /// threads, 1 = serial). Any value yields the same table.
+  uint32_t num_threads = 0;
+};
 
 /// Joins entity table `s` with attribute table `r` on `s.fk_column` =
 /// r's primary key. Fails if the FK column is missing or not a foreign
@@ -29,17 +44,19 @@ namespace hamlet {
 /// The output preserves `s`'s columns (including the FK itself, which the
 /// paper keeps as a feature) followed by `r`'s feature columns.
 Result<Table> KfkJoin(const Table& s, const Table& r,
-                      const std::string& fk_column);
+                      const std::string& fk_column,
+                      const JoinOptions& options = {});
 
 /// General inner equi-join of `left` and `right` on
 /// left.`left_column` = right.`right_column`. The output contains all
 /// left columns followed by all right columns except `right_column`.
-/// Output rows appear in left-row-major order of matches. Used as the
-/// nested-loop-checked reference for KfkJoin and available to library
-/// users for non-KFK joins.
+/// Output rows appear in left-row-major order of matches (right rows
+/// ascending within a key). Used as the nested-loop-checked reference for
+/// KfkJoin and available to library users for non-KFK joins.
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_column,
-                       const std::string& right_column);
+                       const std::string& right_column,
+                       const JoinOptions& options = {});
 
 }  // namespace hamlet
 

@@ -50,6 +50,24 @@ TEST(ColumnTest, GatherEmpty) {
   EXPECT_EQ(MakeColorColumn().Gather({}).size(), 0u);
 }
 
+TEST(ColumnTest, GatherIsIdenticalAtAnyThreadCount) {
+  auto domain = std::make_shared<Domain>(
+      std::vector<std::string>{"a", "b", "c", "d"});
+  std::vector<uint32_t> codes(5000);
+  std::vector<uint32_t> rows(12345);
+  for (uint32_t i = 0; i < codes.size(); ++i) codes[i] = (i * 7) % 4;
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    rows[i] = (i * 31) % static_cast<uint32_t>(codes.size());
+  }
+  Column c(codes, domain);
+  Column serial = c.Gather(rows, 1);
+  for (uint32_t num_threads : {0u, 2u, 8u}) {
+    Column parallel = c.Gather(rows, num_threads);
+    EXPECT_EQ(parallel.codes(), serial.codes()) << num_threads;
+    EXPECT_EQ(parallel.domain(), c.domain());
+  }
+}
+
 TEST(ColumnTest, CountDistinct) {
   Column c = MakeColorColumn();
   EXPECT_EQ(c.CountDistinct(), 3u);

@@ -11,8 +11,13 @@ namespace {
 class CsvTest : public ::testing::Test {
  protected:
   std::string WriteTemp(const std::string& contents) {
-    std::string path = ::testing::TempDir() + "/hamlet_csv_" +
-                       std::to_string(counter_++) + ".csv";
+    // Keyed by test name: ctest runs each test in its own process (so a
+    // static counter restarts at 0) and in parallel, so a bare counter
+    // would collide across concurrently running tests.
+    std::string path =
+        ::testing::TempDir() + "/hamlet_csv_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        "_" + std::to_string(counter_++) + ".csv";
     std::ofstream out(path);
     out << contents;
     return path;
@@ -177,6 +182,248 @@ TEST_F(CsvTest, WriteToBadPathIsIOError) {
   ASSERT_TRUE(builder.AppendRowLabels({"x"}).ok());
   EXPECT_EQ(WriteCsv(builder.Build(), "/nonexistent/dir/x.csv").code(),
             StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// ParseCsvLine edge semantics, pinned. A '"' opens a quoted run only when
+// the field is still empty; everything else about quotes is downstream of
+// that rule.
+
+TEST_F(CsvTest, ParseCsvLineMidFieldQuotesAreLiteral) {
+  auto fields = ParseCsvLine("a\"b\"", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "a\"b\"");
+}
+
+TEST_F(CsvTest, ParseCsvLineEmptyQuotedField) {
+  auto fields = ParseCsvLine("\"\"", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST_F(CsvTest, ParseCsvLineEscapedQuoteInsideQuotes) {
+  auto fields = ParseCsvLine("\"a\"\"b\"", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "a\"b");
+}
+
+TEST_F(CsvTest, ParseCsvLineQuadQuoteIsOneQuote) {
+  auto fields = ParseCsvLine("\"\"\"\"", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "\"");
+}
+
+TEST_F(CsvTest, ParseCsvLineTrailingDelimiterAddsEmptyField) {
+  auto fields = ParseCsvLine("a,b,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST_F(CsvTest, ParseCsvLineTextAfterClosingQuoteAppends) {
+  auto fields = ParseCsvLine("\"a\"b", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "ab");
+}
+
+// The same edge cases must hold through the full reader, in both modes.
+TEST_F(CsvTest, ReaderPreservesQuoteEdgeCases) {
+  std::string path = WriteTemp(
+      "A,B\n"
+      "a\"b\",x\n"
+      "\"\",y\n"
+      "\"a\"\"b\",z\n"
+      "w,\n");
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+  for (bool strict : {true, false}) {
+    CsvOptions options;
+    options.strict = strict;
+    auto t = ReadCsv(path, "T", schema, options);
+    ASSERT_TRUE(t.ok()) << t.status();
+    ASSERT_EQ(t->num_rows(), 4u);
+    EXPECT_EQ(t->column(0).label(0), "a\"b\"");
+    EXPECT_EQ(t->column(0).label(1), "");
+    EXPECT_EQ(t->column(0).label(2), "a\"b");
+    EXPECT_EQ(t->column(1).label(3), "");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quote-aware framing: quoted fields spanning line breaks.
+
+TEST_F(CsvTest, QuotedFieldMaySpanLines) {
+  std::string path = WriteTemp(
+      "ID,Text\n"
+      "r1,\"line1\nline2\"\n"
+      "r2,plain\n");
+  Schema schema(
+      {ColumnSpec::PrimaryKey("ID"), ColumnSpec::Feature("Text")});
+  auto t = ReadCsv(path, "T", schema);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->column(1).label(0), "line1\nline2");
+  EXPECT_EQ(t->column(1).label(1), "plain");
+}
+
+TEST_F(CsvTest, RoundTripPreservesDelimiterQuoteAndNewline) {
+  Schema schema(
+      {ColumnSpec::PrimaryKey("ID"), ColumnSpec::Feature("Text")});
+  TableBuilder builder("T", schema);
+  ASSERT_TRUE(builder.AppendRowLabels({"a", "has,comma"}).ok());
+  ASSERT_TRUE(builder.AppendRowLabels({"b", "say \"hi\""}).ok());
+  ASSERT_TRUE(builder.AppendRowLabels({"c", "line1\nline2"}).ok());
+  ASSERT_TRUE(builder.AppendRowLabels({"d", "trail\r"}).ok());
+  ASSERT_TRUE(builder.AppendRowLabels({"e", ""}).ok());
+  Table original = builder.Build();
+
+  std::string path = WriteTemp("");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  auto reread = ReadCsv(path, "T", schema);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  ASSERT_EQ(reread->num_rows(), original.num_rows());
+  for (uint32_t r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(reread->column(1).label(r), original.column(1).label(r)) << r;
+  }
+}
+
+// Line numbers in errors count physical file lines, so a quoted newline
+// above the bad row shifts the reported line.
+TEST_F(CsvTest, ErrorLineNumberCountsQuotedNewlines) {
+  std::string path = WriteTemp(
+      "A,B\n"
+      "\"line1\nline2\",x\n"
+      "only_one\n");
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+  auto t = ReadCsv(path, "T", schema);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find(":4:"), std::string::npos)
+      << t.status();
+}
+
+// The same error (message and line) surfaces regardless of thread count:
+// the lowest-row failure wins deterministically.
+TEST_F(CsvTest, ErrorsAreIdenticalAcrossThreadCounts) {
+  std::string contents = "A,B\n";
+  for (int i = 0; i < 50; ++i) {
+    contents += "x" + std::to_string(i) + ",y\n";
+  }
+  contents += "ragged_row\n";  // Line 52.
+  for (int i = 0; i < 50; ++i) contents += "z,w\n";
+  std::string path = WriteTemp(contents);
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+
+  CsvOptions serial;
+  serial.num_threads = 1;
+  auto base = ReadCsv(path, "T", schema, serial);
+  ASSERT_FALSE(base.ok());
+  EXPECT_NE(base.status().message().find(":52:"), std::string::npos)
+      << base.status();
+
+  for (uint32_t num_threads : {2u, 8u}) {
+    CsvOptions options;
+    options.num_threads = num_threads;
+    options.min_chunk_bytes = 1;  // Force one chunk per shard.
+    auto t = ReadCsv(path, "T", schema, options);
+    ASSERT_FALSE(t.ok());
+    EXPECT_EQ(t.status().message(), base.status().message());
+  }
+}
+
+TEST_F(CsvTest, StrictDomainErrorIsIdenticalAcrossThreadCounts) {
+  std::string contents = "A\n";
+  for (int i = 0; i < 40; ++i) contents += "yes\n";
+  contents += "maybe\n";  // Line 42.
+  for (int i = 0; i < 40; ++i) contents += "no\n";
+  std::string path = WriteTemp(contents);
+  Schema schema({ColumnSpec::Feature("A")});
+  auto closed =
+      std::make_shared<Domain>(std::vector<std::string>{"yes", "no"});
+
+  CsvOptions serial;
+  serial.num_threads = 1;
+  auto base = ReadCsvWithDomains(path, "T", schema, {closed}, serial);
+  ASSERT_FALSE(base.ok());
+  EXPECT_NE(base.status().message().find(":42:"), std::string::npos)
+      << base.status();
+  EXPECT_NE(base.status().message().find("'maybe'"), std::string::npos)
+      << base.status();
+
+  for (uint32_t num_threads : {2u, 8u}) {
+    CsvOptions options;
+    options.num_threads = num_threads;
+    options.min_chunk_bytes = 1;
+    auto t = ReadCsvWithDomains(path, "T", schema, {closed}, options);
+    ASSERT_FALSE(t.ok());
+    EXPECT_EQ(t.status().message(), base.status().message());
+  }
+}
+
+// A quoted newline straddling a would-be chunk boundary must not split a
+// record: framing follows the quoting state machine, not raw newlines.
+TEST_F(CsvTest, QuotedNewlinesAcrossChunkBoundaries) {
+  std::string contents = "A,B\n";
+  for (int i = 0; i < 200; ++i) {
+    contents += "\"multi\nline\nvalue" + std::to_string(i % 7) +
+                "\",\"v\n" + std::to_string(i) + "\"\n";
+  }
+  std::string path = WriteTemp(contents);
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+
+  CsvOptions serial;
+  serial.num_threads = 1;
+  auto base = ReadCsv(path, "T", schema, serial);
+  ASSERT_TRUE(base.ok()) << base.status();
+  ASSERT_EQ(base->num_rows(), 200u);
+
+  for (uint32_t num_threads : {2u, 8u, 16u}) {
+    CsvOptions options;
+    options.num_threads = num_threads;
+    options.min_chunk_bytes = 1;
+    auto t = ReadCsv(path, "T", schema, options);
+    ASSERT_TRUE(t.ok()) << t.status();
+    ASSERT_EQ(t->num_rows(), base->num_rows());
+    for (uint32_t c = 0; c < 2; ++c) {
+      // Codes AND label order must match bit-for-bit, not just labels.
+      EXPECT_EQ(t->column(c).codes(), base->column(c).codes())
+          << "threads " << num_threads;
+      EXPECT_EQ(t->column(c).domain()->labels(), base->column(c).domain()->labels())
+          << "threads " << num_threads;
+    }
+  }
+}
+
+// Lenient skips must not leak labels from skipped rows into fresh
+// dictionaries, at any thread count.
+TEST_F(CsvTest, LenientSkipsDoNotPolluteDictionaries) {
+  std::string contents = "A,B\n";
+  for (int i = 0; i < 30; ++i) {
+    contents += (i % 3 == 0 ? "bad" : "yes");
+    contents += ",lab" + std::to_string(i) + "\n";
+  }
+  std::string path = WriteTemp(contents);
+  Schema schema({ColumnSpec::Feature("A"), ColumnSpec::Feature("B")});
+  auto closed =
+      std::make_shared<Domain>(std::vector<std::string>{"yes", "no"});
+
+  CsvOptions serial;
+  serial.num_threads = 1;
+  serial.strict = false;
+  auto base = ReadCsvWithDomains(path, "T", schema, {closed, nullptr}, serial);
+  ASSERT_TRUE(base.ok()) << base.status();
+  ASSERT_EQ(base->num_rows(), 20u);
+  // Skipped rows contributed nothing to B's dictionary.
+  EXPECT_EQ(base->column(1).domain()->size(), 20u);
+
+  for (uint32_t num_threads : {2u, 8u}) {
+    CsvOptions options;
+    options.num_threads = num_threads;
+    options.min_chunk_bytes = 1;
+    options.strict = false;
+    auto t = ReadCsvWithDomains(path, "T", schema, {closed, nullptr}, options);
+    ASSERT_TRUE(t.ok()) << t.status();
+    EXPECT_EQ(t->column(1).codes(), base->column(1).codes());
+    EXPECT_EQ(t->column(1).domain()->labels(),
+              base->column(1).domain()->labels());
+  }
 }
 
 TEST_F(CsvTest, CustomDelimiter) {

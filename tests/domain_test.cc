@@ -61,6 +61,43 @@ TEST(DomainTest, LabelsVectorMatchesOrder) {
   EXPECT_EQ(d.labels()[0], "p");
 }
 
+TEST(DomainTest, HeterogeneousLookupAcceptsStringView) {
+  Domain d({"alpha", "beta"});
+  // A view into a larger buffer: no temporary std::string is required.
+  std::string buffer = "xxbetayy";
+  std::string_view view(buffer.data() + 2, 4);
+  EXPECT_TRUE(d.Contains(view));
+  ASSERT_TRUE(d.Lookup(view).ok());
+  EXPECT_EQ(*d.Lookup(view), 1u);
+  EXPECT_EQ(d.GetOrAdd(view), 1u);
+}
+
+TEST(DomainTest, CodeOfReturnsSentinelOnMiss) {
+  Domain d({"a", "b"});
+  EXPECT_EQ(d.CodeOf("b"), 1u);
+  EXPECT_EQ(d.CodeOf("zzz"), Domain::kNoCode);
+}
+
+TEST(DomainRemapTest, SameObjectIsIdentity) {
+  auto d = std::make_shared<Domain>(std::vector<std::string>{"a", "b"});
+  DomainRemap remap(d, d);
+  EXPECT_TRUE(remap.identity());
+  EXPECT_EQ(remap[0], 0u);
+  EXPECT_EQ(remap[1], 1u);
+}
+
+TEST(DomainRemapTest, TranslatesByLabel) {
+  auto from =
+      std::make_shared<Domain>(std::vector<std::string>{"a", "b", "c"});
+  auto to =
+      std::make_shared<Domain>(std::vector<std::string>{"c", "a"});
+  DomainRemap remap(from, to);
+  EXPECT_FALSE(remap.identity());
+  EXPECT_EQ(remap[0], 1u);                  // "a" -> 1 in `to`.
+  EXPECT_EQ(remap[1], DomainRemap::kNoCode);  // "b" absent from `to`.
+  EXPECT_EQ(remap[2], 0u);                  // "c" -> 0 in `to`.
+}
+
 TEST(DomainDeathTest, DuplicateLabelAborts) {
   EXPECT_DEATH(Domain d({"a", "a"}), "duplicate");
 }

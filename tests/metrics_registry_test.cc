@@ -116,7 +116,9 @@ TEST(HistogramTest, DisabledRecordIsANoOp) {
 TEST(MetricsRegistryTest, SnapshotIncludesThreadPoolLifetimeStats) {
   obs::ScopedCollection collection(true);
   // Force at least one global-pool region so the counters are nonzero.
-  ParallelFor(64, 0, [](uint32_t) {});
+  // The explicit shard count matters: a default-width (0) region runs
+  // serial on a single-core host and would never reach the pool.
+  ParallelFor(64, 2, [](uint32_t) {});
   obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
   EXPECT_GE(snap.CounterValue("threadpool.regions"), 1u);
   EXPECT_GE(snap.CounterValue("threadpool.tasks_run"),
