@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -20,9 +22,11 @@
 #include "fs/filters.h"
 #include "fs/greedy_search.h"
 #include "fs/runner.h"
+#include "ml/factorized.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/suff_stats.h"
+#include "relational/column.h"
 #include "ml/tan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -803,6 +807,123 @@ void BM_ServeScoreUnbatched(benchmark::State& state) {
   state.SetLabel("1 req/pass");
 }
 BENCHMARK(BM_ServeScoreUnbatched)->Unit(benchmark::kMicrosecond);
+
+// --- Factorized learning vs the materialized join (ml/factorized.h).
+// The headline claim docs/PERFORMANCE.md "Factorized training" reports:
+// building sufficient statistics over the normalized (S, R) pair costs a
+// fraction of the joined table's footprint, because T = R ⋈ S is never
+// built. peak_*_mb counters are transient Column bytes (ColumnMemory)
+// above the resident dataset; mem_ratio is materialized/factorized.
+// Arg = entity rows in thousands over the MovieLens1M-shaped schema
+// (1000 = the paper-scale 1M-row S). The 10M-row variant is too heavy
+// for routine runs and skips unless HAMLET_BENCH_LARGE=1 is set. ---
+
+struct FactorizedBenchCase {
+  NormalizedDataset dataset;
+  std::vector<std::string> fks;
+  std::vector<uint32_t> rows;
+
+  static FactorizedBenchCase Make(double scale) {
+    FactorizedBenchCase c;
+    c.dataset = *MakeDataset("MovieLens1M", scale, 42);
+    for (const auto& fk : c.dataset.foreign_keys()) {
+      c.fks.push_back(fk.fk_column);
+    }
+    c.rows.resize(c.dataset.entity().num_rows());
+    for (uint32_t i = 0; i < c.rows.size(); ++i) c.rows[i] = i;
+    return c;
+  }
+};
+
+/// Resident code bytes of the factorized view itself (the entity encode,
+/// the per-relation feature columns, and the FK hop arrays) — the whole
+/// footprint the avoid-materialization path ever holds.
+int64_t FactorizedResidentBytes(const FactorizedDataset& d) {
+  int64_t words = static_cast<int64_t>(d.entity().num_features() + 1) *
+                  d.num_rows();  // Features + labels.
+  for (const auto& rel : d.relations()) {
+    words += static_cast<int64_t>(rel.fk_to_rrow.size()) +
+             static_cast<int64_t>(rel.stored_fk_codes.size());
+    for (const auto& col : rel.columns) {
+      words += static_cast<int64_t>(col.size());
+    }
+  }
+  return words * static_cast<int64_t>(sizeof(uint32_t));
+}
+
+void BM_FactorizedVsMaterialized(benchmark::State& state) {
+  if (state.range(0) >= 10000 &&
+      std::getenv("HAMLET_BENCH_LARGE") == nullptr) {
+    state.SkipWithError("10M-row variant needs HAMLET_BENCH_LARGE=1");
+    return;
+  }
+  FactorizedBenchCase c =
+      FactorizedBenchCase::Make(state.range(0) / 1000.0);
+  int64_t mat_bytes = 0;
+  int64_t fac_bytes = 0;
+  for (auto _ : state) {
+    {
+      ColumnMemory::ResetPeak();
+      const int64_t base = ColumnMemory::LiveBytes();
+      Table joined = *c.dataset.JoinSubset(c.fks);
+      EncodedDataset data = *EncodedDataset::FromTableAuto(joined);
+      const SuffStats stats = BuildSuffStats(data, c.rows, 1);
+      benchmark::DoNotOptimize(stats.class_counts.data());
+      // Transient join Columns (tracked) + the resident encode.
+      mat_bytes = ColumnMemory::PeakBytes() - base +
+                  static_cast<int64_t>(data.num_features() + 1) *
+                      data.num_rows() * sizeof(uint32_t);
+    }
+    {
+      ColumnMemory::ResetPeak();
+      const int64_t base = ColumnMemory::LiveBytes();
+      FactorizedDataset data = *FactorizedDataset::Make(c.dataset, c.fks);
+      const SuffStats stats = BuildFactorizedSuffStats(data, c.rows, 1);
+      benchmark::DoNotOptimize(stats.class_counts.data());
+      fac_bytes = ColumnMemory::PeakBytes() - base +
+                  FactorizedResidentBytes(data);
+    }
+  }
+  state.counters["peak_mat_mb"] = mat_bytes / 1048576.0;
+  state.counters["peak_fac_mb"] = fac_bytes / 1048576.0;
+  state.counters["mem_ratio"] =
+      static_cast<double>(mat_bytes) / std::max<int64_t>(fac_bytes, 1);
+  state.SetItemsProcessed(state.iterations() * c.rows.size());
+}
+BENCHMARK(BM_FactorizedVsMaterialized)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Stats-build throughput alone (the view already constructed), the cost a
+// search pays once per train split: factorized group-and-scatter vs the
+// materialized single-table scan over the same feature space.
+void BM_FactorizedStatsBuild(benchmark::State& state) {
+  FactorizedBenchCase c =
+      FactorizedBenchCase::Make(state.range(0) / 1000.0);
+  FactorizedDataset data = *FactorizedDataset::Make(c.dataset, c.fks);
+  for (auto _ : state) {
+    const SuffStats stats = BuildFactorizedSuffStats(data, c.rows, 1);
+    benchmark::DoNotOptimize(stats.class_counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * c.rows.size() *
+                          data.num_features());
+}
+BENCHMARK(BM_FactorizedStatsBuild)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MaterializedStatsBuild(benchmark::State& state) {
+  FactorizedBenchCase c =
+      FactorizedBenchCase::Make(state.range(0) / 1000.0);
+  Table joined = *c.dataset.JoinSubset(c.fks);
+  EncodedDataset data = *EncodedDataset::FromTableAuto(joined);
+  for (auto _ : state) {
+    const SuffStats stats = BuildSuffStats(data, c.rows, 1);
+    benchmark::DoNotOptimize(stats.class_counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * c.rows.size() *
+                          data.num_features());
+}
+BENCHMARK(BM_MaterializedStatsBuild)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 // --- Dataset synthesis throughput (rows/s). ---
 void BM_SynthesizeDataset(benchmark::State& state) {

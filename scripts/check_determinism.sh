@@ -2,7 +2,9 @@
 # Builds the tree with ThreadSanitizer (HAMLET_SANITIZE=thread) and runs
 # the threading + determinism suites: the thread pool contract, the
 # ParallelFor exception/no-op/coverage tests, the bit-for-bit determinism
-# regressions for search/filters/Monte Carlo, and the greedy tie-break.
+# regressions for search/filters/Monte Carlo, the greedy tie-break, and
+# the factorized-vs-materialized equivalence sweep (every Factorized*
+# suite, including the avoid-materialization pipeline end to end).
 #
 # Usage: scripts/check_determinism.sh [extra ctest args...]
 # Env:   BUILD_DIR (default build-tsan), JOBS (default nproc).
@@ -21,5 +23,5 @@ cmake --build "${BUILD_DIR}" -j"${JOBS}"
 
 # Everything whose name binds it to the threading/determinism contract.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'ThreadPool|ParallelFor|Determinism|TieBreak|ThreadInvariant|ParallelSearch' \
+  -R 'ThreadPool|ParallelFor|Determinism|TieBreak|ThreadInvariant|ParallelSearch|Factorized' \
   "$@"

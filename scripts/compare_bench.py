@@ -18,13 +18,15 @@ import sys
 
 # The perf-gated families: candidate evaluation and model training, the
 # paths BENCH trajectories track across PRs (docs/PERFORMANCE.md), plus
-# the serving stack's serde and batched-scoring paths (docs/SERVING.md)
-# and the data-plane ingest/join fast paths (docs/PERFORMANCE.md "Ingest
-# & join fast path": BM_ReadCsv*, BM_HashJoin*, BM_KfkJoin).
+# the serving stack's serde and batched-scoring paths (docs/SERVING.md),
+# the data-plane ingest/join fast paths (docs/PERFORMANCE.md "Ingest
+# & join fast path": BM_ReadCsv*, BM_HashJoin*, BM_KfkJoin), and the
+# factorized-learning family (docs/PERFORMANCE.md "Factorized training":
+# BM_Factorized*, BM_MaterializedStatsBuild).
 GATED = re.compile(
     r"^BM_(NBTrain|NaiveBayesTrain|GreedyForward|ForwardSelection"
     r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore"
-    r"|ReadCsv|HashJoin|KfkJoin)"
+    r"|ReadCsv|HashJoin|KfkJoin|Factorized|MaterializedStatsBuild)"
 )
 
 
@@ -44,6 +46,11 @@ def load(path):
     medians = {}
     for b in doc.get("benchmarks", []):
         base = b.get("run_name", b["name"])
+        if b.get("error_occurred"):
+            # Skipped variants (e.g. BM_FactorizedVsMaterialized's 10M-row
+            # arm without HAMLET_BENCH_LARGE=1) record real_time 0, which
+            # would read as an infinite regression.
+            continue
         if b.get("run_type") == "aggregate":
             if b.get("aggregate_name") == "median":
                 medians[base] = b

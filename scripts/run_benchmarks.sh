@@ -11,8 +11,11 @@
 # recent previous one (scripts/compare_bench.py) and exits nonzero on a
 # >10% real_time regression in the gated microbenches (the FS/NB
 # families, the serving stack's BM_SerdeSave/Load and BM_ServeScore* —
-# see docs/SERVING.md — and the ingest/join fast paths BM_ReadCsv*,
-# BM_HashJoin*, BM_KfkJoin — see docs/PERFORMANCE.md):
+# see docs/SERVING.md — the ingest/join fast paths BM_ReadCsv*,
+# BM_HashJoin*, BM_KfkJoin, and the factorized-learning family
+# BM_Factorized* / BM_MaterializedStatsBuild — see docs/PERFORMANCE.md;
+# BM_FactorizedVsMaterialized's 10M-row variant additionally needs
+# HAMLET_BENCH_LARGE=1):
 #
 #   scripts/run_benchmarks.sh --compare          # run + regression gate
 #

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "data/encoded_dataset.h"
+#include "ml/factorized.h"
 #include "ml/naive_bayes.h"
 #include "ml/suff_stats.h"
 #include "ml/tan.h"
@@ -60,25 +61,40 @@ obs::TraceSummary CoarseSummary(const PipelineReport& report,
                                 double split_seconds) {
   obs::TraceSummary summary;
   const double child_seconds = advise_seconds + report.join_seconds +
-                               encode_seconds + split_seconds +
+                               report.factorize_seconds + encode_seconds +
+                               split_seconds +
                                report.selection.total_seconds;
   const double self_seconds =
       std::max(0.0, report.total_seconds - child_seconds);
   summary.stages = {
       {"pipeline", 0, 1, report.total_seconds, self_seconds, {}},
-      {"pipeline.advise", 1, 1, advise_seconds, advise_seconds, {}},
-      {"pipeline.join",
-       1,
-       1,
-       report.join_seconds,
-       report.join_seconds,
-       {{"tables", static_cast<int64_t>(report.tables_joined)}}},
-      {"pipeline.encode",
-       1,
-       1,
-       encode_seconds,
-       encode_seconds,
-       {{"features", static_cast<int64_t>(report.features_in)}}},
+      {"pipeline.advise", 1, 1, advise_seconds, advise_seconds, {}}};
+  if (report.factorized) {
+    summary.stages.push_back(
+        {"pipeline.factorize",
+         1,
+         1,
+         report.factorize_seconds,
+         report.factorize_seconds,
+         {{"tables", static_cast<int64_t>(report.tables_factorized)},
+          {"features", static_cast<int64_t>(report.features_in)}}});
+  } else {
+    summary.stages.push_back(
+        {"pipeline.join",
+         1,
+         1,
+         report.join_seconds,
+         report.join_seconds,
+         {{"tables", static_cast<int64_t>(report.tables_joined)}}});
+    summary.stages.push_back(
+        {"pipeline.encode",
+         1,
+         1,
+         encode_seconds,
+         encode_seconds,
+         {{"features", static_cast<int64_t>(report.features_in)}}});
+  }
+  const std::vector<obs::StageStat> tail = {
       {"pipeline.split", 1, 1, split_seconds, split_seconds, {}},
       {"fs.search",
        1,
@@ -89,6 +105,7 @@ obs::TraceSummary CoarseSummary(const PipelineReport& report,
          static_cast<int64_t>(report.selection.selection.models_trained)}}},
       {"fs.final_fit", 1, 1, report.selection.fit_seconds,
        report.selection.fit_seconds, {}}};
+  summary.stages.insert(summary.stages.end(), tail.begin(), tail.end());
   summary.counters = {
       {"fs.models_trained", report.selection.selection.models_trained}};
   summary.total_seconds = report.total_seconds;
@@ -141,7 +158,9 @@ Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
       }
     }
 
-    // 2. Materialize the joins the plan keeps (or all of them).
+    // 2. The tables the plan keeps (or all of them). In factorized mode
+    //    these are *not* materialized — the factorized view answers the
+    //    join logically; otherwise JoinSubset builds the physical table.
     std::vector<std::string> to_join;
     if (config.enable_join_avoidance) {
       to_join = report.plan.fks_to_join;
@@ -150,55 +169,103 @@ Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
         to_join.push_back(fk.fk_column);
       }
     }
-    report.tables_joined = static_cast<uint32_t>(to_join.size());
-    Table table;
-    {
-      obs::TraceSpan span("pipeline.join");
-      span.AddAttr("tables", static_cast<uint64_t>(to_join.size()));
-      Timer join_timer;
-      HAMLET_ASSIGN_OR_RETURN(table, dataset.JoinSubset(to_join));
-      report.join_seconds = join_timer.ElapsedSeconds();
-    }
-
-    // 3. Encode usable features and split per the holdout protocol.
-    HoldoutSplit split;
-    std::unique_ptr<EncodedDataset> data;
-    {
-      obs::TraceSpan span("pipeline.encode");
-      Timer timer;
-      HAMLET_ASSIGN_OR_RETURN(EncodedDataset encoded,
-                              EncodedDataset::FromTableAuto(table));
-      data = std::make_unique<EncodedDataset>(std::move(encoded));
-      encode_seconds = timer.ElapsedSeconds();
-      report.features_in = data->num_features();
-      if (span.active()) {
-        span.AddAttr("features", report.features_in);
-        span.AddAttr("rows", data->num_rows());
-      }
-    }
-    {
-      obs::TraceSpan span("pipeline.split");
-      Timer timer;
-      Rng rng(config.seed);
-      split = MakeHoldoutSplit(data->num_rows(), rng, config.split);
-      split_seconds = timer.ElapsedSeconds();
-      if (span.active()) {
-        span.AddAttr("train", static_cast<uint64_t>(split.train.size()));
-        span.AddAttr("validation",
-                     static_cast<uint64_t>(split.validation.size()));
-        span.AddAttr("test", static_cast<uint64_t>(split.test.size()));
-      }
-    }
-
-    // 4. Feature selection + final holdout evaluation (spans fs.search /
-    //    fs.step / fs.final_fit open inside, nesting under `pipeline`).
+    // Only Naive Bayes trains from factorized statistics, and the scan
+    // escape hatch inherently needs a table to scan; everything else
+    // falls back to materializing.
+    const bool use_factorized =
+        config.avoid_materialization &&
+        config.classifier == ClassifierKind::kNaiveBayes &&
+        !config.force_scan_eval;
     std::unique_ptr<FeatureSelector> selector = MakeSelector(
         config.method, config.num_threads, config.force_scan_eval);
     ClassifierFactory factory = MakeClassifierFactory(config.classifier);
-    HAMLET_ASSIGN_OR_RETURN(
-        report.selection,
-        RunFeatureSelection(*selector, *data, split, factory, config.metric,
-                            data->AllFeatureIndices()));
+
+    if (use_factorized) {
+      report.factorized = true;
+      report.tables_factorized = static_cast<uint32_t>(to_join.size());
+      FactorizedDataset data;
+      {
+        obs::TraceSpan span("pipeline.factorize");
+        span.AddAttr("tables", static_cast<uint64_t>(to_join.size()));
+        Timer timer;
+        HAMLET_ASSIGN_OR_RETURN(data,
+                                FactorizedDataset::Make(dataset, to_join));
+        report.factorize_seconds = timer.ElapsedSeconds();
+        report.features_in = data.num_features();
+        if (span.active()) {
+          span.AddAttr("features", report.features_in);
+          span.AddAttr("rows", data.num_rows());
+        }
+      }
+      // Same row count and seed as the materialized path, so the split —
+      // and everything downstream — is identical.
+      HoldoutSplit split;
+      {
+        obs::TraceSpan span("pipeline.split");
+        Timer timer;
+        Rng rng(config.seed);
+        split = MakeHoldoutSplit(data.num_rows(), rng, config.split);
+        split_seconds = timer.ElapsedSeconds();
+        if (span.active()) {
+          span.AddAttr("train", static_cast<uint64_t>(split.train.size()));
+          span.AddAttr("validation",
+                       static_cast<uint64_t>(split.validation.size()));
+          span.AddAttr("test", static_cast<uint64_t>(split.test.size()));
+        }
+      }
+      HAMLET_ASSIGN_OR_RETURN(
+          report.selection,
+          RunFeatureSelectionFactorized(*selector, data, split, factory,
+                                        config.metric,
+                                        data.AllFeatureIndices()));
+    } else {
+      report.tables_joined = static_cast<uint32_t>(to_join.size());
+      Table table;
+      {
+        obs::TraceSpan span("pipeline.join");
+        span.AddAttr("tables", static_cast<uint64_t>(to_join.size()));
+        Timer join_timer;
+        HAMLET_ASSIGN_OR_RETURN(table, dataset.JoinSubset(to_join));
+        report.join_seconds = join_timer.ElapsedSeconds();
+      }
+
+      // 3. Encode usable features and split per the holdout protocol.
+      HoldoutSplit split;
+      std::unique_ptr<EncodedDataset> data;
+      {
+        obs::TraceSpan span("pipeline.encode");
+        Timer timer;
+        HAMLET_ASSIGN_OR_RETURN(EncodedDataset encoded,
+                                EncodedDataset::FromTableAuto(table));
+        data = std::make_unique<EncodedDataset>(std::move(encoded));
+        encode_seconds = timer.ElapsedSeconds();
+        report.features_in = data->num_features();
+        if (span.active()) {
+          span.AddAttr("features", report.features_in);
+          span.AddAttr("rows", data->num_rows());
+        }
+      }
+      {
+        obs::TraceSpan span("pipeline.split");
+        Timer timer;
+        Rng rng(config.seed);
+        split = MakeHoldoutSplit(data->num_rows(), rng, config.split);
+        split_seconds = timer.ElapsedSeconds();
+        if (span.active()) {
+          span.AddAttr("train", static_cast<uint64_t>(split.train.size()));
+          span.AddAttr("validation",
+                       static_cast<uint64_t>(split.validation.size()));
+          span.AddAttr("test", static_cast<uint64_t>(split.test.size()));
+        }
+      }
+
+      // 4. Feature selection + final holdout evaluation (spans fs.search /
+      //    fs.step / fs.final_fit open inside, nesting under `pipeline`).
+      HAMLET_ASSIGN_OR_RETURN(
+          report.selection,
+          RunFeatureSelection(*selector, *data, split, factory, config.metric,
+                              data->AllFeatureIndices()));
+    }
   }
   report.total_seconds = total_timer.ElapsedSeconds();
 
@@ -215,8 +282,13 @@ Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
 
 std::string PipelineReport::Summary() const {
   std::ostringstream oss;
-  oss << (avoidance_applied ? "JoinOpt" : "JoinAll") << ": joined "
-      << tables_joined << " table(s)";
+  oss << (avoidance_applied ? "JoinOpt" : "JoinAll") << ": ";
+  if (factorized) {
+    oss << "factorized " << tables_factorized
+        << " table(s) (no join materialized)";
+  } else {
+    oss << "joined " << tables_joined << " table(s)";
+  }
   if (!plan.fks_avoided.empty()) {
     oss << (avoidance_applied ? ", avoided " : ", could have avoided ")
         << JoinStrings(plan.fks_avoided, ", ");

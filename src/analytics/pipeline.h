@@ -69,16 +69,32 @@ struct PipelineConfig {
   /// for debugging and for measuring the fast path's speedup (see
   /// docs/PERFORMANCE.md).
   bool force_scan_eval = false;
+  /// Factorized mode: run feature selection over the normalized (S, R)
+  /// view (ml/factorized.h) instead of materializing the joins the plan
+  /// keeps — the join the advisor decided *to* perform is answered with
+  /// factorized learning rather than a physical table. Selections, model
+  /// parameters, and errors are bit-identical to the materialized run
+  /// (the `factorized` ctest label enforces it); peak memory drops by
+  /// roughly the joined table's size (docs/PERFORMANCE.md). Only the
+  /// Naive Bayes classifier trains from factorized statistics, so other
+  /// classifiers — and force_scan_eval runs — fall back to
+  /// materialization; PipelineReport::factorized says which path ran.
+  bool avoid_materialization = false;
 };
 
 /// Everything one pipeline run produces.
 struct PipelineReport {
   JoinPlan plan;                 ///< Advisor output (evidence included).
   bool avoidance_applied = false;
+  /// True when the run trained over the factorized (S, R) view; the
+  /// to-join tables were then never materialized (tables_joined stays 0).
+  bool factorized = false;
   uint32_t tables_joined = 0;    ///< Attribute tables materialized.
+  uint32_t tables_factorized = 0;  ///< Attribute tables factorized over.
   uint32_t features_in = 0;      ///< Candidate features offered to FS.
   FsRunReport selection;         ///< Chosen subset + errors + timings.
   double join_seconds = 0.0;     ///< Time spent materializing joins.
+  double factorize_seconds = 0.0;  ///< Time building the factorized view.
   double total_seconds = 0.0;    ///< Wall clock for the whole run.
 
   /// Raw span events (empty unless the run was traced).

@@ -1,5 +1,6 @@
 #include "fs/candidate_eval.h"
 
+#include "ml/factorized.h"
 #include "ml/naive_bayes.h"
 
 namespace hamlet {
@@ -39,6 +40,23 @@ std::unique_ptr<NbSubsetEvaluator> TryMakeNbEvaluator(
   return std::make_unique<NbSubsetEvaluator>(data, stats, split.validation,
                                              metric, nb->alpha(), candidates,
                                              num_threads);
+}
+
+std::unique_ptr<NbSubsetEvaluator> TryMakeNbEvaluatorFactorized(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    ErrorMetric metric, const ClassifierFactory& factory,
+    const std::vector<uint32_t>& candidates, uint32_t num_threads) {
+  if (SuffStatsCache::Bypassed()) return nullptr;
+  if (split.train.empty()) return nullptr;
+  std::unique_ptr<Classifier> probe = factory();
+  auto* nb = dynamic_cast<NaiveBayes*>(probe.get());
+  if (nb == nullptr) return nullptr;
+  std::shared_ptr<const SuffStats> stats =
+      GetOrBuildFactorizedSuffStats(data, split.train, num_threads);
+  if (stats == nullptr) return nullptr;
+  return MakeFactorizedNbEvaluator(data, std::move(stats), split.validation,
+                                   metric, nb->alpha(), candidates,
+                                   num_threads);
 }
 
 }  // namespace hamlet

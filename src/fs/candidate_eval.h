@@ -52,6 +52,22 @@ std::unique_ptr<NbSubsetEvaluator> TryMakeNbEvaluator(
     const ClassifierFactory& factory, const std::vector<uint32_t>& candidates,
     uint32_t num_threads);
 
+class FactorizedDataset;
+
+/// Factorized twin of TryMakeNbEvaluator: same probing rules, but the
+/// statistics come from BuildFactorizedSuffStats over the normalized
+/// (S, R) view — no materialized join anywhere — cached under the view's
+/// composite key, and the evaluator gathers its evaluation codes through
+/// the FK -> R hops. With the same underlying tables, every Eval result
+/// is bit-identical to the materialized evaluator's. nullptr exactly when
+/// TryMakeNbEvaluator would return nullptr (non-NB factory, bypass
+/// active, or an empty train split); factorized callers treat that as an
+/// error, since no scan fallback exists without the join.
+std::unique_ptr<NbSubsetEvaluator> TryMakeNbEvaluatorFactorized(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    ErrorMetric metric, const ClassifierFactory& factory,
+    const std::vector<uint32_t>& candidates, uint32_t num_threads);
+
 /// Scan-path workhorse: evaluates `make_trial(i)`'s subset for every
 /// candidate index in [0, count) in parallel — full retrain per candidate
 /// — writing each error to its own slot, and returns the first failure in

@@ -50,26 +50,75 @@ void EvaluateLatticeFast(const NbSubsetEvaluator& ev,
   });
 }
 
+// Subtree count for the parallel lattice DFS: enough to keep every worker
+// busy (≥4× effective threads), but never more than the lattice has — or
+// than is worth the per-task setup.
+uint32_t ChooseSplitBits(uint32_t d, uint32_t num_threads) {
+  const uint32_t effective =
+      num_threads == 0
+          ? static_cast<uint32_t>(ThreadPool::Global().num_workers() + 1)
+          : num_threads;
+  uint32_t split_bits = 0;
+  while ((1u << split_bits) < 4 * effective && split_bits < d &&
+         split_bits < 12) {
+    ++split_bits;
+  }
+  return split_bits;
+}
+
+// The optimum (with the smaller-subset-then-lower-mask tie-break) is
+// found by a serial mask-ordered scan, identical at any thread count.
+void ReduceLattice(const std::vector<double>& errors,
+                   const std::vector<uint32_t>& candidates,
+                   SelectionResult* result) {
+  const uint32_t d = static_cast<uint32_t>(candidates.size());
+  const uint64_t total = errors.size();
+  double best_error = 0.0;
+  uint64_t best_mask = 0;
+  bool first = true;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    const double err = errors[mask];
+    // Strictly-better wins; ties prefer smaller subsets (lower popcount),
+    // then lower masks, for determinism.
+    if (first || err < best_error ||
+        (err == best_error && __builtin_popcountll(mask) <
+                                  __builtin_popcountll(best_mask))) {
+      first = false;
+      best_error = err;
+      best_mask = mask;
+    }
+  }
+  for (uint32_t j = 0; j < d; ++j) {
+    if (best_mask & (1ull << j)) result->selected.push_back(candidates[j]);
+  }
+  result->validation_error = best_error;
+}
+
+// The cap checks shared by both entry points (the per-mask error table
+// below them caps the lattice at 2^30 entries; anything near that is
+// computationally absurd for 2^d model trainings anyway).
+Status CheckCandidateCap(size_t count, uint32_t max_candidates) {
+  if (count > max_candidates) {
+    return Status::InvalidArgument(StringFormat(
+        "exhaustive search over %zu candidates exceeds the cap of %u "
+        "(2^d models)",
+        count, max_candidates));
+  }
+  if (count > 30) {
+    return Status::InvalidArgument(StringFormat(
+        "exhaustive search over %zu candidates cannot enumerate 2^d masks",
+        count));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<SelectionResult> ExhaustiveSelection::Select(
     const EncodedDataset& data, const HoldoutSplit& split,
     const ClassifierFactory& factory, ErrorMetric metric,
     const std::vector<uint32_t>& candidates) {
-  if (candidates.size() > max_candidates_) {
-    return Status::InvalidArgument(StringFormat(
-        "exhaustive search over %zu candidates exceeds the cap of %u "
-        "(2^d models)",
-        candidates.size(), max_candidates_));
-  }
-  // The per-mask error table below caps the lattice at 2^30 entries;
-  // anything near that is computationally absurd for 2^d model trainings
-  // anyway.
-  if (candidates.size() > 30) {
-    return Status::InvalidArgument(StringFormat(
-        "exhaustive search over %zu candidates cannot enumerate 2^d masks",
-        candidates.size()));
-  }
+  HAMLET_RETURN_NOT_OK(CheckCandidateCap(candidates.size(), max_candidates_));
   SelectionResult result;
   const uint32_t d = static_cast<uint32_t>(candidates.size());
   const uint32_t total = 1u << d;
@@ -82,19 +131,8 @@ Result<SelectionResult> ExhaustiveSelection::Select(
 
   std::vector<double> errors(total, 0.0);
   if (fast != nullptr) {
-    // Enough subtrees to keep every worker busy (≥4× effective threads),
-    // but never more than the lattice has — or than is worth the per-task
-    // setup.
-    const uint32_t effective =
-        num_threads_ == 0
-            ? static_cast<uint32_t>(ThreadPool::Global().num_workers() + 1)
-            : num_threads_;
-    uint32_t split_bits = 0;
-    while ((1u << split_bits) < 4 * effective && split_bits < d &&
-           split_bits < 12) {
-      ++split_bits;
-    }
-    EvaluateLatticeFast(*fast, candidates, split_bits, num_threads_, &errors);
+    EvaluateLatticeFast(*fast, candidates, ChooseSplitBits(d, num_threads_),
+                        num_threads_, &errors);
     FsModelsTrainedCounter().Add(total);
     FsDeltaEvalsCounter().Add(total);
   } else {
@@ -115,27 +153,38 @@ Result<SelectionResult> ExhaustiveSelection::Select(
   }
   result.models_trained = total;
 
-  // The optimum (with the smaller-subset-then-lower-mask tie-break) is
-  // found by a serial mask-ordered scan, identical at any thread count.
-  double best_error = 0.0;
-  uint64_t best_mask = 0;
-  bool first = true;
-  for (uint64_t mask = 0; mask < total; ++mask) {
-    const double err = errors[mask];
-    // Strictly-better wins; ties prefer smaller subsets (lower popcount),
-    // then lower masks, for determinism.
-    if (first || err < best_error ||
-        (err == best_error && __builtin_popcountll(mask) <
-                                  __builtin_popcountll(best_mask))) {
-      first = false;
-      best_error = err;
-      best_mask = mask;
-    }
+  ReduceLattice(errors, candidates, &result);
+  return result;
+}
+
+Result<SelectionResult> ExhaustiveSelection::SelectFactorized(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates) {
+  HAMLET_RETURN_NOT_OK(CheckCandidateCap(candidates.size(), max_candidates_));
+  if (force_scan_eval_) {
+    return Status::InvalidArgument(
+        "factorized exhaustive_selection requires the sufficient-statistics "
+        "fast path (no scan fallback exists without the materialized join)");
   }
-  for (uint32_t j = 0; j < d; ++j) {
-    if (best_mask & (1ull << j)) result.selected.push_back(candidates[j]);
+  std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluatorFactorized(
+      data, split, metric, factory, candidates, num_threads_);
+  if (fast == nullptr) {
+    return Status::InvalidArgument(
+        "factorized exhaustive_selection requires a Naive Bayes factory and "
+        "an active sufficient-statistics cache");
   }
-  result.validation_error = best_error;
+  SelectionResult result;
+  const uint32_t d = static_cast<uint32_t>(candidates.size());
+  const uint32_t total = 1u << d;
+  std::vector<double> errors(total, 0.0);
+  EvaluateLatticeFast(*fast, candidates, ChooseSplitBits(d, num_threads_),
+                      num_threads_, &errors);
+  FsModelsTrainedCounter().Add(total);
+  FsDeltaEvalsCounter().Add(total);
+  result.models_trained = total;
+
+  ReduceLattice(errors, candidates, &result);
   return result;
 }
 

@@ -31,6 +31,11 @@ class ExhaustiveSelection : public FeatureSelector {
                                  const std::vector<uint32_t>& candidates)
       override;
 
+  Result<SelectionResult> SelectFactorized(
+      const FactorizedDataset& data, const HoldoutSplit& split,
+      const ClassifierFactory& factory, ErrorMetric metric,
+      const std::vector<uint32_t>& candidates) override;
+
   std::string name() const override { return "exhaustive_selection"; }
 
  private:

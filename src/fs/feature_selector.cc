@@ -1,0 +1,15 @@
+#include "fs/feature_selector.h"
+
+#include "common/string_util.h"
+
+namespace hamlet {
+
+Result<SelectionResult> FeatureSelector::SelectFactorized(
+    const FactorizedDataset& /*data*/, const HoldoutSplit& /*split*/,
+    const ClassifierFactory& /*factory*/, ErrorMetric /*metric*/,
+    const std::vector<uint32_t>& /*candidates*/) {
+  return Status::NotImplemented(StringFormat(
+      "%s does not support factorized selection", name().c_str()));
+}
+
+}  // namespace hamlet

@@ -18,6 +18,8 @@
 
 namespace hamlet {
 
+class FactorizedDataset;
+
 /// Outcome of a feature selection run.
 struct SelectionResult {
   /// Chosen feature indices (into the EncodedDataset), in selection order
@@ -41,6 +43,22 @@ class FeatureSelector {
       const EncodedDataset& data, const HoldoutSplit& split,
       const ClassifierFactory& factory, ErrorMetric metric,
       const std::vector<uint32_t>& candidates) = 0;
+
+  /// Factorized variant: runs the same search over a normalized (S, R)
+  /// view (ml/factorized.h) without materializing the join. Only the
+  /// sufficient-statistics fast path exists here — the whole point is
+  /// that no joined table is available to scan — so this requires a
+  /// Naive Bayes factory and no active ScopedSuffStatsBypass, and fails
+  /// with InvalidArgument otherwise. Feature indices are interchangeable
+  /// with the materialized path's (the factorized feature space equals
+  /// FromTableAuto on the joined table), and selections, errors, and
+  /// tie-breaks are bit-for-bit identical to Select on the materialized
+  /// join at any thread count. The default implementation reports
+  /// NotImplemented; every bundled selector overrides it.
+  virtual Result<SelectionResult> SelectFactorized(
+      const FactorizedDataset& data, const HoldoutSplit& split,
+      const ClassifierFactory& factory, ErrorMetric metric,
+      const std::vector<uint32_t>& candidates);
 
   /// Method name ("forward_selection", "mi_filter", ...).
   virtual std::string name() const = 0;

@@ -4,14 +4,88 @@
 #include <numeric>
 
 #include "common/parallel_for.h"
+#include "common/string_util.h"
 #include "fs/candidate_eval.h"
 #include "ml/eval.h"
+#include "ml/factorized.h"
 #include "ml/suff_stats.h"
 #include "obs/trace.h"
 #include "stats/contingency.h"
 #include "stats/info_theory.h"
 
 namespace hamlet {
+
+namespace {
+
+// Rank candidate indices by descending score (stable for determinism).
+std::vector<uint32_t> RankByScore(const std::vector<double>& scores) {
+  std::vector<uint32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+// The fast k-tuning walk, shared verbatim by the materialized and
+// factorized paths: the prefixes are nested in rank order, so one
+// AddToBase per k scores them all — strictly less work than retraining
+// every prefix — and the summation order (features in rank order) matches
+// the scan path's, so the errors are bit-identical.
+std::vector<double> TuneFast(NbSubsetEvaluator& ev,
+                             const std::vector<uint32_t>& candidates,
+                             const std::vector<uint32_t>& order) {
+  const uint32_t num_k = static_cast<uint32_t>(order.size());
+  std::vector<double> errors(num_k, 0.0);
+  ev.ResetBase({});
+  for (uint32_t i = 0; i < num_k; ++i) {
+    obs::ScopedLatency latency(FsCandidateEvalHistogram());
+    ev.AddToBase(candidates[order[i]]);
+    errors[i] = ev.EvalBase();
+  }
+  FsModelsTrainedCounter().Add(num_k);
+  FsDeltaEvalsCounter().Add(num_k);
+  return errors;
+}
+
+// Serial argmin over k (strict `<` keeps the smallest k among ties).
+void PickBestPrefix(const std::vector<double>& errors,
+                    const std::vector<uint32_t>& candidates,
+                    const std::vector<uint32_t>& order,
+                    SelectionResult* result) {
+  const uint32_t num_k = static_cast<uint32_t>(errors.size());
+  double best_error = 0.0;
+  size_t best_k = 1;
+  for (uint32_t k = 1; k <= num_k; ++k) {
+    const double err = errors[k - 1];
+    if (k == 1 || err < best_error) {
+      best_error = err;
+      best_k = k;
+    }
+  }
+  for (size_t k = 0; k < best_k; ++k) {
+    result->selected.push_back(candidates[order[k]]);
+  }
+  result->validation_error = best_error;
+}
+
+}  // namespace
+
+std::vector<double> ScoreFilter::ScoreFeaturesFromStats(
+    const SuffStats& stats, const std::vector<uint32_t>& candidates) const {
+  std::vector<double> scores(candidates.size(), 0.0);
+  ParallelFor(
+      static_cast<uint32_t>(candidates.size()), num_threads_,
+      [&](uint32_t idx) {
+        const uint32_t j = candidates[idx];
+        ContingencyTable table(stats.feature_counts[j], stats.cardinalities[j],
+                               stats.num_classes);
+        scores[idx] = score_ == FilterScore::kMutualInformation
+                          ? MutualInformation(table)
+                          : InformationGainRatio(table);
+      });
+  return scores;
+}
 
 std::vector<double> ScoreFilter::ScoreFeatures(
     const EncodedDataset& data, const std::vector<uint32_t>& rows,
@@ -21,19 +95,8 @@ std::vector<double> ScoreFilter::ScoreFeatures(
   // so the scores are bit-identical to the gathering path below.
   std::shared_ptr<const SuffStats> stats =
       SuffStatsCache::Global().Peek(data, rows);
-  std::vector<double> scores(candidates.size(), 0.0);
   if (stats != nullptr) {
-    ParallelFor(
-        static_cast<uint32_t>(candidates.size()), num_threads_,
-        [&](uint32_t idx) {
-          const uint32_t j = candidates[idx];
-          ContingencyTable table(stats->feature_counts[j],
-                                 stats->cardinalities[j], stats->num_classes);
-          scores[idx] = score_ == FilterScore::kMutualInformation
-                            ? MutualInformation(table)
-                            : InformationGainRatio(table);
-        });
-    return scores;
+    return ScoreFeaturesFromStats(*stats, candidates);
   }
 
   // Gather labels once; shared read-only across the scoring items.
@@ -43,6 +106,7 @@ std::vector<double> ScoreFilter::ScoreFeatures(
 
   // Each feature's score is independent of the others, so the scan is
   // data-parallel: one slot per candidate, no cross-item state.
+  std::vector<double> scores(candidates.size(), 0.0);
   ParallelFor(
       static_cast<uint32_t>(candidates.size()), num_threads_,
       [&](uint32_t idx) {
@@ -91,32 +155,15 @@ Result<SelectionResult> ScoreFilter::Select(
     scores = ScoreFeatures(data, split.train, candidates);
   }
 
-  // Rank candidates by descending score (stable for determinism).
-  std::vector<uint32_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return scores[a] > scores[b];
-  });
+  std::vector<uint32_t> order = RankByScore(scores);
 
-  // Tune k on validation error. The prefixes are nested in rank order, so
-  // the fast path walks them serially with one AddToBase per k — strictly
-  // less work than retraining every prefix, and the summation order
-  // (features in rank order) matches the scan path's, so the errors are
-  // bit-identical. The argmin scan below runs serially in k order (strict
-  // `<` keeps the smallest k among ties).
+  // Tune k on validation error; the argmin runs serially in k order.
   const uint32_t num_k = static_cast<uint32_t>(order.size());
   obs::TraceSpan tune_span("fs.filter_tune");
   tune_span.AddAttr("prefixes", num_k);
-  std::vector<double> errors(num_k, 0.0);
+  std::vector<double> errors;
   if (fast != nullptr) {
-    fast->ResetBase({});
-    for (uint32_t i = 0; i < num_k; ++i) {
-      obs::ScopedLatency latency(FsCandidateEvalHistogram());
-      fast->AddToBase(candidates[order[i]]);
-      errors[i] = fast->EvalBase();
-    }
-    FsModelsTrainedCounter().Add(num_k);
-    FsDeltaEvalsCounter().Add(num_k);
+    errors = TuneFast(*fast, candidates, order);
   } else {
     std::vector<uint32_t> eval_labels = GatherLabels(data, split.validation);
     HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
@@ -133,19 +180,59 @@ Result<SelectionResult> ScoreFilter::Select(
   }
   result.models_trained += num_k;
 
-  double best_error = 0.0;
-  size_t best_k = 1;
-  for (uint32_t k = 1; k <= num_k; ++k) {
-    const double err = errors[k - 1];
-    if (k == 1 || err < best_error) {
-      best_error = err;
-      best_k = k;
-    }
+  PickBestPrefix(errors, candidates, order, &result);
+  return result;
+}
+
+Result<SelectionResult> ScoreFilter::SelectFactorized(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates) {
+  if (force_scan_eval_) {
+    return Status::InvalidArgument(StringFormat(
+        "factorized %s requires the sufficient-statistics fast path (no "
+        "scan fallback exists without the materialized join)",
+        name().c_str()));
   }
-  for (size_t k = 0; k < best_k; ++k) {
-    result.selected.push_back(candidates[order[k]]);
+  std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluatorFactorized(
+      data, split, metric, factory, candidates, num_threads_);
+  if (fast == nullptr) {
+    return Status::InvalidArgument(StringFormat(
+        "factorized %s requires a Naive Bayes factory and an active "
+        "sufficient-statistics cache",
+        name().c_str()));
   }
-  result.validation_error = best_error;
+  SelectionResult result;
+  if (candidates.empty()) {
+    // The prior-only model, scored through the evaluator (equivalent to
+    // the materialized path's empty-subset retrain).
+    fast->ResetBase({});
+    result.validation_error = fast->EvalBase();
+    ++result.models_trained;
+    FsModelsTrainedCounter().Add(1);
+    return result;
+  }
+
+  // TryMakeNbEvaluatorFactorized built (and cached) the statistics of
+  // split.train; this re-fetch is a cache hit on the same shared entry.
+  std::shared_ptr<const SuffStats> stats =
+      GetOrBuildFactorizedSuffStats(data, split.train, num_threads_);
+  std::vector<double> scores;
+  {
+    obs::TraceSpan span("fs.filter_score");
+    span.AddAttr("candidates", static_cast<uint64_t>(candidates.size()));
+    scores = ScoreFeaturesFromStats(*stats, candidates);
+  }
+
+  std::vector<uint32_t> order = RankByScore(scores);
+
+  const uint32_t num_k = static_cast<uint32_t>(order.size());
+  obs::TraceSpan tune_span("fs.filter_tune");
+  tune_span.AddAttr("prefixes", num_k);
+  std::vector<double> errors = TuneFast(*fast, candidates, order);
+  result.models_trained += num_k;
+
+  PickBestPrefix(errors, candidates, order, &result);
   return result;
 }
 

@@ -16,6 +16,8 @@
 
 namespace hamlet {
 
+struct SuffStats;
+
 /// Scoring function choices for the filter.
 enum class FilterScore {
   kMutualInformation,    ///< I(F;Y)
@@ -34,6 +36,11 @@ class ScoreFilter : public FeatureSelector {
                                  const std::vector<uint32_t>& candidates)
       override;
 
+  Result<SelectionResult> SelectFactorized(
+      const FactorizedDataset& data, const HoldoutSplit& split,
+      const ClassifierFactory& factory, ErrorMetric metric,
+      const std::vector<uint32_t>& candidates) override;
+
   std::string name() const override {
     return score_ == FilterScore::kMutualInformation ? "mi_filter"
                                                      : "igr_filter";
@@ -44,6 +51,15 @@ class ScoreFilter : public FeatureSelector {
   std::vector<double> ScoreFeatures(
       const EncodedDataset& data, const std::vector<uint32_t>& rows,
       const std::vector<uint32_t>& candidates) const;
+
+  /// Scores straight from prebuilt sufficient statistics — the counts are
+  /// the contingency tables, so no data scan happens at all. This is the
+  /// only scoring path the factorized selection uses (the statistics come
+  /// from BuildFactorizedSuffStats) and the one ScoreFeatures takes on a
+  /// cache hit; identical counts make the scores bit-identical across all
+  /// three routes. Output is parallel to `candidates`.
+  std::vector<double> ScoreFeaturesFromStats(
+      const SuffStats& stats, const std::vector<uint32_t>& candidates) const;
 
  private:
   FilterScore score_;

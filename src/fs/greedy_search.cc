@@ -3,41 +3,145 @@
 #include <algorithm>
 
 #include "common/parallel_for.h"
+#include "common/string_util.h"
 #include "fs/candidate_eval.h"
 #include "ml/eval.h"
 #include "obs/trace.h"
 
 namespace hamlet {
 
+namespace {
+
+// The sufficient-statistics search loops, written against the evaluator
+// alone so the materialized and factorized paths share them verbatim —
+// one implementation, one set of counters, one tie-break. EvalBasePlus
+// sums the candidate's contribution last (the scan path's order for
+// S ∪ {f}), and the per-step winner is a serial index-ordered reduction,
+// so selections are bit-identical to the scan path at any thread count.
+SelectionResult RunForwardFast(NbSubsetEvaluator& ev,
+                               const std::vector<uint32_t>& candidates,
+                               double tolerance, uint32_t num_threads) {
+  SelectionResult result;
+  std::vector<uint32_t> remaining = candidates;
+
+  // Baseline: the prior-only (empty-subset) model.
+  ev.ResetBase({});
+  double best_error = ev.EvalBase();
+  ++result.models_trained;
+  FsModelsTrainedCounter().Add(1);
+
+  while (!remaining.empty()) {
+    const uint32_t m = static_cast<uint32_t>(remaining.size());
+    obs::TraceSpan step_span("fs.step");
+    step_span.AddAttr("candidates", m);
+    std::vector<double> errors(m, 0.0);
+    const NbSubsetEvaluator& cev = ev;
+    ParallelFor(m, num_threads, [&](uint32_t i) {
+      obs::ScopedLatency latency(FsCandidateEvalHistogram());
+      errors[i] = cev.EvalBasePlus(remaining[i]);
+    });
+    FsModelsTrainedCounter().Add(m);
+    FsDeltaEvalsCounter().Add(m);
+    result.models_trained += m;
+
+    // Serial index-ordered reduction: a candidate wins only by improving
+    // strictly beyond the running best minus tolerance, so exact ties keep
+    // the lower index at any thread count.
+    double round_best = best_error;
+    int32_t round_pick = -1;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (errors[i] < round_best - tolerance) {
+        round_best = errors[i];
+        round_pick = static_cast<int32_t>(i);
+      }
+    }
+    if (round_pick < 0) break;
+    result.selected.push_back(remaining[round_pick]);
+    ev.AddToBase(remaining[round_pick]);
+    remaining.erase(remaining.begin() + round_pick);
+    best_error = round_best;
+  }
+  result.validation_error = best_error;
+  return result;
+}
+
+SelectionResult RunBackwardFast(NbSubsetEvaluator& ev,
+                                const std::vector<uint32_t>& candidates,
+                                double tolerance, uint32_t num_threads) {
+  SelectionResult result;
+  result.selected = candidates;
+
+  ev.ResetBase(result.selected);
+  double best_error = ev.EvalBase();
+  ++result.models_trained;
+  FsModelsTrainedCounter().Add(1);
+
+  while (result.selected.size() > 1) {
+    const uint32_t m = static_cast<uint32_t>(result.selected.size());
+    obs::TraceSpan step_span("fs.step");
+    step_span.AddAttr("candidates", m);
+    std::vector<double> errors(m, 0.0);
+    const NbSubsetEvaluator& cev = ev;
+    ParallelFor(m, num_threads, [&](uint32_t i) {
+      obs::ScopedLatency latency(FsCandidateEvalHistogram());
+      errors[i] = cev.EvalBaseMinus(result.selected[i]);
+    });
+    FsModelsTrainedCounter().Add(m);
+    FsDeltaEvalsCounter().Add(m);
+    result.models_trained += m;
+
+    // Serial reduction preserving the original semantics: `<=` keeps the
+    // last index among exact ties (prefer dropping later features).
+    double round_best = best_error + tolerance;
+    int32_t round_pick = -1;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (errors[i] <= round_best) {
+        round_best = errors[i];
+        round_pick = static_cast<int32_t>(i);
+      }
+    }
+    if (round_pick < 0) break;
+    ev.RemoveFromBase(result.selected[round_pick]);
+    result.selected.erase(result.selected.begin() + round_pick);
+    best_error = std::min(best_error, round_best);
+  }
+  result.validation_error = best_error;
+  return result;
+}
+
+Status FactorizedUnavailable(const std::string& name) {
+  return Status::InvalidArgument(StringFormat(
+      "factorized %s requires a Naive Bayes factory and an active "
+      "sufficient-statistics cache (no scan fallback exists without the "
+      "materialized join)",
+      name.c_str()));
+}
+
+}  // namespace
+
 Result<SelectionResult> ForwardSelection::Select(
     const EncodedDataset& data, const HoldoutSplit& split,
     const ClassifierFactory& factory, ErrorMetric metric,
     const std::vector<uint32_t>& candidates) {
+  // Fast path: with Naive Bayes, derive every candidate score from shared
+  // sufficient statistics + the base log-scores of the current subset.
+  if (!force_scan_eval_) {
+    std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluator(
+        data, split, metric, factory, candidates, num_threads_);
+    if (fast != nullptr) {
+      return RunForwardFast(*fast, candidates, tolerance_, num_threads_);
+    }
+  }
+
   SelectionResult result;
   std::vector<uint32_t> remaining = candidates;
 
-  // Fast path: with Naive Bayes, derive every candidate score from shared
-  // sufficient statistics + the base log-scores of the current subset.
-  // EvalBasePlus sums the candidate's contribution last — the same order
-  // the scan path uses for S ∪ {f} — so selections are bit-identical.
-  std::unique_ptr<NbSubsetEvaluator> fast;
-  if (!force_scan_eval_) {
-    fast = TryMakeNbEvaluator(data, split, metric, factory, candidates,
-                              num_threads_);
-  }
-
-  // Baseline: the prior-only (empty-subset) model.
+  // Scan path: full retrain per candidate model.
+  std::vector<uint32_t> eval_labels = GatherLabels(data, split.validation);
   double best_error = 0.0;
-  std::vector<uint32_t> eval_labels;  // Scan path only; gathered once.
-  if (fast != nullptr) {
-    fast->ResetBase({});
-    best_error = fast->EvalBase();
-  } else {
-    eval_labels = GatherLabels(data, split.validation);
-    HAMLET_ASSIGN_OR_RETURN(
-        best_error, TrainAndScore(factory, data, split.train, split.validation,
-                                  eval_labels, {}, metric));
-  }
+  HAMLET_ASSIGN_OR_RETURN(
+      best_error, TrainAndScore(factory, data, split.train, split.validation,
+                                eval_labels, {}, metric));
   ++result.models_trained;
   FsModelsTrainedCounter().Add(1);
 
@@ -46,25 +150,14 @@ Result<SelectionResult> ForwardSelection::Select(
     obs::TraceSpan step_span("fs.step");
     step_span.AddAttr("candidates", m);
     std::vector<double> errors;
-    if (fast != nullptr) {
-      errors.assign(m, 0.0);
-      const NbSubsetEvaluator& ev = *fast;
-      ParallelFor(m, num_threads_, [&](uint32_t i) {
-        obs::ScopedLatency latency(FsCandidateEvalHistogram());
-        errors[i] = ev.EvalBasePlus(remaining[i]);
-      });
-      FsModelsTrainedCounter().Add(m);
-      FsDeltaEvalsCounter().Add(m);
-    } else {
-      HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
-          data, split, eval_labels, factory, metric, m, num_threads_,
-          [&](uint32_t i) {
-            std::vector<uint32_t> trial = result.selected;
-            trial.push_back(remaining[i]);
-            return trial;
-          },
-          &errors));
-    }
+    HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
+        data, split, eval_labels, factory, metric, m, num_threads_,
+        [&](uint32_t i) {
+          std::vector<uint32_t> trial = result.selected;
+          trial.push_back(remaining[i]);
+          return trial;
+        },
+        &errors));
     result.models_trained += m;
 
     // Serial index-ordered reduction: a candidate wins only by improving
@@ -80,7 +173,6 @@ Result<SelectionResult> ForwardSelection::Select(
     }
     if (round_pick < 0) break;
     result.selected.push_back(remaining[round_pick]);
-    if (fast != nullptr) fast->AddToBase(remaining[round_pick]);
     remaining.erase(remaining.begin() + round_pick);
     best_error = round_best;
   }
@@ -88,34 +180,41 @@ Result<SelectionResult> ForwardSelection::Select(
   return result;
 }
 
+Result<SelectionResult> ForwardSelection::SelectFactorized(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates) {
+  if (force_scan_eval_) return FactorizedUnavailable(name());
+  std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluatorFactorized(
+      data, split, metric, factory, candidates, num_threads_);
+  if (fast == nullptr) return FactorizedUnavailable(name());
+  return RunForwardFast(*fast, candidates, tolerance_, num_threads_);
+}
+
 Result<SelectionResult> BackwardSelection::Select(
     const EncodedDataset& data, const HoldoutSplit& split,
     const ClassifierFactory& factory, ErrorMetric metric,
     const std::vector<uint32_t>& candidates) {
-  SelectionResult result;
-  result.selected = candidates;
-
   // Fast path: base log-scores of the current subset; dropping feature f
   // subtracts its column. Subtraction re-associates the floating-point
   // sum, so candidate scores match a scan retrain to ~1e-15 per score
   // rather than bit-exactly (see docs/PERFORMANCE.md).
-  std::unique_ptr<NbSubsetEvaluator> fast;
   if (!force_scan_eval_) {
-    fast = TryMakeNbEvaluator(data, split, metric, factory, candidates,
-                              num_threads_);
+    std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluator(
+        data, split, metric, factory, candidates, num_threads_);
+    if (fast != nullptr) {
+      return RunBackwardFast(*fast, candidates, tolerance_, num_threads_);
+    }
   }
 
+  SelectionResult result;
+  result.selected = candidates;
+
+  std::vector<uint32_t> eval_labels = GatherLabels(data, split.validation);
   double best_error = 0.0;
-  std::vector<uint32_t> eval_labels;  // Scan path only; gathered once.
-  if (fast != nullptr) {
-    fast->ResetBase(result.selected);
-    best_error = fast->EvalBase();
-  } else {
-    eval_labels = GatherLabels(data, split.validation);
-    HAMLET_ASSIGN_OR_RETURN(
-        best_error, TrainAndScore(factory, data, split.train, split.validation,
-                                  eval_labels, result.selected, metric));
-  }
+  HAMLET_ASSIGN_OR_RETURN(
+      best_error, TrainAndScore(factory, data, split.train, split.validation,
+                                eval_labels, result.selected, metric));
   ++result.models_trained;
   FsModelsTrainedCounter().Add(1);
 
@@ -124,28 +223,17 @@ Result<SelectionResult> BackwardSelection::Select(
     obs::TraceSpan step_span("fs.step");
     step_span.AddAttr("candidates", m);
     std::vector<double> errors;
-    if (fast != nullptr) {
-      errors.assign(m, 0.0);
-      const NbSubsetEvaluator& ev = *fast;
-      ParallelFor(m, num_threads_, [&](uint32_t i) {
-        obs::ScopedLatency latency(FsCandidateEvalHistogram());
-        errors[i] = ev.EvalBaseMinus(result.selected[i]);
-      });
-      FsModelsTrainedCounter().Add(m);
-      FsDeltaEvalsCounter().Add(m);
-    } else {
-      HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
-          data, split, eval_labels, factory, metric, m, num_threads_,
-          [&](uint32_t i) {
-            std::vector<uint32_t> trial;
-            trial.reserve(result.selected.size() - 1);
-            for (uint32_t k = 0; k < m; ++k) {
-              if (k != i) trial.push_back(result.selected[k]);
-            }
-            return trial;
-          },
-          &errors));
-    }
+    HAMLET_RETURN_NOT_OK(EvaluateSubsetsScan(
+        data, split, eval_labels, factory, metric, m, num_threads_,
+        [&](uint32_t i) {
+          std::vector<uint32_t> trial;
+          trial.reserve(result.selected.size() - 1);
+          for (uint32_t k = 0; k < m; ++k) {
+            if (k != i) trial.push_back(result.selected[k]);
+          }
+          return trial;
+        },
+        &errors));
     result.models_trained += m;
 
     // Serial reduction preserving the original semantics: `<=` keeps the
@@ -159,12 +247,22 @@ Result<SelectionResult> BackwardSelection::Select(
       }
     }
     if (round_pick < 0) break;
-    if (fast != nullptr) fast->RemoveFromBase(result.selected[round_pick]);
     result.selected.erase(result.selected.begin() + round_pick);
     best_error = std::min(best_error, round_best);
   }
   result.validation_error = best_error;
   return result;
+}
+
+Result<SelectionResult> BackwardSelection::SelectFactorized(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates) {
+  if (force_scan_eval_) return FactorizedUnavailable(name());
+  std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluatorFactorized(
+      data, split, metric, factory, candidates, num_threads_);
+  if (fast == nullptr) return FactorizedUnavailable(name());
+  return RunBackwardFast(*fast, candidates, tolerance_, num_threads_);
 }
 
 }  // namespace hamlet

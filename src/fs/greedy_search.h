@@ -31,6 +31,11 @@ class ForwardSelection : public FeatureSelector {
                                  const std::vector<uint32_t>& candidates)
       override;
 
+  Result<SelectionResult> SelectFactorized(
+      const FactorizedDataset& data, const HoldoutSplit& split,
+      const ClassifierFactory& factory, ErrorMetric metric,
+      const std::vector<uint32_t>& candidates) override;
+
   std::string name() const override { return "forward_selection"; }
 
  private:
@@ -51,6 +56,11 @@ class BackwardSelection : public FeatureSelector {
                                  ErrorMetric metric,
                                  const std::vector<uint32_t>& candidates)
       override;
+
+  Result<SelectionResult> SelectFactorized(
+      const FactorizedDataset& data, const HoldoutSplit& split,
+      const ClassifierFactory& factory, ErrorMetric metric,
+      const std::vector<uint32_t>& candidates) override;
 
   std::string name() const override { return "backward_selection"; }
 

@@ -4,6 +4,8 @@
 #include "fs/filters.h"
 #include "fs/greedy_search.h"
 #include "ml/eval.h"
+#include "ml/factorized.h"
+#include "ml/naive_bayes.h"
 #include "obs/trace.h"
 
 namespace hamlet {
@@ -92,6 +94,76 @@ Result<FsRunReport> RunFeatureSelection(
 
   // The same decomposition the spans record, embedded so every consumer
   // (traced or not) sees where the run's time went.
+  report.trace_summary.stages = {
+      {"fs.search", 0, 1, report.runtime_seconds, report.runtime_seconds,
+       {{"models_trained",
+         static_cast<int64_t>(report.selection.models_trained)}}},
+      {"fs.final_fit", 0, 1, report.fit_seconds, report.fit_seconds, {}}};
+  report.trace_summary.counters = {
+      {"fs.models_trained", report.selection.models_trained}};
+  report.trace_summary.total_seconds = report.total_seconds;
+  return report;
+}
+
+Result<FsRunReport> RunFeatureSelectionFactorized(
+    FeatureSelector& selector, const FactorizedDataset& data,
+    const HoldoutSplit& split, const ClassifierFactory& factory,
+    ErrorMetric metric, const std::vector<uint32_t>& candidates) {
+  FsRunReport report;
+  report.method = selector.name();
+
+  Timer total_timer;
+  {
+    obs::TraceSpan span("fs.search");
+    span.AddAttr("method", selector.name());
+    span.AddAttr("candidates", static_cast<uint64_t>(candidates.size()));
+    Timer timer;
+    HAMLET_ASSIGN_OR_RETURN(
+        report.selection,
+        selector.SelectFactorized(data, split, factory, metric, candidates));
+    report.runtime_seconds = timer.ElapsedSeconds();
+    span.AddAttr("models_trained", report.selection.models_trained);
+    span.AddAttr("selected",
+                 static_cast<uint64_t>(report.selection.selected.size()));
+  }
+
+  report.selected_names = data.FeatureNames(report.selection.selected);
+  {
+    obs::TraceSpan span("fs.final_fit");
+    span.AddAttr("features",
+                 static_cast<uint64_t>(report.selection.selected.size()));
+    Timer timer;
+    // The final fit trains straight from the factorized statistics (a
+    // cache hit after the search) and scores the test split through an
+    // evaluator whose codes come via the FK hops. Both halves produce the
+    // exact doubles the materialized TrainAndScore would: TrainFromStats
+    // is how NB trains from counts, and EvalSubset sums the subset in
+    // selection order — the prediction path's order.
+    std::unique_ptr<Classifier> probe = factory();
+    auto* nb = dynamic_cast<NaiveBayes*>(probe.get());
+    if (nb == nullptr) {
+      return Status::InvalidArgument(
+          "factorized runs require a Naive Bayes factory");
+    }
+    std::shared_ptr<const SuffStats> stats = GetOrBuildFactorizedSuffStats(
+        data, split.train, selector.num_threads());
+    if (stats == nullptr) {
+      return Status::FailedPrecondition(
+          "factorized final fit requires an active sufficient-statistics "
+          "cache (ScopedSuffStatsBypass is incompatible with factorized "
+          "runs)");
+    }
+    HAMLET_RETURN_NOT_OK(
+        nb->TrainFromStats(*stats, report.selection.selected));
+    std::unique_ptr<NbSubsetEvaluator> holdout = MakeFactorizedNbEvaluator(
+        data, stats, split.test, metric, nb->alpha(),
+        report.selection.selected, selector.num_threads());
+    report.holdout_test_error =
+        holdout->EvalSubset(report.selection.selected);
+    report.fit_seconds = timer.ElapsedSeconds();
+  }
+  report.total_seconds = total_timer.ElapsedSeconds();
+
   report.trace_summary.stages = {
       {"fs.search", 0, 1, report.runtime_seconds, report.runtime_seconds,
        {{"models_trained",

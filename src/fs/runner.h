@@ -64,6 +64,20 @@ Result<FsRunReport> RunFeatureSelection(
     const HoldoutSplit& split, const ClassifierFactory& factory,
     ErrorMetric metric, const std::vector<uint32_t>& candidates);
 
+/// Factorized twin of RunFeatureSelection: the search runs through
+/// SelectFactorized over the normalized (S, R) view and the final model
+/// is trained straight from the factorized sufficient statistics — no
+/// joined table is ever materialized, not even for the holdout scoring,
+/// which goes through an evaluator that gathers test-row codes via the
+/// FK hops. Requires a Naive Bayes factory (the view's statistics are
+/// what NB trains from); reports, selections, errors, and timings carry
+/// the same fields and stage names as the materialized runner, and every
+/// number except the timings is bit-identical to it.
+Result<FsRunReport> RunFeatureSelectionFactorized(
+    FeatureSelector& selector, const FactorizedDataset& data,
+    const HoldoutSplit& split, const ClassifierFactory& factory,
+    ErrorMetric metric, const std::vector<uint32_t>& candidates);
+
 }  // namespace hamlet
 
 #endif  // HAMLET_FS_RUNNER_H_

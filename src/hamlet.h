@@ -40,6 +40,7 @@
 #include "fs/greedy_search.h"
 #include "fs/runner.h"
 #include "ml/eval.h"
+#include "ml/factorized.h"             // Train over (S, R) without the join.
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/tan.h"

@@ -98,10 +98,10 @@ bool SuffStatsCache::Bypassed() {
 }
 
 std::shared_ptr<const SuffStats> SuffStatsCache::FindLocked(
-    uint64_t dataset_id, uint64_t rows_hash,
+    const SuffStatsKey& key, uint64_t rows_hash,
     const std::vector<uint32_t>& rows) const {
   for (Entry& entry : entries_) {
-    if (entry.dataset_id == dataset_id && entry.rows_hash == rows_hash &&
+    if (entry.key == key && entry.rows_hash == rows_hash &&
         entry.stats->rows == rows) {
       entry.last_used = ++tick_;
       return entry.stats;
@@ -112,11 +112,15 @@ std::shared_ptr<const SuffStats> SuffStatsCache::FindLocked(
 
 std::shared_ptr<const SuffStats> SuffStatsCache::Peek(
     const EncodedDataset& data, const std::vector<uint32_t>& rows) const {
+  return PeekKeyed(SuffStatsKey{data.cache_id(), 0, 0}, rows);
+}
+
+std::shared_ptr<const SuffStats> SuffStatsCache::PeekKeyed(
+    const SuffStatsKey& key, const std::vector<uint32_t>& rows) const {
   if (Bypassed()) return nullptr;
   const uint64_t hash = HashRows(rows);
   std::lock_guard<std::mutex> lock(mu_);
-  std::shared_ptr<const SuffStats> found =
-      FindLocked(data.cache_id(), hash, rows);
+  std::shared_ptr<const SuffStats> found = FindLocked(key, hash, rows);
   if (found != nullptr) CacheHitsCounter().Add(1);
   return found;
 }
@@ -124,13 +128,20 @@ std::shared_ptr<const SuffStats> SuffStatsCache::Peek(
 std::shared_ptr<const SuffStats> SuffStatsCache::GetOrBuild(
     const EncodedDataset& data, const std::vector<uint32_t>& rows,
     uint32_t num_threads) {
+  return GetOrBuildKeyed(SuffStatsKey{data.cache_id(), 0, 0}, rows, [&] {
+    return std::make_shared<const SuffStats>(
+        BuildSuffStats(data, rows, num_threads));
+  });
+}
+
+std::shared_ptr<const SuffStats> SuffStatsCache::GetOrBuildKeyed(
+    const SuffStatsKey& key, const std::vector<uint32_t>& rows,
+    const std::function<std::shared_ptr<const SuffStats>()>& build) {
   if (Bypassed()) return nullptr;
-  const uint64_t dataset_id = data.cache_id();
   const uint64_t hash = HashRows(rows);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::shared_ptr<const SuffStats> found =
-        FindLocked(dataset_id, hash, rows);
+    std::shared_ptr<const SuffStats> found = FindLocked(key, hash, rows);
     if (found != nullptr) {
       CacheHitsCounter().Add(1);
       return found;
@@ -143,14 +154,13 @@ std::shared_ptr<const SuffStats> SuffStatsCache::GetOrBuild(
   std::shared_ptr<const SuffStats> built;
   {
     obs::ScopedLatency latency(StatsBuildHistogram());
-    built = std::make_shared<const SuffStats>(
-        BuildSuffStats(data, rows, num_threads));
+    built = build();
   }
+  if (built == nullptr) return nullptr;
 
   std::lock_guard<std::mutex> lock(mu_);
   // Another thread may have inserted the same key while we built.
-  std::shared_ptr<const SuffStats> raced =
-      FindLocked(dataset_id, hash, rows);
+  std::shared_ptr<const SuffStats> raced = FindLocked(key, hash, rows);
   if (raced != nullptr) return raced;
   if (entries_.size() >= capacity_ && !entries_.empty()) {
     size_t lru = 0;
@@ -159,7 +169,7 @@ std::shared_ptr<const SuffStats> SuffStatsCache::GetOrBuild(
     }
     entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(lru));
   }
-  entries_.push_back(Entry{dataset_id, hash, ++tick_, built});
+  entries_.push_back(Entry{key, hash, ++tick_, built});
   return built;
 }
 
@@ -189,26 +199,52 @@ ScopedSuffStatsBypass::~ScopedSuffStatsBypass() {
   if (enabled_) g_bypass_depth.fetch_sub(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+std::vector<uint32_t> GatherEvalLabels(const EncodedDataset& data,
+                                       const std::vector<uint32_t>& rows) {
+  std::vector<uint32_t> labels;
+  labels.reserve(rows.size());
+  for (uint32_t r : rows) labels.push_back(data.labels()[r]);
+  return labels;
+}
+
+}  // namespace
+
 NbSubsetEvaluator::NbSubsetEvaluator(const EncodedDataset& data,
                                      std::shared_ptr<const SuffStats> stats,
                                      std::vector<uint32_t> eval_rows,
                                      ErrorMetric metric, double alpha,
                                      const std::vector<uint32_t>& candidates,
                                      uint32_t num_threads)
-    : data_(data),
-      stats_(std::move(stats)),
-      eval_rows_(std::move(eval_rows)),
-      metric_(metric),
-      num_classes_(data.num_classes()) {
-  HAMLET_CHECK(stats_ != nullptr, "NbSubsetEvaluator needs statistics");
-  HAMLET_CHECK(stats_->dataset_id == data.cache_id(),
+    : NbSubsetEvaluator(
+          stats, GatherEvalLabels(data, eval_rows), metric, alpha, candidates,
+          [&data, &eval_rows](uint32_t j, std::vector<uint32_t>* out) {
+            const uint32_t* col = data.feature(j).data();
+            out->resize(eval_rows.size());
+            for (size_t i = 0; i < eval_rows.size(); ++i) {
+              (*out)[i] = col[eval_rows[i]];
+            }
+          },
+          num_threads) {
+  HAMLET_CHECK(stats->dataset_id == data.cache_id() && stats->fingerprint == 0,
                "statistics built for a different dataset");
+}
+
+NbSubsetEvaluator::NbSubsetEvaluator(std::shared_ptr<const SuffStats> stats,
+                                     std::vector<uint32_t> eval_labels,
+                                     ErrorMetric metric, double alpha,
+                                     const std::vector<uint32_t>& candidates,
+                                     const CodeGather& gather_codes,
+                                     uint32_t num_threads)
+    : stats_(std::move(stats)),
+      eval_labels_(std::move(eval_labels)),
+      metric_(metric) {
+  HAMLET_CHECK(stats_ != nullptr, "NbSubsetEvaluator needs statistics");
+  num_classes_ = stats_->num_classes;
   HAMLET_CHECK(stats_->num_rows() > 0,
                "cannot evaluate models over zero training rows");
   HAMLET_CHECK(alpha > 0.0, "Laplace alpha must be > 0, got %f", alpha);
-
-  eval_labels_.reserve(eval_rows_.size());
-  for (uint32_t r : eval_rows_) eval_labels_.push_back(data.labels()[r]);
 
   // Smoothed log priors — the exact expression NaiveBayes::Train uses, on
   // the exact same integer counts, so the doubles are identical.
@@ -220,9 +256,12 @@ NbSubsetEvaluator::NbSubsetEvaluator(const EncodedDataset& data,
         (n + alpha * num_classes_));
   }
 
-  // One log-likelihood table per candidate feature, derived once; the
-  // scan path re-derives these for every candidate model it trains.
-  log_likelihoods_.resize(data.num_features());
+  // One log-likelihood table per candidate feature, derived once (the
+  // scan path re-derives these for every candidate model it trains),
+  // plus the candidate's evaluation-row codes from the gather callback.
+  const size_t num_features = stats_->feature_counts.size();
+  log_likelihoods_.resize(num_features);
+  eval_codes_.resize(num_features);
   std::vector<uint32_t> unique = candidates;
   std::sort(unique.begin(), unique.end());
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
@@ -244,6 +283,10 @@ NbSubsetEvaluator::NbSubsetEvaluator(const EncodedDataset& data,
                     log_denom;
           }
         }
+        gather_codes(j, &eval_codes_[j]);
+        HAMLET_CHECK(eval_codes_[j].size() == eval_labels_.size(),
+                     "gather for feature %u produced %zu codes, want %zu", j,
+                     eval_codes_[j].size(), eval_labels_.size());
       });
 }
 
@@ -260,12 +303,11 @@ double NbSubsetEvaluator::EvalSubset(
   std::vector<double>& scores = t_scores;
   scores.resize(num_classes_);
   for (uint32_t i = 0; i < n; ++i) {
-    const uint32_t row = eval_rows_[i];
     for (uint32_t c = 0; c < num_classes_; ++c) scores[c] = log_priors_[c];
     for (uint32_t j : features) {
       HAMLET_DCHECK(!log_likelihoods_[j].empty(),
                     "feature %u was not a candidate", j);
-      const uint32_t code = data_.feature(j)[row];
+      const uint32_t code = eval_codes_[j][i];
       const double* cell =
           &log_likelihoods_[j][static_cast<size_t>(code) * num_classes_];
       for (uint32_t c = 0; c < num_classes_; ++c) scores[c] += cell[c];
@@ -300,13 +342,12 @@ void NbSubsetEvaluator::AccumulateFeature(uint32_t feature,
                 "feature %u was not a candidate", feature);
   const uint32_t n = num_eval_rows();
   out->resize(in.size());
-  const uint32_t* col = data_.feature(feature).data();
+  const uint32_t* col = eval_codes_[feature].data();
   const std::vector<double>& ll = log_likelihoods_[feature];
   for (uint32_t i = 0; i < n; ++i) {
     const double* src = in.data() + static_cast<size_t>(i) * num_classes_;
     double* dst = out->data() + static_cast<size_t>(i) * num_classes_;
-    const double* cell =
-        &ll[static_cast<size_t>(col[eval_rows_[i]]) * num_classes_];
+    const double* cell = &ll[static_cast<size_t>(col[i]) * num_classes_];
     for (uint32_t c = 0; c < num_classes_; ++c) dst[c] = src[c] + cell[c];
   }
 }
@@ -335,12 +376,11 @@ void NbSubsetEvaluator::RemoveFromBase(uint32_t feature) {
   HAMLET_DCHECK(!log_likelihoods_[feature].empty(),
                 "feature %u was not a candidate", feature);
   const uint32_t n = num_eval_rows();
-  const uint32_t* col = data_.feature(feature).data();
+  const uint32_t* col = eval_codes_[feature].data();
   const std::vector<double>& ll = log_likelihoods_[feature];
   for (uint32_t i = 0; i < n; ++i) {
     double* row = base_.data() + static_cast<size_t>(i) * num_classes_;
-    const double* cell =
-        &ll[static_cast<size_t>(col[eval_rows_[i]]) * num_classes_];
+    const double* cell = &ll[static_cast<size_t>(col[i]) * num_classes_];
     for (uint32_t c = 0; c < num_classes_; ++c) row[c] -= cell[c];
   }
 }
@@ -355,12 +395,11 @@ double NbSubsetEvaluator::EvalBasePlus(uint32_t feature) const {
   const uint32_t n = num_eval_rows();
   std::vector<uint32_t>& predicted = t_predicted;
   predicted.resize(n);
-  const uint32_t* col = data_.feature(feature).data();
+  const uint32_t* col = eval_codes_[feature].data();
   const std::vector<double>& ll = log_likelihoods_[feature];
   for (uint32_t i = 0; i < n; ++i) {
     const double* row = base_.data() + static_cast<size_t>(i) * num_classes_;
-    const double* cell =
-        &ll[static_cast<size_t>(col[eval_rows_[i]]) * num_classes_];
+    const double* cell = &ll[static_cast<size_t>(col[i]) * num_classes_];
     // f's contribution lands last, matching the scan path's summation
     // order for S ∪ {f}: argmax over identical doubles.
     uint32_t best = 0;
@@ -383,12 +422,11 @@ double NbSubsetEvaluator::EvalBaseMinus(uint32_t feature) const {
   const uint32_t n = num_eval_rows();
   std::vector<uint32_t>& predicted = t_predicted;
   predicted.resize(n);
-  const uint32_t* col = data_.feature(feature).data();
+  const uint32_t* col = eval_codes_[feature].data();
   const std::vector<double>& ll = log_likelihoods_[feature];
   for (uint32_t i = 0; i < n; ++i) {
     const double* row = base_.data() + static_cast<size_t>(i) * num_classes_;
-    const double* cell =
-        &ll[static_cast<size_t>(col[eval_rows_[i]]) * num_classes_];
+    const double* cell = &ll[static_cast<size_t>(col[i]) * num_classes_];
     uint32_t best = 0;
     double best_score = row[0] - cell[0];
     for (uint32_t c = 1; c < num_classes_; ++c) {

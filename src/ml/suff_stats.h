@@ -25,6 +25,7 @@
 /// docs/PERFORMANCE.md for the summation-order invariants).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -40,6 +41,11 @@ namespace hamlet {
 /// ContingencyTable use.
 struct SuffStats {
   uint64_t dataset_id = 0;   ///< EncodedDataset::cache_id() of the source.
+  /// 0 when the statistics were built over one materialized
+  /// EncodedDataset; the FactorizedDataset remap fingerprint otherwise
+  /// (ml/factorized.h), so factorized statistics can never be mistaken
+  /// for entity-only ones that share dataset_id.
+  uint64_t fingerprint = 0;
   uint32_t num_classes = 0;
   std::vector<uint32_t> rows;               ///< The row subset, as given.
   std::vector<uint64_t> class_counts;       ///< [y], |rows| total.
@@ -48,6 +54,23 @@ struct SuffStats {
   std::vector<std::vector<uint64_t>> feature_counts;
 
   uint64_t num_rows() const { return rows.size(); }
+};
+
+/// Composite cache identity of one statistics source. Materialized
+/// datasets use {cache_id, 0, 0}. The factorized path sets all three
+/// components — entity-side cache id, a hash of the attribute-table
+/// identities, and the remap fingerprint — so a cached materialized entry
+/// can never alias a normalized (S, R) pair even though both key on the
+/// same entity dataset.
+struct SuffStatsKey {
+  uint64_t primary = 0;      ///< Entity-side EncodedDataset::cache_id().
+  uint64_t secondary = 0;    ///< Attribute-side identity hash (0 = none).
+  uint64_t fingerprint = 0;  ///< FK remap fingerprint (0 = materialized).
+
+  bool operator==(const SuffStatsKey& other) const {
+    return primary == other.primary && secondary == other.secondary &&
+           fingerprint == other.fingerprint;
+  }
 };
 
 /// One pass over `rows` of `data`: class counts serially (O(rows)), then
@@ -79,9 +102,21 @@ class SuffStatsCache {
       uint32_t num_threads = 0);
 
   /// Returns the cached statistics or nullptr; never builds. nullptr while
-  /// bypassed.
+  /// bypassed. Matches only materialized entries (secondary and
+  /// fingerprint both 0), so a factorized build over the same entity
+  /// dataset is never returned here.
   std::shared_ptr<const SuffStats> Peek(
       const EncodedDataset& data, const std::vector<uint32_t>& rows) const;
+
+  /// Keyed variants for sources that are not a single EncodedDataset
+  /// (ml/factorized.h). GetOrBuildKeyed calls `build` on miss — outside
+  /// the lock — and records the same hit/miss/build-latency probes as
+  /// GetOrBuild. Both return nullptr while bypassed.
+  std::shared_ptr<const SuffStats> GetOrBuildKeyed(
+      const SuffStatsKey& key, const std::vector<uint32_t>& rows,
+      const std::function<std::shared_ptr<const SuffStats>()>& build);
+  std::shared_ptr<const SuffStats> PeekKeyed(
+      const SuffStatsKey& key, const std::vector<uint32_t>& rows) const;
 
   /// Drops every entry (tests; also frees memory between workloads).
   void Clear();
@@ -96,14 +131,14 @@ class SuffStatsCache {
   SuffStatsCache() = default;
 
   struct Entry {
-    uint64_t dataset_id = 0;
+    SuffStatsKey key;
     uint64_t rows_hash = 0;
     uint64_t last_used = 0;
     std::shared_ptr<const SuffStats> stats;
   };
 
   std::shared_ptr<const SuffStats> FindLocked(
-      uint64_t dataset_id, uint64_t rows_hash,
+      const SuffStatsKey& key, uint64_t rows_hash,
       const std::vector<uint32_t>& rows) const;
 
   mutable std::mutex mu_;
@@ -148,6 +183,13 @@ class ScopedSuffStatsBypass {
 /// read-only state plus thread-local scratch); the base mutators are not.
 class NbSubsetEvaluator {
  public:
+  /// Fills `out` with candidate feature `j`'s code at every evaluation
+  /// row, in evaluation-row order. The EncodedDataset constructor gathers
+  /// straight from the code columns; the factorized path gathers through
+  /// the FK -> R hop (ml/factorized.h). Either way the evaluator's hot
+  /// loops read the same codes a materialized gather would produce.
+  using CodeGather = std::function<void(uint32_t, std::vector<uint32_t>*)>;
+
   /// `candidates` limits which features get log-likelihood tables (and
   /// thus may appear in Eval calls). `alpha` is the NB Laplace smoothing
   /// pseudo-count and must match the factory's.
@@ -156,6 +198,17 @@ class NbSubsetEvaluator {
                     std::vector<uint32_t> eval_rows, ErrorMetric metric,
                     double alpha, const std::vector<uint32_t>& candidates,
                     uint32_t num_threads = 0);
+
+  /// Core constructor from pre-gathered parts; no dataset needed.
+  /// `eval_labels[i]` is the truth label of evaluation row i and
+  /// `gather_codes` supplies each candidate's evaluation codes (called
+  /// only during construction). The stats and the gather must describe
+  /// the same feature space; with identical inputs every Eval result is
+  /// bit-identical to the EncodedDataset constructor's.
+  NbSubsetEvaluator(std::shared_ptr<const SuffStats> stats,
+                    std::vector<uint32_t> eval_labels, ErrorMetric metric,
+                    double alpha, const std::vector<uint32_t>& candidates,
+                    const CodeGather& gather_codes, uint32_t num_threads = 0);
 
   /// Error of an arbitrary subset (features summed in the given order).
   double EvalSubset(const std::vector<uint32_t>& features) const;
@@ -187,7 +240,7 @@ class NbSubsetEvaluator {
   double ErrorFromScores(const std::vector<double>& scores) const;
 
   uint32_t num_eval_rows() const {
-    return static_cast<uint32_t>(eval_rows_.size());
+    return static_cast<uint32_t>(eval_labels_.size());
   }
   uint32_t num_classes() const { return num_classes_; }
 
@@ -200,15 +253,18 @@ class NbSubsetEvaluator {
  private:
   double ErrorOf(const std::vector<uint32_t>& predicted) const;
 
-  const EncodedDataset& data_;
   std::shared_ptr<const SuffStats> stats_;
-  std::vector<uint32_t> eval_rows_;
   std::vector<uint32_t> eval_labels_;
   ErrorMetric metric_;
   uint32_t num_classes_ = 0;
   std::vector<double> log_priors_;  // [c]
   /// Indexed by feature id; empty unless the feature was a candidate.
   std::vector<std::vector<double>> log_likelihoods_;
+  /// Per candidate feature: its codes at the evaluation rows (same
+  /// indexing as log_likelihoods_). Pre-gathering decouples the hot loops
+  /// from any dataset object — the factorized path supplies codes through
+  /// the FK hop — and the loops read codes sequentially either way.
+  std::vector<std::vector<uint32_t>> eval_codes_;
   /// Current base subset scores, flat [i * num_classes + c].
   std::vector<double> base_;
 };

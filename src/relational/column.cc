@@ -1,8 +1,43 @@
 #include "relational/column.h"
 
+#include <atomic>
+
 #include "common/parallel_for.h"
 
 namespace hamlet {
+
+namespace {
+
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+}  // namespace
+
+int64_t ColumnMemory::LiveBytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+
+int64_t ColumnMemory::PeakBytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+void ColumnMemory::ResetPeak() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void ColumnMemory::Add(int64_t bytes) {
+  if (bytes == 0) return;
+  const int64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (bytes > 0) {
+    int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !g_peak_bytes.compare_exchange_weak(peak, live,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+}
 
 Column Column::Gather(const std::vector<uint32_t>& rows,
                       uint32_t num_threads) const {

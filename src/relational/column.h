@@ -20,6 +20,29 @@
 
 namespace hamlet {
 
+/// Process-wide accounting of the code bytes held by live Column objects.
+/// Every Column registers its code vector's bytes on construction and
+/// releases them on destruction, so LiveBytes()/PeakBytes() measure what
+/// the relational layer actually materializes — the quantity factorized
+/// training avoids (a joined table's gathered columns never exist in
+/// avoid-materialization mode; see ml/factorized.h). Counters are relaxed
+/// atomics: exact under serial phases, race-free always.
+class ColumnMemory {
+ public:
+  /// Code bytes of all currently live Columns.
+  static int64_t LiveBytes();
+
+  /// High-water mark of LiveBytes() since the last ResetPeak().
+  static int64_t PeakBytes();
+
+  /// Resets the peak to the current live figure (benchmarks and the
+  /// memory-win tests bracket a phase with this).
+  static void ResetPeak();
+
+  /// Adjusts the live figure by `bytes` (internal; called by Column).
+  static void Add(int64_t bytes);
+};
+
 /// A dictionary-encoded column of categorical values.
 class Column {
  public:
@@ -30,7 +53,42 @@ class Column {
   Column(std::vector<uint32_t> codes, std::shared_ptr<Domain> domain)
       : codes_(std::move(codes)), domain_(std::move(domain)) {
     HAMLET_CHECK(domain_ != nullptr, "Column requires a non-null domain");
+    Account();
   }
+
+  Column(const Column& other)
+      : codes_(other.codes_), domain_(other.domain_) {
+    Account();
+  }
+
+  Column(Column&& other) noexcept
+      : codes_(std::move(other.codes_)),
+        domain_(std::move(other.domain_)),
+        accounted_(other.accounted_) {
+    other.accounted_ = 0;
+  }
+
+  Column& operator=(const Column& other) {
+    if (this != &other) {
+      codes_ = other.codes_;
+      domain_ = other.domain_;
+      Account();
+    }
+    return *this;
+  }
+
+  Column& operator=(Column&& other) noexcept {
+    if (this != &other) {
+      ColumnMemory::Add(-accounted_);
+      codes_ = std::move(other.codes_);
+      domain_ = std::move(other.domain_);
+      accounted_ = other.accounted_;
+      other.accounted_ = 0;
+    }
+    return *this;
+  }
+
+  ~Column() { ColumnMemory::Add(-accounted_); }
 
   /// Number of rows.
   uint32_t size() const { return static_cast<uint32_t>(codes_.size()); }
@@ -60,6 +118,8 @@ class Column {
     HAMLET_DCHECK(code < domain_->size(), "code %u out of domain %u", code,
                   domain_->size());
     codes_.push_back(code);
+    accounted_ += static_cast<int64_t>(sizeof(uint32_t));
+    ColumnMemory::Add(static_cast<int64_t>(sizeof(uint32_t)));
   }
 
   /// Returns a column with rows picked (with repetition allowed) by
@@ -78,8 +138,16 @@ class Column {
   bool Validate() const;
 
  private:
+  void Account() {
+    const int64_t bytes =
+        static_cast<int64_t>(codes_.size() * sizeof(uint32_t));
+    ColumnMemory::Add(bytes - accounted_);
+    accounted_ = bytes;
+  }
+
   std::vector<uint32_t> codes_;
   std::shared_ptr<Domain> domain_;
+  int64_t accounted_ = 0;  ///< Bytes this object has registered.
 };
 
 }  // namespace hamlet

@@ -1,8 +1,10 @@
 #include "relational/join.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/parallel_for.h"
+#include "common/thread_pool.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
 
@@ -46,29 +48,6 @@ obs::Histogram& MaterializeLatency() {
   return h;
 }
 
-constexpr uint32_t kMissing = UINT32_MAX;
-
-// Maps each code of `fk`'s domain to the r-row holding that RID, or
-// kMissing if no R row carries it. A DomainRemap translates rid codes
-// into fk codes once, so the per-row loop is integer-only even when the
-// two columns use distinct Domain objects.
-Result<std::vector<uint32_t>> BuildRidIndex(const Column& fk,
-                                            const Column& rid) {
-  std::vector<uint32_t> rid_to_row(fk.domain_size(), kMissing);
-  const DomainRemap remap(rid.domain(), fk.domain());
-  for (uint32_t row = 0; row < rid.size(); ++row) {
-    const uint32_t fk_code = remap[rid.code(row)];
-    if (fk_code == DomainRemap::kNoCode) continue;  // Never referenced by S.
-    if (fk_code >= rid_to_row.size()) continue;
-    if (rid_to_row[fk_code] != kMissing) {
-      return Status::InvalidArgument(StringFormat(
-          "duplicate RID '%s' in attribute table", rid.label(row).c_str()));
-    }
-    rid_to_row[fk_code] = row;
-  }
-  return rid_to_row;
-}
-
 // Lowest index for which a parallel work item reported failure, or
 // UINT32_MAX. The min makes the reported error independent of thread
 // count and timing.
@@ -89,6 +68,71 @@ class FirstFailure {
 };
 
 }  // namespace
+
+Result<std::vector<uint32_t>> BuildFkRowIndex(const Column& fk,
+                                              const Column& rid) {
+  std::vector<uint32_t> rid_to_row(fk.domain_size(), kNoFkRow);
+  const DomainRemap remap(rid.domain(), fk.domain());
+  for (uint32_t row = 0; row < rid.size(); ++row) {
+    const uint32_t fk_code = remap[rid.code(row)];
+    if (fk_code == DomainRemap::kNoCode) continue;  // Never referenced by S.
+    if (fk_code >= rid_to_row.size()) continue;
+    if (rid_to_row[fk_code] != kNoFkRow) {
+      return Status::InvalidArgument(StringFormat(
+          "duplicate RID '%s' in attribute table", rid.label(row).c_str()));
+    }
+    rid_to_row[fk_code] = row;
+  }
+  return rid_to_row;
+}
+
+std::vector<uint64_t> GroupCountByCode(const std::vector<uint32_t>& key_codes,
+                                       uint32_t num_codes,
+                                       const std::vector<uint32_t>& groups,
+                                       uint32_t num_groups,
+                                       const std::vector<uint32_t>& rows,
+                                       uint32_t num_threads) {
+  const size_t cells = static_cast<size_t>(num_codes) * num_groups;
+  std::vector<uint64_t> counts(cells, 0);
+
+  // Sharding only pays when the row subset dwarfs the table each shard
+  // must allocate and merge; small inputs count serially.
+  const uint32_t effective =
+      num_threads == 0
+          ? static_cast<uint32_t>(ThreadPool::Global().num_workers() + 1)
+          : num_threads;
+  const uint32_t max_shards =
+      cells == 0 ? 1
+                 : static_cast<uint32_t>(std::min<size_t>(
+                       effective, std::max<size_t>(1, rows.size() / cells)));
+  const uint32_t num_shards =
+      rows.size() < (1u << 14) ? 1 : std::max(1u, max_shards);
+  if (num_shards <= 1) {
+    for (uint32_t r : rows) {
+      ++counts[static_cast<size_t>(key_codes[r]) * num_groups + groups[r]];
+    }
+    return counts;
+  }
+
+  const size_t chunk = (rows.size() + num_shards - 1) / num_shards;
+  std::vector<std::vector<uint64_t>> partial(num_shards);
+  ParallelFor(num_shards, num_threads, [&](uint32_t shard) {
+    const size_t begin = static_cast<size_t>(shard) * chunk;
+    const size_t end = std::min(rows.size(), begin + chunk);
+    std::vector<uint64_t>& local = partial[shard];
+    local.assign(cells, 0);
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t r = rows[i];
+      ++local[static_cast<size_t>(key_codes[r]) * num_groups + groups[r]];
+    }
+  });
+  // Serial shard-ordered merge; integer sums, so the result is identical
+  // at any thread count.
+  for (const std::vector<uint64_t>& local : partial) {
+    for (size_t i = 0; i < cells; ++i) counts[i] += local[i];
+  }
+  return counts;
+}
 
 Result<Table> KfkJoin(const Table& s, const Table& r,
                       const std::string& fk_column,
@@ -117,7 +161,7 @@ Result<Table> KfkJoin(const Table& s, const Table& r,
   std::vector<uint32_t> rid_to_row;
   {
     obs::ScopedLatency timer(BuildLatency());
-    HAMLET_ASSIGN_OR_RETURN(rid_to_row, BuildRidIndex(fk, rid));
+    HAMLET_ASSIGN_OR_RETURN(rid_to_row, BuildFkRowIndex(fk, rid));
   }
 
   // Match every S row to its unique R row: a pure per-index gather, so
@@ -129,7 +173,7 @@ Result<Table> KfkJoin(const Table& s, const Table& r,
     obs::ScopedLatency timer(ProbeLatency());
     ParallelFor(s.num_rows(), options.num_threads, [&](uint32_t row) {
       const uint32_t m = rid_to_row[fk.code(row)];
-      if (m == kMissing) failure.Report(row);
+      if (m == kNoFkRow) failure.Report(row);
       matched[row] = m;
     });
   }

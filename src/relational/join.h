@@ -21,12 +21,42 @@
 /// chunked parallel writes. Results are bit-identical at any thread count
 /// (the repo's determinism contract).
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "relational/table.h"
 
 namespace hamlet {
+
+/// Sentinel for "this key code has no matching row" in BuildFkRowIndex.
+inline constexpr uint32_t kNoFkRow = UINT32_MAX;
+
+/// Maps every code of `fk`'s domain to the `rid`-side row holding that
+/// RID, or kNoFkRow when no row carries it. A DomainRemap translates rid
+/// codes into fk codes once, so the per-row loop is integer-only even when
+/// the two columns use distinct Domain objects. Fails on duplicate RIDs.
+/// This is KfkJoin's probe index, exposed because factorized training
+/// (ml/factorized.h) walks the same FK -> R hop without materializing the
+/// join.
+Result<std::vector<uint32_t>> BuildFkRowIndex(const Column& fk,
+                                              const Column& rid);
+
+/// Per-(key code, group) occurrence counts over a row subset: the result
+/// is flat [code * num_groups + g], counting the rows r of `rows` with
+/// key_codes[r] == code and groups[r] == g. This is the one entity-side
+/// pass factorized training makes per FK — the table is then scattered
+/// through the BuildFkRowIndex hop instead of joining. `rows` is sharded
+/// across threads with per-shard local tables merged serially in shard
+/// order; counts are integers, so the result is bit-identical at any
+/// thread count (0 = all hardware threads, 1 = serial).
+std::vector<uint64_t> GroupCountByCode(const std::vector<uint32_t>& key_codes,
+                                       uint32_t num_codes,
+                                       const std::vector<uint32_t>& groups,
+                                       uint32_t num_groups,
+                                       const std::vector<uint32_t>& rows,
+                                       uint32_t num_threads = 0);
 
 /// Knobs shared by both joins.
 struct JoinOptions {
