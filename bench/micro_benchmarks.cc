@@ -656,6 +656,45 @@ void BM_HistogramRecordEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRecordEnabled);
 
+// Disabled-path twin of BM_HistogramRecordEnabled: one relaxed load and
+// a branch per Record regardless of the 1408-bucket log-linear layout.
+// Gated in scripts/compare_bench.py so bucket-math changes cannot creep
+// into the disabled cost.
+void BM_HistogramRecord(benchmark::State& state) {
+  ScopedObsEnabled off(false);
+  auto& histogram =
+      hamlet::obs::MetricsRegistry::Global().GetHistogram("bench.histogram");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.Record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// Span open/close inside a pool task: pays the enabled TraceSpan cost
+// plus the task-context save/restore ThreadPool::RunShards does to
+// parent the span under the submitter. Regression-gated: propagation
+// must stay two TLS copies per task, not a lock or a map lookup.
+void BM_TraceSpanPropagated(benchmark::State& state) {
+  ScopedObsEnabled on(true);
+  constexpr uint32_t kSpansPerRegion = 64;
+  while (state.KeepRunningBatch(kSpansPerRegion)) {
+    hamlet::obs::TraceSpan parent("bench.region");
+    hamlet::ParallelFor(kSpansPerRegion, 2, [](uint32_t i) {
+      hamlet::obs::TraceSpan span("bench.shard");
+      benchmark::DoNotOptimize(span.active());
+      (void)i;
+    });
+    state.PauseTiming();
+    hamlet::obs::Tracer::Global().Clear();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanPropagated);
+
 // --- The advisor itself: metadata-only decisions must be ~free. ---
 void BM_AdviseJoins(benchmark::State& state) {
   auto ds = MakeDataset("Yelp", 0.05, 42);
@@ -941,4 +980,21 @@ BENCHMARK(BM_SynthesizeDataset)->Arg(1)->Arg(10)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with provenance: the standard context's
+// "library_build_type" reports how *libbenchmark* was compiled (the
+// distro package ships a debug build), so BENCH files record hamlet's
+// own build type under "hamlet_build_type". scripts/run_benchmarks.sh
+// fails the run unless it says "release", and compare_bench.py refuses
+// to diff BENCH files whose hamlet build types differ.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("hamlet_build_type", "release");
+#else
+  benchmark::AddCustomContext("hamlet_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,18 +12,27 @@
 /// histograms) and the explain-style stage tree.
 ///
 /// Run: ./hamlet_serve_cli [clients] [requests_per_client] [seed]
+///          [--metrics-jsonl=PATH] [--prom=PATH]
+///
+/// --metrics-jsonl appends a structured snapshot line (obs/exporter.h)
+/// at the end of the run; --prom dumps the same snapshot in Prometheus
+/// text exposition format. The HAMLET_METRICS_JSONL environment
+/// variable supplies the JSONL path as well (the flag wins).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -78,13 +87,32 @@ void PrintDigest(const char* label, const LatencyDigest& d) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Flags may appear anywhere; bare numbers fill the positional
+  // [clients] [requests_per_client] [seed] slots in order.
+  std::string metrics_jsonl_path, prom_path;
+  if (const char* env = std::getenv("HAMLET_METRICS_JSONL")) {
+    metrics_jsonl_path = env;
+  }
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-jsonl=", 16) == 0) {
+      metrics_jsonl_path = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--prom=", 7) == 0) {
+      prom_path = argv[i] + 7;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
   const uint32_t clients =
-      argc > 1 ? static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10)) : 8;
+      positional.size() > 0
+          ? static_cast<uint32_t>(std::strtoul(positional[0], nullptr, 10))
+          : 8;
   const uint32_t per_client =
-      argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
-               : 200;
+      positional.size() > 1
+          ? static_cast<uint32_t>(std::strtoul(positional[1], nullptr, 10))
+          : 200;
   const uint64_t seed =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+      positional.size() > 2 ? std::strtoull(positional[2], nullptr, 10) : 7;
 
   // --- Synthesize a dataset and train the model to serve. ---
   SimConfig config;
@@ -225,6 +253,20 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(batch_hist.sum_nanos) /
                         static_cast<double>(batch_hist.count)
                   : 0.0);
+  // Service-side percentiles come from the log-linear serve.*_ns
+  // histograms (bucket width <= 1/32 of the value, so these track the
+  // exact order statistics to a few percent).
+  for (const char* name : {"serve.score_ns", "serve.advise_ns",
+                           "serve.queue_wait_ns"}) {
+    const auto hist =
+        obs::MetricsRegistry::Global().GetHistogram(name).Snapshot();
+    if (hist.count == 0) continue;
+    std::printf("  %-15s p50 %9.1f us   p95 %9.1f us   p99 %9.1f us\n",
+                name,
+                static_cast<double>(hist.PercentileNanos(0.50)) / 1e3,
+                static_cast<double>(hist.PercentileNanos(0.95)) / 1e3,
+                static_cast<double>(hist.PercentileNanos(0.99)) / 1e3);
+  }
   std::printf("  model cache     %llu hits / %llu misses\n",
               static_cast<unsigned long long>(store.cache_hits()),
               static_cast<unsigned long long>(store.cache_misses()));
@@ -233,6 +275,31 @@ int main(int argc, char** argv) {
               fs_seconds, "churn_nb_selected", fs_resp->model_version,
               fs_resp->report.selection.selected.size(),
               fs_resp->report.holdout_test_error);
+
+  // Structured export, when requested.
+  if (!metrics_jsonl_path.empty()) {
+    const obs::TraceSummary summary =
+        obs::SummarizeTrace(obs::Tracer::Global().Collect(), metrics);
+    obs::JsonlExporter exporter;
+    auto st = exporter.Open(metrics_jsonl_path);
+    if (st.ok()) st = exporter.Flush(metrics, &summary);
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::printf("\nMetrics JSONL written to %s\n",
+                  metrics_jsonl_path.c_str());
+    }
+  }
+  if (!prom_path.empty()) {
+    std::ofstream prom(prom_path, std::ios::out | std::ios::trunc);
+    if (prom.is_open()) {
+      obs::DumpPrometheusText(metrics, prom);
+      std::printf("Prometheus text written to %s\n", prom_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", prom_path.c_str());
+    }
+  }
 
   std::printf("\nExplain tree (merged serve.* spans):\n%s\n",
               obs::RenderExplainTree(obs::Tracer::Global().Collect())

@@ -5,6 +5,10 @@
 # regressions for search/filters/Monte Carlo, the greedy tie-break, and
 # the factorized-vs-materialized equivalence sweep (every Factorized*
 # suite, including the avoid-materialization pipeline end to end).
+# A second pass runs the obs-labeled suite under TSAN: the telemetry
+# pipeline's lock-free sharded histograms, cross-thread span
+# propagation, and concurrent registry snapshots (the writer-storm test)
+# are exactly the code most likely to hide a data race.
 #
 # Usage: scripts/check_determinism.sh [extra ctest args...]
 # Env:   BUILD_DIR (default build-tsan), JOBS (default nproc).
@@ -25,3 +29,7 @@ cmake --build "${BUILD_DIR}" -j"${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -R 'ThreadPool|ParallelFor|Determinism|TieBreak|ThreadInvariant|ParallelSearch|Factorized' \
   "$@"
+
+# The observability suite (metrics/trace/exporter/cost-profile tests,
+# label `obs`) under the same TSAN build.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L obs "$@"

@@ -20,14 +20,32 @@ import sys
 # paths BENCH trajectories track across PRs (docs/PERFORMANCE.md), plus
 # the serving stack's serde and batched-scoring paths (docs/SERVING.md),
 # the data-plane ingest/join fast paths (docs/PERFORMANCE.md "Ingest
-# & join fast path": BM_ReadCsv*, BM_HashJoin*, BM_KfkJoin), and the
+# & join fast path": BM_ReadCsv*, BM_HashJoin*, BM_KfkJoin), the
 # factorized-learning family (docs/PERFORMANCE.md "Factorized training":
-# BM_Factorized*, BM_MaterializedStatsBuild).
+# BM_Factorized*, BM_MaterializedStatsBuild), and the observability cost
+# contract (docs/OBSERVABILITY.md: BM_HistogramRecord* — the prefix
+# covers both the disabled probe path and its Enabled twin — and
+# BM_TraceSpanPropagated, the cross-thread span propagation overhead).
 GATED = re.compile(
     r"^BM_(NBTrain|NaiveBayesTrain|GreedyForward|ForwardSelection"
     r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore"
-    r"|ReadCsv|HashJoin|KfkJoin|Factorized|MaterializedStatsBuild)"
+    r"|ReadCsv|HashJoin|KfkJoin|Factorized|MaterializedStatsBuild"
+    r"|HistogramRecord|TraceSpanPropagated)"
 )
+
+
+def build_type(path):
+    """Hamlet's own build type recorded in a BENCH file's context.
+
+    The binary stamps "hamlet_build_type" via AddCustomContext (the stock
+    "library_build_type" key only describes libbenchmark's build, which
+    the distro ships as debug). BENCH files from before the stamp exist
+    and report "unknown" — comparisons against them stay allowed, with a
+    warning, so history remains usable.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("context", {}).get("hamlet_build_type", "unknown")
 
 
 def load(path):
@@ -68,6 +86,19 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed real_time regression fraction")
     args = parser.parse_args()
+
+    bt_old, bt_new = build_type(args.old), build_type(args.new)
+    if "unknown" in (bt_old, bt_new):
+        print("compare_bench: warning: build type unknown for "
+              f"{args.old if bt_old == 'unknown' else args.new} "
+              "(recorded before hamlet_build_type was stamped); "
+              "comparing anyway", file=sys.stderr)
+    elif bt_old != bt_new:
+        print(f"compare_bench: refusing to compare {args.old} "
+              f"(hamlet_build_type={bt_old}) against {args.new} "
+              f"(hamlet_build_type={bt_new}): debug-vs-release ratios "
+              "are meaningless", file=sys.stderr)
+        return 2
 
     old = load(args.old)
     new = load(args.new)

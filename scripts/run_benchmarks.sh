@@ -67,6 +67,28 @@ cmake --build "${BUILD_DIR}" -j"${JOBS}" --target micro_benchmarks
 
 echo "Wrote ${OUT}"
 
+# Provenance check: the benchmark binary records hamlet's own build type
+# in the JSON context as "hamlet_build_type" (the stock
+# "library_build_type" key describes how *libbenchmark* was compiled —
+# the distro package is a debug build, so that key always says "debug"
+# and proves nothing about hamlet). A debug-built hamlet produces
+# numbers that are meaningless to compare; fail loudly rather than let
+# them land in a BENCH file.
+HAMLET_BUILD_TYPE=$(python3 - "${OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    print(json.load(f).get("context", {}).get("hamlet_build_type", "unknown"))
+EOF
+)
+if [[ "${HAMLET_BUILD_TYPE}" != "release" ]]; then
+  echo "ERROR: ${OUT} was produced by a '${HAMLET_BUILD_TYPE}' hamlet" >&2
+  echo "build; benchmarks must run with CMAKE_BUILD_TYPE=Release" >&2
+  echo "(delete ${BUILD_DIR} if its cache pinned another build type)." >&2
+  rm -f "${OUT}"
+  exit 1
+fi
+echo "Provenance: hamlet_build_type=${HAMLET_BUILD_TYPE}"
+
 if [[ "${COMPARE}" == 1 ]]; then
   if [[ -z "${PREV}" ]]; then
     echo "No previous BENCH_*.json to compare against; skipping the gate."

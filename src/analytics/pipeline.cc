@@ -1,6 +1,8 @@
 #include "analytics/pipeline.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <sstream>
 
@@ -11,6 +13,8 @@
 #include "ml/naive_bayes.h"
 #include "ml/suff_stats.h"
 #include "ml/tan.h"
+#include "obs/cost_profile.h"
+#include "obs/exporter.h"
 
 namespace hamlet {
 
@@ -51,6 +55,15 @@ ClassifierFactory MakeClassifierFactory(ClassifierKind kind) {
 }
 
 namespace {
+
+/// Export destination resolution: an explicit config path wins, then the
+/// named environment variable, then "" (export off).
+std::string PathFromConfigOrEnv(const std::string& config_path,
+                                const char* env_var) {
+  if (!config_path.empty()) return config_path;
+  const char* env = std::getenv(env_var);
+  return env != nullptr ? std::string(env) : std::string();
+}
 
 /// Coarse per-stage rollup for untraced runs: the same stage names the
 /// span tree would produce, built from the Timer readings RunPipeline
@@ -270,9 +283,34 @@ Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
   report.total_seconds = total_timer.ElapsedSeconds();
 
   if (collection.enabled()) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
     report.trace = obs::Tracer::Global().Collect();
-    report.trace_summary = obs::SummarizeTrace(
-        report.trace, obs::MetricsRegistry::Global().Snapshot());
+    report.trace_summary = obs::SummarizeTrace(report.trace, snapshot);
+
+    // Structured export: one JSONL snapshot line per traced run, and the
+    // run's operator cost observations merged into the persisted
+    // profile. Export failures are reported, not fatal — a read-only
+    // artifacts/ directory must not fail the analysis itself.
+    const std::string jsonl_path = PathFromConfigOrEnv(
+        config.metrics_jsonl_path, "HAMLET_METRICS_JSONL");
+    if (!jsonl_path.empty()) {
+      obs::JsonlExporter exporter;
+      Status st = exporter.Open(jsonl_path);
+      if (st.ok()) st = exporter.Flush(snapshot, &report.trace_summary);
+      if (!st.ok()) {
+        std::cerr << "hamlet: metrics export failed: " << st << "\n";
+      }
+    }
+    const std::string profile_path = PathFromConfigOrEnv(
+        config.cost_profile_path, "HAMLET_COST_PROFILE");
+    if (!profile_path.empty()) {
+      const Status st =
+          obs::CostProfileStore::Global().MergeIntoFile(profile_path);
+      if (!st.ok()) {
+        std::cerr << "hamlet: cost-profile export failed: " << st << "\n";
+      }
+    }
   } else {
     report.trace_summary =
         CoarseSummary(report, advise_seconds, encode_seconds, split_seconds);

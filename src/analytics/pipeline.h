@@ -80,6 +80,17 @@ struct PipelineConfig {
   /// classifiers — and force_scan_eval runs — fall back to
   /// materialization; PipelineReport::factorized says which path ran.
   bool avoid_materialization = false;
+  /// When non-empty (and the run is traced), append one structured
+  /// metrics snapshot line to this JSONL file at the end of the run
+  /// (obs/exporter.h). The HAMLET_METRICS_JSONL environment variable
+  /// supplies a path as well; an explicit config value wins.
+  std::string metrics_jsonl_path;
+  /// When non-empty (and the run is traced), merge the run's operator
+  /// cost observations into this JSON file (obs/cost_profile.h) so
+  /// repeated runs accumulate planner calibration data. The
+  /// HAMLET_COST_PROFILE environment variable supplies a path as well;
+  /// an explicit config value wins.
+  std::string cost_profile_path;
 };
 
 /// Everything one pipeline run produces.

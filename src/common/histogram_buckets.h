@@ -1,0 +1,83 @@
+#ifndef HAMLET_COMMON_HISTOGRAM_BUCKETS_H_
+#define HAMLET_COMMON_HISTOGRAM_BUCKETS_H_
+
+/// \file histogram_buckets.h
+/// Log-linear (HDR-style) histogram bucket math, shared by the
+/// observability histograms (obs/metrics.h) and the thread pool's
+/// queue-wait histogram (common/thread_pool.h) so every latency
+/// distribution in the process uses one bucket layout.
+///
+/// Layout: values below 2^kSubBucketBits get one bucket each (exact);
+/// above that, every power-of-two octave [2^e, 2^(e+1)) is split into
+/// kSubBuckets equal linear sub-buckets. The worst-case relative width
+/// of a bucket is therefore 1/kSubBuckets (3.125% at 32 sub-buckets),
+/// which is what bounds percentile error — the old pure-log2 scheme's
+/// buckets were 100% wide, so a p99 could be off by up to 2x.
+///
+/// The mapping is branch-light and multiplication-free: one bit_width,
+/// one shift, one mask. Everything here is constexpr so tests can pin
+/// exact bucket edges at compile time.
+
+#include <bit>
+#include <cstdint>
+
+namespace hamlet::log_linear {
+
+/// log2 of the sub-bucket count per octave (32 sub-buckets).
+inline constexpr uint32_t kSubBucketBits = 5;
+inline constexpr uint32_t kSubBuckets = 1u << kSubBucketBits;
+
+/// Largest distinguished exponent: the final octave starts at 2^47 ns
+/// (~39 hours), and its last sub-bucket absorbs everything above.
+inline constexpr uint32_t kMaxExponent = 47;
+
+/// Total bucket count: one exact group [0, 2^kSubBucketBits) plus one
+/// group of kSubBuckets per octave e in [kSubBucketBits, kMaxExponent].
+inline constexpr uint32_t kNumBuckets =
+    kSubBuckets * (kMaxExponent - kSubBucketBits + 2);
+
+/// Bucket index for a value. Values past the last octave clamp into the
+/// final bucket.
+constexpr uint32_t BucketFor(uint64_t value) {
+  const uint32_t width = static_cast<uint32_t>(std::bit_width(value));
+  if (width <= kSubBucketBits) {
+    return static_cast<uint32_t>(value);  // Exact region, one value each.
+  }
+  uint32_t e = width - 1;
+  if (e > kMaxExponent) {
+    e = kMaxExponent;
+    value = (uint64_t{1} << (kMaxExponent + 1)) - 1;  // Last sub-bucket.
+  }
+  const uint32_t sub = static_cast<uint32_t>(
+      (value >> (e - kSubBucketBits)) & (kSubBuckets - 1));
+  return (e - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+/// Smallest value mapping to `bucket` (the bucket's inclusive floor).
+constexpr uint64_t BucketLowerBound(uint32_t bucket) {
+  const uint32_t group = bucket / kSubBuckets;
+  const uint32_t sub = bucket % kSubBuckets;
+  if (group == 0) return sub;  // Exact region.
+  const uint32_t e = kSubBucketBits + group - 1;
+  return (uint64_t{1} << e) +
+         (static_cast<uint64_t>(sub) << (e - kSubBucketBits));
+}
+
+/// Exclusive upper edge of `bucket`. The final bucket is unbounded (it
+/// absorbs every value past its floor) and reports UINT64_MAX.
+constexpr uint64_t BucketUpperBound(uint32_t bucket) {
+  if (bucket + 1 >= kNumBuckets) return UINT64_MAX;
+  return BucketLowerBound(bucket + 1);
+}
+
+static_assert(BucketFor(0) == 0);
+static_assert(BucketFor(kSubBuckets - 1) == kSubBuckets - 1);
+static_assert(BucketFor(kSubBuckets) == kSubBuckets);
+static_assert(BucketFor(UINT64_MAX) == kNumBuckets - 1);
+static_assert(BucketLowerBound(kNumBuckets - 1) ==
+              (uint64_t{1} << kMaxExponent) +
+                  (uint64_t{kSubBuckets - 1} << (kMaxExponent - kSubBucketBits)));
+
+}  // namespace hamlet::log_linear
+
+#endif  // HAMLET_COMMON_HISTOGRAM_BUCKETS_H_

@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <exception>
 
@@ -20,6 +19,11 @@ thread_local bool tls_in_parallel_region = false;
 // 1..k for workers (assigned once at worker startup, unique across pools).
 thread_local uint32_t tls_worker_id = 0;
 std::atomic<uint32_t> g_next_worker_id{1};
+
+// Opaque per-thread task context (the submitting span's id, for the
+// observability layer). RunShards copies the submitter's value into each
+// queued task so cross-thread work keeps its logical parent.
+thread_local uint64_t tls_task_context = 0;
 
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
@@ -84,10 +88,8 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RecordQueueWait(uint64_t wait_ns) {
   queue_wait_count_.fetch_add(1, std::memory_order_relaxed);
   queue_wait_total_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
-  const uint32_t width = static_cast<uint32_t>(std::bit_width(wait_ns));
-  const uint32_t bucket =
-      std::min(width == 0 ? 0u : width - 1, kQueueWaitBuckets - 1);
-  queue_wait_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  queue_wait_buckets_[log_linear::BucketFor(wait_ns)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 ThreadPoolStats ThreadPool::GetStats() const {
@@ -127,16 +129,24 @@ void ThreadPool::RunShards(
   // 0 doubles as "timing off": steady_clock is monotonically far from 0.
   const uint64_t enqueue_ns =
       collect_queue_wait_.load(std::memory_order_relaxed) ? NowNanos() : 0;
+  // Capture the submitter's task context (the enclosing trace span, if
+  // any) so work on the workers keeps its logical parent; each task
+  // restores the worker's own context when it finishes.
+  const uint64_t submitter_context = tls_task_context;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (uint32_t s = 1; s < shards; ++s) {
-      queue_.emplace_back([this, &state, &shard_fn, s, enqueue_ns] {
+      queue_.emplace_back(
+          [this, &state, &shard_fn, s, enqueue_ns, submitter_context] {
         if (enqueue_ns != 0) RecordQueueWait(NowNanos() - enqueue_ns);
+        const uint64_t prev_context = tls_task_context;
+        tls_task_context = submitter_context;
         try {
           shard_fn(s);
         } catch (...) {
           state.errors[s] = std::current_exception();
         }
+        tls_task_context = prev_context;
         std::lock_guard<std::mutex> done(state.mu);
         if (--state.remaining == 0) state.done_cv.notify_one();
       });
@@ -173,5 +183,11 @@ ThreadPool& ThreadPool::Global() {
 bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
 
 uint32_t ThreadPool::CurrentWorkerId() { return tls_worker_id; }
+
+uint64_t ThreadPool::CurrentTaskContext() { return tls_task_context; }
+
+void ThreadPool::SetCurrentTaskContext(uint64_t context) {
+  tls_task_context = context;
+}
 
 }  // namespace hamlet

@@ -32,6 +32,16 @@
 /// remaining items, every other shard still runs to completion, and the
 /// exception from the lowest-indexed throwing shard is rethrown on the
 /// calling thread once the region completes.
+///
+/// Task context: the pool carries one opaque thread-local uint64 — the
+/// "task context" — across the enqueue boundary: RunShards captures the
+/// submitting thread's value and installs it on the worker for the
+/// task's duration (restoring the worker's own value afterwards). The
+/// observability layer stores the current trace-span id there, which is
+/// how spans opened inside pool tasks parent under the span that
+/// submitted the region instead of rooting at the worker thread
+/// (obs/trace.h). The pool itself never interprets the value; with
+/// tracing off it is always 0 and costs one TLS copy per task.
 
 #include <algorithm>
 #include <array>
@@ -43,6 +53,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/histogram_buckets.h"
 
 namespace hamlet {
 
@@ -57,9 +69,10 @@ struct ThreadPoolStats {
   uint64_t serial_degradations = 0;  ///< Nested regions run serially.
   uint64_t queue_wait_count = 0;     ///< Tasks with a measured wait.
   uint64_t queue_wait_total_ns = 0;  ///< Sum of measured waits.
-  /// Log-scale wait histogram: bucket b counts waits w with
-  /// bit_width(w) - 1 == b, i.e. w in [2^b, 2^(b+1)) ns (bucket 0 also
-  /// holds 0-1 ns; the last bucket absorbs everything above its floor).
+  /// Log-linear wait histogram over the shared bucket layout
+  /// (common/histogram_buckets.h) — the same edges obs::Histogram uses,
+  /// so the pool's wait distribution snapshots straight into the
+  /// metrics registry without rebucketing.
   std::vector<uint64_t> queue_wait_ns_buckets;
 };
 
@@ -135,7 +148,19 @@ class ThreadPool {
   /// Small dense id of the current thread for per-thread sharding of
   /// observability state: 0 for any non-pool thread (the main thread),
   /// 1..k for pool workers (unique across every pool in the process).
+  /// Worker ids are assigned once at worker startup and never reused,
+  /// so a worker's id is stable for the process lifetime (the Chrome
+  /// trace exporter keys thread lanes on it).
   static uint32_t CurrentWorkerId();
+
+  /// The current thread's opaque task context (see the \file block).
+  /// 0 outside any context. The observability layer stores the current
+  /// trace-span id here; RunShards propagates it into queued tasks.
+  static uint64_t CurrentTaskContext();
+
+  /// Installs `context` as the current thread's task context. Callers
+  /// (obs::TraceSpan) restore the previous value when their scope ends.
+  static void SetCurrentTaskContext(uint64_t context);
 
   /// Snapshot of the lifetime scheduling stats (see ThreadPoolStats).
   ThreadPoolStats GetStats() const;
@@ -150,8 +175,9 @@ class ThreadPool {
     return collect_queue_wait_.load(std::memory_order_relaxed);
   }
 
-  /// Number of queue-wait histogram buckets (log2-nanosecond scale).
-  static constexpr uint32_t kQueueWaitBuckets = 32;
+  /// Number of queue-wait histogram buckets (the shared log-linear
+  /// nanosecond layout of common/histogram_buckets.h).
+  static constexpr uint32_t kQueueWaitBuckets = log_linear::kNumBuckets;
 
  private:
   /// Queues shards 1..shards-1, runs shard 0 inline, waits for all, and

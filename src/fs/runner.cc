@@ -6,9 +6,35 @@
 #include "ml/eval.h"
 #include "ml/factorized.h"
 #include "ml/naive_bayes.h"
+#include "obs/cost_profile.h"
 #include "obs/trace.h"
 
 namespace hamlet {
+
+namespace {
+
+// Reports one finished search to the operator cost profile. `op`
+// distinguishes the materialized and factorized paths — their relative
+// cost at matched features is exactly the join-or-avoid trade-off the
+// calibrated planner needs. build_rows carries the candidate count (the
+// search's work-list width); models_trained lands in rows_out since a
+// search "produces" trained models, not rows.
+void RecordSearchCost(const char* op, uint32_t data_rows,
+                      uint64_t models_trained, size_t candidates,
+                      uint32_t num_threads, double search_seconds) {
+  if (!obs::Enabled()) return;
+  obs::OperatorFeatures features;
+  features.op = op;
+  features.rows_in = data_rows;
+  features.rows_out = models_trained;
+  features.build_rows = candidates;
+  features.num_threads = num_threads;
+  obs::CostObservation cost;
+  cost.total_ns = static_cast<uint64_t>(search_seconds * 1e9);
+  obs::CostProfileStore::Global().Record(features, cost);
+}
+
+}  // namespace
 
 const char* FsMethodToString(FsMethod method) {
   switch (method) {
@@ -76,6 +102,9 @@ Result<FsRunReport> RunFeatureSelection(
     span.AddAttr("models_trained", report.selection.models_trained);
     span.AddAttr("selected",
                  static_cast<uint64_t>(report.selection.selected.size()));
+    RecordSearchCost("fs.search.materialized", data.num_rows(),
+                     report.selection.models_trained, candidates.size(),
+                     selector.num_threads(), report.runtime_seconds);
   }
 
   report.selected_names = data.FeatureNames(report.selection.selected);
@@ -125,6 +154,9 @@ Result<FsRunReport> RunFeatureSelectionFactorized(
     span.AddAttr("models_trained", report.selection.models_trained);
     span.AddAttr("selected",
                  static_cast<uint64_t>(report.selection.selected.size()));
+    RecordSearchCost("fs.search.factorized", data.num_rows(),
+                     report.selection.models_trained, candidates.size(),
+                     selector.num_threads(), report.runtime_seconds);
   }
 
   report.selected_names = data.FeatureNames(report.selection.selected);

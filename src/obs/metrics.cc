@@ -1,7 +1,6 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstdlib>
 #include <sstream>
 
@@ -45,12 +44,15 @@ void Histogram::RecordAlways(uint64_t nanos) {
 }
 
 uint32_t Histogram::BucketFor(uint64_t nanos) {
-  const uint32_t width = static_cast<uint32_t>(std::bit_width(nanos));
-  return std::min(width == 0 ? 0u : width - 1, kBuckets - 1);
+  return log_linear::BucketFor(nanos);
 }
 
 uint64_t Histogram::BucketLowerBound(uint32_t bucket) {
-  return bucket == 0 ? 0 : uint64_t{1} << bucket;
+  return log_linear::BucketLowerBound(bucket);
+}
+
+uint64_t Histogram::BucketUpperBound(uint32_t bucket) {
+  return log_linear::BucketUpperBound(bucket);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -82,6 +84,8 @@ double HistogramSnapshot::MeanNanos() const {
 }
 
 uint64_t HistogramSnapshot::PercentileNanos(double p) const {
+  // Edge semantics (pinned in tests/metrics_registry_test.cc): an empty
+  // histogram has no observation to rank and returns 0.
   if (count == 0) return 0;
   p = std::clamp(p, 0.0, 1.0);
   const uint64_t rank =
@@ -89,8 +93,25 @@ uint64_t HistogramSnapshot::PercentileNanos(double p) const {
                          static_cast<uint64_t>(p * static_cast<double>(count)));
   uint64_t seen = 0;
   for (uint32_t b = 0; b < buckets.size(); ++b) {
-    seen += buckets[b];
-    if (seen > rank) return Histogram::BucketLowerBound(b);
+    const uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    seen += in_bucket;
+    if (seen <= rank) continue;
+    const uint64_t lo = Histogram::BucketLowerBound(b);
+    const uint64_t hi = Histogram::BucketUpperBound(b);
+    // The final bucket is unbounded above: interpolating inside it would
+    // invent values, so return its lower bound (a known underestimate).
+    if (hi == UINT64_MAX) return lo;
+    // Width-1 buckets (the exact region below 2^kSubBucketBits) hold one
+    // value; otherwise place the ranked observation at the midpoint of
+    // its within-bucket slot, assuming a uniform spread across the
+    // bucket. `pos` is the rank's 0-based offset into this bucket.
+    const uint64_t width = hi - lo;
+    if (width <= 1) return lo;
+    const uint64_t pos = rank - (seen - in_bucket);
+    const double frac = (static_cast<double>(pos) + 0.5) /
+                        static_cast<double>(in_bucket);
+    return lo + static_cast<uint64_t>(static_cast<double>(width) * frac);
   }
   return Histogram::BucketLowerBound(
       static_cast<uint32_t>(buckets.size()) - 1);

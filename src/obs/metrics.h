@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram_buckets.h"
 #include "common/thread_pool.h"
 
 namespace hamlet::obs {
@@ -95,18 +96,31 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;  ///< Histogram::kBuckets entries.
 
   double MeanNanos() const;
-  /// Approximate percentile (p in [0,1]): the lower bound of the bucket
-  /// holding the p-quantile observation. 0 when empty.
+  /// Percentile estimate (p in [0,1]) by linear interpolation inside the
+  /// bucket holding the p-quantile observation. With the log-linear
+  /// layout every bucket is at most 1/32 of its value wide, so the
+  /// estimate is within ~±1.6% of the exact order statistic (the
+  /// calibration test in tests/metrics_registry_test.cc pins <10% at
+  /// p99). Pinned edge cases:
+  ///   - empty histogram: returns 0 (there is no observation to rank);
+  ///   - the final bucket has no upper edge (it absorbs everything past
+  ///     2^47 ns), so a percentile landing there returns the bucket's
+  ///     lower bound — a deliberate underestimate, never an invented
+  ///     upper value.
   uint64_t PercentileNanos(double p) const;
 };
 
-/// A named latency histogram over fixed log2 nanosecond buckets: bucket b
-/// counts values v with bit_width(v) - 1 == b, i.e. v in [2^b, 2^(b+1))
-/// ns (bucket 0 also holds 0–1 ns; the last bucket absorbs everything
-/// above its floor — 2^47 ns ≈ 39 hours, so nothing real clips).
+/// A named latency histogram over the shared log-linear (HDR-style)
+/// nanosecond buckets of common/histogram_buckets.h: values below 32 ns
+/// get an exact bucket each, and every octave [2^e, 2^(e+1)) above that
+/// is split into 32 equal sub-buckets, so bucket width is ≤1/32 of the
+/// value everywhere (the old pure-log2 layout was 2x wide, putting p99
+/// estimates up to 2x off). The last bucket (floor 2^47 ns ≈ 39 hours)
+/// absorbs everything above it. Writes stay lock-free and sharded; the
+/// disabled path is one relaxed load plus a branch.
 class Histogram {
  public:
-  static constexpr uint32_t kBuckets = 48;
+  static constexpr uint32_t kBuckets = log_linear::kNumBuckets;
 
   /// Records one observation (no-op unless collection is enabled).
   void Record(uint64_t nanos) {
@@ -122,6 +136,10 @@ class Histogram {
 
   /// Smallest value mapping to `bucket` (0 for bucket 0).
   static uint64_t BucketLowerBound(uint32_t bucket);
+
+  /// Exclusive upper edge of `bucket` (UINT64_MAX for the final,
+  /// unbounded bucket).
+  static uint64_t BucketUpperBound(uint32_t bucket);
 
   HistogramSnapshot Snapshot() const;
 

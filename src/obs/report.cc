@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 
@@ -172,6 +173,42 @@ void WriteChromeTraceJson(const Trace& trace, std::ostream& os) {
   writer.String("ms");
   writer.Key("traceEvents");
   writer.BeginArray();
+  // Metadata ("ph":"M") events first: name the process and every thread
+  // lane that appears in the trace, so the viewer shows "main" /
+  // "pool-worker-N" instead of bare tids. Worker ids are assigned once
+  // at worker startup and never reused (ThreadPool::CurrentWorkerId),
+  // so the lane naming is stable across traces from one process. The
+  // sorted-set iteration keeps the event order deterministic.
+  const auto write_metadata = [&writer](const char* meta, const uint32_t* tid,
+                                        const std::string& value) {
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String(meta);
+    writer.Key("ph");
+    writer.String("M");
+    writer.Key("pid");
+    writer.Int(1);
+    if (tid != nullptr) {
+      writer.Key("tid");
+      writer.Int(*tid);
+    }
+    writer.Key("args");
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String(value);
+    writer.EndObject();
+    writer.EndObject();
+  };
+  write_metadata("process_name", nullptr, "hamlet");
+  std::set<uint32_t> worker_ids;
+  for (const TraceEvent& event : trace.events) {
+    worker_ids.insert(event.worker_id);
+  }
+  for (const uint32_t id : worker_ids) {
+    write_metadata("thread_name", &id,
+                   id == 0 ? std::string("main")
+                           : StringFormat("pool-worker-%u", id));
+  }
   for (const TraceEvent& event : trace.events) {
     writer.BeginObject();
     writer.Key("name");

@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/cost_profile.h"
+
 namespace hamlet::obs {
 
-namespace {
-
-// The innermost open span on this thread; new spans parent under it.
-thread_local uint64_t tls_current_span = 0;
-
-}  // namespace
+// The innermost open span is tracked via the thread pool's opaque task
+// context (ThreadPool::CurrentTaskContext) instead of a private
+// thread_local: RunShards copies the submitter's context into every
+// queued task, so a span opened inside a ParallelFor body parents under
+// the span that issued the region — on any worker, at any thread count —
+// rather than rooting at the worker thread.
 
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
@@ -53,12 +55,14 @@ void Tracer::Record(TraceEvent event) {
   shard.events.push_back(std::move(event));
 }
 
+uint64_t CurrentSpanId() { return ThreadPool::CurrentTaskContext(); }
+
 TraceSpan::TraceSpan(const char* name) : name_(name) {
   if (!Enabled()) return;
   active_ = true;
   id_ = Tracer::Global().NextSpanId();
-  parent_id_ = tls_current_span;
-  tls_current_span = id_;
+  parent_id_ = ThreadPool::CurrentTaskContext();
+  ThreadPool::SetCurrentTaskContext(id_);
   start_ns_ = NowNanos();
 }
 
@@ -72,7 +76,7 @@ TraceSpan::~TraceSpan() {
   event.end_ns = NowNanos();
   event.worker_id = ThreadPool::CurrentWorkerId();
   event.attrs = std::move(attrs_);
-  tls_current_span = parent_id_;
+  ThreadPool::SetCurrentTaskContext(parent_id_);
   Tracer::Global().Record(std::move(event));
 }
 
@@ -103,6 +107,7 @@ ScopedCollection::ScopedCollection(bool enable) : enabled_(enable) {
   prev_ = Enabled();
   Tracer::Global().Clear();
   MetricsRegistry::Global().Reset();
+  CostProfileStore::Global().Clear();
   SetEnabled(true);
 }
 

@@ -8,12 +8,18 @@
 ///
 /// A TraceSpan covers one stage of work (pipeline → advise → join →
 /// encode → split → fs.search → fs.step → fs.final_fit, see
-/// docs/OBSERVABILITY.md for the taxonomy). Spans nest through a
-/// thread-local current-span pointer, so a callee's span is automatically
-/// parented under its caller's without plumbing; spans opened on pool
-/// worker threads simply root at their thread. Completed spans land in
-/// the global Tracer, which Collect() drains into a Trace for the
-/// exporters in obs/report.h (explain tree, Chrome trace-event JSON).
+/// docs/OBSERVABILITY.md for the taxonomy). Spans nest through the
+/// thread pool's per-thread task context, so a callee's span is
+/// automatically parented under its caller's without plumbing — and
+/// because ThreadPool::RunShards copies the submitting thread's context
+/// into every queued task, spans opened inside ParallelFor bodies parent
+/// under the span that issued the region even when they run on a pool
+/// worker. The explain tree and Chrome export therefore show the real
+/// pipeline→join→shard hierarchy at any thread count; a span roots
+/// (parent 0) only when the thread genuinely has no enclosing span.
+/// Completed spans land in the global Tracer, which Collect() drains
+/// into a Trace for the exporters in obs/report.h (explain tree, Chrome
+/// trace-event JSON).
 ///
 /// Cost contract: with collection disabled (the default) constructing and
 /// destroying a span costs one relaxed atomic load and a predictable
@@ -36,6 +42,11 @@ namespace hamlet::obs {
 
 /// Monotonic (steady_clock) nanoseconds since an arbitrary epoch.
 uint64_t NowNanos();
+
+/// Id of the innermost open span on this thread (0 when none). Inside a
+/// pool task this is the *submitting* thread's innermost span — the
+/// propagated trace context — until the task opens spans of its own.
+uint64_t CurrentSpanId();
 
 /// One key/value annotation on a span. Numbers keep their numeric form
 /// so the explain tree can sum them across merged spans (e.g. candidates

@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analytics/pipeline.h"
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+#include "datasets/registry.h"
+#include "obs/report.h"
+
+namespace hamlet {
+namespace {
+
+// Collected events by name, for asserting on the parent links.
+std::vector<obs::TraceEvent> EventsNamed(const obs::Trace& trace,
+                                         const std::string& name) {
+  std::vector<obs::TraceEvent> out;
+  for (const auto& e : trace.events) {
+    if (e.name == name) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(TracePropagationTest, ParallelForSpansParentUnderSubmittingSpan) {
+  // The ISSUE acceptance case: spans opened inside ParallelFor bodies
+  // running on pool workers must parent under the span that issued the
+  // region, at num_threads >= 4.
+  obs::ScopedCollection collection(true);
+  ThreadPool pool(4);
+  {
+    obs::TraceSpan region("test.region");
+    pool.ParallelFor(32, 2, [](uint32_t i) {
+      obs::TraceSpan shard("test.shard");
+      shard.AddAttr("item", i);
+    });
+  }
+  obs::Trace trace = obs::Tracer::Global().Collect();
+  const auto regions = EventsNamed(trace, "test.region");
+  const auto shards = EventsNamed(trace, "test.shard");
+  ASSERT_EQ(regions.size(), 1u);
+  ASSERT_EQ(shards.size(), 32u);
+  // Work actually fanned out to more than one worker; propagation must
+  // hold regardless of which thread ran each shard.
+  std::set<uint32_t> workers;
+  for (const auto& s : shards) {
+    workers.insert(s.worker_id);
+    EXPECT_EQ(s.parent_id, regions[0].id);
+  }
+  EXPECT_GT(workers.size(), 1u);
+}
+
+TEST(TracePropagationTest, CurrentSpanIdPropagatesIntoPoolTasks) {
+  obs::ScopedCollection collection(true);
+  ThreadPool pool(4);
+  uint64_t submitter_span = 0;
+  std::atomic<uint32_t> mismatches{0};
+  {
+    obs::TraceSpan region("test.region");
+    submitter_span = obs::CurrentSpanId();
+    ASSERT_NE(submitter_span, 0u);
+    pool.ParallelFor(16, 2, [&](uint32_t) {
+      // Inside a task with no span of its own, the current id IS the
+      // submitter's innermost span — the propagated context.
+      if (obs::CurrentSpanId() != submitter_span) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    // Propagation must not disturb the submitting thread's own context.
+    EXPECT_EQ(obs::CurrentSpanId(), submitter_span);
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(obs::CurrentSpanId(), 0u);
+}
+
+TEST(TracePropagationTest, NestedSpansInsideTasksChainToTheirOwnParent) {
+  // A span opened inside a task becomes the context for further spans
+  // in that task: outer (parented to the submitter) -> inner (parented
+  // to outer), never inner -> submitter directly.
+  obs::ScopedCollection collection(true);
+  ThreadPool pool(4);
+  {
+    obs::TraceSpan region("test.region");
+    pool.ParallelFor(8, 2, [](uint32_t) {
+      obs::TraceSpan outer("test.outer");
+      obs::TraceSpan inner("test.inner");
+    });
+  }
+  obs::Trace trace = obs::Tracer::Global().Collect();
+  const auto regions = EventsNamed(trace, "test.region");
+  ASSERT_EQ(regions.size(), 1u);
+  std::map<uint64_t, uint64_t> outer_ids;  // id -> parent
+  for (const auto& e : EventsNamed(trace, "test.outer")) {
+    EXPECT_EQ(e.parent_id, regions[0].id);
+    outer_ids[e.id] = e.parent_id;
+  }
+  const auto inners = EventsNamed(trace, "test.inner");
+  ASSERT_EQ(inners.size(), 8u);
+  for (const auto& e : inners) {
+    EXPECT_TRUE(outer_ids.count(e.parent_id))
+        << "inner span skipped its task-local parent";
+  }
+}
+
+TEST(TracePropagationTest, WorkersRestoreContextBetweenRegions) {
+  // A worker that ran region A's tasks must not leak A's context into
+  // region B's tasks: each region's shard spans parent under their own
+  // region span only.
+  obs::ScopedCollection collection(true);
+  ThreadPool pool(4);
+  {
+    obs::TraceSpan a("test.region_a");
+    pool.ParallelFor(16, 2, [](uint32_t) { obs::TraceSpan s("test.shard_a"); });
+  }
+  {
+    obs::TraceSpan b("test.region_b");
+    pool.ParallelFor(16, 2, [](uint32_t) { obs::TraceSpan s("test.shard_b"); });
+  }
+  // And with no region open at all, tasks see no stale context.
+  pool.ParallelFor(16, 2, [](uint32_t) { obs::TraceSpan s("test.shard_none"); });
+
+  obs::Trace trace = obs::Tracer::Global().Collect();
+  const auto a = EventsNamed(trace, "test.region_a");
+  const auto b = EventsNamed(trace, "test.region_b");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  for (const auto& e : EventsNamed(trace, "test.shard_a")) {
+    EXPECT_EQ(e.parent_id, a[0].id);
+  }
+  for (const auto& e : EventsNamed(trace, "test.shard_b")) {
+    EXPECT_EQ(e.parent_id, b[0].id);
+  }
+  for (const auto& e : EventsNamed(trace, "test.shard_none")) {
+    EXPECT_EQ(e.parent_id, 0u);
+  }
+}
+
+TEST(TracePropagationTest, TracedPipelineRunHasNoOrphanedPoolSpans) {
+  // End to end: in a traced pipeline run, every span recorded from a
+  // pool worker must hang off the stage that submitted it — parent ids
+  // always resolve to a collected event, and no pool-worker span is a
+  // root (before propagation, every shard-level span opened on a worker
+  // rooted at its thread and the explain tree lost the hierarchy).
+  auto ds = *MakeDataset("Walmart", 0.02, 3);
+  PipelineConfig config;
+  config.method = FsMethod::kMiFilter;
+  config.metric = ErrorMetric::kRmse;
+  config.seed = 7;
+  config.trace = true;
+  auto report = RunPipeline(ds, config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_FALSE(report->trace.empty());
+
+  std::set<uint64_t> ids;
+  for (const auto& e : report->trace.events) ids.insert(e.id);
+  for (const auto& e : report->trace.events) {
+    if (e.parent_id != 0) {
+      EXPECT_TRUE(ids.count(e.parent_id))
+          << e.name << " points at an uncollected parent";
+    }
+    if (e.worker_id != 0) {
+      EXPECT_NE(e.parent_id, 0u)
+          << e.name << " ran on worker " << e.worker_id
+          << " but is an orphaned root";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -222,7 +222,10 @@ TEST(TraceSpanTest, AttributesAreRecorded) {
   EXPECT_EQ(trace.events[0].attrs[1].text, "JoinOpt");
 }
 
-TEST(TraceSpanTest, WorkerThreadSpansRootAtTheirThread) {
+TEST(TraceSpanTest, PoolSpansRootWhenSubmitterHasNoSpan) {
+  // Cross-thread propagation parents worker spans under the span active
+  // on the *submitting* thread (tests/trace_propagation_test.cc). When
+  // the submitter has no active span, worker spans are roots.
   obs::ScopedCollection collection(true);
   ThreadPool pool(4);
   pool.ParallelFor(8, 0, [](uint32_t i) {
@@ -233,7 +236,7 @@ TEST(TraceSpanTest, WorkerThreadSpansRootAtTheirThread) {
   ASSERT_EQ(trace.events.size(), 8u);
   for (const auto& e : trace.events) {
     EXPECT_EQ(e.name, "test.worker");
-    EXPECT_EQ(e.parent_id, 0u);  // No enclosing span on that thread.
+    EXPECT_EQ(e.parent_id, 0u);  // Nothing to inherit from the submitter.
   }
 }
 
