@@ -9,6 +9,10 @@
 # pipeline's lock-free sharded histograms, cross-thread span
 # propagation, and concurrent registry snapshots (the writer-storm test)
 # are exactly the code most likely to hide a data race.
+# A third pass runs the joins-labeled suite (tests/radix_join_test.cc)
+# under TSAN: the radix partitioner's two-pass parallel scatter, the
+# Bloom filter's relaxed-atomic parallel build, and the per-partition
+# join passes all write shared arrays from ParallelFor workers.
 #
 # Usage: scripts/check_determinism.sh [extra ctest args...]
 # Env:   BUILD_DIR (default build-tsan), JOBS (default nproc).
@@ -33,3 +37,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure \
 # The observability suite (metrics/trace/exporter/cost-profile tests,
 # label `obs`) under the same TSAN build.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L obs "$@"
+
+# The join engine lockdown (radix partitioner, Bloom filter, radix-vs-CSR
+# equivalence, label `joins`) under the same TSAN build.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L joins "$@"

@@ -20,7 +20,8 @@ import sys
 # paths BENCH trajectories track across PRs (docs/PERFORMANCE.md), plus
 # the serving stack's serde and batched-scoring paths (docs/SERVING.md),
 # the data-plane ingest/join fast paths (docs/PERFORMANCE.md "Ingest
-# & join fast path": BM_ReadCsv*, BM_HashJoin*, BM_KfkJoin), the
+# & join fast path" and "Join algorithm matrix": BM_ReadCsv*,
+# BM_HashJoin*, BM_KfkJoin, BM_RadixHashJoin, BM_BloomFilterProbe), the
 # factorized-learning family (docs/PERFORMANCE.md "Factorized training":
 # BM_Factorized*, BM_MaterializedStatsBuild), and the observability cost
 # contract (docs/OBSERVABILITY.md: BM_HistogramRecord* — the prefix
@@ -29,7 +30,8 @@ import sys
 GATED = re.compile(
     r"^BM_(NBTrain|NaiveBayesTrain|GreedyForward|ForwardSelection"
     r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore"
-    r"|ReadCsv|HashJoin|KfkJoin|Factorized|MaterializedStatsBuild"
+    r"|ReadCsv|HashJoin|KfkJoin|RadixHashJoin|BloomFilterProbe"
+    r"|Factorized|MaterializedStatsBuild"
     r"|HistogramRecord|TraceSpanPropagated)"
 )
 

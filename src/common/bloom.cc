@@ -1,0 +1,60 @@
+#include "common/bloom.h"
+
+#include <atomic>
+
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+
+namespace hamlet {
+
+BlockedBloomFilter BlockedBloomFilter::FromCodes(
+    const std::vector<uint32_t>& codes, uint32_t num_threads) {
+  BlockedBloomFilter filter;
+  if (codes.empty()) return filter;
+
+  const uint64_t bits_needed =
+      static_cast<uint64_t>(codes.size()) * kBitsPerKey;
+  size_t num_blocks = 1;
+  while (num_blocks * 512 < bits_needed) num_blocks *= 2;
+  filter.words_.assign(num_blocks * kWordsPerBlock, 0);
+  filter.block_mask_ = num_blocks - 1;
+
+  const auto insert = [&filter](uint64_t* words, uint32_t code,
+                                bool atomic) {
+    const uint64_t h = Mix64(code);
+    uint64_t* block =
+        &words[(static_cast<size_t>(h >> 40) & filter.block_mask_) *
+               kWordsPerBlock];
+    for (int probe = 0; probe < kProbes; ++probe) {
+      const uint32_t bit = (h >> (9 * probe)) & 511u;
+      const uint64_t mask = uint64_t{1} << (bit & 63);
+      if (atomic) {
+        // Relaxed OR: commutative + idempotent, so concurrent inserts
+        // commute and the final bits are thread-count invariant.
+        std::atomic_ref<uint64_t>(block[bit >> 6])
+            .fetch_or(mask, std::memory_order_relaxed);
+      } else {
+        block[bit >> 6] |= mask;
+      }
+    }
+  };
+
+  const uint32_t shards = num_threads == 0
+                              ? ThreadPool::Global().DefaultShards()
+                              : num_threads;
+  if (shards <= 1 || codes.size() < (1u << 14)) {
+    for (uint32_t code : codes) insert(filter.words_.data(), code, false);
+    return filter;
+  }
+  const size_t chunk = (codes.size() + shards - 1) / shards;
+  ParallelFor(shards, num_threads, [&](uint32_t shard) {
+    const size_t begin = static_cast<size_t>(shard) * chunk;
+    const size_t end = std::min(codes.size(), begin + chunk);
+    for (size_t i = begin; i < end; ++i) {
+      insert(filter.words_.data(), codes[i], true);
+    }
+  });
+  return filter;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,233 @@
+#include "common/radix_partition.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+
+namespace hamlet {
+
+namespace {
+
+// Row policies: enumerate the surviving rows of [begin, end) in
+// ascending order, handing each row's partition and code to `fn`. Both
+// histogram and scatter run through the same enumeration, so the two
+// passes always agree on which rows survive. ByCode drops rows carrying
+// the kRadixSkipCode sentinel — the skip test must come first, a
+// skipped code's high bits would otherwise index far past the
+// histogram.
+struct ByCode {
+  const uint32_t* code;
+  uint32_t shift;
+  template <typename Fn>
+  void ForEach(uint32_t begin, uint32_t end, Fn&& fn) const {
+    for (uint32_t i = begin; i < end; ++i) {
+      const uint32_t c = code[i];
+      if (c == kRadixSkipCode) continue;
+      fn(i, c >> shift, c);
+    }
+  }
+};
+
+// ByCodeMasked consults a keep-bitmap instead, so codes never need
+// rewriting — and when the pre-filter drops most rows it iterates set
+// bits (countr_zero), touching only one cache line of bitmap per 512
+// rows and never reading a dropped row's code at all. Set-bit order is
+// ascending within a word and words ascend, so enumeration order (and
+// therefore the partitioned layout) matches a plain row loop.
+struct ByCodeMasked {
+  const uint32_t* code;
+  const uint64_t* keep;
+  uint32_t shift;
+  template <typename Fn>
+  void ForEach(uint32_t begin, uint32_t end, Fn&& fn) const {
+    uint32_t i = begin;
+    while (i < end) {
+      const uint32_t base = i & ~63u;
+      uint64_t bits = keep[i >> 6] & (~uint64_t{0} << (i - base));
+      const uint32_t word_end = base + 64;
+      if (end < word_end) bits &= (uint64_t{1} << (end - base)) - 1;
+      while (bits != 0) {
+        const uint32_t row = base + std::countr_zero(bits);
+        bits &= bits - 1;
+        const uint32_t c = code[row];
+        fn(row, c >> shift, c);
+      }
+      i = word_end;
+    }
+  }
+};
+
+// Software write-combining for the scatter: entries accumulate in a
+// cache-line-sized buffer per partition and flush 64 bytes at a time,
+// so each output page is touched once per eight entries instead of
+// once per entry. With one 8-byte store per entry the scatter's cost
+// is set by TLB pressure — the active-page count equals the fanout —
+// and the 8x reduction in page touches is worth far more than the
+// extra L1-resident buffer copies.
+constexpr uint32_t kWcEntries = 8;
+
+struct alignas(64) WcLine {
+  uint64_t buf[kWcEntries];
+};
+
+// One scatter stream over a contiguous chunk of input rows: entries
+// append to their partition's buffer and spill to `out` in arrival
+// order, which preserves the exact slot assignment (and therefore the
+// deterministic ascending-row layout) of a direct scatter.
+class WcScatter {
+ public:
+  WcScatter(uint64_t* out, const uint32_t* start, uint32_t num_partitions)
+      : out_(out),
+        lines_(num_partitions),
+        fill_(num_partitions, 0),
+        cursor_(start, start + num_partitions) {}
+
+  void Add(uint32_t partition, uint64_t entry) {
+    WcLine& line = lines_[partition];
+    uint32_t& fill = fill_[partition];
+    line.buf[fill++] = entry;
+    if (fill == kWcEntries) {
+      std::memcpy(out_ + cursor_[partition], line.buf, sizeof(line.buf));
+      cursor_[partition] += kWcEntries;
+      fill = 0;
+    }
+  }
+
+  void Flush() {
+    for (uint32_t p = 0; p < fill_.size(); ++p) {
+      if (fill_[p] != 0) {
+        std::memcpy(out_ + cursor_[p], lines_[p].buf,
+                    sizeof(uint64_t) * fill_[p]);
+      }
+    }
+  }
+
+ private:
+  uint64_t* out_;
+  std::vector<WcLine> lines_;
+  std::vector<uint32_t> fill_;
+  std::vector<uint32_t> cursor_;
+};
+
+template <typename Policy>
+RadixPartitions DoPartition(const Policy& policy, uint32_t n,
+                            uint32_t num_partitions, uint32_t num_threads) {
+  RadixPartitions out;
+  out.offsets.assign(num_partitions + 1, 0);
+
+  const uint32_t shards = std::max(
+      1u, num_threads == 0 ? ThreadPool::Global().DefaultShards()
+                           : num_threads);
+  if (shards <= 1 || n < (1u << 14)) {
+    // Serial: histogram, prefix sum, write-combined scatter.
+    policy.ForEach(0, n, [&](uint32_t, uint32_t p, uint32_t) {
+      ++out.offsets[p + 1];
+    });
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      out.offsets[p + 1] += out.offsets[p];
+    }
+    out.entries.resize(out.offsets[num_partitions]);
+    WcScatter scatter(out.entries.data(), out.offsets.data(), num_partitions);
+    policy.ForEach(0, n, [&](uint32_t row, uint32_t p, uint32_t c) {
+      scatter.Add(p, RadixPackEntry(row, c));
+    });
+    scatter.Flush();
+    return out;
+  }
+
+  // Pass 1: per-shard histograms over contiguous ascending row chunks.
+  const uint32_t chunk = (n + shards - 1) / shards;
+  std::vector<std::vector<uint32_t>> hist(shards);
+  ParallelFor(shards, num_threads, [&](uint32_t shard) {
+    const uint32_t begin = shard * chunk;
+    const uint32_t end = std::min(n, begin + chunk);
+    std::vector<uint32_t>& local = hist[shard];
+    local.assign(num_partitions, 0);
+    policy.ForEach(begin, end, [&](uint32_t, uint32_t p, uint32_t) {
+      ++local[p];
+    });
+  });
+
+  // Serial partition-major/shard-minor prefix sum: shard k's slice of
+  // partition p starts where shard k-1's ends, so the scatter below
+  // leaves every partition in ascending original-row order regardless
+  // of shard count.
+  std::vector<std::vector<uint32_t>> start(shards);
+  for (uint32_t shard = 0; shard < shards; ++shard) {
+    start[shard].resize(num_partitions);
+  }
+  uint32_t running = 0;
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    for (uint32_t shard = 0; shard < shards; ++shard) {
+      start[shard][p] = running;
+      running += hist[shard][p];
+    }
+    out.offsets[p + 1] = running;
+  }
+
+  // Pass 2: in-order scatter, each shard write-combining into its own
+  // slices.
+  out.entries.resize(running);
+  ParallelFor(shards, num_threads, [&](uint32_t shard) {
+    const uint32_t begin = shard * chunk;
+    const uint32_t end = std::min(n, begin + chunk);
+    WcScatter scatter(out.entries.data(), start[shard].data(),
+                      num_partitions);
+    policy.ForEach(begin, end, [&](uint32_t row, uint32_t p, uint32_t c) {
+      scatter.Add(p, RadixPackEntry(row, c));
+    });
+    scatter.Flush();
+  });
+  return out;
+}
+
+}  // namespace
+
+RadixPartitions PartitionByCode(const std::vector<uint32_t>& code_of_row,
+                                uint32_t shift, uint32_t num_partitions,
+                                uint32_t num_threads) {
+  const ByCode policy{code_of_row.data(), shift};
+  return DoPartition(policy, static_cast<uint32_t>(code_of_row.size()),
+                     num_partitions, num_threads);
+}
+
+RadixPartitions PartitionByCodeMasked(
+    const std::vector<uint32_t>& code_of_row,
+    const std::vector<uint64_t>& keep, uint32_t shift,
+    uint32_t num_partitions, uint32_t num_threads) {
+  const ByCodeMasked policy{code_of_row.data(), keep.data(), shift};
+  return DoPartition(policy, static_cast<uint32_t>(code_of_row.size()),
+                     num_partitions, num_threads);
+}
+
+RadixLayout MakeRadixLayout(uint32_t domain_size, uint32_t radix_bits) {
+  RadixLayout layout;
+  if (domain_size == 0) return layout;  // One empty partition.
+  uint32_t code_bits = 0;  // Smallest b with 2^b >= domain_size.
+  while (code_bits < 32 && (uint64_t{1} << code_bits) < domain_size) {
+    ++code_bits;
+  }
+  // Auto: ~2^11 codes per partition (an 8 KB offsets slice, comfortably
+  // L1-resident alongside the partition's rows), but never more than
+  // 2^5 partitions — write-combining keeps the scatter's page touches
+  // down, but the per-partition probe state (offsets slice + buffers)
+  // still has to share L1/L2, and fanouts past a few dozen stop paying
+  // for themselves.
+  constexpr uint32_t kAutoSubBits = 11;
+  constexpr uint32_t kAutoMaxFanoutBits = 5;
+  layout.shift =
+      radix_bits == 0
+          ? std::min(code_bits,
+                     std::max(kAutoSubBits, code_bits - kAutoMaxFanoutBits))
+          : code_bits - std::min(radix_bits, code_bits);
+  layout.sub_count = 1u << layout.shift;
+  layout.num_partitions = static_cast<uint32_t>(
+      (static_cast<uint64_t>(domain_size) + layout.sub_count - 1) >>
+      layout.shift);
+  return layout;
+}
+
+}  // namespace hamlet

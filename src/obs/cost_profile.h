@@ -35,6 +35,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -62,6 +63,10 @@ struct CostObservation {
   uint64_t build_ns = 0;
   uint64_t probe_ns = 0;
   uint64_t materialize_ns = 0;
+  /// Radix-path phases (join.radix / join.radix.kfk): the two-pass
+  /// partition scatter and the Bloom pre-filter build. 0 elsewhere.
+  uint64_t partition_ns = 0;
+  uint64_t bloom_build_ns = 0;
 };
 
 /// Aggregate of every observation sharing one feature vector.
@@ -74,6 +79,8 @@ struct CostRecord {
   uint64_t build_ns_sum = 0;
   uint64_t probe_ns_sum = 0;
   uint64_t materialize_ns_sum = 0;
+  uint64_t partition_ns_sum = 0;
+  uint64_t bloom_build_ns_sum = 0;
 
   void Add(const CostObservation& obs);
   void Merge(const CostRecord& other);
@@ -118,6 +125,15 @@ class CostProfile {
   /// not exist (so first runs can treat it as an empty profile).
   Status LoadFromFile(const std::string& path);
 
+  /// Observation-weighted mean cost per probe row (total_ns / rows_in)
+  /// over every record of operator `op` whose build_rows lies within a
+  /// factor of 4 of `build_rows` — a log-scale neighborhood, because an
+  /// exact feature-vector hit is rare while per-row cost varies slowly
+  /// with build size. Returns 0 when no comparable record exists. This
+  /// is what JoinAlgorithm::kAuto ranks competing operators with
+  /// (relational/radix_join.h).
+  double MeanNsPerProbeRow(std::string_view op, uint64_t build_rows) const;
+
  private:
   std::map<std::string, CostRecord> records_;
 };
@@ -143,11 +159,26 @@ class CostProfileStore {
   /// (callers may merge into several files).
   Status MergeIntoFile(const std::string& path) const;
 
+  /// Replaces the calibration profile with `path`'s contents. The
+  /// calibration profile is the feedback loop's memory: a previous run's
+  /// persisted measurements, consulted by MeanNsPerProbeRow when the
+  /// live window has no comparable record yet. It survives Clear() (and
+  /// therefore ScopedCollection window resets). NotFound is returned
+  /// as-is; callers seeding best-effort (the pipeline) ignore it.
+  Status SeedCalibrationFromFile(const std::string& path);
+  void ClearCalibration();
+
+  /// CostProfile::MeanNsPerProbeRow over the live window, falling back
+  /// to the seeded calibration profile when the window has no
+  /// comparable record.
+  double MeanNsPerProbeRow(std::string_view op, uint64_t build_rows) const;
+
  private:
   CostProfileStore() = default;
 
   mutable std::mutex mu_;
   CostProfile profile_;
+  CostProfile calibration_;
 };
 
 }  // namespace hamlet::obs

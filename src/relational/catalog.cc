@@ -89,12 +89,13 @@ Result<std::string> NormalizedDataset::TargetName() const {
   return entity_.schema().column(idx).name;
 }
 
-Result<Table> NormalizedDataset::JoinAll() const {
-  return JoinSubset(fk_columns_);
+Result<Table> NormalizedDataset::JoinAll(const JoinOptions& options) const {
+  return JoinSubset(fk_columns_, options);
 }
 
 Result<Table> NormalizedDataset::JoinSubset(
-    const std::vector<std::string>& fks_to_join) const {
+    const std::vector<std::string>& fks_to_join,
+    const JoinOptions& options) const {
   Table result = entity_;
   for (const auto& fk : fks_to_join) {
     auto pos = std::find(fk_columns_.begin(), fk_columns_.end(), fk);
@@ -104,7 +105,7 @@ Result<Table> NormalizedDataset::JoinSubset(
                        entity_.name().c_str()));
     }
     const Table& r = attribute_tables_[pos - fk_columns_.begin()];
-    HAMLET_ASSIGN_OR_RETURN(result, KfkJoin(result, r, fk));
+    HAMLET_ASSIGN_OR_RETURN(result, KfkJoin(result, r, fk, options));
   }
   return result;
 }

@@ -59,12 +59,15 @@ class NormalizedDataset {
   Result<std::string> TargetName() const;
 
   /// Joins S with *every* attribute table ("JoinAll" in the paper).
-  Result<Table> JoinAll() const;
+  /// `options` selects the physical join algorithm (join.h); the result
+  /// is bit-identical for every choice.
+  Result<Table> JoinAll(const JoinOptions& options = {}) const;
 
   /// Joins S with exactly the attribute tables referenced by
   /// `fks_to_join`; the rest are avoided (their X_R never materializes).
   /// Passing an empty list returns S itself ("NoJoins").
-  Result<Table> JoinSubset(const std::vector<std::string>& fks_to_join) const;
+  Result<Table> JoinSubset(const std::vector<std::string>& fks_to_join,
+                           const JoinOptions& options = {}) const;
 
  private:
   std::string name_;
