@@ -1,0 +1,92 @@
+/// The capacity-aware re-test behind EXPERIMENTS.md's "Capacity-aware
+/// ROR/TR re-test" section: re-run the Section 4 Monte Carlo safety
+/// sweep with a high-capacity classifier (histogram decision tree) next
+/// to the paper's Naive Bayes and report where the linear-model
+/// thresholds break.
+///
+/// For each |D_FK| in the lone-X_r scenario the table shows the Δ test
+/// error of avoiding the join (NoJoin − UseAll) under both model
+/// classes, plus what the TR rule decides at the linear thresholds and
+/// at the advisor's capacity-scaled thresholds
+/// (AdvisorOptions::model_capacity = kHighCapacity). The tree's Δ
+/// detaches from zero at smaller |D_FK| than Naive Bayes' — exactly the
+/// follow-up paper's "thinking twice" warning — and the scaled
+/// thresholds move the avoid/join boundary back to safety.
+///
+/// Run: ./example_capacity_sweep [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/advisor.h"
+#include "core/decision_rules.h"
+#include "ml/decision_tree.h"
+#include "sim/monte_carlo.h"
+
+using namespace hamlet;  // NOLINT: example brevity.
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  MonteCarloOptions mc;
+  mc.num_training_sets = 100;
+  mc.num_repeats = 10;
+  mc.seed = seed;
+
+  const RuleThresholds linear = ThresholdsForTolerance(0.001);
+  RuleThresholds high = linear;
+  high.tau *= kHighCapacityScale;
+  high.rho /= kHighCapacityScale;
+
+  DecisionTreeOptions tree_options;
+  const ClassifierFactory tree_factory = MakeDecisionTreeFactory(tree_options);
+
+  std::printf(
+      "Lone-X_r scenario, n_S = 1000, p = 0.1. Sweeping |D_FK| under two "
+      "model classes.\n"
+      "TR rule: avoid iff TR >= tau. Linear tau = %.0f; high-capacity "
+      "tau = %.0f (kHighCapacityScale = %.1f).\n\n",
+      linear.tau, high.tau, kHighCapacityScale);
+
+  TablePrinter table({"|D_FK|", "TR", "NB dErr", "Tree dErr", "TR(linear)",
+                      "TR(high-cap)"});
+  for (uint32_t n_r : {10u, 25u, 50u, 100u, 200u, 400u}) {
+    SimConfig config;
+    config.scenario = TrueDistribution::kLoneXr;
+    config.n_s = 1000;
+    config.d_s = 4;
+    config.d_r = 4;
+    config.n_r = n_r;
+    config.p = 0.1;
+
+    auto nb_result = RunMonteCarlo(config, mc);
+    auto tree_result = RunMonteCarlo(config, mc, &tree_factory);
+    if (!nb_result.ok() || !tree_result.ok()) {
+      const Status& st =
+          !nb_result.ok() ? nb_result.status() : tree_result.status();
+      std::fprintf(stderr, "Monte Carlo failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double tr = TupleRatioForSimConfig(config);
+    table.AddRow({std::to_string(n_r), StringFormat("%.1f", tr),
+                  StringFormat("%+.4f", nb_result->DeltaTestError()),
+                  StringFormat("%+.4f", tree_result->DeltaTestError()),
+                  tr >= linear.tau ? "avoid" : "join",
+                  tr >= high.tau ? "avoid" : "join"});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nReading the table: both model classes pay for avoiding the join "
+      "as |D_FK| grows, but the tree's Δ error detaches from the noise "
+      "floor earlier and climbs faster — extra capacity turns the FK's "
+      "spurious resolution into variance. Rows where TR(linear) says "
+      "'avoid' while the tree's Δ already exceeds the 0.001 tolerance are "
+      "the linear rule's blind spot; TR(high-cap) — the advisor's "
+      "model_capacity = kHighCapacity setting — flips those rows back to "
+      "'join'.\n");
+  return 0;
+}

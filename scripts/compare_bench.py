@@ -32,7 +32,8 @@ GATED = re.compile(
     r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore"
     r"|ReadCsv|HashJoin|KfkJoin|RadixHashJoin|BloomFilterProbe"
     r"|Factorized|MaterializedStatsBuild"
-    r"|HistogramRecord|TraceSpanPropagated)"
+    r"|HistogramRecord|TraceSpanPropagated"
+    r"|TreeTrain|GbtTrain)"
 )
 
 
@@ -126,10 +127,18 @@ def main():
         print(f"{name:<44} {t_old:>10.1f}{unit:>2} {t_new:>10.1f}{unit:>2} "
               f"{ratio:>6.2f}x  {flag}{marker}")
 
-    missing = [name for name in old if name not in new and GATED.match(name)]
-    for name in missing:
-        print(f"note: gated benchmark {name} present in {args.old} "
-              f"but missing from {args.new}")
+    # A gated benchmark silently disappearing from the new file is how a
+    # perf gate stops gating — e.g. a rename or a deleted registration
+    # would otherwise pass every future comparison. Shout, don't note.
+    missing = sorted(
+        name for name in old if name not in new and GATED.match(name))
+    if missing:
+        print(f"\ncompare_bench: WARNING: {len(missing)} gated "
+              f"benchmark(s) present in {args.old} but MISSING from "
+              f"{args.new} — these paths are no longer perf-gated:",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  MISSING GATED: {name}", file=sys.stderr)
 
     if regressions:
         print(f"\ncompare_bench: {len(regressions)} gated regression(s) "

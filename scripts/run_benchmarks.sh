@@ -12,10 +12,11 @@
 # >10% real_time regression in the gated microbenches (the FS/NB
 # families, the serving stack's BM_SerdeSave/Load and BM_ServeScore* —
 # see docs/SERVING.md — the ingest/join fast paths BM_ReadCsv*,
-# BM_HashJoin*, BM_KfkJoin, and the factorized-learning family
-# BM_Factorized* / BM_MaterializedStatsBuild — see docs/PERFORMANCE.md;
-# BM_FactorizedVsMaterialized's 10M-row variant additionally needs
-# HAMLET_BENCH_LARGE=1):
+# BM_HashJoin*, BM_KfkJoin, the factorized-learning family
+# BM_Factorized* / BM_MaterializedStatsBuild — see docs/PERFORMANCE.md —
+# and the tree training family BM_TreeTrain* / BM_GbtTrain* — see
+# docs/TREES.md; BM_FactorizedVsMaterialized's 10M-row variant and
+# BM_GbtTrain's 1M-row arm additionally need HAMLET_BENCH_LARGE=1):
 #
 #   scripts/run_benchmarks.sh --compare          # run + regression gate
 #
@@ -52,18 +53,44 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DHAMLET_BUILD_BENCHMARKS=ON \
   -DHAMLET_BUILD_EXAMPLES=OFF
-cmake --build "${BUILD_DIR}" -j"${JOBS}" --target micro_benchmarks
+cmake --build "${BUILD_DIR}" -j"${JOBS}" \
+  --target micro_benchmarks --target tree_benchmarks
 
 # Three repetitions, medians recorded: single runs on a shared (noisy)
 # host swing short benches by 10-30%; compare_bench.py gates on the
-# median aggregate, which is stable run to run.
-"${BUILD_DIR}/bench/micro_benchmarks" \
-  --benchmark_filter="${FILTER}" \
-  --benchmark_repetitions="${REPETITIONS:-3}" \
-  --benchmark_report_aggregates_only=true \
-  --benchmark_format=json \
-  --benchmark_out="${OUT}" \
-  --benchmark_out_format=json
+# median aggregate, which is stable run to run. The gated suite spans
+# two binaries (micro_benchmarks + tree_benchmarks — the tree/GBT
+# training paths live in their own binary, docs/TREES.md); each writes
+# its own JSON and the two are merged into one BENCH file so the
+# compare gate sees every gated family in a single place.
+PARTS=()
+for BIN in micro_benchmarks tree_benchmarks; do
+  PART="${OUT}.${BIN}.part"
+  "${BUILD_DIR}/bench/${BIN}" \
+    --benchmark_filter="${FILTER}" \
+    --benchmark_repetitions="${REPETITIONS:-3}" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    --benchmark_out="${PART}" \
+    --benchmark_out_format=json
+  PARTS+=("${PART}")
+done
+
+python3 - "${OUT}" "${PARTS[@]}" <<'EOF'
+import json, sys
+out, parts = sys.argv[1], sys.argv[2:]
+docs = [json.load(open(p)) for p in parts]
+merged = docs[0]
+for doc in docs[1:]:
+    theirs = doc.get("context", {}).get("hamlet_build_type")
+    ours = merged.get("context", {}).get("hamlet_build_type")
+    if theirs != ours:
+        sys.exit(f"refusing to merge: hamlet_build_type {ours} vs {theirs}")
+    merged["benchmarks"].extend(doc.get("benchmarks", []))
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+EOF
+rm -f "${PARTS[@]}"
 
 echo "Wrote ${OUT}"
 

@@ -9,7 +9,9 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "data/encoded_dataset.h"
+#include "ml/decision_tree.h"
 #include "ml/factorized.h"
+#include "ml/gbt.h"
 #include "ml/naive_bayes.h"
 #include "ml/suff_stats.h"
 #include "ml/tan.h"
@@ -28,6 +30,10 @@ const char* ClassifierKindToString(ClassifierKind kind) {
       return "logreg_l2";
     case ClassifierKind::kTan:
       return "tan";
+    case ClassifierKind::kDecisionTree:
+      return "decision_tree";
+    case ClassifierKind::kGradientBoostedTrees:
+      return "gbt";
   }
   return "unknown";
 }
@@ -50,6 +56,10 @@ ClassifierFactory MakeClassifierFactory(ClassifierKind kind) {
     }
     case ClassifierKind::kTan:
       return MakeTanFactory();
+    case ClassifierKind::kDecisionTree:
+      return MakeDecisionTreeFactory();
+    case ClassifierKind::kGradientBoostedTrees:
+      return MakeGbtFactory();
   }
   return MakeNaiveBayesFactory();
 }
@@ -196,13 +206,18 @@ Result<PipelineReport> RunPipeline(const NormalizedDataset& dataset,
         to_join.push_back(fk.fk_column);
       }
     }
-    // Only Naive Bayes trains from factorized statistics, and the scan
-    // escape hatch inherently needs a table to scan; everything else
-    // falls back to materializing.
+    // Naive Bayes trains from factorized statistics and the tree
+    // classifiers train through the FK hops (FactorizedTrainable); NB's
+    // scan escape hatch inherently needs a table to scan, while the tree
+    // "scan" path *is* factorized, so force_scan_eval only forces
+    // materialization for NB. Everything else falls back to
+    // materializing.
     const bool use_factorized =
         config.avoid_materialization &&
-        config.classifier == ClassifierKind::kNaiveBayes &&
-        !config.force_scan_eval;
+        (config.classifier == ClassifierKind::kDecisionTree ||
+         config.classifier == ClassifierKind::kGradientBoostedTrees ||
+         (config.classifier == ClassifierKind::kNaiveBayes &&
+          !config.force_scan_eval));
     std::unique_ptr<FeatureSelector> selector = MakeSelector(
         config.method, config.num_threads, config.force_scan_eval);
     ClassifierFactory factory = MakeClassifierFactory(config.classifier);

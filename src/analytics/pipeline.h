@@ -35,9 +35,12 @@ enum class ClassifierKind {
   kLogisticRegressionL1,
   kLogisticRegressionL2,
   kTan,
+  kDecisionTree,
+  kGradientBoostedTrees,
 };
 
-/// "naive_bayes" / "logreg_l1" / "logreg_l2" / "tan".
+/// "naive_bayes" / "logreg_l1" / "logreg_l2" / "tan" / "decision_tree" /
+/// "gbt".
 const char* ClassifierKindToString(ClassifierKind kind);
 
 /// Builds the factory for a classifier kind (paper-default settings).
@@ -81,10 +84,12 @@ struct PipelineConfig {
   /// factorized learning rather than a physical table. Selections, model
   /// parameters, and errors are bit-identical to the materialized run
   /// (the `factorized` ctest label enforces it); peak memory drops by
-  /// roughly the joined table's size (docs/PERFORMANCE.md). Only the
-  /// Naive Bayes classifier trains from factorized statistics, so other
-  /// classifiers — and force_scan_eval runs — fall back to
-  /// materialization; PipelineReport::factorized says which path ran.
+  /// roughly the joined table's size (docs/PERFORMANCE.md). Naive Bayes
+  /// trains from factorized statistics, and the tree classifiers
+  /// (kDecisionTree, kGradientBoostedTrees) train through the FK hops
+  /// (FactorizedTrainable); other classifiers — and NB force_scan_eval
+  /// runs — fall back to materialization. PipelineReport::factorized
+  /// says which path ran.
   bool avoid_materialization = false;
   /// When non-empty (and the run is traced), append one structured
   /// metrics snapshot line to this JSONL file at the end of the run

@@ -42,6 +42,15 @@ Result<JoinPlan> AdviseJoinsFromStats(
   plan.thresholds = options.use_explicit_thresholds
                         ? options.explicit_thresholds
                         : ThresholdsForTolerance(options.error_tolerance);
+  if (options.model_capacity == ModelCapacity::kHighCapacity) {
+    // High-capacity models can overfit a redundant FK feature where a
+    // linear model cannot, so avoidance must clear a stricter bar: the
+    // TR rule avoids iff TR >= tau (raise tau) and the ROR rule avoids
+    // iff ROR <= rho (lower rho). See the capacity-aware re-test in
+    // EXPERIMENTS.md.
+    plan.thresholds.tau *= kHighCapacityScale;
+    plan.thresholds.rho /= kHighCapacityScale;
+  }
   plan.n_train = n_train;
   plan.skew_guard.label_entropy_bits = label_entropy_bits;
   plan.skew_guard.threshold_bits = options.skew_guard_min_entropy_bits;
@@ -107,6 +116,15 @@ Result<JoinPlan> AdviseJoinsFromStats(
           advice.tr_verdict.safe_to_avoid ? "avoid" : "join", advice.ror,
           plan.thresholds.rho,
           advice.ror_verdict.safe_to_avoid ? "avoid" : "join");
+      if (advice.avoid &&
+          options.model_capacity == ModelCapacity::kHighCapacity) {
+        // The 2x scaling demonstrably shrinks the tree blind spot but the
+        // capacity sweep (EXPERIMENTS.md) shows a residual band just above
+        // the scaled tau — say so where the verdict is read.
+        advice.rationale +=
+            "; high-capacity scaling is a conservative floor, not a "
+            "safety guarantee (see the EXPERIMENTS.md capacity re-test)";
+      }
     }
 
     if (advice.avoid) {

@@ -28,6 +28,25 @@ enum class AvoidanceRule {
   kBoth,        ///< Avoid only if *both* rules agree (most conservative).
 };
 
+/// Capacity class of the downstream model the advice is for. The paper's
+/// thresholds were tuned against Naive Bayes (a linear, fixed-capacity
+/// model); high-capacity classifiers (decision trees, gradient-boosted
+/// ensembles) can exploit a redundant FK feature more aggressively, so
+/// avoidance must clear a higher bar — the Monte Carlo re-test in
+/// EXPERIMENTS.md ("Capacity-aware re-test") measures where the linear
+/// thresholds break and motivates the scaled ones.
+enum class ModelCapacity {
+  kLinear,        ///< NB / logistic regression; the paper's thresholds.
+  kHighCapacity,  ///< Trees, GBT: thresholds scaled by kHighCapacityScale.
+};
+
+/// Threshold scale under ModelCapacity::kHighCapacity: tau is multiplied
+/// by it and rho divided by it, tightening both rules in their avoid
+/// direction (TR avoids iff TR >= tau; ROR avoids iff ROR <= rho). A
+/// table must look even more redundant before the advisor lets it go
+/// unjoined.
+inline constexpr double kHighCapacityScale = 2.0;
+
 /// Advisor configuration.
 struct AdvisorOptions {
   AvoidanceRule rule = AvoidanceRule::kTupleRatio;
@@ -44,6 +63,10 @@ struct AdvisorOptions {
   /// Apply the Appendix D malign-skew guard on H(Y).
   bool apply_skew_guard = true;
   double skew_guard_min_entropy_bits = 0.5;
+  /// Capacity class of the model that will train on the result. Under
+  /// kHighCapacity both thresholds (explicit or tolerance-derived) are
+  /// tightened by kHighCapacityScale before any rule fires.
+  ModelCapacity model_capacity = ModelCapacity::kLinear;
 };
 
 /// Diagnostics and decision for one attribute table.

@@ -59,4 +59,26 @@ std::unique_ptr<NbSubsetEvaluator> TryMakeNbEvaluatorFactorized(
                                    num_threads);
 }
 
+Result<double> TrainAndScoreFactorized(const ClassifierFactory& factory,
+                                       const FactorizedDataset& data,
+                                       const std::vector<uint32_t>& train_rows,
+                                       const std::vector<uint32_t>& eval_rows,
+                                       const std::vector<uint32_t>& eval_labels,
+                                       const std::vector<uint32_t>& features,
+                                       ErrorMetric metric) {
+  std::unique_ptr<Classifier> model = factory();
+  auto* factorized = dynamic_cast<FactorizedTrainable*>(model.get());
+  if (factorized == nullptr) {
+    return Status::InvalidArgument(
+        "TrainAndScoreFactorized requires a classifier implementing "
+        "FactorizedTrainable; got " +
+        model->name());
+  }
+  HAMLET_RETURN_NOT_OK(factorized->TrainFactorized(data, train_rows, features));
+  std::vector<uint32_t> predicted;
+  HAMLET_RETURN_NOT_OK(
+      factorized->PredictFactorized(data, eval_rows, &predicted));
+  return ComputeError(metric, eval_labels, predicted);
+}
+
 }  // namespace hamlet

@@ -68,6 +68,21 @@ std::unique_ptr<NbSubsetEvaluator> TryMakeNbEvaluatorFactorized(
     ErrorMetric metric, const ClassifierFactory& factory,
     const std::vector<uint32_t>& candidates, uint32_t num_threads);
 
+/// Factorized twin of ml/eval.h's TrainAndScore for classifiers that
+/// implement FactorizedTrainable (trees, GBT): trains a fresh model over
+/// the normalized (S, R) view restricted to (`train_rows`, `features`)
+/// and returns its error on `eval_rows` against the pre-gathered
+/// `eval_labels`. InvalidArgument when the factory's product is not
+/// factorized-trainable — factorized tree searches treat that as fatal,
+/// since no scan fallback exists without the materialized join.
+Result<double> TrainAndScoreFactorized(const ClassifierFactory& factory,
+                                       const FactorizedDataset& data,
+                                       const std::vector<uint32_t>& train_rows,
+                                       const std::vector<uint32_t>& eval_rows,
+                                       const std::vector<uint32_t>& eval_labels,
+                                       const std::vector<uint32_t>& features,
+                                       ErrorMetric metric);
+
 /// Scan-path workhorse: evaluates `make_trial(i)`'s subset for every
 /// candidate index in [0, count) in parallel — full retrain per candidate
 /// — writing each error to its own slot, and returns the first failure in
@@ -91,6 +106,37 @@ Status EvaluateSubsetsScan(const EncodedDataset& data,
     Result<double> err =
         TrainAndScore(factory, data, split.train, split.validation,
                       eval_labels, make_trial(i), metric);
+    if (err.ok()) {
+      (*errors)[i] = *err;
+    } else {
+      statuses[i] = err.status();
+    }
+  });
+  FsModelsTrainedCounter().Add(count);
+  for (const Status& st : statuses) {
+    HAMLET_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+/// Factorized twin of EvaluateSubsetsScan for FactorizedTrainable
+/// classifiers: every candidate retrain reads its columns through the
+/// FK -> R hops instead of a materialized join. Same recording, error
+/// propagation, and serial-reduction contract as the materialized scan;
+/// with the same underlying tables every error is bit-identical to it.
+template <typename MakeTrial>
+Status EvaluateSubsetsScanFactorized(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    const std::vector<uint32_t>& eval_labels, const ClassifierFactory& factory,
+    ErrorMetric metric, uint32_t count, uint32_t num_threads,
+    const MakeTrial& make_trial, std::vector<double>* errors) {
+  errors->assign(count, 0.0);
+  std::vector<Status> statuses(count);
+  ParallelFor(count, num_threads, [&](uint32_t i) {
+    obs::ScopedLatency latency(FsCandidateEvalHistogram());
+    Result<double> err =
+        TrainAndScoreFactorized(factory, data, split.train, split.validation,
+                                eval_labels, make_trial(i), metric);
     if (err.ok()) {
       (*errors)[i] = *err;
     } else {

@@ -5,7 +5,9 @@
 #include "common/parallel_for.h"
 #include "common/string_util.h"
 #include "fs/candidate_eval.h"
+#include "ml/decision_tree.h"
 #include "ml/eval.h"
+#include "ml/factorized.h"
 #include "obs/trace.h"
 
 namespace hamlet {
@@ -111,10 +113,137 @@ SelectionResult RunBackwardFast(NbSubsetEvaluator& ev,
 
 Status FactorizedUnavailable(const std::string& name) {
   return Status::InvalidArgument(StringFormat(
-      "factorized %s requires a Naive Bayes factory and an active "
-      "sufficient-statistics cache (no scan fallback exists without the "
-      "materialized join)",
+      "factorized %s requires a Naive Bayes factory (sufficient-statistics "
+      "fast path) or a factorized-trainable classifier such as decision_tree "
+      "or gbt (no scan fallback exists without the materialized join)",
       name.c_str()));
+}
+
+// True when `factory` produces classifiers that can train directly over
+// the normalized view (trees, GBT) — the factorized scan path's gate.
+bool FactoryIsFactorizedTrainable(const ClassifierFactory& factory) {
+  std::unique_ptr<Classifier> probe = factory();
+  return dynamic_cast<FactorizedTrainable*>(probe.get()) != nullptr;
+}
+
+std::vector<uint32_t> GatherLabelsFactorized(
+    const FactorizedDataset& data, const std::vector<uint32_t>& rows) {
+  const std::vector<uint32_t>& labels = data.labels();
+  std::vector<uint32_t> out;
+  out.reserve(rows.size());
+  for (uint32_t r : rows) out.push_back(labels[r]);
+  return out;
+}
+
+// Factorized scan loops for FactorizedTrainable classifiers: the same
+// control flow, counters, and serial index-ordered tie-breaks as the
+// materialized scan loops in Select(), with every candidate retrain
+// reading its columns through the FK -> R hops. Because the classifiers
+// guarantee bit-identical models across the two views, these loops pick
+// the same subsets as a materialized scan with the same inputs.
+Result<SelectionResult> RunForwardFactorizedScan(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates, double tolerance,
+    uint32_t num_threads) {
+  SelectionResult result;
+  std::vector<uint32_t> remaining = candidates;
+
+  std::vector<uint32_t> eval_labels =
+      GatherLabelsFactorized(data, split.validation);
+  double best_error = 0.0;
+  HAMLET_ASSIGN_OR_RETURN(
+      best_error,
+      TrainAndScoreFactorized(factory, data, split.train, split.validation,
+                              eval_labels, {}, metric));
+  ++result.models_trained;
+  FsModelsTrainedCounter().Add(1);
+
+  while (!remaining.empty()) {
+    const uint32_t m = static_cast<uint32_t>(remaining.size());
+    obs::TraceSpan step_span("fs.step");
+    step_span.AddAttr("candidates", m);
+    std::vector<double> errors;
+    HAMLET_RETURN_NOT_OK(EvaluateSubsetsScanFactorized(
+        data, split, eval_labels, factory, metric, m, num_threads,
+        [&](uint32_t i) {
+          std::vector<uint32_t> trial = result.selected;
+          trial.push_back(remaining[i]);
+          return trial;
+        },
+        &errors));
+    result.models_trained += m;
+
+    // Serial index-ordered reduction, identical to the materialized scan.
+    double round_best = best_error;
+    int32_t round_pick = -1;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (errors[i] < round_best - tolerance) {
+        round_best = errors[i];
+        round_pick = static_cast<int32_t>(i);
+      }
+    }
+    if (round_pick < 0) break;
+    result.selected.push_back(remaining[round_pick]);
+    remaining.erase(remaining.begin() + round_pick);
+    best_error = round_best;
+  }
+  result.validation_error = best_error;
+  return result;
+}
+
+Result<SelectionResult> RunBackwardFactorizedScan(
+    const FactorizedDataset& data, const HoldoutSplit& split,
+    const ClassifierFactory& factory, ErrorMetric metric,
+    const std::vector<uint32_t>& candidates, double tolerance,
+    uint32_t num_threads) {
+  SelectionResult result;
+  result.selected = candidates;
+
+  std::vector<uint32_t> eval_labels =
+      GatherLabelsFactorized(data, split.validation);
+  double best_error = 0.0;
+  HAMLET_ASSIGN_OR_RETURN(
+      best_error,
+      TrainAndScoreFactorized(factory, data, split.train, split.validation,
+                              eval_labels, result.selected, metric));
+  ++result.models_trained;
+  FsModelsTrainedCounter().Add(1);
+
+  while (result.selected.size() > 1) {
+    const uint32_t m = static_cast<uint32_t>(result.selected.size());
+    obs::TraceSpan step_span("fs.step");
+    step_span.AddAttr("candidates", m);
+    std::vector<double> errors;
+    HAMLET_RETURN_NOT_OK(EvaluateSubsetsScanFactorized(
+        data, split, eval_labels, factory, metric, m, num_threads,
+        [&](uint32_t i) {
+          std::vector<uint32_t> trial;
+          trial.reserve(result.selected.size() - 1);
+          for (uint32_t k = 0; k < m; ++k) {
+            if (k != i) trial.push_back(result.selected[k]);
+          }
+          return trial;
+        },
+        &errors));
+    result.models_trained += m;
+
+    // Serial reduction preserving the original semantics: `<=` keeps the
+    // last index among exact ties (prefer dropping later features).
+    double round_best = best_error + tolerance;
+    int32_t round_pick = -1;
+    for (uint32_t i = 0; i < m; ++i) {
+      if (errors[i] <= round_best) {
+        round_best = errors[i];
+        round_pick = static_cast<int32_t>(i);
+      }
+    }
+    if (round_pick < 0) break;
+    result.selected.erase(result.selected.begin() + round_pick);
+    best_error = std::min(best_error, round_best);
+  }
+  result.validation_error = best_error;
+  return result;
 }
 
 }  // namespace
@@ -123,6 +252,10 @@ Result<SelectionResult> ForwardSelection::Select(
     const EncodedDataset& data, const HoldoutSplit& split,
     const ClassifierFactory& factory, ErrorMetric metric,
     const std::vector<uint32_t>& candidates) {
+  // Candidate retrains of tree/GBT models run under the cheap refit
+  // budget (ml/decision_tree.h); the runner's final fit gets the full
+  // budget. A no-op for every other classifier.
+  ScopedTreeRefitBudget refit_budget;
   // Fast path: with Naive Bayes, derive every candidate score from shared
   // sufficient statistics + the base log-scores of the current subset.
   if (!force_scan_eval_) {
@@ -184,17 +317,30 @@ Result<SelectionResult> ForwardSelection::SelectFactorized(
     const FactorizedDataset& data, const HoldoutSplit& split,
     const ClassifierFactory& factory, ErrorMetric metric,
     const std::vector<uint32_t>& candidates) {
-  if (force_scan_eval_) return FactorizedUnavailable(name());
-  std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluatorFactorized(
-      data, split, metric, factory, candidates, num_threads_);
-  if (fast == nullptr) return FactorizedUnavailable(name());
-  return RunForwardFast(*fast, candidates, tolerance_, num_threads_);
+  ScopedTreeRefitBudget refit_budget;
+  if (!force_scan_eval_) {
+    std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluatorFactorized(
+        data, split, metric, factory, candidates, num_threads_);
+    if (fast != nullptr) {
+      return RunForwardFast(*fast, candidates, tolerance_, num_threads_);
+    }
+  }
+  if (!FactoryIsFactorizedTrainable(factory)) {
+    return FactorizedUnavailable(name());
+  }
+  // Warm the factorized statistics cache once so every candidate retrain
+  // seeds its root histograms from the cached counts (a no-op under
+  // ScopedSuffStatsBypass; training then re-counts from gathered codes).
+  GetOrBuildFactorizedSuffStats(data, split.train, num_threads_);
+  return RunForwardFactorizedScan(data, split, factory, metric, candidates,
+                                  tolerance_, num_threads_);
 }
 
 Result<SelectionResult> BackwardSelection::Select(
     const EncodedDataset& data, const HoldoutSplit& split,
     const ClassifierFactory& factory, ErrorMetric metric,
     const std::vector<uint32_t>& candidates) {
+  ScopedTreeRefitBudget refit_budget;
   // Fast path: base log-scores of the current subset; dropping feature f
   // subtracts its column. Subtraction re-associates the floating-point
   // sum, so candidate scores match a scan retrain to ~1e-15 per score
@@ -258,11 +404,21 @@ Result<SelectionResult> BackwardSelection::SelectFactorized(
     const FactorizedDataset& data, const HoldoutSplit& split,
     const ClassifierFactory& factory, ErrorMetric metric,
     const std::vector<uint32_t>& candidates) {
-  if (force_scan_eval_) return FactorizedUnavailable(name());
-  std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluatorFactorized(
-      data, split, metric, factory, candidates, num_threads_);
-  if (fast == nullptr) return FactorizedUnavailable(name());
-  return RunBackwardFast(*fast, candidates, tolerance_, num_threads_);
+  ScopedTreeRefitBudget refit_budget;
+  if (!force_scan_eval_) {
+    std::unique_ptr<NbSubsetEvaluator> fast = TryMakeNbEvaluatorFactorized(
+        data, split, metric, factory, candidates, num_threads_);
+    if (fast != nullptr) {
+      return RunBackwardFast(*fast, candidates, tolerance_, num_threads_);
+    }
+  }
+  if (!FactoryIsFactorizedTrainable(factory)) {
+    return FactorizedUnavailable(name());
+  }
+  // See ForwardSelection::SelectFactorized on the cache warm-up.
+  GetOrBuildFactorizedSuffStats(data, split.train, num_threads_);
+  return RunBackwardFactorizedScan(data, split, factory, metric, candidates,
+                                   tolerance_, num_threads_);
 }
 
 }  // namespace hamlet

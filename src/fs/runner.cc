@@ -3,11 +3,14 @@
 #include "common/timer.h"
 #include "fs/filters.h"
 #include "fs/greedy_search.h"
+#include "ml/decision_tree.h"
 #include "ml/eval.h"
 #include "ml/factorized.h"
+#include "ml/gbt.h"
 #include "ml/naive_bayes.h"
 #include "obs/cost_profile.h"
 #include "obs/trace.h"
+#include "stats/metrics.h"
 
 namespace hamlet {
 
@@ -32,6 +35,15 @@ void RecordSearchCost(const char* op, uint32_t data_rows,
   obs::CostObservation cost;
   cost.total_ns = static_cast<uint64_t>(search_seconds * 1e9);
   obs::CostProfileStore::Global().Record(features, cost);
+}
+
+// Tree-model searches retrain histogram trees/ensembles per candidate —
+// a different cost regime from the NB statistics fast path — so they get
+// their own operator key in the cost profile.
+bool FactoryMakesTreeModel(const ClassifierFactory& factory) {
+  std::unique_ptr<Classifier> probe = factory();
+  return dynamic_cast<DecisionTree*>(probe.get()) != nullptr ||
+         dynamic_cast<Gbt*>(probe.get()) != nullptr;
 }
 
 }  // namespace
@@ -102,9 +114,11 @@ Result<FsRunReport> RunFeatureSelection(
     span.AddAttr("models_trained", report.selection.models_trained);
     span.AddAttr("selected",
                  static_cast<uint64_t>(report.selection.selected.size()));
-    RecordSearchCost("fs.search.materialized", data.num_rows(),
-                     report.selection.models_trained, candidates.size(),
-                     selector.num_threads(), report.runtime_seconds);
+    RecordSearchCost(FactoryMakesTreeModel(factory) ? "fs.search.tree"
+                                                    : "fs.search.materialized",
+                     data.num_rows(), report.selection.models_trained,
+                     candidates.size(), selector.num_threads(),
+                     report.runtime_seconds);
   }
 
   report.selected_names = data.FeatureNames(report.selection.selected);
@@ -154,9 +168,11 @@ Result<FsRunReport> RunFeatureSelectionFactorized(
     span.AddAttr("models_trained", report.selection.models_trained);
     span.AddAttr("selected",
                  static_cast<uint64_t>(report.selection.selected.size()));
-    RecordSearchCost("fs.search.factorized", data.num_rows(),
-                     report.selection.models_trained, candidates.size(),
-                     selector.num_threads(), report.runtime_seconds);
+    RecordSearchCost(FactoryMakesTreeModel(factory) ? "fs.search.tree"
+                                                    : "fs.search.factorized",
+                     data.num_rows(), report.selection.models_trained,
+                     candidates.size(), selector.num_threads(),
+                     report.runtime_seconds);
   }
 
   report.selected_names = data.FeatureNames(report.selection.selected);
@@ -165,33 +181,49 @@ Result<FsRunReport> RunFeatureSelectionFactorized(
     span.AddAttr("features",
                  static_cast<uint64_t>(report.selection.selected.size()));
     Timer timer;
-    // The final fit trains straight from the factorized statistics (a
-    // cache hit after the search) and scores the test split through an
-    // evaluator whose codes come via the FK hops. Both halves produce the
-    // exact doubles the materialized TrainAndScore would: TrainFromStats
-    // is how NB trains from counts, and EvalSubset sums the subset in
-    // selection order — the prediction path's order.
+    // The final fit never materializes the join. With a Naive Bayes
+    // factory it trains straight from the factorized statistics (a cache
+    // hit after the search) and scores the test split through an
+    // evaluator whose codes come via the FK hops — the exact doubles the
+    // materialized TrainAndScore would produce: TrainFromStats is how NB
+    // trains from counts, and EvalSubset sums the subset in selection
+    // order, the prediction path's order. Factorized-trainable
+    // classifiers (trees, GBT) instead run their own full-budget
+    // TrainFactorized/PredictFactorized, which they guarantee
+    // bit-identical to the materialized twin.
     std::unique_ptr<Classifier> probe = factory();
-    auto* nb = dynamic_cast<NaiveBayes*>(probe.get());
-    if (nb == nullptr) {
+    if (auto* nb = dynamic_cast<NaiveBayes*>(probe.get())) {
+      std::shared_ptr<const SuffStats> stats = GetOrBuildFactorizedSuffStats(
+          data, split.train, selector.num_threads());
+      if (stats == nullptr) {
+        return Status::FailedPrecondition(
+            "factorized final fit requires an active sufficient-statistics "
+            "cache (ScopedSuffStatsBypass is incompatible with factorized "
+            "runs)");
+      }
+      HAMLET_RETURN_NOT_OK(
+          nb->TrainFromStats(*stats, report.selection.selected));
+      std::unique_ptr<NbSubsetEvaluator> holdout = MakeFactorizedNbEvaluator(
+          data, stats, split.test, metric, nb->alpha(),
+          report.selection.selected, selector.num_threads());
+      report.holdout_test_error =
+          holdout->EvalSubset(report.selection.selected);
+    } else if (auto* factorized =
+                   dynamic_cast<FactorizedTrainable*>(probe.get())) {
+      HAMLET_RETURN_NOT_OK(factorized->TrainFactorized(
+          data, split.train, report.selection.selected));
+      std::vector<uint32_t> predicted;
+      HAMLET_RETURN_NOT_OK(
+          factorized->PredictFactorized(data, split.test, &predicted));
+      std::vector<uint32_t> test_labels;
+      test_labels.reserve(split.test.size());
+      for (uint32_t r : split.test) test_labels.push_back(data.labels()[r]);
+      report.holdout_test_error = ComputeError(metric, test_labels, predicted);
+    } else {
       return Status::InvalidArgument(
-          "factorized runs require a Naive Bayes factory");
+          "factorized runs require a Naive Bayes or factorized-trainable "
+          "(decision_tree/gbt) factory");
     }
-    std::shared_ptr<const SuffStats> stats = GetOrBuildFactorizedSuffStats(
-        data, split.train, selector.num_threads());
-    if (stats == nullptr) {
-      return Status::FailedPrecondition(
-          "factorized final fit requires an active sufficient-statistics "
-          "cache (ScopedSuffStatsBypass is incompatible with factorized "
-          "runs)");
-    }
-    HAMLET_RETURN_NOT_OK(
-        nb->TrainFromStats(*stats, report.selection.selected));
-    std::unique_ptr<NbSubsetEvaluator> holdout = MakeFactorizedNbEvaluator(
-        data, stats, split.test, metric, nb->alpha(),
-        report.selection.selected, selector.num_threads());
-    report.holdout_test_error =
-        holdout->EvalSubset(report.selection.selected);
     report.fit_seconds = timer.ElapsedSeconds();
   }
   report.total_seconds = total_timer.ElapsedSeconds();

@@ -44,8 +44,10 @@
 #include "fs/filters.h"
 #include "fs/greedy_search.h"
 #include "fs/runner.h"
+#include "ml/decision_tree.h"          // Histogram CART (high capacity).
 #include "ml/eval.h"
 #include "ml/factorized.h"             // Train over (S, R) without the join.
+#include "ml/gbt.h"                    // Gradient-boosted trees.
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/tan.h"

@@ -46,6 +46,32 @@ class Classifier {
 /// candidate subset.
 using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
 
+class FactorizedDataset;
+
+/// Optional capability: classifiers that can also train and predict over
+/// the normalized (S, R) view (ml/factorized.h) without materializing the
+/// join. The fs searches and the analytics pipeline probe a factory's
+/// product for this via dynamic_cast — the same probe pattern the Naive
+/// Bayes fast path uses — and route avoid-materialization runs through
+/// it. Contract: with the same underlying tables, TrainFactorized must
+/// produce a model bit-identical to Train on the materialized join, and
+/// PredictFactorized must return the materialized Predict's output.
+class FactorizedTrainable {
+ public:
+  virtual ~FactorizedTrainable() = default;
+
+  /// Factorized twin of Classifier::Train over the normalized view.
+  virtual Status TrainFactorized(const FactorizedDataset& data,
+                                 const std::vector<uint32_t>& rows,
+                                 const std::vector<uint32_t>& features) = 0;
+
+  /// Predictions at `rows` of the factorized view; equal to Predict on
+  /// the materialized join at the same rows.
+  virtual Status PredictFactorized(const FactorizedDataset& data,
+                                   const std::vector<uint32_t>& rows,
+                                   std::vector<uint32_t>* out) const = 0;
+};
+
 }  // namespace hamlet
 
 #endif  // HAMLET_ML_CLASSIFIER_H_

@@ -1,0 +1,203 @@
+#ifndef HAMLET_ML_DECISION_TREE_H_
+#define HAMLET_ML_DECISION_TREE_H_
+
+/// \file decision_tree.h
+/// Histogram-based CART over categorical features — the repo's first
+/// high-capacity classifier, built to re-ask the paper's join-avoidance
+/// question for the model class the follow-up work ("Are Key-Foreign Key
+/// Joins Safe to Avoid when Learning High-Capacity Classifiers?") studies.
+///
+/// Every split is scored from per-(feature, value, class) contingency
+/// counts — the same integer histograms SuffStats holds — so a node's
+/// candidate splits cost one table scan of its histogram, not a data
+/// scan. Node histograms are built with one parallel pass over the node's
+/// rows (one feature per work item, the BuildSuffStats sharding
+/// contract); a node's sibling gets its histogram by subtracting the
+/// built child from the parent (the classic "subtraction trick"), which
+/// is exact because the counts are integers. The root reuses cached
+/// SuffStats when present (materialized or factorized — the counts are
+/// bit-identical, see ml/factorized.h), so feature-selection searches
+/// that retrain hundreds of trees on one train split pay for the root
+/// histograms once.
+///
+/// Determinism contract (mirrors the rest of the library): histograms are
+/// integer counts built one-feature-per-work-item, the best split is
+/// chosen by a serial reduction in ascending feature-slot order with
+/// strictly-greater-gain wins (lowest slot, then lowest code, wins exact
+/// ties), rows partition in ascending order, and leaf scores use one
+/// pinned floating-point expression. Trees are therefore bit-identical at
+/// any thread count AND between the materialized and factorized training
+/// paths (tests/factorized_tree_equivalence_test.cc, ctest label
+/// `factorized`; docs/TREES.md has the full math).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/classifier.h"
+
+namespace hamlet {
+
+struct SuffStats;
+
+/// Training knobs. `alpha` smooths the leaf class probabilities exactly
+/// like the Naive Bayes prior (footnote 2's handling of values absent
+/// from a sample). `candidate_max_depth` is the cheap-refit budget: while
+/// a ScopedTreeRefitBudget is active — the fs searches activate one
+/// around candidate evaluation — training caps depth there, so the
+/// O(d^2) wrapper retrains grow stumps while the final fit (outside the
+/// scope) grows the full tree.
+struct DecisionTreeOptions {
+  double alpha = 1.0;             ///< Laplace pseudo-count for leaf probs.
+  uint32_t max_depth = 6;         ///< Root is depth 0.
+  uint64_t min_rows_split = 8;    ///< Nodes smaller than this become leaves.
+  double min_gain = 1e-12;        ///< Minimum Gini decrease to split.
+  uint32_t candidate_max_depth = 2;  ///< Depth cap under the refit budget.
+  uint32_t num_threads = 0;       ///< ParallelFor width (0 = hardware).
+};
+
+/// The complete trained state of a DecisionTree, as plain data — the
+/// serialization surface (serve/serde.h), mirroring NaiveBayesParams.
+/// Nodes are stored flat in pre-order: internal node i tests
+/// `code(features[split_slot[i]]) == split_code[i]` and goes to left[i]
+/// on equal, right[i] otherwise; split_slot[i] < 0 marks a leaf. Every
+/// node carries its smoothed per-class log-probabilities (flat
+/// [node * num_classes + y]), so partial trees score too and a round
+/// trip is bit-exact.
+struct DecisionTreeParams {
+  double alpha = 1.0;
+  uint32_t num_classes = 0;
+  std::vector<uint32_t> features;       ///< Trained slot -> feature index.
+  std::vector<uint32_t> cardinalities;  ///< Per slot, training-time |D_F|.
+  std::vector<int32_t> split_slot;      ///< Per node; -1 marks a leaf.
+  std::vector<uint32_t> split_code;     ///< Per node; 0 for leaves.
+  std::vector<int32_t> left;            ///< Per node; -1 for leaves.
+  std::vector<int32_t> right;           ///< Per node; -1 for leaves.
+  std::vector<double> scores;           ///< Flat [node * num_classes + y].
+};
+
+/// Histogram CART classifier:
+///   predict argmax_y leaf_scores[y]  (first strictly-greatest wins)
+/// over binary one-vs-rest categorical splits chosen by Gini decrease.
+class DecisionTree : public Classifier, public FactorizedTrainable {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {});
+
+  /// Trains on (rows, features) of the materialized dataset. If the
+  /// global SuffStatsCache already holds statistics for (data, rows) —
+  /// and no ScopedSuffStatsBypass is active — the root histograms are
+  /// taken from the cached counts without a data pass; the result is
+  /// bit-identical either way (integer counts).
+  Status Train(const EncodedDataset& data, const std::vector<uint32_t>& rows,
+               const std::vector<uint32_t>& features) override;
+
+  /// Trains over the normalized (S, R) view: candidate columns are read
+  /// through the FK -> R hops (FactorizedDataset::GatherCodes) and the
+  /// root histograms reuse cached factorized SuffStats — whose counts
+  /// come from the group-by-FK-code aggregation, never a materialized
+  /// join. Bit-identical to Train on the joined twin.
+  Status TrainFactorized(const FactorizedDataset& data,
+                         const std::vector<uint32_t>& rows,
+                         const std::vector<uint32_t>& features) override;
+
+  uint32_t PredictOne(const EncodedDataset& data, uint32_t row) const override;
+
+  std::vector<uint32_t> Predict(
+      const EncodedDataset& data,
+      const std::vector<uint32_t>& rows) const override;
+
+  Status PredictFactorized(const FactorizedDataset& data,
+                           const std::vector<uint32_t>& rows,
+                           std::vector<uint32_t>* out) const override;
+
+  std::string name() const override { return "decision_tree"; }
+
+  /// Per-class log-scores of `row`'s leaf, written into `*out` (resized
+  /// to num_classes) — the serving layer's batched scoring hook, same
+  /// contract as NaiveBayes::LogScoresInto.
+  void LogScoresInto(const EncodedDataset& data, uint32_t row,
+                     std::vector<double>* out) const;
+
+  uint32_t num_classes() const { return num_classes_; }
+  uint32_t num_nodes() const {
+    return static_cast<uint32_t>(split_slot_.size());
+  }
+
+  /// Code-domain size trained slot `jj` covers; the serving layer checks
+  /// block layouts against it before scoring (serve/service.h).
+  uint32_t trained_cardinality(size_t jj) const;
+
+  /// Trained feature indices (empty before Train()).
+  const std::vector<uint32_t>& trained_features() const { return features_; }
+
+  const DecisionTreeOptions& options() const { return options_; }
+
+  /// Copies the trained state out as plain data.
+  DecisionTreeParams ExportParams() const;
+
+  /// Rebuilds a model from exported state; InvalidArgument on any
+  /// inconsistency (size mismatch, dangling child, unreachable node,
+  /// out-of-domain split code) — the deserialization entry point.
+  static Result<DecisionTree> FromParams(DecisionTreeParams params);
+
+ private:
+  Status TrainImpl(uint32_t num_classes,
+                   const std::vector<uint32_t>& labels,
+                   const std::vector<std::vector<uint32_t>>& codes,
+                   const SuffStats* root_stats);
+  int32_t WalkToLeaf(const EncodedDataset& data, uint32_t row) const;
+
+  DecisionTreeOptions options_;
+  uint32_t num_classes_ = 0;
+  std::vector<uint32_t> features_;       // Trained slot -> feature index.
+  std::vector<uint32_t> cardinalities_;  // Per slot.
+  std::vector<int32_t> split_slot_;      // Flat pre-order nodes.
+  std::vector<uint32_t> split_code_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<double> scores_;           // [node * num_classes + y].
+};
+
+/// Factory for wrappers, the pipeline, and the Monte Carlo study.
+ClassifierFactory MakeDecisionTreeFactory(DecisionTreeOptions options = {});
+
+/// Validates one flat pre-order tree's structure — shared by the
+/// DecisionTree and Gbt deserialization entry points. Checks: consistent
+/// array sizes, leaves (split_slot < 0) have no children, internal nodes
+/// index a valid slot with an in-domain split code and strictly-forward
+/// distinct children, and every node is reachable from the root exactly
+/// once. `context` prefixes error messages ("DecisionTree params", ...).
+Status ValidateTreeStructure(const std::vector<int32_t>& split_slot,
+                             const std::vector<uint32_t>& split_code,
+                             const std::vector<int32_t>& left,
+                             const std::vector<int32_t>& right,
+                             size_t num_slots,
+                             const std::vector<uint32_t>& cardinalities,
+                             const char* context);
+
+/// RAII refit-budget switch, modeled on ScopedSuffStatsBypass:
+/// process-wide and nestable. While one is alive, DecisionTree caps its
+/// depth at candidate_max_depth and Gbt caps rounds/depth at its
+/// candidate budget — the cheap per-candidate refit the fs searches use
+/// so that an O(d^2) wrapper doesn't pay d^2 full ensemble fits. The
+/// final fit after the search runs outside any scope and gets the full
+/// budget.
+class ScopedTreeRefitBudget {
+ public:
+  explicit ScopedTreeRefitBudget(bool enable = true);
+  ~ScopedTreeRefitBudget();
+
+  ScopedTreeRefitBudget(const ScopedTreeRefitBudget&) = delete;
+  ScopedTreeRefitBudget& operator=(const ScopedTreeRefitBudget&) = delete;
+
+  /// True while any instance is alive anywhere in the process.
+  static bool Active();
+
+ private:
+  bool enabled_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_DECISION_TREE_H_

@@ -159,6 +159,16 @@ Result<uint32_t> ArtifactStore::PutLogisticRegression(
   return PutBytes(name, SerializeLogisticRegression(model));
 }
 
+Result<uint32_t> ArtifactStore::PutDecisionTree(const std::string& name,
+                                                const DecisionTree& model) {
+  return PutBytes(name, SerializeDecisionTree(model));
+}
+
+Result<uint32_t> ArtifactStore::PutGbt(const std::string& name,
+                                       const Gbt& model) {
+  return PutBytes(name, SerializeGbt(model));
+}
+
 Result<uint32_t> ArtifactStore::PutFsRunReport(const std::string& name,
                                                const FsRunReport& report) {
   return PutBytes(name, SerializeFsRunReport(report));
@@ -260,6 +270,44 @@ ArtifactStore::GetLogisticRegression(const std::string& name,
                           DeserializeLogisticRegression(*bytes));
   auto value = std::make_shared<const LogisticRegression>(std::move(model));
   CacheInsert(name, v, ArtifactKind::kLogisticRegression, value);
+  return value;
+}
+
+Result<std::shared_ptr<const DecisionTree>> ArtifactStore::GetDecisionTree(
+    const std::string& name, uint32_t version) {
+  HAMLET_ASSIGN_OR_RETURN(uint32_t v, ResolveVersion(name, version));
+  if (std::shared_ptr<const void> hit =
+          CacheLookup(name, v, ArtifactKind::kDecisionTree)) {
+    return std::static_pointer_cast<const DecisionTree>(hit);
+  }
+  Result<std::string> bytes = ReadFileBytes(PathFor(name, v));
+  if (!bytes.ok()) {
+    return Status::NotFound(
+        StringFormat("artifact '%s' v%u not found in '%s'", name.c_str(), v,
+                     root_.c_str()));
+  }
+  HAMLET_ASSIGN_OR_RETURN(DecisionTree model, DeserializeDecisionTree(*bytes));
+  auto value = std::make_shared<const DecisionTree>(std::move(model));
+  CacheInsert(name, v, ArtifactKind::kDecisionTree, value);
+  return value;
+}
+
+Result<std::shared_ptr<const Gbt>> ArtifactStore::GetGbt(
+    const std::string& name, uint32_t version) {
+  HAMLET_ASSIGN_OR_RETURN(uint32_t v, ResolveVersion(name, version));
+  if (std::shared_ptr<const void> hit =
+          CacheLookup(name, v, ArtifactKind::kGradientBoostedTrees)) {
+    return std::static_pointer_cast<const Gbt>(hit);
+  }
+  Result<std::string> bytes = ReadFileBytes(PathFor(name, v));
+  if (!bytes.ok()) {
+    return Status::NotFound(
+        StringFormat("artifact '%s' v%u not found in '%s'", name.c_str(), v,
+                     root_.c_str()));
+  }
+  HAMLET_ASSIGN_OR_RETURN(Gbt model, DeserializeGbt(*bytes));
+  auto value = std::make_shared<const Gbt>(std::move(model));
+  CacheInsert(name, v, ArtifactKind::kGradientBoostedTrees, value);
   return value;
 }
 

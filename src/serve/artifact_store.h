@@ -57,6 +57,9 @@ class ArtifactStore {
                                  const NaiveBayes& model);
   Result<uint32_t> PutLogisticRegression(const std::string& name,
                                          const LogisticRegression& model);
+  Result<uint32_t> PutDecisionTree(const std::string& name,
+                                   const DecisionTree& model);
+  Result<uint32_t> PutGbt(const std::string& name, const Gbt& model);
   Result<uint32_t> PutFsRunReport(const std::string& name,
                                   const FsRunReport& report);
 
@@ -70,6 +73,10 @@ class ArtifactStore {
       const std::string& name, uint32_t version = kLatest);
   Result<std::shared_ptr<const LogisticRegression>> GetLogisticRegression(
       const std::string& name, uint32_t version = kLatest);
+  Result<std::shared_ptr<const DecisionTree>> GetDecisionTree(
+      const std::string& name, uint32_t version = kLatest);
+  Result<std::shared_ptr<const Gbt>> GetGbt(const std::string& name,
+                                            uint32_t version = kLatest);
   /// Reports are small and rarely re-read; loaded fresh each call.
   Result<FsRunReport> GetFsRunReport(const std::string& name,
                                      uint32_t version = kLatest);

@@ -79,6 +79,10 @@ class ByteWriter {
     PutU64(v.size());
     for (uint32_t x : v) PutU32(x);
   }
+  void PutVecI32(const std::vector<int32_t>& v) {
+    PutU64(v.size());
+    for (int32_t x : v) PutU32(static_cast<uint32_t>(x));
+  }
   void PutVecF64(const std::vector<double>& v) {
     PutU64(v.size());
     for (double x : v) PutF64(x);
@@ -150,6 +154,18 @@ class ByteReader {
     out->resize(len);
     for (uint64_t i = 0; i < len; ++i) {
       HAMLET_RETURN_NOT_OK(GetU32(&(*out)[i]));
+    }
+    return Status::OK();
+  }
+  Status GetVecI32(std::vector<int32_t>* out) {
+    uint64_t len = 0;
+    HAMLET_RETURN_NOT_OK(GetU64(&len));
+    if (len > Remaining() / 4) return Short("i32 vector body");
+    out->resize(len);
+    for (uint64_t i = 0; i < len; ++i) {
+      uint32_t bits = 0;
+      HAMLET_RETURN_NOT_OK(GetU32(&bits));
+      (*out)[i] = static_cast<int32_t>(bits);
     }
     return Status::OK();
   }
@@ -297,13 +313,17 @@ const char* ArtifactKindToString(ArtifactKind kind) {
       return "logistic_regression";
     case ArtifactKind::kFsRunReport:
       return "fs_report";
+    case ArtifactKind::kDecisionTree:
+      return "decision_tree";
+    case ArtifactKind::kGradientBoostedTrees:
+      return "gbt";
   }
   return "unknown";
 }
 
 bool IsKnownArtifactKind(uint16_t kind) {
   return kind >= static_cast<uint16_t>(ArtifactKind::kEncodedDataset) &&
-         kind <= static_cast<uint16_t>(ArtifactKind::kFsRunReport);
+         kind <= static_cast<uint16_t>(ArtifactKind::kGradientBoostedTrees);
 }
 
 SerdeError SerdeErrorOf(const Status& status) {
@@ -483,6 +503,100 @@ Result<LogisticRegression> DeserializeLogisticRegression(
   return model;
 }
 
+// --- DecisionTree ---
+
+std::string SerializeDecisionTree(const DecisionTree& model) {
+  DecisionTreeParams params = model.ExportParams();
+  ByteWriter w;
+  w.PutF64(params.alpha);
+  w.PutU32(params.num_classes);
+  w.PutVecU32(params.features);
+  w.PutVecU32(params.cardinalities);
+  w.PutVecI32(params.split_slot);
+  w.PutVecU32(params.split_code);
+  w.PutVecI32(params.left);
+  w.PutVecI32(params.right);
+  w.PutVecF64(params.scores);
+  return WrapEnvelope(ArtifactKind::kDecisionTree, w.Take());
+}
+
+Result<DecisionTree> DeserializeDecisionTree(std::string_view bytes) {
+  HAMLET_ASSIGN_OR_RETURN(std::string_view payload,
+                          UnwrapEnvelope(bytes, ArtifactKind::kDecisionTree));
+  ByteReader r(payload);
+  DecisionTreeParams params;
+  HAMLET_RETURN_NOT_OK(r.GetF64(&params.alpha));
+  HAMLET_RETURN_NOT_OK(r.GetU32(&params.num_classes));
+  HAMLET_RETURN_NOT_OK(r.GetVecU32(&params.features));
+  HAMLET_RETURN_NOT_OK(r.GetVecU32(&params.cardinalities));
+  HAMLET_RETURN_NOT_OK(r.GetVecI32(&params.split_slot));
+  HAMLET_RETURN_NOT_OK(r.GetVecU32(&params.split_code));
+  HAMLET_RETURN_NOT_OK(r.GetVecI32(&params.left));
+  HAMLET_RETURN_NOT_OK(r.GetVecI32(&params.right));
+  HAMLET_RETURN_NOT_OK(r.GetVecF64(&params.scores));
+  HAMLET_RETURN_NOT_OK(r.ExpectEnd());
+  Result<DecisionTree> model_result =
+      DecisionTree::FromParams(std::move(params));
+  if (!model_result.ok()) return Malformed(model_result.status().message());
+  return model_result;
+}
+
+// --- Gbt ---
+
+std::string SerializeGbt(const Gbt& model) {
+  GbtParams params = model.ExportParams();
+  ByteWriter w;
+  w.PutF64(params.learning_rate);
+  w.PutF64(params.lambda);
+  w.PutU32(params.num_classes);
+  w.PutVecU32(params.features);
+  w.PutVecU32(params.cardinalities);
+  w.PutVecF64(params.base_scores);
+  w.PutU64(params.trees.size());
+  for (const GbtTree& tree : params.trees) {
+    w.PutVecI32(tree.split_slot);
+    w.PutVecU32(tree.split_code);
+    w.PutVecI32(tree.left);
+    w.PutVecI32(tree.right);
+    w.PutVecF64(tree.value);
+  }
+  return WrapEnvelope(ArtifactKind::kGradientBoostedTrees, w.Take());
+}
+
+Result<Gbt> DeserializeGbt(std::string_view bytes) {
+  HAMLET_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      UnwrapEnvelope(bytes, ArtifactKind::kGradientBoostedTrees));
+  ByteReader r(payload);
+  GbtParams params;
+  HAMLET_RETURN_NOT_OK(r.GetF64(&params.learning_rate));
+  HAMLET_RETURN_NOT_OK(r.GetF64(&params.lambda));
+  HAMLET_RETURN_NOT_OK(r.GetU32(&params.num_classes));
+  HAMLET_RETURN_NOT_OK(r.GetVecU32(&params.features));
+  HAMLET_RETURN_NOT_OK(r.GetVecU32(&params.cardinalities));
+  HAMLET_RETURN_NOT_OK(r.GetVecF64(&params.base_scores));
+  uint64_t num_trees = 0;
+  HAMLET_RETURN_NOT_OK(r.GetU64(&num_trees));
+  // An empty tree still costs five 8-byte vector lengths; bound the count
+  // by that before allocating (a flipped length field must produce a
+  // typed error, not an OOM).
+  if (num_trees > r.Remaining() / 40) {
+    return Malformed("tree count exceeds the payload size");
+  }
+  params.trees.resize(num_trees);
+  for (GbtTree& tree : params.trees) {
+    HAMLET_RETURN_NOT_OK(r.GetVecI32(&tree.split_slot));
+    HAMLET_RETURN_NOT_OK(r.GetVecU32(&tree.split_code));
+    HAMLET_RETURN_NOT_OK(r.GetVecI32(&tree.left));
+    HAMLET_RETURN_NOT_OK(r.GetVecI32(&tree.right));
+    HAMLET_RETURN_NOT_OK(r.GetVecF64(&tree.value));
+  }
+  HAMLET_RETURN_NOT_OK(r.ExpectEnd());
+  Result<Gbt> model_result = Gbt::FromParams(std::move(params));
+  if (!model_result.ok()) return Malformed(model_result.status().message());
+  return model_result;
+}
+
 // --- FsRunReport ---
 
 std::string SerializeFsRunReport(const FsRunReport& report) {
@@ -619,6 +733,24 @@ Status SaveLogisticRegression(const LogisticRegression& model,
 Result<LogisticRegression> LoadLogisticRegression(const std::string& path) {
   HAMLET_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
   return DeserializeLogisticRegression(bytes);
+}
+
+Status SaveDecisionTree(const DecisionTree& model, const std::string& path) {
+  return WriteFileBytes(path, SerializeDecisionTree(model));
+}
+
+Result<DecisionTree> LoadDecisionTree(const std::string& path) {
+  HAMLET_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return DeserializeDecisionTree(bytes);
+}
+
+Status SaveGbt(const Gbt& model, const std::string& path) {
+  return WriteFileBytes(path, SerializeGbt(model));
+}
+
+Result<Gbt> LoadGbt(const std::string& path) {
+  HAMLET_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return DeserializeGbt(bytes);
 }
 
 Status SaveFsRunReport(const FsRunReport& report, const std::string& path) {

@@ -3,8 +3,8 @@
 
 /// \file serde.h
 /// Versioned binary serialization for Hamlet artifacts: encoded datasets,
-/// trained Naive Bayes / logistic regression models, and feature
-/// selection run reports. This is the bottom layer of src/serve/ — the
+/// trained Naive Bayes / logistic regression / decision tree / GBT
+/// models, and feature selection run reports. This is the bottom layer of src/serve/ — the
 /// artifact store (artifact_store.h) persists these bytes, and the
 /// service (service.h) scores against models loaded from them.
 ///
@@ -32,6 +32,8 @@
 #include "common/result.h"
 #include "data/encoded_dataset.h"
 #include "fs/runner.h"
+#include "ml/decision_tree.h"
+#include "ml/gbt.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 
@@ -44,6 +46,8 @@ enum class ArtifactKind : uint16_t {
   kNaiveBayes = 2,
   kLogisticRegression = 3,
   kFsRunReport = 4,
+  kDecisionTree = 5,
+  kGradientBoostedTrees = 6,
 };
 
 /// Display name ("dataset", "naive_bayes", ...); "unknown" otherwise.
@@ -90,6 +94,16 @@ std::string SerializeLogisticRegression(const LogisticRegression& model);
 Result<LogisticRegression> DeserializeLogisticRegression(
     std::string_view bytes);
 
+/// Tree payloads store the flat pre-order node arrays of
+/// DecisionTreeParams / GbtParams; deserialization re-validates the
+/// structure (ValidateTreeStructure), so a CRC-passing but inconsistent
+/// tree is kMalformed, never a wild pointer walk.
+std::string SerializeDecisionTree(const DecisionTree& model);
+Result<DecisionTree> DeserializeDecisionTree(std::string_view bytes);
+
+std::string SerializeGbt(const Gbt& model);
+Result<Gbt> DeserializeGbt(std::string_view bytes);
+
 /// FsRunReport serialization persists the selection and every scalar;
 /// the embedded trace_summary is re-derived on load from those scalars
 /// (the same two-stage digest fs/runner.cc builds), not stored.
@@ -113,6 +127,12 @@ Result<NaiveBayes> LoadNaiveBayes(const std::string& path);
 Status SaveLogisticRegression(const LogisticRegression& model,
                               const std::string& path);
 Result<LogisticRegression> LoadLogisticRegression(const std::string& path);
+
+Status SaveDecisionTree(const DecisionTree& model, const std::string& path);
+Result<DecisionTree> LoadDecisionTree(const std::string& path);
+
+Status SaveGbt(const Gbt& model, const std::string& path);
+Result<Gbt> LoadGbt(const std::string& path);
 
 Status SaveFsRunReport(const FsRunReport& report, const std::string& path);
 Result<FsRunReport> LoadFsRunReport(const std::string& path);

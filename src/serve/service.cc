@@ -76,10 +76,12 @@ struct Pending {
   uint64_t enqueue_ns = 0;  ///< 0 when collection was off at enqueue.
 };
 
-/// Exactly one of the two pointers is set.
+/// Exactly one of the pointers is set.
 struct ResolvedModel {
   std::shared_ptr<const NaiveBayes> nb;
   std::shared_ptr<const LogisticRegression> lr;
+  std::shared_ptr<const DecisionTree> tree;
+  std::shared_ptr<const Gbt> gbt;
 };
 
 /// The block must have every trained feature at its training-time
@@ -219,17 +221,40 @@ struct HamletService::Impl {
                                          p.request.options));
   }
 
+  /// Tries each servable model kind in turn; a kind-mismatch means "try
+  /// the next kind", any other failure is final.
   Result<ResolvedModel> ResolveModel(const std::string& name,
                                      uint32_t version) {
     Result<std::shared_ptr<const NaiveBayes>> nb =
         store->GetNaiveBayes(name, version);
-    if (nb.ok()) return ResolvedModel{std::move(nb).ValueOrDie(), nullptr};
+    if (nb.ok()) {
+      return ResolvedModel{std::move(nb).ValueOrDie(), nullptr, nullptr,
+                           nullptr};
+    }
     if (SerdeErrorOf(nb.status()) != SerdeError::kKindMismatch) {
       return nb.status();
     }
-    HAMLET_ASSIGN_OR_RETURN(std::shared_ptr<const LogisticRegression> lr,
-                            store->GetLogisticRegression(name, version));
-    return ResolvedModel{nullptr, std::move(lr)};
+    Result<std::shared_ptr<const LogisticRegression>> lr =
+        store->GetLogisticRegression(name, version);
+    if (lr.ok()) {
+      return ResolvedModel{nullptr, std::move(lr).ValueOrDie(), nullptr,
+                           nullptr};
+    }
+    if (SerdeErrorOf(lr.status()) != SerdeError::kKindMismatch) {
+      return lr.status();
+    }
+    Result<std::shared_ptr<const DecisionTree>> tree =
+        store->GetDecisionTree(name, version);
+    if (tree.ok()) {
+      return ResolvedModel{nullptr, nullptr, std::move(tree).ValueOrDie(),
+                           nullptr};
+    }
+    if (SerdeErrorOf(tree.status()) != SerdeError::kKindMismatch) {
+      return tree.status();
+    }
+    HAMLET_ASSIGN_OR_RETURN(std::shared_ptr<const Gbt> gbt,
+                            store->GetGbt(name, version));
+    return ResolvedModel{nullptr, nullptr, nullptr, std::move(gbt)};
   }
 
   /// The scoring pass: resolve once, validate each block, score every
@@ -259,10 +284,16 @@ struct HamletService::Impl {
     uint64_t total_rows = 0;
     for (size_t i = 0; i < blocks.size(); ++i) {
       const EncodedDataset& block = *blocks[i];
-      Status st = model.nb != nullptr
-                      ? ValidateBlockForModel(block, *model.nb, "naive_bayes")
-                      : ValidateBlockForModel(block, *model.lr,
-                                              "logistic_regression");
+      Status st;
+      if (model.nb != nullptr) {
+        st = ValidateBlockForModel(block, *model.nb, "naive_bayes");
+      } else if (model.lr != nullptr) {
+        st = ValidateBlockForModel(block, *model.lr, "logistic_regression");
+      } else if (model.tree != nullptr) {
+        st = ValidateBlockForModel(block, *model.tree, "decision_tree");
+      } else {
+        st = ValidateBlockForModel(block, *model.gbt, "gbt");
+      }
       if (!st.ok()) {
         out[i].status = std::move(st);
         continue;
@@ -282,6 +313,17 @@ struct HamletService::Impl {
 
     const NaiveBayes* nb = model.nb.get();
     const LogisticRegression* lr = model.lr.get();
+    const DecisionTree* tree = model.tree.get();
+    const Gbt* gbt = model.gbt.get();
+    // Same argmax tie-break as every PredictOne in ml/: first
+    // strictly-greatest class wins.
+    const auto argmax = [](const std::vector<double>& scores) {
+      uint32_t best = 0;
+      for (uint32_t c = 1; c < scores.size(); ++c) {
+        if (scores[c] > scores[best]) best = c;
+      }
+      return best;
+    };
     ThreadPool::Global().ParallelFor(
         static_cast<uint32_t>(total_rows), options.num_threads,
         [&](uint32_t fused) {
@@ -292,16 +334,16 @@ struct HamletService::Impl {
           const EncodedDataset& block = *blocks[valid[b]];
           const uint32_t row = static_cast<uint32_t>(fused - base[b]);
           uint32_t pred;
+          thread_local std::vector<double> scores;
           if (nb != nullptr) {
-            thread_local std::vector<double> scores;
             nb->LogScoresInto(block, row, &scores);
-            // Same argmax tie-break as NaiveBayes::PredictOne: first
-            // strictly-greatest class wins.
-            uint32_t best = 0;
-            for (uint32_t c = 1; c < nb->num_classes(); ++c) {
-              if (scores[c] > scores[best]) best = c;
-            }
-            pred = best;
+            pred = argmax(scores);
+          } else if (tree != nullptr) {
+            tree->LogScoresInto(block, row, &scores);
+            pred = argmax(scores);
+          } else if (gbt != nullptr) {
+            gbt->LogScoresInto(block, row, &scores);
+            pred = argmax(scores);
           } else {
             pred = lr->PredictOne(block, row);
           }

@@ -97,5 +97,73 @@ TEST(AdviseFromStatsTest, EmptyCandidateListIsValid) {
   EXPECT_TRUE(plan.fks_to_join.empty());
 }
 
+// --- model_capacity: the capacity-aware re-test's advisor knob. -----------
+
+TEST(AdviseFromStatsTest, HighCapacityTightensBothThresholds) {
+  AdvisorOptions options;  // tolerance 0.001: tau = 20, rho = 2.5.
+  auto linear = *AdviseJoinsFromStats(10000, 1.0,
+                                      {Candidate("A", "TA", 100)}, options);
+  options.model_capacity = ModelCapacity::kHighCapacity;
+  auto high = *AdviseJoinsFromStats(10000, 1.0,
+                                    {Candidate("A", "TA", 100)}, options);
+  // TR avoids iff TR >= tau, so tau goes UP; ROR avoids iff ROR <= rho,
+  // so rho goes DOWN — both rules move in their conservative direction.
+  EXPECT_EQ(high.thresholds.tau, linear.thresholds.tau * kHighCapacityScale);
+  EXPECT_EQ(high.thresholds.rho, linear.thresholds.rho / kHighCapacityScale);
+}
+
+TEST(AdviseFromStatsTest, HighCapacityFlipsBorderlineTrVerdict) {
+  // TR = 10000 / 400 = 25: avoidable at the linear tau = 20, but not at
+  // the high-capacity tau = 40. A clearly redundant table (TR = 100)
+  // stays avoided under both.
+  AdvisorOptions options;
+  auto linear = *AdviseJoinsFromStats(
+      10000, 1.0,
+      {Candidate("Borderline", "TB", 400), Candidate("Tiny", "TT", 100)},
+      options);
+  EXPECT_EQ(linear.fks_avoided,
+            (std::vector<std::string>{"Borderline", "Tiny"}));
+
+  options.model_capacity = ModelCapacity::kHighCapacity;
+  auto high = *AdviseJoinsFromStats(
+      10000, 1.0,
+      {Candidate("Borderline", "TB", 400), Candidate("Tiny", "TT", 100)},
+      options);
+  EXPECT_EQ(high.fks_avoided, (std::vector<std::string>{"Tiny"}));
+  EXPECT_EQ(high.fks_to_join, (std::vector<std::string>{"Borderline"}));
+  // A high-capacity avoid verdict carries the honesty caveat from the
+  // EXPERIMENTS.md capacity sweep; a linear-capacity one does not.
+  EXPECT_NE(high.advice[1].rationale.find("conservative floor"),
+            std::string::npos);
+  EXPECT_EQ(linear.advice[1].rationale.find("conservative floor"),
+            std::string::npos);
+}
+
+TEST(AdviseFromStatsTest, HighCapacityRorIsMonotonicallyConservative) {
+  // Under the ROR rule, every table the high-capacity advisor still
+  // avoids must also have been avoidable at the linear thresholds —
+  // scaling can only move verdicts toward joining.
+  AdvisorOptions options;
+  options.rule = AvoidanceRule::kRor;
+  std::vector<CandidateTableStats> candidates;
+  for (uint64_t n_r : {10u, 50u, 200u, 1000u, 5000u}) {
+    candidates.push_back(
+        Candidate(("FK" + std::to_string(n_r)).c_str(), "T", n_r, 4));
+  }
+  auto linear = *AdviseJoinsFromStats(20000, 1.0, candidates, options);
+  options.model_capacity = ModelCapacity::kHighCapacity;
+  auto high = *AdviseJoinsFromStats(20000, 1.0, candidates, options);
+  ASSERT_EQ(high.advice.size(), linear.advice.size());
+  for (size_t i = 0; i < high.advice.size(); ++i) {
+    EXPECT_EQ(high.advice[i].ror, linear.advice[i].ror) << i;
+    EXPECT_EQ(high.advice[i].ror_verdict.threshold,
+              linear.advice[i].ror_verdict.threshold / kHighCapacityScale)
+        << i;
+    if (high.advice[i].avoid) {
+      EXPECT_TRUE(linear.advice[i].avoid) << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hamlet

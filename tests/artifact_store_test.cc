@@ -213,6 +213,63 @@ TEST_F(ArtifactStoreTest, DatasetRoundTripThroughStore) {
   EXPECT_EQ((*back)->feature(0), data.feature(0));
 }
 
+TEST_F(ArtifactStoreTest, TreeModelsRoundTripThroughStore) {
+  ArtifactStore store(root_);
+  EncodedDataset data = MakeData(14, 300);
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(data, rows, {0}).ok());
+  GbtOptions gbt_options;
+  gbt_options.num_rounds = 3;
+  Gbt gbt(gbt_options);
+  ASSERT_TRUE(gbt.Train(data, rows, {0}).ok());
+
+  auto tree_version = store.PutDecisionTree("tree", tree);
+  ASSERT_TRUE(tree_version.ok()) << tree_version.status();
+  EXPECT_EQ(*tree_version, 1u);
+  auto gbt_version = store.PutGbt("gbt", gbt);
+  ASSERT_TRUE(gbt_version.ok()) << gbt_version.status();
+
+  auto tree_kind = store.KindOf("tree");
+  ASSERT_TRUE(tree_kind.ok());
+  EXPECT_EQ(*tree_kind, ArtifactKind::kDecisionTree);
+  auto gbt_kind = store.KindOf("gbt");
+  ASSERT_TRUE(gbt_kind.ok());
+  EXPECT_EQ(*gbt_kind, ArtifactKind::kGradientBoostedTrees);
+
+  auto tree_back = store.GetDecisionTree("tree");
+  ASSERT_TRUE(tree_back.ok()) << tree_back.status();
+  EXPECT_EQ((*tree_back)->Predict(data, rows), tree.Predict(data, rows));
+  auto gbt_back = store.GetGbt("gbt");
+  ASSERT_TRUE(gbt_back.ok()) << gbt_back.status();
+  EXPECT_EQ((*gbt_back)->Predict(data, rows), gbt.Predict(data, rows));
+
+  // Cache hits hand back the same deserialized instance.
+  auto tree_again = store.GetDecisionTree("tree");
+  ASSERT_TRUE(tree_again.ok());
+  EXPECT_EQ(tree_back->get(), tree_again->get());
+}
+
+TEST_F(ArtifactStoreTest, TreeKindMismatchIsTypedError) {
+  ArtifactStore store(root_);
+  EncodedDataset data = MakeData(15);
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(data, rows, {0}).ok());
+  ASSERT_TRUE(store.PutDecisionTree("tree", tree).ok());
+  auto as_gbt = store.GetGbt("tree");
+  ASSERT_FALSE(as_gbt.ok());
+  EXPECT_EQ(SerdeErrorOf(as_gbt.status()), SerdeError::kKindMismatch);
+  auto as_nb = store.GetNaiveBayes("tree");
+  ASSERT_FALSE(as_nb.ok());
+  EXPECT_EQ(SerdeErrorOf(as_nb.status()), SerdeError::kKindMismatch);
+  EXPECT_EQ(store.GetDecisionTree("absent").status().code(),
+            StatusCode::kNotFound);
+}
+
 TEST_F(ArtifactStoreTest, FsRunReportRoundTripThroughStore) {
   ArtifactStore store(root_);
   FsRunReport report;

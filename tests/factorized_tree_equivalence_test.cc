@@ -1,0 +1,382 @@
+/// Factorized-vs-materialized equivalence for the tree subsystem (ctest
+/// label `factorized`). The contract under test is the determinism half
+/// of ml/decision_tree.h and ml/gbt.h: training a histogram CART tree or
+/// a gradient-boosted ensemble over the normalized (S, R) view must
+/// produce *bit*-identical models — every split, every stored double —
+/// to training on the materialized join, at any thread count, because
+/// split histograms are integer counts (tree) or pinned-order float
+/// accumulations (GBT) and the factorized path differs only in how
+/// candidate columns are gathered. Selections, runner reports, and the
+/// pipeline's avoid-materialization switch must then agree end to end.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/pipeline.h"
+#include "common/rng.h"
+#include "data/encoded_dataset.h"
+#include "data/splits.h"
+#include "datasets/registry.h"
+#include "fs/greedy_search.h"
+#include "fs/runner.h"
+#include "ml/decision_tree.h"
+#include "ml/factorized.h"
+#include "ml/gbt.h"
+#include "ml/suff_stats.h"
+#include "relational/catalog.h"
+
+namespace hamlet {
+namespace {
+
+const uint32_t kThreadCounts[] = {1u, 2u, 8u};
+
+struct DatasetCase {
+  const char* name;
+  double scale;
+};
+// The same three schema shapes the NB equivalence suite covers.
+const DatasetCase kDatasetCases[] = {
+    {"Walmart", 0.02}, {"Expedia", 0.004}, {"Yelp", 0.02}};
+
+std::vector<std::string> AllFkColumns(const NormalizedDataset& dataset) {
+  std::vector<std::string> fks;
+  for (const auto& fk : dataset.foreign_keys()) fks.push_back(fk.fk_column);
+  return fks;
+}
+
+/// Both views of one dataset plus the (identical) holdout split.
+struct TwinCase {
+  std::string name;
+  NormalizedDataset dataset;
+  std::unique_ptr<EncodedDataset> mat;
+  FactorizedDataset fac;
+  HoldoutSplit split;
+  ErrorMetric metric;
+};
+
+TwinCase MakeTwinCase(const DatasetCase& c, uint64_t seed) {
+  TwinCase out;
+  out.name = c.name;
+  out.dataset = *MakeDataset(c.name, c.scale, seed);
+  const std::vector<std::string> fks = AllFkColumns(out.dataset);
+  Table table = *out.dataset.JoinSubset(fks);
+  out.mat =
+      std::make_unique<EncodedDataset>(*EncodedDataset::FromTableAuto(table));
+  out.fac = *FactorizedDataset::Make(out.dataset, fks);
+  Rng rng(seed + 1);
+  out.split = MakeHoldoutSplit(out.mat->num_rows(), rng);
+  out.metric = *MetricForDataset(c.name);
+  return out;
+}
+
+void ExpectTreeParamsBitIdentical(const DecisionTreeParams& a,
+                                  const DecisionTreeParams& b,
+                                  const std::string& context) {
+  EXPECT_EQ(a.alpha, b.alpha) << context;
+  EXPECT_EQ(a.num_classes, b.num_classes) << context;
+  EXPECT_EQ(a.features, b.features) << context;
+  EXPECT_EQ(a.cardinalities, b.cardinalities) << context;
+  EXPECT_EQ(a.split_slot, b.split_slot) << context;
+  EXPECT_EQ(a.split_code, b.split_code) << context;
+  EXPECT_EQ(a.left, b.left) << context;
+  EXPECT_EQ(a.right, b.right) << context;
+  // operator== on vector<double> is exact FP equality: bit identity
+  // modulo -0.0/NaN, neither of which a log-probability table contains.
+  EXPECT_EQ(a.scores, b.scores) << context;
+}
+
+void ExpectGbtParamsBitIdentical(const GbtParams& a, const GbtParams& b,
+                                 const std::string& context) {
+  EXPECT_EQ(a.learning_rate, b.learning_rate) << context;
+  EXPECT_EQ(a.lambda, b.lambda) << context;
+  EXPECT_EQ(a.num_classes, b.num_classes) << context;
+  EXPECT_EQ(a.features, b.features) << context;
+  EXPECT_EQ(a.cardinalities, b.cardinalities) << context;
+  EXPECT_EQ(a.base_scores, b.base_scores) << context;
+  ASSERT_EQ(a.trees.size(), b.trees.size()) << context;
+  for (size_t m = 0; m < a.trees.size(); ++m) {
+    const std::string tc = context + " tree " + std::to_string(m);
+    EXPECT_EQ(a.trees[m].split_slot, b.trees[m].split_slot) << tc;
+    EXPECT_EQ(a.trees[m].split_code, b.trees[m].split_code) << tc;
+    EXPECT_EQ(a.trees[m].left, b.trees[m].left) << tc;
+    EXPECT_EQ(a.trees[m].right, b.trees[m].right) << tc;
+    EXPECT_EQ(a.trees[m].value, b.trees[m].value) << tc;
+  }
+}
+
+// --- Training: bit-identical models across views and thread counts. -------
+
+TEST(FactorizedTreeTest, TrainBitIdenticalAcrossViewsAndThreads) {
+  for (const DatasetCase& c : kDatasetCases) {
+    TwinCase t = MakeTwinCase(c, 41);
+    const std::vector<uint32_t> features = t.mat->AllFeatureIndices();
+
+    DecisionTreeOptions ref_options;
+    ref_options.num_threads = 1;
+    DecisionTree ref(ref_options);
+    SuffStatsCache::Global().Clear();
+    ASSERT_TRUE(ref.Train(*t.mat, t.split.train, features).ok());
+    const DecisionTreeParams ref_params = ref.ExportParams();
+    ASSERT_GT(ref.num_nodes(), 1u) << t.name << ": degenerate stump";
+    const std::vector<uint32_t> ref_pred = ref.Predict(*t.mat, t.split.test);
+
+    for (uint32_t threads : kThreadCounts) {
+      SCOPED_TRACE(t.name + " threads " + std::to_string(threads));
+      DecisionTreeOptions options;
+      options.num_threads = threads;
+
+      DecisionTree mat_tree(options);
+      SuffStatsCache::Global().Clear();
+      ASSERT_TRUE(mat_tree.Train(*t.mat, t.split.train, features).ok());
+      ExpectTreeParamsBitIdentical(mat_tree.ExportParams(), ref_params,
+                                   "materialized");
+
+      DecisionTree fac_tree(options);
+      SuffStatsCache::Global().Clear();
+      ASSERT_TRUE(
+          fac_tree.TrainFactorized(t.fac, t.split.train, features).ok());
+      ExpectTreeParamsBitIdentical(fac_tree.ExportParams(), ref_params,
+                                   "factorized");
+
+      std::vector<uint32_t> fac_pred;
+      ASSERT_TRUE(
+          fac_tree.PredictFactorized(t.fac, t.split.test, &fac_pred).ok());
+      EXPECT_EQ(fac_pred, ref_pred);
+    }
+  }
+}
+
+TEST(FactorizedGbtTest, TrainBitIdenticalAcrossViewsAndThreads) {
+  for (const DatasetCase& c : kDatasetCases) {
+    TwinCase t = MakeTwinCase(c, 43);
+    const std::vector<uint32_t> features = t.mat->AllFeatureIndices();
+
+    GbtOptions ref_options;
+    ref_options.num_rounds = 5;  // Enough rounds to exercise boosting.
+    ref_options.num_threads = 1;
+    Gbt ref(ref_options);
+    ASSERT_TRUE(ref.Train(*t.mat, t.split.train, features).ok());
+    const GbtParams ref_params = ref.ExportParams();
+    ASSERT_EQ(ref.num_trees(), 5u * ref.num_classes());
+    const std::vector<uint32_t> ref_pred = ref.Predict(*t.mat, t.split.test);
+
+    for (uint32_t threads : kThreadCounts) {
+      SCOPED_TRACE(t.name + " threads " + std::to_string(threads));
+      GbtOptions options = ref_options;
+      options.num_threads = threads;
+
+      Gbt mat_gbt(options);
+      ASSERT_TRUE(mat_gbt.Train(*t.mat, t.split.train, features).ok());
+      ExpectGbtParamsBitIdentical(mat_gbt.ExportParams(), ref_params,
+                                  "materialized");
+
+      Gbt fac_gbt(options);
+      ASSERT_TRUE(
+          fac_gbt.TrainFactorized(t.fac, t.split.train, features).ok());
+      ExpectGbtParamsBitIdentical(fac_gbt.ExportParams(), ref_params,
+                                  "factorized");
+
+      std::vector<uint32_t> fac_pred;
+      ASSERT_TRUE(
+          fac_gbt.PredictFactorized(t.fac, t.split.test, &fac_pred).ok());
+      EXPECT_EQ(fac_pred, ref_pred);
+    }
+  }
+}
+
+// --- The cached-SuffStats root seed changes nothing but the cost. ---------
+
+TEST(FactorizedTreeTest, WarmSuffStatsCacheDoesNotChangeBits) {
+  TwinCase t = MakeTwinCase(kDatasetCases[0], 45);
+  const std::vector<uint32_t> features = t.mat->AllFeatureIndices();
+  DecisionTreeOptions options;
+  options.num_threads = 2;
+
+  // Cold: Train counts the root histograms from the gathered codes.
+  SuffStatsCache::Global().Clear();
+  DecisionTree cold(options);
+  ASSERT_TRUE(cold.Train(*t.mat, t.split.train, features).ok());
+
+  // Warm: the root histograms come from the cached (materialized or
+  // factorized) statistics via Peek — integer counts, so bit-identical.
+  SuffStatsCache::Global().Clear();
+  ASSERT_NE(SuffStatsCache::Global().GetOrBuild(*t.mat, t.split.train, 1),
+            nullptr);
+  DecisionTree warm_mat(options);
+  ASSERT_TRUE(warm_mat.Train(*t.mat, t.split.train, features).ok());
+  ExpectTreeParamsBitIdentical(warm_mat.ExportParams(), cold.ExportParams(),
+                               "warm materialized cache");
+
+  SuffStatsCache::Global().Clear();
+  ASSERT_NE(GetOrBuildFactorizedSuffStats(t.fac, t.split.train, 1), nullptr);
+  DecisionTree warm_fac(options);
+  ASSERT_TRUE(warm_fac.TrainFactorized(t.fac, t.split.train, features).ok());
+  ExpectTreeParamsBitIdentical(warm_fac.ExportParams(), cold.ExportParams(),
+                               "warm factorized cache");
+}
+
+// --- Selections: the tree scan paths agree with the materialized scan. ----
+
+TEST(FactorizedTreeSelectionTest, ForwardAndBackwardMatchMaterialized) {
+  TwinCase t = MakeTwinCase(kDatasetCases[0], 47);
+  const ClassifierFactory factory = MakeDecisionTreeFactory();
+  const std::vector<uint32_t> candidates = t.mat->AllFeatureIndices();
+
+  std::vector<std::unique_ptr<FeatureSelector>> selectors;
+  selectors.push_back(std::make_unique<ForwardSelection>());
+  selectors.push_back(std::make_unique<BackwardSelection>());
+  for (auto& selector : selectors) {
+    for (uint32_t threads : {1u, 2u}) {
+      SCOPED_TRACE(selector->name() + " threads " + std::to_string(threads));
+      selector->set_num_threads(threads);
+      SuffStatsCache::Global().Clear();
+      auto mat =
+          selector->Select(*t.mat, t.split, factory, t.metric, candidates);
+      ASSERT_TRUE(mat.ok()) << mat.status();
+      SuffStatsCache::Global().Clear();
+      auto fac = selector->SelectFactorized(t.fac, t.split, factory, t.metric,
+                                            candidates);
+      ASSERT_TRUE(fac.ok()) << fac.status();
+      EXPECT_EQ(fac->selected, mat->selected);
+      EXPECT_EQ(fac->validation_error, mat->validation_error);
+      EXPECT_EQ(fac->models_trained, mat->models_trained);
+    }
+  }
+}
+
+TEST(FactorizedGbtSelectionTest, ForwardSelectionMatchesMaterialized) {
+  TwinCase t = MakeTwinCase(kDatasetCases[0], 49);
+  const ClassifierFactory factory = MakeGbtFactory();
+  const std::vector<uint32_t> candidates = t.mat->AllFeatureIndices();
+  ForwardSelection forward;
+  for (uint32_t threads : {1u, 2u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    forward.set_num_threads(threads);
+    SuffStatsCache::Global().Clear();
+    auto mat = forward.Select(*t.mat, t.split, factory, t.metric, candidates);
+    ASSERT_TRUE(mat.ok()) << mat.status();
+    SuffStatsCache::Global().Clear();
+    auto fac =
+        forward.SelectFactorized(t.fac, t.split, factory, t.metric, candidates);
+    ASSERT_TRUE(fac.ok()) << fac.status();
+    EXPECT_EQ(fac->selected, mat->selected);
+    EXPECT_EQ(fac->validation_error, mat->validation_error);
+    EXPECT_EQ(fac->models_trained, mat->models_trained);
+  }
+}
+
+// --- Runner: final fit and holdout error agree. ---------------------------
+
+TEST(FactorizedTreeRunnerTest, ReportBitIdenticalToMaterialized) {
+  TwinCase t = MakeTwinCase(kDatasetCases[0], 51);
+  const ClassifierFactory factory = MakeDecisionTreeFactory();
+  const std::vector<uint32_t> candidates = t.mat->AllFeatureIndices();
+  ForwardSelection forward;
+  forward.set_num_threads(2);
+
+  SuffStatsCache::Global().Clear();
+  auto mat = RunFeatureSelection(forward, *t.mat, t.split, factory, t.metric,
+                                 candidates);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  SuffStatsCache::Global().Clear();
+  auto fac = RunFeatureSelectionFactorized(forward, t.fac, t.split, factory,
+                                           t.metric, candidates);
+  ASSERT_TRUE(fac.ok()) << fac.status();
+
+  EXPECT_EQ(fac->selection.selected, mat->selection.selected);
+  EXPECT_EQ(fac->selection.validation_error, mat->selection.validation_error);
+  EXPECT_EQ(fac->selected_names, mat->selected_names);
+  EXPECT_EQ(fac->holdout_test_error, mat->holdout_test_error);
+
+  // The final fits themselves: retrain both views on the selected subset
+  // and require bit identity (the runner's fits ran outside the refit
+  // budget, so these full-depth twins are what it reported on).
+  DecisionTreeOptions options;
+  options.num_threads = 2;
+  DecisionTree from_mat(options), from_fac(options);
+  SuffStatsCache::Global().Clear();
+  ASSERT_TRUE(
+      from_mat.Train(*t.mat, t.split.train, mat->selection.selected).ok());
+  ASSERT_TRUE(
+      from_fac.TrainFactorized(t.fac, t.split.train, fac->selection.selected)
+          .ok());
+  ExpectTreeParamsBitIdentical(from_fac.ExportParams(), from_mat.ExportParams(),
+                               "final fit");
+}
+
+// --- The pipeline switch, for both tree classifiers. ----------------------
+
+TEST(FactorizedTreePipelineTest, DecisionTreeAvoidMaterializationMatches) {
+  NormalizedDataset dataset = *MakeDataset("Walmart", 0.02, 53);
+  PipelineConfig config;
+  config.method = FsMethod::kForwardSelection;
+  config.classifier = ClassifierKind::kDecisionTree;
+  config.metric = *MetricForDataset("Walmart");
+  config.seed = 53;
+
+  SuffStatsCache::Global().Clear();
+  config.avoid_materialization = false;
+  auto mat = RunPipeline(dataset, config);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  SuffStatsCache::Global().Clear();
+  config.avoid_materialization = true;
+  auto fac = RunPipeline(dataset, config);
+  ASSERT_TRUE(fac.ok()) << fac.status();
+
+  EXPECT_TRUE(fac->factorized);
+  EXPECT_FALSE(mat->factorized);
+  EXPECT_EQ(fac->tables_joined, 0u);
+  EXPECT_EQ(fac->tables_factorized, mat->tables_joined);
+  EXPECT_EQ(fac->selection.selected_names, mat->selection.selected_names);
+  EXPECT_EQ(fac->selection.selection.validation_error,
+            mat->selection.selection.validation_error);
+  EXPECT_EQ(fac->selection.holdout_test_error,
+            mat->selection.holdout_test_error);
+}
+
+TEST(FactorizedGbtPipelineTest, GbtAvoidMaterializationMatches) {
+  NormalizedDataset dataset = *MakeDataset("Walmart", 0.01, 55);
+  PipelineConfig config;
+  config.method = FsMethod::kForwardSelection;
+  config.classifier = ClassifierKind::kGradientBoostedTrees;
+  config.metric = *MetricForDataset("Walmart");
+  config.seed = 55;
+
+  SuffStatsCache::Global().Clear();
+  config.avoid_materialization = false;
+  auto mat = RunPipeline(dataset, config);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  SuffStatsCache::Global().Clear();
+  config.avoid_materialization = true;
+  auto fac = RunPipeline(dataset, config);
+  ASSERT_TRUE(fac.ok()) << fac.status();
+
+  EXPECT_TRUE(fac->factorized);
+  EXPECT_EQ(fac->tables_joined, 0u);
+  EXPECT_EQ(fac->selection.selected_names, mat->selection.selected_names);
+  EXPECT_EQ(fac->selection.holdout_test_error,
+            mat->selection.holdout_test_error);
+}
+
+// --- force_scan_eval does not break trees (their scan IS factorized). -----
+
+TEST(FactorizedTreePipelineTest, ForceScanStillTrainsFactorized) {
+  NormalizedDataset dataset = *MakeDataset("Walmart", 0.01, 57);
+  PipelineConfig config;
+  config.classifier = ClassifierKind::kDecisionTree;
+  config.metric = *MetricForDataset("Walmart");
+  config.avoid_materialization = true;
+  // force_scan_eval only forces NB off its sufficient-statistics fast
+  // path; the tree candidate evaluation is already a factorized scan.
+  config.force_scan_eval = true;
+  auto report = RunPipeline(dataset, config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->factorized);
+  EXPECT_EQ(report->tables_joined, 0u);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -335,9 +335,218 @@ TEST(SerdeTest, ArtifactKindNames) {
                "dataset");
   EXPECT_STREQ(ArtifactKindToString(ArtifactKind::kNaiveBayes),
                "naive_bayes");
+  EXPECT_STREQ(ArtifactKindToString(ArtifactKind::kDecisionTree),
+               "decision_tree");
+  EXPECT_STREQ(ArtifactKindToString(ArtifactKind::kGradientBoostedTrees),
+               "gbt");
   EXPECT_TRUE(IsKnownArtifactKind(2));
+  EXPECT_TRUE(IsKnownArtifactKind(5));
+  EXPECT_TRUE(IsKnownArtifactKind(6));
   EXPECT_FALSE(IsKnownArtifactKind(0));
+  EXPECT_FALSE(IsKnownArtifactKind(7));
   EXPECT_FALSE(IsKnownArtifactKind(99));
+}
+
+// --- Tree artifacts (ArtifactKind::kDecisionTree / kGradientBoostedTrees).
+
+DecisionTree TrainTree(const EncodedDataset& data) {
+  DecisionTree model;
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  EXPECT_TRUE(model.Train(data, rows, {0, 1}).ok());
+  return model;
+}
+
+Gbt TrainGbt(const EncodedDataset& data) {
+  GbtOptions options;
+  options.num_rounds = 3;  // Small ensemble keeps the fuzz loops fast.
+  Gbt model(options);
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  EXPECT_TRUE(model.Train(data, rows, {0, 1}).ok());
+  return model;
+}
+
+TEST(SerdeTest, DecisionTreeRoundTripIsBitExact) {
+  EncodedDataset data = MakeData(15);
+  DecisionTree model = TrainTree(data);
+  std::string bytes = SerializeDecisionTree(model);
+  auto kind = KindOfSerialized(bytes);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, ArtifactKind::kDecisionTree);
+  auto back = DeserializeDecisionTree(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+
+  DecisionTreeParams a = model.ExportParams();
+  DecisionTreeParams b = back->ExportParams();
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.alpha), std::bit_cast<uint64_t>(b.alpha));
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.cardinalities, b.cardinalities);
+  EXPECT_EQ(a.split_slot, b.split_slot);
+  EXPECT_EQ(a.split_code, b.split_code);
+  EXPECT_EQ(a.left, b.left);
+  EXPECT_EQ(a.right, b.right);
+  EXPECT_TRUE(BitsEqual(a.scores, b.scores));
+
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  EXPECT_EQ(model.Predict(data, rows), back->Predict(data, rows));
+}
+
+TEST(SerdeTest, GbtRoundTripIsBitExact) {
+  EncodedDataset data = MakeData(16);
+  Gbt model = TrainGbt(data);
+  std::string bytes = SerializeGbt(model);
+  auto kind = KindOfSerialized(bytes);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, ArtifactKind::kGradientBoostedTrees);
+  auto back = DeserializeGbt(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+
+  GbtParams a = model.ExportParams();
+  GbtParams b = back->ExportParams();
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.learning_rate),
+            std::bit_cast<uint64_t>(b.learning_rate));
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.lambda),
+            std::bit_cast<uint64_t>(b.lambda));
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.cardinalities, b.cardinalities);
+  EXPECT_TRUE(BitsEqual(a.base_scores, b.base_scores));
+  ASSERT_EQ(a.trees.size(), b.trees.size());
+  for (size_t m = 0; m < a.trees.size(); ++m) {
+    EXPECT_EQ(a.trees[m].split_slot, b.trees[m].split_slot) << m;
+    EXPECT_EQ(a.trees[m].split_code, b.trees[m].split_code) << m;
+    EXPECT_EQ(a.trees[m].left, b.trees[m].left) << m;
+    EXPECT_EQ(a.trees[m].right, b.trees[m].right) << m;
+    EXPECT_TRUE(BitsEqual(a.trees[m].value, b.trees[m].value)) << m;
+  }
+
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  EXPECT_EQ(model.Predict(data, rows), back->Predict(data, rows));
+}
+
+TEST(SerdeTest, TreeKindMismatchesArePinned) {
+  EncodedDataset data = MakeData(17, 60);
+  std::string tree_bytes = SerializeDecisionTree(TrainTree(data));
+  std::string gbt_bytes = SerializeGbt(TrainGbt(data));
+  std::string nb_bytes = SerializeNaiveBayes(TrainNb(data));
+
+  // Every cross-reading of the three model kinds is a typed mismatch.
+  for (const std::string* bytes : {&gbt_bytes, &nb_bytes}) {
+    auto as_tree = DeserializeDecisionTree(*bytes);
+    ASSERT_FALSE(as_tree.ok());
+    EXPECT_EQ(SerdeErrorOf(as_tree.status()), SerdeError::kKindMismatch);
+    EXPECT_EQ(as_tree.status().code(), StatusCode::kFailedPrecondition);
+  }
+  for (const std::string* bytes : {&tree_bytes, &nb_bytes}) {
+    auto as_gbt = DeserializeGbt(*bytes);
+    ASSERT_FALSE(as_gbt.ok());
+    EXPECT_EQ(SerdeErrorOf(as_gbt.status()), SerdeError::kKindMismatch);
+  }
+  auto as_nb = DeserializeNaiveBayes(tree_bytes);
+  ASSERT_FALSE(as_nb.ok());
+  EXPECT_EQ(SerdeErrorOf(as_nb.status()), SerdeError::kKindMismatch);
+}
+
+TEST(SerdeTest, EveryTreeTruncationIsATypedError) {
+  std::string bytes = SerializeDecisionTree(TrainTree(MakeData(18, 30)));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto back = DeserializeDecisionTree(bytes.substr(0, len));
+    ASSERT_FALSE(back.ok()) << "prefix length " << len;
+    EXPECT_NE(SerdeErrorOf(back.status()), SerdeError::kNone)
+        << "prefix length " << len << ": " << back.status();
+  }
+}
+
+TEST(SerdeTest, EveryGbtTruncationIsATypedError) {
+  std::string bytes = SerializeGbt(TrainGbt(MakeData(19, 30)));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto back = DeserializeGbt(bytes.substr(0, len));
+    ASSERT_FALSE(back.ok()) << "prefix length " << len;
+    EXPECT_NE(SerdeErrorOf(back.status()), SerdeError::kNone)
+        << "prefix length " << len << ": " << back.status();
+  }
+}
+
+TEST(SerdeTest, FlippingAnyTreeByteIsATypedError) {
+  std::string bytes = SerializeDecisionTree(TrainTree(MakeData(20, 25)));
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(~static_cast<uint8_t>(corrupt[i]));
+    auto back = DeserializeDecisionTree(corrupt);
+    ASSERT_FALSE(back.ok()) << "byte " << i;
+    EXPECT_NE(SerdeErrorOf(back.status()), SerdeError::kNone)
+        << "byte " << i << ": " << back.status();
+  }
+}
+
+TEST(SerdeTest, FlippingAnyGbtByteIsATypedError) {
+  std::string bytes = SerializeGbt(TrainGbt(MakeData(21, 25)));
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(~static_cast<uint8_t>(corrupt[i]));
+    auto back = DeserializeGbt(corrupt);
+    ASSERT_FALSE(back.ok()) << "byte " << i;
+    EXPECT_NE(SerdeErrorOf(back.status()), SerdeError::kNone)
+        << "byte " << i << ": " << back.status();
+  }
+}
+
+// A CRC-consistent file whose payload violates the tree schema must be
+// kMalformed: deserialization re-runs ValidateTreeStructure, so a valid
+// envelope cannot smuggle in an inconsistent tree. The edit below sets
+// split_slot[0] to 99 at its documented payload offset — header (16) +
+// alpha (8) + num_classes (4) + two length-prefixed u32 vectors of two
+// features (16 each) + the split_slot length word (8) = byte 68.
+TEST(SerdeTest, ValidCrcWithInconsistentTreeIsMalformed) {
+  DecisionTree model = TrainTree(MakeData(22, 40));
+  ASSERT_EQ(model.trained_features().size(), 2u);
+  std::string bytes = SerializeDecisionTree(model);
+  const size_t offset = 68;
+  ASSERT_GE(bytes.size(), offset + 4 + kFooterSize);
+  bytes[offset] = 99;
+  bytes[offset + 1] = 0;
+  bytes[offset + 2] = 0;
+  bytes[offset + 3] = 0;
+  PatchCrc(&bytes);
+  auto back = DeserializeDecisionTree(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(SerdeErrorOf(back.status()), SerdeError::kMalformed);
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerdeTest, TreeFileRoundTrip) {
+  EncodedDataset data = MakeData(23, 40);
+  DecisionTree tree = TrainTree(data);
+  Gbt gbt = TrainGbt(data);
+  std::string tree_path = ::testing::TempDir() + "/serde_tree.hamlet";
+  std::string gbt_path = ::testing::TempDir() + "/serde_gbt.hamlet";
+  ASSERT_TRUE(SaveDecisionTree(tree, tree_path).ok());
+  ASSERT_TRUE(SaveGbt(gbt, gbt_path).ok());
+
+  auto tree_kind = PeekKind(tree_path);
+  ASSERT_TRUE(tree_kind.ok());
+  EXPECT_EQ(*tree_kind, ArtifactKind::kDecisionTree);
+  auto gbt_kind = PeekKind(gbt_path);
+  ASSERT_TRUE(gbt_kind.ok());
+  EXPECT_EQ(*gbt_kind, ArtifactKind::kGradientBoostedTrees);
+
+  auto tree_back = LoadDecisionTree(tree_path);
+  ASSERT_TRUE(tree_back.ok()) << tree_back.status();
+  EXPECT_TRUE(BitsEqual(tree.ExportParams().scores,
+                        tree_back->ExportParams().scores));
+  auto gbt_back = LoadGbt(gbt_path);
+  ASSERT_TRUE(gbt_back.ok()) << gbt_back.status();
+  EXPECT_TRUE(BitsEqual(gbt.ExportParams().base_scores,
+                        gbt_back->ExportParams().base_scores));
+
+  EXPECT_EQ(LoadDecisionTree("/nonexistent/tree.hamlet").status().code(),
+            StatusCode::kIOError);
+  std::remove(tree_path.c_str());
+  std::remove(gbt_path.c_str());
 }
 
 }  // namespace
