@@ -18,6 +18,15 @@
 /// at the end of the run; --prom dumps the same snapshot in Prometheus
 /// text exposition format. The HAMLET_METRICS_JSONL environment
 /// variable supplies the JSONL path as well (the flag wins).
+///
+/// --load-test switches to the closed-loop load harness for the sharded
+/// data plane (serve/load_gen.h): it drives Score-only traffic for a
+/// fixed window and prints the accounting/throughput/latency report.
+/// In this mode [clients] keeps its positional meaning and the knobs
+/// are --duration=S, --rate=R (req/s, 0 = unthrottled), --block-rows=N,
+/// --models=N, --versions=N (published history depth per model),
+/// --shards=N (0 = auto), --shed (load-shedding admission
+/// instead of blocking), --deadline-us=N (per-request deadline).
 
 #include <algorithm>
 #include <chrono>
@@ -37,6 +46,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "serve/artifact_store.h"
+#include "serve/load_gen.h"
 #include "serve/service.h"
 #include "sim/data_synthesis.h"
 
@@ -93,12 +103,39 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("HAMLET_METRICS_JSONL")) {
     metrics_jsonl_path = env;
   }
+  bool load_test = false, shed = false;
+  double load_duration_s = 2.0, load_rate = 0.0;
+  uint32_t load_block_rows = 16, load_models = 4, load_shards = 0;
+  uint32_t load_versions = 0;  // 0 = LoadGenOptions' default history.
+  uint64_t load_deadline_us = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-jsonl=", 16) == 0) {
       metrics_jsonl_path = argv[i] + 16;
     } else if (std::strncmp(argv[i], "--prom=", 7) == 0) {
       prom_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--load-test") == 0) {
+      load_test = true;
+    } else if (std::strcmp(argv[i], "--shed") == 0) {
+      shed = true;
+    } else if (std::strncmp(argv[i], "--duration=", 11) == 0) {
+      load_duration_s = std::strtod(argv[i] + 11, nullptr);
+    } else if (std::strncmp(argv[i], "--rate=", 7) == 0) {
+      load_rate = std::strtod(argv[i] + 7, nullptr);
+    } else if (std::strncmp(argv[i], "--block-rows=", 13) == 0) {
+      load_block_rows =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 13, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--models=", 9) == 0) {
+      load_models =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--versions=", 11) == 0) {
+      load_versions =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 11, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      load_shards =
+          static_cast<uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--deadline-us=", 14) == 0) {
+      load_deadline_us = std::strtoull(argv[i] + 14, nullptr, 10);
     } else {
       positional.push_back(argv[i]);
     }
@@ -113,6 +150,39 @@ int main(int argc, char** argv) {
           : 200;
   const uint64_t seed =
       positional.size() > 2 ? std::strtoull(positional[2], nullptr, 10) : 7;
+
+  if (load_test) {
+    const std::string root = "artifacts/hamlet_serve_cli_load";
+    std::filesystem::remove_all(root);
+    ArtifactStore store(root);
+    ServiceOptions service_options;
+    service_options.num_shards = load_shards;
+    if (shed) {
+      service_options.overload_policy = OverloadPolicy::kShed;
+      service_options.queue_capacity = 64;
+      service_options.shed_high_water = 32;
+    }
+    LoadGenOptions load;
+    load.clients = clients;
+    load.duration_s = load_duration_s;
+    load.target_rate = load_rate;
+    load.block_rows = load_block_rows;
+    load.num_models = load_models;
+    if (load_versions != 0) load.versions_per_model = load_versions;
+    load.deadline_ns = load_deadline_us * 1000;
+    load.seed = seed;
+    auto report = RunClosedLoopLoad(&store, service_options, load);
+    if (!report.ok()) {
+      std::fprintf(stderr, "load test failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("hamlet_serve_cli --load-test: %u clients for %.2fs "
+                "(%s admission)\n%s",
+                clients, load_duration_s, shed ? "shedding" : "blocking",
+                FormatLoadReport(*report).c_str());
+    return report->accounting_exact ? 0 : 1;
+  }
 
   // --- Synthesize a dataset and train the model to serve. ---
   SimConfig config;

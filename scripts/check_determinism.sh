@@ -13,6 +13,12 @@
 # under TSAN: the radix partitioner's two-pass parallel scatter, the
 # Bloom filter's relaxed-atomic parallel build, and the per-partition
 # join passes all write shared arrays from ParallelFor workers.
+# A fourth pass runs the sharded serving data plane
+# (tests/service_shard_determinism_test.cc + the artifact store's
+# concurrent shared-lock hit tests): N dispatcher threads draining MPSC
+# queues, load shedding, deadline expiry, the generation-validated warm
+# model cache, and the closed-loop load harness — the serving stack's
+# cross-thread hand-offs.
 #
 # Usage: scripts/check_determinism.sh [extra ctest args...]
 # Env:   BUILD_DIR (default build-tsan), JOBS (default nproc).
@@ -41,3 +47,8 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L obs "$@"
 # The join engine lockdown (radix partitioner, Bloom filter, radix-vs-CSR
 # equivalence, label `joins`) under the same TSAN build.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L joins "$@"
+
+# The sharded scoring data plane (multi-queue dispatch, admission
+# control, warm cache) and the artifact store's concurrent hit path.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R 'ShardedServiceTest|ServiceTest|ArtifactStoreTest' "$@"

@@ -18,7 +18,11 @@ import sys
 
 # The perf-gated families: candidate evaluation and model training, the
 # paths BENCH trajectories track across PRs (docs/PERFORMANCE.md), plus
-# the serving stack's serde and batched-scoring paths (docs/SERVING.md),
+# the serving stack's serde and batched-scoring paths plus the closed-
+# loop load harness's sustained-throughput entries (docs/SERVING.md:
+# BM_ServeLoad*, recorded by scripts/run_benchmarks.sh --serve-load as
+# ns per scored row so a throughput drop reads as a real_time
+# regression),
 # the data-plane ingest/join fast paths (docs/PERFORMANCE.md "Ingest
 # & join fast path" and "Join algorithm matrix": BM_ReadCsv*,
 # BM_HashJoin*, BM_KfkJoin, BM_RadixHashJoin, BM_BloomFilterProbe), the
@@ -29,7 +33,7 @@ import sys
 # BM_TraceSpanPropagated, the cross-thread span propagation overhead).
 GATED = re.compile(
     r"^BM_(NBTrain|NaiveBayesTrain|GreedyForward|ForwardSelection"
-    r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore"
+    r"|MiFilterScoring|SerdeSave|SerdeLoad|ServeScore|ServeLoad"
     r"|ReadCsv|HashJoin|KfkJoin|RadixHashJoin|BloomFilterProbe"
     r"|Factorized|MaterializedStatsBuild"
     r"|HistogramRecord|TraceSpanPropagated"

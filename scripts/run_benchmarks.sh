@@ -20,6 +20,16 @@
 #
 #   scripts/run_benchmarks.sh --compare          # run + regression gate
 #
+# --serve-load additionally builds and runs the closed-loop serve-load
+# harness (bench/serve_load.cc) and merges its google-benchmark-format
+# output — the BM_ServeLoadSustained/{baseline,sharded} entries, whose
+# real_time is ns per scored row, plus a structured "serve_load"
+# section — into the same BENCH file, so the --compare gate covers
+# sustained serving throughput too (a >10% scores/s drop reads as a
+# >10% real_time regression; see docs/SERVING.md "Load harness"):
+#
+#   scripts/run_benchmarks.sh --serve-load --compare
+#
 # Env: BUILD_DIR (default build-bench), JOBS (default nproc),
 #      OUT (default BENCH_<YYYY-MM-DD>.json),
 #      COMPARE_THRESHOLD (default 0.10), REPETITIONS (default 3; the
@@ -30,10 +40,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COMPARE=0
-if [[ "${1:-}" == "--compare" ]]; then
-  COMPARE=1
+SERVE_LOAD=0
+while [[ "${1:-}" == "--compare" || "${1:-}" == "--serve-load" ]]; do
+  if [[ "$1" == "--compare" ]]; then COMPARE=1; else SERVE_LOAD=1; fi
   shift
-fi
+done
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 JOBS=${JOBS:-$(nproc)}
@@ -53,8 +64,12 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DHAMLET_BUILD_BENCHMARKS=ON \
   -DHAMLET_BUILD_EXAMPLES=OFF
+BENCH_TARGETS=(micro_benchmarks tree_benchmarks)
+if [[ "${SERVE_LOAD}" == 1 ]]; then
+  BENCH_TARGETS+=(serve_load)
+fi
 cmake --build "${BUILD_DIR}" -j"${JOBS}" \
-  --target micro_benchmarks --target tree_benchmarks
+  $(printf -- '--target %s ' "${BENCH_TARGETS[@]}")
 
 # Three repetitions, medians recorded: single runs on a shared (noisy)
 # host swing short benches by 10-30%; compare_bench.py gates on the
@@ -76,6 +91,19 @@ for BIN in micro_benchmarks tree_benchmarks; do
   PARTS+=("${PART}")
 done
 
+# The serve-load harness is not a google-benchmark binary (it drives a
+# wall-clock closed loop, not a timed inner loop) but writes the same
+# JSON shape: BM_ServeLoadSustained/* entries with real_time = ns per
+# scored row, plus a "serve_load" section the merge carries through.
+if [[ "${SERVE_LOAD}" == 1 ]]; then
+  PART="${OUT}.serve_load.part"
+  "${BUILD_DIR}/bench/serve_load" \
+    --duration="${SERVE_LOAD_DURATION:-1.5}" \
+    --clients="${SERVE_LOAD_CLIENTS:-8}" \
+    --out="${PART}"
+  PARTS+=("${PART}")
+fi
+
 python3 - "${OUT}" "${PARTS[@]}" <<'EOF'
 import json, sys
 out, parts = sys.argv[1], sys.argv[2:]
@@ -87,6 +115,8 @@ for doc in docs[1:]:
     if theirs != ours:
         sys.exit(f"refusing to merge: hamlet_build_type {ours} vs {theirs}")
     merged["benchmarks"].extend(doc.get("benchmarks", []))
+    if "serve_load" in doc:
+        merged["serve_load"] = doc["serve_load"]
 with open(out, "w") as f:
     json.dump(merged, f, indent=1)
 EOF

@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -26,6 +26,14 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  /// Load shed: a bounded queue crossed its high-water mark and the
+  /// request was rejected instead of blocking the caller (the serving
+  /// layer's admission control, docs/SERVING.md). Retry later, ideally
+  /// with backoff — the request was never executed.
+  kOverloaded,
+  /// The request's deadline expired before execution started; it was
+  /// dropped without side effects.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "Invalid argument",
@@ -89,6 +97,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -17,11 +17,11 @@ namespace fs = std::filesystem;
 
 std::string OperatorFeatures::Key() const {
   return StringFormat(
-      "%s|%llu|%llu|%llu|%llu|%u", op.c_str(),
+      "%s|%llu|%llu|%llu|%llu|%u|%u", op.c_str(),
       static_cast<unsigned long long>(rows_in),
       static_cast<unsigned long long>(rows_out),
       static_cast<unsigned long long>(build_rows),
-      static_cast<unsigned long long>(distinct_keys), num_threads);
+      static_cast<unsigned long long>(distinct_keys), num_threads, shards);
 }
 
 void CostRecord::Add(const CostObservation& obs) {
@@ -99,6 +99,8 @@ void CostProfile::WriteJson(std::ostream& os) const {
     w.UInt(r.features.distinct_keys);
     w.Key("num_threads");
     w.UInt(r.features.num_threads);
+    w.Key("shards");
+    w.UInt(r.features.shards);
     w.Key("observations");
     w.UInt(r.observations);
     w.Key("total_ns_sum");
@@ -197,6 +199,8 @@ Status CostProfile::ParseJsonText(const std::string& text) {
     r.features.build_rows = field("build_rows");
     r.features.distinct_keys = field("distinct_keys");
     r.features.num_threads = static_cast<uint32_t>(field("num_threads"));
+    // Absent in pre-shard files (schema v1 kept): defaults to 0.
+    r.features.shards = static_cast<uint32_t>(field("shards"));
     r.observations = field("observations");
     r.total_ns_sum = field("total_ns_sum");
     r.total_ns_min = field("total_ns_min");

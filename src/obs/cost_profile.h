@@ -48,12 +48,18 @@ struct OperatorFeatures {
   std::string op;
   uint64_t rows_in = 0;        ///< Probe-side / input rows.
   uint64_t rows_out = 0;       ///< Rows produced.
-  uint64_t build_rows = 0;     ///< Build-side rows (joins).
+  uint64_t build_rows = 0;     ///< Build-side rows (joins); for
+                               ///< serve.score, requests fused per pass.
   uint64_t distinct_keys = 0;  ///< Distinct join/FK key codes.
-  uint32_t num_threads = 0;    ///< Shards the execution used.
+  uint32_t num_threads = 0;    ///< ParallelFor shards the execution used.
+  /// Dispatcher shards of the serving data plane the execution ran
+  /// under (serve.score); 0 for operators without a dispatch dimension.
+  /// Absent in pre-shard files (schema v1 kept): defaults to 0.
+  uint32_t shards = 0;
 
   /// Canonical map key: op|rows_in|rows_out|build_rows|distinct_keys|
-  /// num_threads. Stable across runs, sorts lexicographically by op.
+  /// num_threads|shards. Stable across runs, sorts lexicographically
+  /// by op.
   std::string Key() const;
 };
 

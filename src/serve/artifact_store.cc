@@ -121,7 +121,7 @@ Result<uint32_t> ArtifactStore::PutBytes(const std::string& name,
   HAMLET_RETURN_NOT_OK(ValidateName(name));
   // The mutex serializes version allocation within the process; the
   // rename makes the publish atomic for every observer.
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(publish_mu_);
   std::error_code ec;
   fs::create_directories(DirFor(name), ec);
   if (ec) {
@@ -141,6 +141,9 @@ Result<uint32_t> ArtifactStore::PutBytes(const std::string& name,
         StringFormat("cannot publish artifact '%s' v%u: rename failed",
                      name.c_str(), version));
   }
+  // Release AFTER the rename: an observer that sees the new generation
+  // is guaranteed to also see the new version on disk.
+  generation_.fetch_add(1, std::memory_order_release);
   return version;
 }
 
@@ -176,17 +179,22 @@ Result<uint32_t> ArtifactStore::PutFsRunReport(const std::string& name,
 
 std::shared_ptr<const void> ArtifactStore::CacheLookup(
     const std::string& name, uint32_t version, ArtifactKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Hit path: shared lock only. The returned shared_ptr copy pins the
+  // artifact — a concurrent evict (exclusive side) can remove the
+  // entry, but never the value a pass already holds.
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
   for (CacheEntry& entry : cache_) {
     if (entry.version == version && entry.kind == kind &&
         entry.name == name) {
-      entry.last_used = ++tick_;
-      ++cache_hits_;
+      entry.last_used.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
       CacheHitCounter().Add();
       return entry.value;
     }
   }
-  ++cache_misses_;
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
   CacheMissCounter().Add();
   return nullptr;
 }
@@ -194,11 +202,14 @@ std::shared_ptr<const void> ArtifactStore::CacheLookup(
 void ArtifactStore::CacheInsert(const std::string& name, uint32_t version,
                                 ArtifactKind kind,
                                 std::shared_ptr<const void> value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
   for (CacheEntry& entry : cache_) {
     if (entry.version == version && entry.kind == kind &&
         entry.name == name) {
-      entry.last_used = ++tick_;  // Lost a benign race; keep the winner.
+      // Lost a benign race; keep the winner.
+      entry.last_used.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
       return;
     }
   }
@@ -206,12 +217,14 @@ void ArtifactStore::CacheInsert(const std::string& name, uint32_t version,
     auto victim = std::min_element(
         cache_.begin(), cache_.end(),
         [](const CacheEntry& a, const CacheEntry& b) {
-          return a.last_used < b.last_used;
+          return a.last_used.load(std::memory_order_relaxed) <
+                 b.last_used.load(std::memory_order_relaxed);
         });
     cache_.erase(victim);
   }
-  cache_.push_back(CacheEntry{name, version, kind, ++tick_,
-                              std::move(value)});
+  cache_.emplace_back(name, version, kind,
+                      tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                      std::move(value));
 }
 
 Result<std::shared_ptr<const EncodedDataset>> ArtifactStore::GetDataset(
@@ -358,18 +371,16 @@ Result<std::vector<ArtifactRef>> ArtifactStore::List() const {
 }
 
 void ArtifactStore::ClearCache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
   cache_.clear();
 }
 
 uint64_t ArtifactStore::cache_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_hits_;
+  return cache_hits_.load(std::memory_order_relaxed);
 }
 
 uint64_t ArtifactStore::cache_misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_misses_;
+  return cache_misses_.load(std::memory_order_relaxed);
 }
 
 }  // namespace hamlet::serve

@@ -18,9 +18,26 @@
 /// same model per request pays the disk + decode cost once. Cache hits
 /// and misses surface as the `serve.model_cache_hits` /
 /// `serve.model_cache_misses` counters when obs collection is enabled.
+///
+/// Concurrency: the cache hit path takes a SHARED lock only — hits
+/// update recency via relaxed atomics, so any number of scoring shards
+/// can resolve hot models concurrently without serializing on the
+/// store. Misses, inserts, and evictions take the exclusive side.
+/// Every Get* returns a shared_ptr that PINS the artifact for as long
+/// as the caller holds it: a concurrent evict drops only the cache's
+/// reference, never the bytes under a scoring pass in flight.
+///
+/// Publishes bump a monotonic `generation()` counter (released after
+/// the rename lands). A layer caching kLatest resolutions — the
+/// service's warm per-shard model cache — revalidates with one relaxed
+/// atomic load instead of re-scanning the directory: unchanged
+/// generation means no Put has happened, so the cached resolution is
+/// still the latest.
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -99,13 +116,43 @@ class ArtifactStore {
   uint64_t cache_hits() const;
   uint64_t cache_misses() const;
 
+  /// Number of successful publishes through this store instance.
+  /// Monotonic; bumped after the rename makes the new version visible.
+  /// A cached kLatest resolution is still current iff the generation it
+  /// was taken at is unchanged (see the \file block).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   struct CacheEntry {
     std::string name;
     uint32_t version = 0;
     ArtifactKind kind = ArtifactKind::kEncodedDataset;
-    uint64_t last_used = 0;
+    /// Recency tick, written on the shared-lock hit path — atomic so
+    /// concurrent hits on the same entry never race.
+    std::atomic<uint64_t> last_used{0};
     std::shared_ptr<const void> value;
+
+    CacheEntry() = default;
+    CacheEntry(std::string n, uint32_t v, ArtifactKind k, uint64_t tick,
+               std::shared_ptr<const void> val)
+        : name(std::move(n)), version(v), kind(k), last_used(tick),
+          value(std::move(val)) {}
+    CacheEntry(CacheEntry&& other) noexcept
+        : name(std::move(other.name)), version(other.version),
+          kind(other.kind),
+          last_used(other.last_used.load(std::memory_order_relaxed)),
+          value(std::move(other.value)) {}
+    CacheEntry& operator=(CacheEntry&& other) noexcept {
+      name = std::move(other.name);
+      version = other.version;
+      kind = other.kind;
+      last_used.store(other.last_used.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      value = std::move(other.value);
+      return *this;
+    }
   };
 
   /// Serialize-agnostic write path shared by every Put.
@@ -133,11 +180,18 @@ class ArtifactStore {
   std::string root_;
   size_t cache_capacity_;
 
-  mutable std::mutex mu_;  ///< Guards versions being allocated + the LRU.
-  mutable uint64_t tick_ = 0;
+  /// Serializes version allocation (scan + write + rename) per Put.
+  mutable std::mutex publish_mu_;
+  std::atomic<uint64_t> generation_{0};
+
+  /// Guards the LRU's structure: hits take the shared side, mutation
+  /// (insert/evict/clear) the exclusive side. Recency + counters are
+  /// atomics so the hit path never upgrades.
+  mutable std::shared_mutex cache_mu_;
+  mutable std::atomic<uint64_t> tick_{0};
   std::vector<CacheEntry> cache_;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
 };
 
 }  // namespace hamlet::serve

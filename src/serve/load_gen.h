@@ -1,0 +1,119 @@
+#ifndef HAMLET_SERVE_LOAD_GEN_H_
+#define HAMLET_SERVE_LOAD_GEN_H_
+
+/// \file load_gen.h
+/// Closed-loop load harness for the sharded scoring data plane — the
+/// SLO measurement half of serve/service.h. RunClosedLoopLoad stands up
+/// a HamletService over a caller-provided artifact store, publishes a
+/// synthetic dataset plus `num_models` trained Naive Bayes models, and
+/// drives the service with M client threads for a fixed wall-clock
+/// window. Each client is closed-loop (its next request is issued the
+/// moment the previous one returns) with optional pacing toward an
+/// aggregate target rate, and cycles deterministically through the
+/// published models so every dispatcher shard sees traffic.
+///
+/// The report is built on exact accounting: every request a client
+/// issues lands in exactly one of served / shed (kOverloaded) /
+/// expired (kDeadlineExceeded) / failed (anything else), counted
+/// client-side — so `served + shed + expired + failed == offered` holds
+/// by construction and the harness (plus tests/service_shard_
+/// determinism_test.cc) asserts it. Sustained throughput is rows
+/// scored per wall second; latency comes twice, client-observed
+/// (includes queue wait) and service-side (the serve.score_ns
+/// histogram), so queueing pathologies show up as a gap between the
+/// two.
+///
+/// The run RESETS the process-global metrics registry and opens a
+/// collection window (the service-side percentiles and warm-cache
+/// numbers must cover exactly this run). Callers holding their own
+/// metrics window should snapshot before calling.
+///
+/// scripts/run_benchmarks.sh --serve-load packages this behind
+/// bench/serve_load.cc, which emits google-benchmark-compatible JSON so
+/// scripts/compare_bench.py gates sustained throughput like any other
+/// benchmark; `hamlet_serve_cli --load-test` is the interactive front
+/// end.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/artifact_store.h"
+#include "serve/service.h"
+
+namespace hamlet::serve {
+
+/// Workload shape for one RunClosedLoopLoad window.
+struct LoadGenOptions {
+  /// Closed-loop client threads.
+  uint32_t clients = 8;
+  /// Wall-clock window to drive load for.
+  double duration_s = 2.0;
+  /// Aggregate target request rate over all clients (requests/s);
+  /// 0 = unthrottled (each client re-issues immediately).
+  double target_rate = 0.0;
+  /// Rows per Score block. Small blocks put the run in the
+  /// per-request-overhead regime the sharded plane optimizes.
+  uint32_t block_rows = 16;
+  /// Distinct models published and scored against (>= 1); clients cycle
+  /// through them so traffic spreads across shards.
+  uint32_t num_models = 4;
+  /// Versions published per model (>= 1; clients always score the
+  /// newest). Production stores accrete version history, and resolving
+  /// kLatest costs a directory scan that grows with it — exactly the
+  /// per-pass cost the warm model cache exists to eliminate, so the
+  /// harness models a store with history rather than a freshly wiped
+  /// one.
+  uint32_t versions_per_model = 64;
+  /// Training rows for the synthetic dataset the models are fit on.
+  uint32_t train_rows = 20000;
+  /// Relative per-request deadline (0 = none); stamped as an absolute
+  /// obs-clock deadline at issue time.
+  uint64_t deadline_ns = 0;
+  /// Score by explicit version (true) or ArtifactStore::kLatest
+  /// (false). kLatest exercises the generation-validated warm cache.
+  bool score_latest = true;
+  uint64_t seed = 7;
+};
+
+/// What one window measured. All counts are client-side.
+struct LoadReport {
+  uint64_t offered = 0;  ///< Requests issued.
+  uint64_t served = 0;   ///< OK responses.
+  uint64_t shed = 0;     ///< kOverloaded rejections.
+  uint64_t expired = 0;  ///< kDeadlineExceeded rejections.
+  uint64_t failed = 0;   ///< Any other failure.
+  uint64_t rows_scored = 0;
+  double wall_s = 0;
+  double sustained_scores_per_s = 0;    ///< rows_scored / wall_s.
+  double sustained_requests_per_s = 0;  ///< served / wall_s.
+  /// Client-observed latency of served requests (includes queue wait).
+  double client_p50_us = 0, client_p95_us = 0, client_p99_us = 0;
+  /// Service-side scoring latency (serve.score_ns histogram).
+  double service_p50_us = 0, service_p95_us = 0, service_p99_us = 0;
+  /// Mean fused batch size (serve.batch_size histogram).
+  double mean_batch_requests = 0;
+  uint64_t warm_cache_hits = 0, warm_cache_misses = 0;
+  uint64_t shed_total_metric = 0;  ///< serve.shed_total (cross-check).
+  uint32_t num_shards = 0;         ///< Resolved shard count of the run.
+
+  /// served + shed + expired + failed == offered (always true by
+  /// construction; carried so callers can assert without recomputing).
+  bool accounting_exact = false;
+};
+
+/// Publishes the synthetic models into `store` (names
+/// "load_nb_<i>") and drives the service described by `service_options`
+/// for the window. Fails if the dataset cannot be synthesized/trained
+/// or the store rejects a publish; load-time rejections (shed/expired)
+/// are data, not errors.
+Result<LoadReport> RunClosedLoopLoad(ArtifactStore* store,
+                                     const ServiceOptions& service_options,
+                                     const LoadGenOptions& options);
+
+/// Renders the report as the human-readable block `hamlet_serve_cli
+/// --load-test` prints.
+std::string FormatLoadReport(const LoadReport& report);
+
+}  // namespace hamlet::serve
+
+#endif  // HAMLET_SERVE_LOAD_GEN_H_

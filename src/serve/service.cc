@@ -1,18 +1,18 @@
 #include "serve/service.h"
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <variant>
 #include <vector>
 
+#include "common/mpsc_queue.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -33,11 +33,16 @@ struct ServeMetrics {
   obs::Counter& select_requests;
   obs::Counter& score_rows;
   obs::Counter& score_batches;
+  obs::Counter& shed_total;
+  obs::Counter& deadline_expired;
+  obs::Counter& warm_cache_hits;
+  obs::Counter& warm_cache_misses;
   obs::Histogram& advise_ns;
   obs::Histogram& score_ns;
   obs::Histogram& select_ns;
   obs::Histogram& queue_wait_ns;
   obs::Histogram& batch_size;
+  obs::Histogram& queue_depth;
 
   static ServeMetrics& Get() {
     auto& reg = obs::MetricsRegistry::Global();
@@ -47,11 +52,16 @@ struct ServeMetrics {
                           reg.GetCounter("serve.select_requests"),
                           reg.GetCounter("serve.score_rows"),
                           reg.GetCounter("serve.score_batches"),
+                          reg.GetCounter("serve.shed_total"),
+                          reg.GetCounter("serve.deadline_expired"),
+                          reg.GetCounter("serve.warm_cache_hits"),
+                          reg.GetCounter("serve.warm_cache_misses"),
                           reg.GetHistogram("serve.advise_ns"),
                           reg.GetHistogram("serve.score_ns"),
                           reg.GetHistogram("serve.select_ns"),
                           reg.GetHistogram("serve.queue_wait_ns"),
-                          reg.GetHistogram("serve.batch_size")};
+                          reg.GetHistogram("serve.batch_size"),
+                          reg.GetHistogram("serve.queue_depth")};
     return m;
   }
 };
@@ -75,6 +85,16 @@ struct Pending {
   std::variant<AdvisePending, ScorePending, SelectPending> op;
   uint64_t enqueue_ns = 0;  ///< 0 when collection was off at enqueue.
 };
+
+uint64_t DeadlineOf(const Pending& p) {
+  return std::visit([](const auto& o) { return o.request.deadline_ns; }, p.op);
+}
+
+/// Answers a pending request with a typed failure without executing it.
+void FailPending(Pending* p, Status status) {
+  std::visit([&status](auto& o) { o.out.set_value(std::move(status)); },
+             p->op);
+}
 
 /// Exactly one of the pointers is set.
 struct ResolvedModel {
@@ -117,36 +137,86 @@ struct BlockScore {
   std::vector<uint32_t> predictions;
 };
 
+/// FNV-1a over the model name, then the version folded in — the shard
+/// routing hash. Must be a pure function of (model, version) so every
+/// request for one key lands on one shard (the fusion invariant).
+uint64_t ModelKeyHash(const std::string& model, uint32_t version) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : model) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= version;
+  h *= 1099511628211ull;
+  return h;
+}
+
 }  // namespace
 
 struct HamletService::Impl {
+  /// A resolved model pinned in a dispatcher's warm cache. Concrete
+  /// versions are immutable, so their entries never expire; kLatest
+  /// entries are valid only while the store's publish generation is
+  /// unchanged.
+  struct WarmEntry {
+    ResolvedModel model;
+    uint64_t generation = 0;  ///< store->generation() read BEFORE resolving.
+  };
+
+  /// One dispatcher shard: a bounded MPSC queue, the thread draining
+  /// it, and that thread's private warm model cache (no lock — only the
+  /// dispatcher touches it).
+  struct Shard {
+    explicit Shard(size_t capacity) : queue(capacity) {}
+    BoundedMpscQueue<Pending> queue;
+    std::thread dispatcher;
+    std::unordered_map<std::string, WarmEntry> warm_cache;
+  };
+
   ArtifactStore* store = nullptr;
   ServiceOptions options;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::atomic<uint32_t> round_robin{0};  ///< Advise/Select placement.
+  std::atomic<bool> stopped{false};
 
-  std::mutex mu;
-  std::condition_variable cv_nonempty;  ///< Dispatcher waits for work.
-  std::condition_variable cv_space;     ///< Clients wait for queue room.
-  std::deque<Pending> queue;
-  bool stopping = false;
-  std::thread dispatcher;
+  /// Keeps each dispatcher's warm cache from growing without bound when
+  /// clients cycle through many model names. Crossing it just resets
+  /// the map — correctness never depends on an entry being present.
+  static constexpr size_t kWarmCacheMaxEntries = 256;
+
+  uint32_t ShardForKey(const std::string& model, uint32_t version) const {
+    return static_cast<uint32_t>(ModelKeyHash(model, version) %
+                                 shards.size());
+  }
 
   template <typename PendingT, typename ResponseT>
-  Result<ResponseT> EnqueueAndWait(PendingT pending) {
+  Result<ResponseT> EnqueueAndWait(uint32_t shard_index, PendingT pending) {
     std::future<Result<ResponseT>> future = pending.out.get_future();
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      cv_space.wait(lock, [&] {
-        return stopping || queue.size() < options.queue_capacity;
-      });
-      if (stopping) {
-        return Status::FailedPrecondition("HamletService is stopped");
+    Shard& shard = *shards[shard_index];
+    Pending p;
+    p.op = std::move(pending);
+    p.enqueue_ns = obs::Enabled() ? obs::NowNanos() : 0;
+    MpscPushResult pushed =
+        options.overload_policy == OverloadPolicy::kShed
+            ? shard.queue.TryPush(std::move(p), options.shed_high_water)
+            : shard.queue.PushBlocking(std::move(p));
+    switch (pushed) {
+      case MpscPushResult::kOk:
+        break;
+      case MpscPushResult::kOverloaded: {
+        ServeMetrics::Get().shed_total.Add();
+        return Status::Overloaded(StringFormat(
+            "shard %u queue is beyond its high-water mark; retry with "
+            "backoff",
+            shard_index));
       }
-      Pending p;
-      p.op = std::move(pending);
-      p.enqueue_ns = obs::Enabled() ? obs::NowNanos() : 0;
-      queue.push_back(std::move(p));
+      case MpscPushResult::kStopped:
+        return Status::FailedPrecondition("HamletService is stopped");
     }
-    cv_nonempty.notify_one();
+    if (obs::Enabled()) {
+      ServeMetrics::Get().queue_depth.RecordAlways(
+          static_cast<uint64_t>(shard.queue.size()));
+    }
     return future.get();
   }
 
@@ -157,50 +227,58 @@ struct HamletService::Impl {
     }
   }
 
-  void DispatchLoop() {
+  /// Deadline gate at dequeue: a request whose absolute deadline passed
+  /// while it queued is answered kDeadlineExceeded without any side
+  /// effects. Returns true when the request was consumed (expired).
+  static bool ExpireIfPastDeadline(Pending* p) {
+    const uint64_t deadline = DeadlineOf(*p);
+    if (deadline == 0 || obs::NowNanos() < deadline) return false;
+    ServeMetrics::Get().deadline_expired.Add();
+    FailPending(p, Status::DeadlineExceeded(
+                       "deadline expired while the request was queued"));
+    return true;
+  }
+
+  void DispatchLoop(uint32_t shard_index) {
+    Shard& shard = *shards[shard_index];
     for (;;) {
       Pending head;
-      std::vector<ScorePending> coalesced;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv_nonempty.wait(lock, [&] { return stopping || !queue.empty(); });
-        if (queue.empty()) return;  // Stopping and fully drained.
-        head = std::move(queue.front());
-        queue.pop_front();
-        if (options.batch_scoring &&
-            std::holds_alternative<ScorePending>(head.op)) {
-          // Coalesce queued Score requests for the same (model, version)
-          // behind the head into one scoring pass. Requests left behind
-          // keep their arrival order. A kLatest request only batches
-          // with other kLatest requests — resolution happens once per
-          // pass, so mixing could pin a concrete version a client did
-          // not ask for.
-          const ScoreRequest& lead = std::get<ScorePending>(head.op).request;
-          for (auto it = queue.begin();
-               it != queue.end() && 1 + coalesced.size() < options.max_batch;) {
-            auto* sp = std::get_if<ScorePending>(&it->op);
-            if (sp != nullptr && sp->request.model == lead.model &&
-                sp->request.version == lead.version) {
-              RecordQueueWait(*it);
-              coalesced.push_back(std::move(*sp));
-              it = queue.erase(it);
-            } else {
-              ++it;
-            }
-          }
-        }
-        if (!coalesced.empty()) cv_space.notify_all();
+      if (!shard.queue.PopHead(&head)) return;  // Stopped and drained.
+      std::vector<Pending> coalesced;
+      if (options.batch_scoring &&
+          std::holds_alternative<ScorePending>(head.op)) {
+        // Coalesce queued Score requests for the same (model, version)
+        // behind the head into one scoring pass. Requests left behind
+        // keep their arrival order. A kLatest request only batches with
+        // other kLatest requests — resolution happens once per pass, so
+        // mixing could pin a concrete version a client did not ask for.
+        const ScoreRequest& lead = std::get<ScorePending>(head.op).request;
+        shard.queue.ExtractMatching(
+            [&lead](const Pending& p) {
+              const auto* sp = std::get_if<ScorePending>(&p.op);
+              return sp != nullptr && sp->request.model == lead.model &&
+                     sp->request.version == lead.version;
+            },
+            options.max_batch - 1, &coalesced);
       }
-      cv_space.notify_one();
       RecordQueueWait(head);
-      if (auto* a = std::get_if<AdvisePending>(&head.op)) {
-        DoAdvise(std::move(*a));
-      } else if (auto* s = std::get_if<ScorePending>(&head.op)) {
+      for (const Pending& c : coalesced) RecordQueueWait(c);
+      if (std::holds_alternative<ScorePending>(head.op)) {
         std::vector<ScorePending> group;
         group.reserve(1 + coalesced.size());
-        group.push_back(std::move(*s));
-        for (ScorePending& c : coalesced) group.push_back(std::move(c));
-        DoScoreGroup(std::move(group));
+        if (!ExpireIfPastDeadline(&head)) {
+          group.push_back(std::move(std::get<ScorePending>(head.op)));
+        }
+        for (Pending& c : coalesced) {
+          if (!ExpireIfPastDeadline(&c)) {
+            group.push_back(std::move(std::get<ScorePending>(c.op)));
+          }
+        }
+        if (!group.empty()) DoScoreGroup(shard_index, std::move(group));
+      } else if (ExpireIfPastDeadline(&head)) {
+        continue;
+      } else if (auto* a = std::get_if<AdvisePending>(&head.op)) {
+        DoAdvise(std::move(*a));
       } else {
         DoSelect(std::move(std::get<SelectPending>(head.op)));
       }
@@ -257,25 +335,70 @@ struct HamletService::Impl {
     return ResolvedModel{nullptr, nullptr, nullptr, std::move(gbt)};
   }
 
-  /// The scoring pass: resolve once, validate each block, score every
-  /// valid row in one parallel region. Top-level failure = the model
-  /// could not be resolved (fails every request of the pass).
+  /// Dispatcher-side resolution through the shard's warm cache. Only
+  /// the shard's own dispatcher thread may call this (the map is
+  /// unlocked by design). A hit costs one hash lookup — and for kLatest
+  /// one atomic generation load — instead of the artifact-store path
+  /// (cache mutex + directory scan for kLatest).
+  Result<ResolvedModel> ResolveOnShard(Shard* shard, const std::string& name,
+                                       uint32_t version) {
+    if (!options.warm_model_cache) return ResolveModel(name, version);
+    ServeMetrics& m = ServeMetrics::Get();
+    const std::string key = name + "@" + std::to_string(version);
+    auto it = shard->warm_cache.find(key);
+    if (it != shard->warm_cache.end()) {
+      // Concrete versions are immutable — always valid. kLatest is
+      // valid only while no publish happened since the entry was
+      // resolved.
+      if (version != ArtifactStore::kLatest ||
+          it->second.generation == store->generation()) {
+        m.warm_cache_hits.Add();
+        return it->second.model;
+      }
+      shard->warm_cache.erase(it);
+    }
+    m.warm_cache_misses.Add();
+    // Read the generation BEFORE resolving: if a publish races the
+    // resolve, the entry is stamped stale and the next batch re-resolves
+    // — conservative, never serves a version older than it cached.
+    const uint64_t generation = store->generation();
+    HAMLET_ASSIGN_OR_RETURN(ResolvedModel model, ResolveModel(name, version));
+    if (shard->warm_cache.size() >= kWarmCacheMaxEntries) {
+      shard->warm_cache.clear();
+    }
+    shard->warm_cache.emplace(key, WarmEntry{model, generation});
+    return model;
+  }
+
+  /// The scoring pass: validate each block, score every valid row in
+  /// one parallel region. `preresolved` carries the dispatcher's
+  /// warm-cache resolution (including its failure — counted against the
+  /// pass's requests exactly like an inline resolve failure);
+  /// ScoreBatchDirect passes nullptr and resolves through the store
+  /// here. Top-level failure fails every request of the pass.
   Result<std::vector<BlockScore>> ScorePass(
       const std::string& model_name, uint32_t version,
-      const std::vector<const EncodedDataset*>& blocks) {
+      const std::vector<const EncodedDataset*>& blocks,
+      const Result<ResolvedModel>* preresolved, uint32_t shard_index) {
     ServeMetrics& m = ServeMetrics::Get();
     m.requests.Add(blocks.size());
     m.score_requests.Add(blocks.size());
     m.score_batches.Add();
     obs::TraceSpan span("serve.score");
     span.AddAttr("batch_requests", static_cast<uint64_t>(blocks.size()));
+    span.AddAttr("shard", shard_index);
     const uint64_t start_ns = obs::Enabled() ? obs::NowNanos() : 0;
     if (start_ns != 0) {
       m.batch_size.RecordAlways(static_cast<uint64_t>(blocks.size()));
     }
 
-    HAMLET_ASSIGN_OR_RETURN(ResolvedModel model,
-                            ResolveModel(model_name, version));
+    ResolvedModel model;
+    if (preresolved != nullptr) {
+      HAMLET_RETURN_NOT_OK(preresolved->status());
+      model = preresolved->ValueOrDie();
+    } else {
+      HAMLET_ASSIGN_OR_RETURN(model, ResolveModel(model_name, version));
+    }
 
     std::vector<BlockScore> out(blocks.size());
     // Row offsets of the valid blocks within the fused index space.
@@ -358,7 +481,8 @@ struct HamletService::Impl {
         m.score_ns.RecordAlways(elapsed);
       }
       // Cost profile: one record per pass. rows_out = predictions
-      // written; build_rows = requests coalesced into the pass.
+      // written; build_rows = requests coalesced into the pass; shards =
+      // dispatcher shards of the data plane.
       obs::OperatorFeatures features;
       features.op = "serve.score";
       features.rows_in = total_rows;
@@ -367,6 +491,7 @@ struct HamletService::Impl {
       features.num_threads = options.num_threads == 0
                                  ? ThreadPool::Global().DefaultShards()
                                  : options.num_threads;
+      features.shards = options.num_shards;
       obs::CostObservation cost;
       cost.total_ns = elapsed;
       obs::CostProfileStore::Global().Record(features, cost);
@@ -374,12 +499,18 @@ struct HamletService::Impl {
     return out;
   }
 
-  void DoScoreGroup(std::vector<ScorePending> group) {
+  void DoScoreGroup(uint32_t shard_index, std::vector<ScorePending> group) {
+    const std::string& model_name = group[0].request.model;
+    const uint32_t version = group[0].request.version;
     std::vector<const EncodedDataset*> blocks;
     blocks.reserve(group.size());
     for (const ScorePending& g : group) blocks.push_back(g.request.rows.get());
+    // Resolve through the shard's warm cache before the pass; the
+    // shared_ptrs inside keep the artifacts pinned for its duration.
+    Result<ResolvedModel> model =
+        ResolveOnShard(shards[shard_index].get(), model_name, version);
     Result<std::vector<BlockScore>> scored =
-        ScorePass(group[0].request.model, group[0].request.version, blocks);
+        ScorePass(model_name, version, blocks, &model, shard_index);
     if (!scored.ok()) {
       for (ScorePending& g : group) g.out.set_value(scored.status());
       return;
@@ -447,29 +578,45 @@ HamletService::HamletService(ArtifactStore* store, ServiceOptions options)
   HAMLET_CHECK(store != nullptr, "HamletService needs an ArtifactStore");
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.num_shards == 0) {
+    // Auto: one dispatcher per hardware thread, capped — shards beyond
+    // the core count only buy routing isolation, not parallelism.
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.num_shards = hw == 0 ? 1 : (hw > 4 ? 4 : hw);
+  }
   impl_->store = store;
   impl_->options = options_;
-  impl_->dispatcher = std::thread([impl = impl_.get()] {
-    impl->DispatchLoop();
-  });
+  impl_->shards.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    impl_->shards.push_back(
+        std::make_unique<Impl::Shard>(options_.queue_capacity));
+  }
+  // Threads only after every shard exists: a dispatcher may inspect
+  // shards.size() through ShardForKey.
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    impl_->shards[s]->dispatcher =
+        std::thread([impl = impl_.get(), s] { impl->DispatchLoop(s); });
+  }
 }
 
 HamletService::~HamletService() { Stop(); }
 
 void HamletService::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->stopping = true;
+  impl_->stopped.store(true, std::memory_order_relaxed);
+  for (auto& shard : impl_->shards) shard->queue.Stop();
+  for (auto& shard : impl_->shards) {
+    if (shard->dispatcher.joinable()) shard->dispatcher.join();
   }
-  impl_->cv_nonempty.notify_all();
-  impl_->cv_space.notify_all();
-  if (impl_->dispatcher.joinable()) impl_->dispatcher.join();
 }
 
 Result<JoinPlan> HamletService::Advise(AdviseRequest request) {
   AdvisePending pending;
   pending.request = std::move(request);
-  return impl_->EnqueueAndWait<AdvisePending, JoinPlan>(std::move(pending));
+  const uint32_t shard =
+      impl_->round_robin.fetch_add(1, std::memory_order_relaxed) %
+      impl_->shards.size();
+  return impl_->EnqueueAndWait<AdvisePending, JoinPlan>(shard,
+                                                        std::move(pending));
 }
 
 Result<ScoreResponse> HamletService::Score(ScoreRequest request) {
@@ -479,18 +626,22 @@ Result<ScoreResponse> HamletService::Score(ScoreRequest request) {
   if (request.model.empty()) {
     return Status::InvalidArgument("ScoreRequest.model must be set");
   }
+  const uint32_t shard = impl_->ShardForKey(request.model, request.version);
   ScorePending pending;
   pending.request = std::move(request);
   return impl_->EnqueueAndWait<ScorePending, ScoreResponse>(
-      std::move(pending));
+      shard, std::move(pending));
 }
 
 Result<SelectFeaturesResponse> HamletService::SelectFeatures(
     SelectFeaturesRequest request) {
   SelectPending pending;
   pending.request = std::move(request);
+  const uint32_t shard =
+      impl_->round_robin.fetch_add(1, std::memory_order_relaxed) %
+      impl_->shards.size();
   return impl_->EnqueueAndWait<SelectPending, SelectFeaturesResponse>(
-      std::move(pending));
+      shard, std::move(pending));
 }
 
 Result<std::vector<ScoreResponse>> HamletService::ScoreBatchDirect(
@@ -519,9 +670,21 @@ Result<std::vector<ScoreResponse>> HamletService::ScoreBatchDirect(
     std::vector<const EncodedDataset*> blocks;
     blocks.reserve(group.size());
     for (size_t j : group) blocks.push_back(batch[j].rows.get());
+    // Direct requests never queue: record zero queue wait per request
+    // so batched-vs-unbatched benchmark comparisons read the same
+    // probes (the queued path records real waits at dequeue).
+    if (obs::Enabled()) {
+      ServeMetrics& m = ServeMetrics::Get();
+      for (size_t k = 0; k < group.size(); ++k) {
+        m.queue_wait_ns.RecordAlways(0);
+      }
+    }
     HAMLET_ASSIGN_OR_RETURN(
         std::vector<BlockScore> scored,
-        impl_->ScorePass(batch[i].model, batch[i].version, blocks));
+        impl_->ScorePass(batch[i].model, batch[i].version, blocks,
+                         /*preresolved=*/nullptr,
+                         impl_->ShardForKey(batch[i].model,
+                                            batch[i].version)));
     for (size_t k = 0; k < group.size(); ++k) {
       HAMLET_RETURN_NOT_OK(scored[k].status);
       responses[group[k]].predictions = std::move(scored[k].predictions);
@@ -532,8 +695,25 @@ Result<std::vector<ScoreResponse>> HamletService::ScoreBatchDirect(
 }
 
 size_t HamletService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->queue.size();
+  size_t depth = 0;
+  for (const auto& shard : impl_->shards) depth += shard->queue.size();
+  return depth;
+}
+
+size_t HamletService::queue_depth(uint32_t shard) const {
+  HAMLET_CHECK(shard < impl_->shards.size(),
+               "queue_depth(%u) out of range: %zu shards", shard,
+               impl_->shards.size());
+  return impl_->shards[shard]->queue.size();
+}
+
+uint32_t HamletService::num_shards() const {
+  return static_cast<uint32_t>(impl_->shards.size());
+}
+
+uint32_t HamletService::ShardForModel(const std::string& model,
+                                      uint32_t version) const {
+  return impl_->ShardForKey(model, version);
 }
 
 }  // namespace hamlet::serve

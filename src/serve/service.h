@@ -15,26 +15,55 @@
 ///   - SelectFeatures: a full feature selection run over a stored
 ///                     dataset, persisting the winning model.
 ///
-/// Concurrency model: callers block on their own threads; requests pass
-/// through a bounded FIFO queue (enqueue blocks when full — natural
-/// backpressure) drained by one dispatcher thread. The dispatcher
-/// executes the actual work as data-parallel regions on the existing
-/// shared ThreadPool (common/thread_pool.h), so the service composes
-/// with the library's determinism contract: a request's response is a
-/// pure function of the request and the referenced artifacts, never of
-/// timing or batch composition.
+/// Concurrency model — the sharded scoring data plane: requests hash by
+/// (model, version) onto one of N dispatcher shards, each a bounded
+/// MPSC queue (common/mpsc_queue.h) drained by its own dispatcher
+/// thread. Same-(model, version) Score requests always land on the
+/// same shard, so micro-batch fusion needs no cross-shard coordination:
+/// each dispatcher coalesces up to max_batch queued requests for its
+/// head's (model, version) into ONE scoring pass — a single parallel
+/// region running LogScoresInto row by row — and N such passes run
+/// concurrently across shards. Requests without a model key (Advise,
+/// SelectFeatures) round-robin across shards.
 ///
-/// Micro-batching: while a Score request is being served, other Score
-/// requests for the same (model, version) queue up behind it; the
-/// dispatcher coalesces them (up to max_batch) into ONE scoring pass —
-/// a single parallel region running LogScoresInto row by row — so
-/// concurrent clients share the model resolution and the region
-/// dispatch overhead instead of paying it per call. Batch composition
-/// affects only latency, never results.
+/// Determinism contract (extended from the single-queue service): a
+/// request's response payload — the predictions — is a pure function of
+/// the request and the referenced artifacts, never of timing, batch
+/// composition, shard count, or thread count. The shard-count
+/// determinism suite scores one request stream at shards ∈ {1, 2, 8} ×
+/// threads ∈ {1, 8} and pins byte-identical predictions per request id.
+/// (`ScoreResponse::batch_requests` is a scheduling diagnostic and sits
+/// outside the contract, exactly as before.)
+///
+/// Admission control: each shard queue is bounded (queue_capacity per
+/// shard). Under OverloadPolicy::kBlock, enqueue blocks while the shard
+/// is full — backpressure toward the caller, the original behavior.
+/// Under OverloadPolicy::kShed, a request arriving while the shard
+/// already holds shed_high_water items is rejected immediately with a
+/// typed `StatusCode::kOverloaded` status (counted in
+/// `serve.shed_total`) and is never partially executed. A request may
+/// also carry an absolute deadline (`deadline_ns`, obs::NowNanos
+/// clock); deadlines are checked at dequeue — a request whose deadline
+/// passed while it queued is answered `kDeadlineExceeded` (counted in
+/// `serve.deadline_expired`) without touching the model.
+///
+/// Warm model cache: each dispatcher keeps a shard-local (model,
+/// version) → resolved-model map, read without any lock (the dispatcher
+/// thread owns it). Concrete versions are immutable, so entries for
+/// them never expire; kLatest entries revalidate against the artifact
+/// store's publish `generation()` with one atomic load, so a hot model
+/// batch skips both the store mutex and the directory scan, while a
+/// publish is picked up on the very next batch (hot-swap never stalls
+/// traffic). The store's own LRU hit path takes a shared lock, and the
+/// shared_ptr handed out pins the artifact for the pass — a concurrent
+/// evict can never tear a batch.
 ///
 /// Observability: every endpoint records `serve.*` counters and latency
 /// histograms (see docs/SERVING.md and docs/OBSERVABILITY.md) when obs
-/// collection is enabled; queue wait and batch sizes are measured too.
+/// collection is enabled; queue depth/wait, batch sizes, sheds, expired
+/// deadlines and warm-cache hits are measured too, and each scoring
+/// pass reports a `serve.score` cost-profile record carrying the shard
+/// count and fused batch size.
 
 #include <memory>
 #include <string>
@@ -46,10 +75,17 @@
 
 namespace hamlet::serve {
 
+/// What happens when a request arrives at a full (or beyond-high-water)
+/// shard queue.
+enum class OverloadPolicy {
+  kBlock = 0,  ///< Enqueue blocks — backpressure toward the caller.
+  kShed,       ///< Reject with StatusCode::kOverloaded, never block.
+};
+
 /// Service tuning knobs.
 struct ServiceOptions {
-  /// Bounded request queue; enqueue blocks while the queue holds this
-  /// many requests (backpressure toward the clients).
+  /// Bounded request queue capacity PER SHARD; under kBlock, enqueue
+  /// blocks while the target shard holds this many requests.
   size_t queue_capacity = 256;
   /// Most Score requests coalesced into one scoring pass.
   size_t max_batch = 64;
@@ -59,6 +95,17 @@ struct ServiceOptions {
   /// ParallelFor shards for scoring passes and FS runs (0 = one per
   /// hardware thread, 1 = serial). Results are identical either way.
   uint32_t num_threads = 0;
+  /// Dispatcher shards. 0 = auto: min(hardware concurrency, 4), at
+  /// least 1. Results are identical at any shard count.
+  uint32_t num_shards = 0;
+  /// Admission control mode (see OverloadPolicy).
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// kShed only: reject once a shard's depth reaches this mark
+  /// (0 = queue_capacity, i.e. shed only when actually full).
+  size_t shed_high_water = 0;
+  /// Shard-local lock-free model resolution (see the \file block). On
+  /// by default; off forces every pass through the artifact store.
+  bool warm_model_cache = true;
 };
 
 /// Join-advice from pure metadata (see AdviseJoinsFromStats).
@@ -67,6 +114,9 @@ struct AdviseRequest {
   double label_entropy_bits = 1.0;
   std::vector<CandidateTableStats> candidates;
   AdvisorOptions options;
+  /// Absolute deadline on the obs::NowNanos clock (0 = none), checked
+  /// at dequeue.
+  uint64_t deadline_ns = 0;
 };
 
 /// Score an encoded row block against a stored model. The block must
@@ -76,15 +126,18 @@ struct ScoreRequest {
   std::string model;                           ///< Artifact name.
   uint32_t version = ArtifactStore::kLatest;   ///< 0 = latest.
   std::shared_ptr<const EncodedDataset> rows;  ///< Block to score.
+  /// Absolute deadline on the obs::NowNanos clock (0 = none), checked
+  /// at dequeue: expired requests answer kDeadlineExceeded unscored.
+  uint64_t deadline_ns = 0;
 };
 
 struct ScoreResponse {
   /// Predicted class code per row of the block, in row order. Identical
   /// to calling the model's Predict serially (the determinism tests
-  /// lock this down under concurrency).
+  /// lock this down under concurrency, at every shard/thread count).
   std::vector<uint32_t> predictions;
   /// How many requests shared the scoring pass (1 when unbatched);
-  /// diagnostic only.
+  /// diagnostic only — outside the determinism contract.
   uint32_t batch_requests = 1;
 };
 
@@ -97,6 +150,9 @@ struct SelectFeaturesRequest {
   double nb_alpha = 1.0;   ///< Naive Bayes smoothing for the models.
   uint64_t seed = 7;       ///< Drives the holdout split.
   std::string model_name;  ///< Store the winning model under this name.
+  /// Absolute deadline on the obs::NowNanos clock (0 = none), checked
+  /// at dequeue.
+  uint64_t deadline_ns = 0;
 };
 
 struct SelectFeaturesResponse {
@@ -106,7 +162,8 @@ struct SelectFeaturesResponse {
 };
 
 /// The in-process service. Public methods are safe to call from any
-/// number of client threads; each blocks until its response is ready.
+/// number of client threads; each blocks until its response is ready
+/// (or returns a typed rejection under kShed / an expired deadline).
 class HamletService {
  public:
   /// `store` must outlive the service.
@@ -123,19 +180,30 @@ class HamletService {
   Result<SelectFeaturesResponse> SelectFeatures(SelectFeaturesRequest request);
 
   /// Finishes every queued request, rejects new ones
-  /// (FailedPrecondition), and joins the dispatcher. Idempotent.
+  /// (FailedPrecondition), and joins all dispatchers. Idempotent.
   void Stop();
 
   /// The exact scoring pass the dispatcher's micro-batcher runs, minus
-  /// the queue: resolves each distinct (model, version) once and scores
-  /// all blocks in one parallel region per model group. Exposed so the
-  /// determinism tests and benchmarks can drive the batched path
-  /// directly.
+  /// the queue: resolves each distinct (model, version) once (through
+  /// the artifact store — the warm cache is dispatcher-local) and
+  /// scores all blocks in one parallel region per model group. Exposed
+  /// so the determinism tests and benchmarks can drive the batched
+  /// path directly.
   Result<std::vector<ScoreResponse>> ScoreBatchDirect(
       const std::vector<ScoreRequest>& batch);
 
-  /// Requests currently queued (diagnostics/tests).
+  /// Requests currently queued across all shards (diagnostics/tests).
   size_t queue_depth() const;
+
+  /// Requests currently queued on one shard (< num_shards()).
+  size_t queue_depth(uint32_t shard) const;
+
+  /// Resolved dispatcher shard count (>= 1).
+  uint32_t num_shards() const;
+
+  /// The shard a Score request for (model, version) routes to — a pure
+  /// function of the key and num_shards(), exposed for tests.
+  uint32_t ShardForModel(const std::string& model, uint32_t version) const;
 
   const ServiceOptions& options() const { return options_; }
 

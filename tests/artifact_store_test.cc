@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -281,6 +282,65 @@ TEST_F(ArtifactStoreTest, FsRunReportRoundTripThroughStore) {
   ASSERT_TRUE(back.ok()) << back.status();
   EXPECT_EQ(back->method, "MI Filter");
   EXPECT_EQ(back->selection.selected, std::vector<uint32_t>{1});
+}
+
+// Every successful publish bumps the generation counter exactly once —
+// the warm-model-cache's kLatest revalidation signal — and a failed
+// publish (bad name) leaves it untouched.
+TEST_F(ArtifactStoreTest, GenerationCountsSuccessfulPublishes) {
+  ArtifactStore store(root_);
+  EncodedDataset data = MakeData(20);
+  EXPECT_EQ(store.generation(), 0u);
+  ASSERT_TRUE(store.PutNaiveBayes("m", TrainNb(data)).ok());
+  EXPECT_EQ(store.generation(), 1u);
+  ASSERT_TRUE(store.PutNaiveBayes("m", TrainNb(data)).ok());
+  ASSERT_TRUE(store.PutDataset("d", data).ok());
+  EXPECT_EQ(store.generation(), 3u);
+  EXPECT_FALSE(store.PutNaiveBayes("bad/name", TrainNb(data)).ok());
+  EXPECT_EQ(store.generation(), 3u);
+}
+
+// Concurrent cache hits take the shared-lock path while the handed-out
+// shared_ptrs pin the artifact: readers racing a publish (which evicts
+// nothing, but bumps generation) and each other must always see a
+// structurally-valid model. Primarily a TSAN target for
+// scripts/check_determinism.sh.
+TEST_F(ArtifactStoreTest, ConcurrentHitsSharePinnedModels) {
+  ArtifactStore store(root_);
+  EncodedDataset data = MakeData(21);
+  NaiveBayes model = TrainNb(data);
+  ASSERT_TRUE(store.PutNaiveBayes("m", model).ok());
+  ASSERT_TRUE(store.GetNaiveBayes("m", 1).ok());  // Warm the cache.
+  std::vector<uint32_t> rows(data.num_rows());
+  for (uint32_t i = 0; i < data.num_rows(); ++i) rows[i] = i;
+  const std::vector<uint32_t> expected = model.Predict(data, rows);
+
+  constexpr int kReaders = 8;
+  constexpr int kGetsPerReader = 50;
+  std::vector<int> failures(kReaders, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < kGetsPerReader; ++i) {
+        auto hit = store.GetNaiveBayes("m", 1);  // Concrete: pure hit.
+        if (!hit.ok() || (*hit)->Predict(data, rows) != expected) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 10; ++i) {
+      if (!store.PutNaiveBayes("other", model).ok()) return;
+    }
+  });
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  for (int t = 0; t < kReaders; ++t) {
+    EXPECT_EQ(failures[t], 0) << "reader " << t;
+  }
+  EXPECT_GE(store.cache_hits(), static_cast<uint64_t>(kReaders));
 }
 
 }  // namespace

@@ -71,7 +71,7 @@ TEST(CostProfileTest, SameFeaturesAggregateIntoOneRecord) {
 }
 
 TEST(CostProfileTest, KeyIsCanonicalAndSortsByOperator) {
-  EXPECT_EQ(JoinFeatures(50000).Key(), "join.kfk|50000|50000|1000|1000|4");
+  EXPECT_EQ(JoinFeatures(50000).Key(), "join.kfk|50000|50000|1000|1000|4|0");
   obs::CostProfile profile;
   obs::OperatorFeatures ingest;
   ingest.op = "ingest.csv";
